@@ -1,0 +1,38 @@
+//! Figures 19-21: Distance Browsing variants and the degree-2 chain optimisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnknn::disbrw::{DisBrwSearch, DisBrwVariant};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{ChainIndex, EdgeWeightKind};
+use rnknn_objects::{uniform, ObjectRTree};
+use rnknn_silc::SilcIndex;
+use std::time::Duration;
+
+fn bench_disbrw(c: &mut Criterion) {
+    let graph = RoadNetwork::generate(&GeneratorConfig::new(2_500, 31)).graph(EdgeWeightKind::Distance);
+    let silc = SilcIndex::build(&graph);
+    let chains = ChainIndex::build(&graph);
+    let objects = uniform(&graph, 0.001, 9);
+    let rtree = ObjectRTree::build(&graph, &objects);
+    let queries: Vec<u32> = (0..8u32).map(|i| (i * 283) % graph.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("fig19_disbrw");
+    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    let configs = [
+        ("object_hierarchy", DisBrwVariant::ObjectHierarchy, false),
+        ("db_enn", DisBrwVariant::DbEnn, false),
+        ("db_enn_chain_opt", DisBrwVariant::DbEnn, true),
+    ];
+    for (name, variant, use_chains) in configs {
+        let chain_ref = if use_chains { Some(&chains) } else { None };
+        let search = DisBrwSearch::with_variant(&graph, &silc, chain_ref, variant);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                queries.iter().map(|&q| search.knn(q, 10, &rtree, &objects).len()).sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disbrw);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6 / Table 3: G-tree distance-matrix layouts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_gtree::{Gtree, GtreeConfig, GtreeSearch, LeafSearchMode, MatrixKind, OccurrenceList};
+use rnknn_objects::uniform;
+use std::time::Duration;
+
+fn bench_matrix_kinds(c: &mut Criterion) {
+    let graph = RoadNetwork::generate(&GeneratorConfig::new(3_000, 3)).graph(EdgeWeightKind::Distance);
+    let objects = uniform(&graph, 0.001, 5);
+    let queries: Vec<u32> = (0..16u32).map(|i| (i * 131) % graph.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("fig6_distance_matrix");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for kind in MatrixKind::all() {
+        let gtree = Gtree::build_with_config(
+            &graph,
+            GtreeConfig { matrix_kind: kind, leaf_capacity: 128, ..Default::default() },
+        );
+        let occ = OccurrenceList::build(&gtree, objects.vertices());
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| {
+                        GtreeSearch::new(&gtree, &graph, q)
+                            .knn(10, &occ, LeafSearchMode::Improved)
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix_kinds);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 22: improved vs original G-tree leaf search at high density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_gtree::{Gtree, GtreeConfig, GtreeSearch, LeafSearchMode, OccurrenceList};
+use rnknn_objects::uniform;
+use std::time::Duration;
+
+fn bench_leaf_search(c: &mut Criterion) {
+    let graph = RoadNetwork::generate(&GeneratorConfig::new(3_000, 17)).graph(EdgeWeightKind::Distance);
+    let gtree = Gtree::build_with_config(&graph, GtreeConfig { leaf_capacity: 256, ..Default::default() });
+    let objects = uniform(&graph, 0.5, 3);
+    let occ = OccurrenceList::build(&gtree, objects.vertices());
+    let queries: Vec<u32> = (0..16u32).map(|i| (i * 149) % graph.num_vertices() as u32).collect();
+    let mut group = c.benchmark_group("fig22_leaf_search");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    for (name, mode) in [("original", LeafSearchMode::Original), ("improved", LeafSearchMode::Improved)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| GtreeSearch::new(&gtree, &graph, q).knn(1, &occ, mode).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf_search);
+criterion_main!(benches);

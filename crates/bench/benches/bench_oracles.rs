@@ -1,0 +1,42 @@
+//! Figure 4: IER's shortest-path oracles (point-to-point distance queries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, NodeId};
+use rnknn_gtree::{Gtree, GtreeSearch};
+use rnknn_pathfinding::dijkstra;
+use std::time::Duration;
+
+fn bench_oracles(c: &mut Criterion) {
+    let graph = RoadNetwork::generate(&GeneratorConfig::new(4_000, 7)).graph(EdgeWeightKind::Distance);
+    let ch = rnknn_ch::ContractionHierarchy::build(&graph);
+    let phl = rnknn_phl::HubLabels::build_with_ch(&graph, &ch).expect("label budget");
+    let gtree = Gtree::build(&graph);
+    let n = graph.num_vertices() as NodeId;
+    let pairs: Vec<(NodeId, NodeId)> =
+        (0..32u32).map(|i| ((i * 997) % n, (i * 7919 + 13) % n)).collect();
+
+    let mut group = c.benchmark_group("fig4_oracles");
+    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| pairs.iter().map(|&(s, t)| dijkstra::distance(&graph, s, t)).sum::<u64>())
+    });
+    group.bench_function("ch", |b| {
+        b.iter(|| pairs.iter().map(|&(s, t)| ch.distance(s, t)).sum::<u64>())
+    });
+    group.bench_function("phl", |b| {
+        b.iter(|| pairs.iter().map(|&(s, t)| phl.distance(s, t)).sum::<u64>())
+    });
+    group.bench_function("mgtree", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(s, t)| GtreeSearch::new(&gtree, &graph, s).distance_to(t))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

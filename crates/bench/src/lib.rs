@@ -1,0 +1,220 @@
+//! Experiment harness shared by the `experiments` binary and the Criterion benches.
+//!
+//! The harness mirrors the paper's experimental setup (Section 7.1): synthetic stand-ins
+//! for the DIMACS road networks ([`rnknn_graph::DatasetPreset`]), uniform / clustered /
+//! minimum-distance / POI-like object sets, query workloads averaged over many random
+//! query vertices, and per-method timing. Every table and figure of the paper maps to
+//! one experiment in the `experiments` binary (see DESIGN.md §3).
+
+use std::time::Instant;
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn_graph::generator::{DatasetPreset, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, Graph, NodeId};
+use rnknn_objects::{uniform, ObjectSet};
+
+/// Default scale factor applied to the dataset presets so the full experiment suite
+/// runs on a laptop. Raise it (e.g. `--scale 1.0`) for larger runs.
+pub const DEFAULT_SCALE: f64 = 0.15;
+
+/// Default number of query vertices per measurement (the paper averages over 10,000;
+/// the harness default keeps full sweeps fast while remaining stable).
+pub const DEFAULT_QUERIES: usize = 40;
+
+/// A prepared testbed: road network + engine + query workload.
+pub struct Testbed {
+    /// The preset this testbed was generated from.
+    pub preset: DatasetPreset,
+    /// The engine holding the road network and its indexes.
+    pub engine: Engine,
+    /// Query vertices used for every measurement.
+    pub queries: Vec<NodeId>,
+}
+
+/// Options controlling testbed construction.
+#[derive(Debug, Clone)]
+pub struct TestbedOptions {
+    /// Scale factor applied to the preset's vertex count.
+    pub scale: f64,
+    /// Edge-weight kind.
+    pub kind: EdgeWeightKind,
+    /// Number of query vertices.
+    pub num_queries: usize,
+    /// Engine configuration (which indexes to build).
+    pub engine: EngineConfig,
+}
+
+impl Default for TestbedOptions {
+    fn default() -> Self {
+        TestbedOptions {
+            scale: DEFAULT_SCALE,
+            kind: EdgeWeightKind::Distance,
+            num_queries: DEFAULT_QUERIES,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+impl Testbed {
+    /// Builds a testbed for `preset`.
+    pub fn build(preset: DatasetPreset, options: &TestbedOptions) -> Testbed {
+        let network: RoadNetwork = preset.generate(options.scale);
+        let graph = network.graph(options.kind);
+        Self::from_graph(preset, graph, options)
+    }
+
+    /// Builds a testbed from an already-materialised graph.
+    pub fn from_graph(preset: DatasetPreset, graph: Graph, options: &TestbedOptions) -> Testbed {
+        let n = graph.num_vertices() as NodeId;
+        let queries: Vec<NodeId> =
+            (0..options.num_queries as u64).map(|i| ((i * 2_654_435_769) % n as u64) as NodeId).collect();
+        let engine = Engine::build(graph, &options.engine);
+        Testbed { preset, engine, queries }
+    }
+
+    /// The graph under test.
+    pub fn graph(&self) -> &Graph {
+        self.engine.graph()
+    }
+
+    /// Injects a uniform object set of the given density.
+    pub fn set_uniform_objects(&mut self, density: f64, seed: u64) -> usize {
+        let objects = uniform(self.engine.graph(), density, seed);
+        let len = objects.len();
+        self.engine.set_objects(objects);
+        len
+    }
+
+    /// Injects an arbitrary object set.
+    pub fn set_objects(&mut self, objects: ObjectSet) {
+        self.engine.set_objects(objects);
+    }
+
+    /// Average query time in microseconds of `method` over the testbed's query workload.
+    pub fn avg_query_micros(&mut self, method: Method, k: usize) -> f64 {
+        if !self.engine.supports(method) {
+            return f64::NAN;
+        }
+        let start = Instant::now();
+        let mut sink = 0u64;
+        for &q in &self.queries.clone() {
+            let result = self.engine.knn(method, q, k);
+            sink = sink.wrapping_add(result.last().map(|&(_, d)| d).unwrap_or(0));
+        }
+        // Keep the optimiser honest.
+        std::hint::black_box(sink);
+        start.elapsed().as_micros() as f64 / self.queries.len().max(1) as f64
+    }
+}
+
+/// One row of an experiment's output: a label plus one value per series.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+/// A simple fixed-width table mirroring one figure/table of the paper.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// e.g. "Figure 10(a): query time vs k (NW, d=0.001)".
+    pub title: String,
+    /// Column label for the row key (e.g. "k", "density").
+    pub key: String,
+    /// Series names (e.g. method names).
+    pub series: Vec<String>,
+    /// Unit of the values (e.g. "µs", "MB").
+    pub unit: String,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, key: &str, series: Vec<String>, unit: &str) -> Table {
+        Table {
+            title: title.to_string(),
+            key: key.to_string(),
+            series,
+            unit: unit.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        self.rows.push(Row { label: label.into(), values });
+    }
+
+    /// Renders the table as monospace text (used for stdout and EXPERIMENTS.md).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        out.push_str(&format!("(values in {})\n", self.unit));
+        out.push_str(&format!("{:<16}", self.key));
+        for s in &self.series {
+            out.push_str(&format!("{:>14}", s));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<16}", row.label));
+            for v in &row.values {
+                if v.is_nan() {
+                    out.push_str(&format!("{:>14}", "n/a"));
+                } else if *v >= 100.0 {
+                    out.push_str(&format!("{:>14.0}", v));
+                } else {
+                    out.push_str(&format!("{:>14.2}", v));
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// The parameter defaults of Table 4.
+pub mod defaults {
+    /// Default k.
+    pub const K: usize = 10;
+    /// Default uniform object density.
+    pub const DENSITY: f64 = 0.001;
+    /// The k values swept by the paper.
+    pub const K_SWEEP: [usize; 5] = [1, 5, 10, 25, 50];
+    /// The density values swept by the paper.
+    pub const DENSITY_SWEEP: [f64; 5] = [0.0001, 0.001, 0.01, 0.1, 1.0];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_and_times_queries() {
+        let options = TestbedOptions {
+            scale: 0.05,
+            num_queries: 5,
+            engine: EngineConfig::minimal(),
+            ..Default::default()
+        };
+        let mut bed = Testbed::build(DatasetPreset::DE, &options);
+        assert!(bed.graph().num_vertices() > 50);
+        let count = bed.set_uniform_objects(0.01, 3);
+        assert!(count > 0);
+        let micros = bed.avg_query_micros(Method::Gtree, 5);
+        assert!(micros.is_finite() && micros >= 0.0);
+        // Unsupported method reports NaN rather than panicking.
+        assert!(bed.avg_query_micros(Method::IerPhl, 5).is_nan());
+    }
+
+    #[test]
+    fn table_renders_all_rows_and_series() {
+        let mut t = Table::new("Figure X", "k", vec!["A".into(), "B".into()], "µs");
+        t.push("1", vec![1.0, 2.0]);
+        t.push("5", vec![300.0, f64::NAN]);
+        let text = t.render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("n/a"));
+        assert!(text.lines().count() >= 5);
+    }
+}

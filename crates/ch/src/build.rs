@@ -1,0 +1,332 @@
+//! Preprocessing: node ordering and contraction.
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_pathfinding::heap::MinHeap;
+
+/// Tuning parameters for CH preprocessing.
+#[derive(Debug, Clone)]
+pub struct ChConfig {
+    /// Maximum number of vertices settled by each witness search. Larger values produce
+    /// fewer shortcuts at the cost of slower preprocessing; correctness is unaffected
+    /// (an inconclusive witness search simply adds the shortcut).
+    pub witness_settle_limit: usize,
+    /// Weighting of the "deleted neighbours" term in the node priority, which spreads
+    /// contraction evenly across the network.
+    pub deleted_neighbour_weight: i64,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig { witness_settle_limit: 64, deleted_neighbour_weight: 2 }
+    }
+}
+
+/// A preprocessed contraction hierarchy over an undirected road network.
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    /// `rank[v]` = contraction position of `v` (higher = more important).
+    rank: Vec<u32>,
+    /// Upward adjacency in CSR form: for each vertex, edges (original and shortcuts) to
+    /// higher-ranked vertices only.
+    up_offsets: Vec<u32>,
+    up_targets: Vec<NodeId>,
+    up_weights: Vec<Weight>,
+    /// Total number of shortcuts added during preprocessing (reported by experiments).
+    num_shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Builds the hierarchy with default parameters.
+    pub fn build(graph: &Graph) -> Self {
+        Self::build_with_config(graph, &ChConfig::default())
+    }
+
+    /// Builds the hierarchy with explicit parameters.
+    pub fn build_with_config(graph: &Graph, config: &ChConfig) -> Self {
+        let n = graph.num_vertices();
+        // Working adjacency among not-yet-contracted vertices. Starts as a copy of the
+        // input graph and gains shortcuts as contraction proceeds.
+        let mut adjacency: Vec<Vec<(NodeId, Weight)>> = (0..n)
+            .map(|v| graph.neighbors(v as NodeId).collect::<Vec<_>>())
+            .collect();
+        let mut contracted = vec![false; n];
+        let mut deleted_neighbours = vec![0i64; n];
+        let mut rank = vec![0u32; n];
+        let mut num_shortcuts = 0usize;
+
+        // Lazy priority queue of (priority, vertex).
+        let mut queue: MinHeap<NodeId, i64> = MinHeap::with_capacity(n);
+        for v in 0..n as NodeId {
+            let p = node_priority(v, &adjacency, &contracted, &deleted_neighbours, config);
+            queue.push(p, v);
+        }
+
+        let mut next_rank = 0u32;
+        while let Some((priority, v)) = queue.pop() {
+            if contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: recompute the priority; if it is no longer minimal, requeue.
+            let current = node_priority(v, &adjacency, &contracted, &deleted_neighbours, config);
+            if current > priority {
+                if let Some(next_best) = queue.peek_key() {
+                    if current > next_best {
+                        queue.push(current, v);
+                        continue;
+                    }
+                }
+            }
+
+            // Contract v: connect every pair of its uncontracted neighbours unless a
+            // witness path that avoids v is at least as short.
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+            contracted[v as usize] = true;
+            let neighbours: Vec<(NodeId, Weight)> = adjacency[v as usize]
+                .iter()
+                .copied()
+                .filter(|&(t, _)| !contracted[t as usize])
+                .collect();
+            for &(t, _) in &neighbours {
+                deleted_neighbours[t as usize] += 1;
+            }
+            let added = contract_vertex(v, &neighbours, &mut adjacency, &contracted, config);
+            num_shortcuts += added;
+        }
+
+        // Assemble the upward graph: for each vertex keep only edges towards
+        // higher-ranked vertices (original edges plus every shortcut accumulated in the
+        // working adjacency).
+        let mut up_offsets = vec![0u32; n + 1];
+        let mut up_targets = Vec::new();
+        let mut up_weights = Vec::new();
+        for v in 0..n {
+            // Deduplicate parallel edges keeping the smallest weight.
+            let mut ups: Vec<(NodeId, Weight)> = adjacency[v]
+                .iter()
+                .copied()
+                .filter(|&(t, _)| rank[t as usize] > rank[v])
+                .collect();
+            ups.sort_unstable_by_key(|&(t, w)| (t, w));
+            ups.dedup_by_key(|&mut (t, _)| t);
+            for (t, w) in ups {
+                up_targets.push(t);
+                up_weights.push(w);
+            }
+            up_offsets[v + 1] = up_targets.len() as u32;
+        }
+
+        ContractionHierarchy { rank, up_offsets, up_targets, up_weights, num_shortcuts }
+    }
+
+    /// Number of vertices in the hierarchy.
+    pub fn num_vertices(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Contraction rank of a vertex (higher = contracted later = more important).
+    #[inline]
+    pub fn rank(&self, v: NodeId) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// Vertices sorted by decreasing importance (highest rank first).
+    pub fn vertices_by_importance(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.rank.len() as NodeId).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(self.rank[v as usize]));
+        order
+    }
+
+    /// Number of shortcut edges added during preprocessing.
+    pub fn num_shortcuts(&self) -> usize {
+        self.num_shortcuts
+    }
+
+    /// Upward edges (towards higher-ranked vertices) of `v`.
+    #[inline]
+    pub fn upward_edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let lo = self.up_offsets[v as usize] as usize;
+        let hi = self.up_offsets[v as usize + 1] as usize;
+        self.up_targets[lo..hi].iter().copied().zip(self.up_weights[lo..hi].iter().copied())
+    }
+
+    /// Approximate resident size in bytes (Figure 8(a) / 26(b)).
+    pub fn memory_bytes(&self) -> usize {
+        self.rank.len() * 4
+            + self.up_offsets.len() * 4
+            + self.up_targets.len() * 4
+            + self.up_weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+/// Priority of a vertex: edge difference plus a spreading term.
+fn node_priority(
+    v: NodeId,
+    adjacency: &[Vec<(NodeId, Weight)>],
+    contracted: &[bool],
+    deleted_neighbours: &[i64],
+    config: &ChConfig,
+) -> i64 {
+    let neighbours: Vec<(NodeId, Weight)> = adjacency[v as usize]
+        .iter()
+        .copied()
+        .filter(|&(t, _)| !contracted[t as usize])
+        .collect();
+    let shortcuts = count_shortcuts(v, &neighbours, adjacency, contracted, config);
+    let edge_difference = shortcuts as i64 - neighbours.len() as i64;
+    edge_difference * 4 + deleted_neighbours[v as usize] * config.deleted_neighbour_weight
+}
+
+/// Counts how many shortcuts contracting `v` would insert (without inserting them).
+fn count_shortcuts(
+    v: NodeId,
+    neighbours: &[(NodeId, Weight)],
+    adjacency: &[Vec<(NodeId, Weight)>],
+    contracted: &[bool],
+    config: &ChConfig,
+) -> usize {
+    let mut count = 0;
+    for (i, &(u, wu)) in neighbours.iter().enumerate() {
+        for &(t, wt) in neighbours.iter().skip(i + 1) {
+            let via = wu + wt;
+            if witness_distance(u, t, v, via, adjacency, contracted, config) > via {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Contracts `v`, inserting the needed shortcuts into `adjacency`. Returns the number of
+/// shortcuts added.
+fn contract_vertex(
+    v: NodeId,
+    neighbours: &[(NodeId, Weight)],
+    adjacency: &mut Vec<Vec<(NodeId, Weight)>>,
+    contracted: &[bool],
+    config: &ChConfig,
+) -> usize {
+    let mut added = 0;
+    for (i, &(u, wu)) in neighbours.iter().enumerate() {
+        for &(t, wt) in neighbours.iter().skip(i + 1) {
+            let via = wu + wt;
+            if witness_distance(u, t, v, via, adjacency, contracted, config) > via {
+                adjacency[u as usize].push((t, via));
+                adjacency[t as usize].push((u, via));
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Bounded Dijkstra between two neighbours of the vertex being contracted, avoiding that
+/// vertex and all already-contracted vertices. Returns the best distance found within
+/// the settle budget (possibly an overestimate, which only causes extra shortcuts).
+fn witness_distance(
+    source: NodeId,
+    target: NodeId,
+    skip: NodeId,
+    cutoff: Weight,
+    adjacency: &[Vec<(NodeId, Weight)>],
+    contracted: &[bool],
+    config: &ChConfig,
+) -> Weight {
+    let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(config.witness_settle_limit * 2);
+    let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
+    heap.push(0, source);
+    dist.insert(source, 0);
+    let mut settled = 0usize;
+    let mut best = INFINITY;
+    while let Some((d, x)) = heap.pop() {
+        if d > *dist.get(&x).unwrap_or(&INFINITY) {
+            continue;
+        }
+        if x == target {
+            best = d;
+            break;
+        }
+        if d > cutoff {
+            break;
+        }
+        settled += 1;
+        if settled > config.witness_settle_limit {
+            break;
+        }
+        for &(t, w) in &adjacency[x as usize] {
+            if t == skip || contracted[t as usize] {
+                continue;
+            }
+            let nd = d + w;
+            if nd < *dist.get(&t).unwrap_or(&INFINITY) {
+                dist.insert(t, nd);
+                heap.push(nd, t);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, GraphBuilder};
+    use rnknn_pathfinding::dijkstra;
+
+    #[test]
+    fn distances_match_dijkstra_on_random_networks() {
+        for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(800, 21));
+            let g = net.graph(kind);
+            let ch = ContractionHierarchy::build(&g);
+            let n = g.num_vertices() as NodeId;
+            for i in 0..60u32 {
+                let s = (i * 131) % n;
+                let t = (i * 467 + 11) % n;
+                assert_eq!(ch.distance(s, t), dijkstra::distance(&g, s, t), "{s}->{t} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_trivial_and_disconnected_graphs() {
+        let mut b = GraphBuilder::with_vertices(5);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 4);
+        let g = b.build();
+        let ch = ContractionHierarchy::build(&g);
+        assert_eq!(ch.distance(0, 2), 7);
+        assert_eq!(ch.distance(0, 0), 0);
+        assert_eq!(ch.distance(0, 4), INFINITY);
+        assert_eq!(ch.num_vertices(), 5);
+    }
+
+    #[test]
+    fn ranks_form_a_permutation() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(300, 2));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        let mut seen = vec![false; g.num_vertices()];
+        for v in g.vertices() {
+            let r = ch.rank(v) as usize;
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let order = ch.vertices_by_importance();
+        assert_eq!(order.len(), g.num_vertices());
+        assert_eq!(ch.rank(order[0]) as usize, g.num_vertices() - 1);
+    }
+
+    #[test]
+    fn shortcut_count_and_memory_reported() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 9));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        assert!(ch.memory_bytes() > 0);
+        // Shortcut count should be modest relative to the number of edges on a planar
+        // network.
+        assert!(ch.num_shortcuts() < g.num_edges() * 4);
+    }
+}

@@ -1,0 +1,17 @@
+//! Contraction Hierarchies (Geisberger et al., WEA 2008).
+//!
+//! CH is one of the fast point-to-point shortest-path techniques the paper combines
+//! with IER (Section 5, Figure 4): vertices are contracted in increasing order of
+//! importance, inserting shortcut edges that preserve shortest-path distances among the
+//! remaining vertices; queries run a bidirectional Dijkstra that only ever relaxes edges
+//! towards more important vertices.
+//!
+//! Besides serving as the IER-CH oracle, the hierarchy's contraction order is reused by
+//! the [`rnknn-tnr`](../rnknn_tnr/index.html) crate to select transit nodes and by
+//! [`rnknn-phl`](../rnknn_phl/index.html) as a label ordering.
+
+mod build;
+mod query;
+
+pub use build::{ChConfig, ContractionHierarchy};
+pub use query::ChSearchSpace;

@@ -1,0 +1,172 @@
+//! CH queries: bidirectional upward search, reusable upward search spaces.
+
+use rnknn_graph::{NodeId, Weight, INFINITY};
+use rnknn_pathfinding::heap::MinHeap;
+
+use crate::build::ContractionHierarchy;
+
+impl ContractionHierarchy {
+    /// Exact network distance between `s` and `t`.
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        let forward = self.upward_search_space(s);
+        let backward = self.upward_search_space(t);
+        forward.meet(&backward)
+    }
+
+    /// Computes the complete upward search space from `v`: the set of vertices reachable
+    /// by only ascending in rank, with their (upper-bound) distances.
+    ///
+    /// Search spaces can be cached and intersected with [`ChSearchSpace::meet`]; IER-CH
+    /// reuses the query vertex's forward space across all candidate objects, which is
+    /// the CH analogue of G-tree's "materialization".
+    pub fn upward_search_space(&self, v: NodeId) -> ChSearchSpace {
+        let mut entries: Vec<(NodeId, Weight)> = Vec::new();
+        let mut heap: MinHeap<NodeId> = MinHeap::new();
+        let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
+        heap.push(0, v);
+        dist.insert(v, 0);
+        while let Some((d, x)) = heap.pop() {
+            if d > *dist.get(&x).unwrap_or(&INFINITY) {
+                continue;
+            }
+            entries.push((x, d));
+            for (t, w) in self.upward_edges(x) {
+                let nd = d + w;
+                if nd < *dist.get(&t).unwrap_or(&INFINITY) {
+                    dist.insert(t, nd);
+                    heap.push(nd, t);
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|&(x, _)| x);
+        ChSearchSpace { entries }
+    }
+
+    /// Upward search space from `v` that does not expand any vertex for which `stop`
+    /// returns true (the vertex itself is still settled). Used by Transit Node Routing,
+    /// whose "local" searches stop at transit nodes.
+    pub fn upward_search_space_stopping_at(
+        &self,
+        v: NodeId,
+        stop: impl Fn(NodeId) -> bool,
+    ) -> ChSearchSpace {
+        let mut entries: Vec<(NodeId, Weight)> = Vec::new();
+        let mut heap: MinHeap<NodeId> = MinHeap::new();
+        let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
+        heap.push(0, v);
+        dist.insert(v, 0);
+        while let Some((d, x)) = heap.pop() {
+            if d > *dist.get(&x).unwrap_or(&INFINITY) {
+                continue;
+            }
+            entries.push((x, d));
+            if x != v && stop(x) {
+                continue;
+            }
+            for (t, w) in self.upward_edges(x) {
+                let nd = d + w;
+                if nd < *dist.get(&t).unwrap_or(&INFINITY) {
+                    dist.insert(t, nd);
+                    heap.push(nd, t);
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|&(x, _)| x);
+        ChSearchSpace { entries }
+    }
+}
+
+/// A materialised CH upward search space: vertex ids with upper-bound distances, sorted
+/// by vertex id for merge-joins.
+#[derive(Debug, Clone)]
+pub struct ChSearchSpace {
+    entries: Vec<(NodeId, Weight)>,
+}
+
+impl ChSearchSpace {
+    /// Number of settled vertices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty (never the case for spaces produced from a valid vertex).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The settled vertices with their distances, sorted by vertex id.
+    pub fn entries(&self) -> &[(NodeId, Weight)] {
+        &self.entries
+    }
+
+    /// Minimum of `d_self(x) + d_other(x)` over all vertices `x` present in both spaces;
+    /// this is the exact network distance when the two spaces come from a forward and a
+    /// backward CH search.
+    pub fn meet(&self, other: &ChSearchSpace) -> Weight {
+        let mut best = INFINITY;
+        let mut i = 0;
+        let mut j = 0;
+        let a = &self.entries;
+        let b = &other.entries;
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(a[i].1 + b[j].1);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Distance recorded for a specific vertex, if it was settled.
+    pub fn distance_to(&self, v: NodeId) -> Option<Weight> {
+        self.entries.binary_search_by_key(&v, |&(x, _)| x).ok().map(|i| self.entries[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ContractionHierarchy;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_pathfinding::dijkstra;
+
+    #[test]
+    fn cached_search_space_reuse_matches_fresh_queries() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 33));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        let s: NodeId = 17;
+        let space = ch.upward_search_space(s);
+        assert!(!space.is_empty());
+        assert_eq!(space.distance_to(s), Some(0));
+        for t in (0..g.num_vertices() as NodeId).step_by(37) {
+            let other = ch.upward_search_space(t);
+            assert_eq!(space.meet(&other), dijkstra::distance(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn stopping_search_space_is_a_subset() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 4));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        let full = ch.upward_search_space(5);
+        let threshold = (g.num_vertices() as u32 * 9) / 10;
+        let stopped = ch.upward_search_space_stopping_at(5, |v| ch.rank(v) >= threshold);
+        assert!(stopped.len() <= full.len());
+        // Every stopped entry's distance is >= the full space's distance for that vertex.
+        for &(v, d) in stopped.entries() {
+            let full_d = full.distance_to(v).expect("present in full space");
+            assert!(d >= full_d);
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! A single facade bundling every index and kNN method.
+//!
+//! [`Engine`] owns the road network and whichever road-network indexes were requested,
+//! plus the currently-injected object set and its per-method object indexes. This
+//! mirrors how the paper's experiments operate: road-network indexes are built once,
+//! object indexes are cheap and swapped per object set (Section 7.4), and every method
+//! answers the same queries.
+
+use std::time::Instant;
+
+use rnknn_graph::{ChainIndex, Graph, NodeId};
+use rnknn_gtree::{Gtree, GtreeConfig, LeafSearchMode, OccurrenceList};
+use rnknn_objects::{ObjectRTree, ObjectSet};
+use rnknn_road::{AssociationDirectory, RoadConfig, RoadIndex, RoadKnn};
+use rnknn_silc::{SilcConfig, SilcIndex};
+
+use crate::disbrw::{DisBrwSearch, DisBrwVariant};
+use crate::ier::{
+    AStarOracle, ChOracle, DijkstraOracle, GtreeOracle, IerSearch, PhlOracle, TnrOracle,
+};
+use crate::ine::IneSearch;
+use crate::KnnResult;
+
+/// The kNN methods the engine can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Incremental Network Expansion.
+    Ine,
+    /// IER with a fresh Dijkstra per candidate (the historical baseline).
+    IerDijkstra,
+    /// IER with A*.
+    IerAStar,
+    /// IER with Contraction Hierarchies.
+    IerCh,
+    /// IER with hub labels ("IER-PHL").
+    IerPhl,
+    /// IER with Transit Node Routing.
+    IerTnr,
+    /// IER with the materialized G-tree oracle ("IER-Gt").
+    IerGtree,
+    /// Distance Browsing with Euclidean-NN candidates (DB-ENN).
+    DisBrw,
+    /// Distance Browsing with the original object hierarchy.
+    DisBrwObjectHierarchy,
+    /// ROAD.
+    Road,
+    /// G-tree.
+    Gtree,
+}
+
+impl Method {
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Ine => "INE",
+            Method::IerDijkstra => "IER-Dijk",
+            Method::IerAStar => "IER-A*",
+            Method::IerCh => "IER-CH",
+            Method::IerPhl => "IER-PHL",
+            Method::IerTnr => "IER-TNR",
+            Method::IerGtree => "IER-Gt",
+            Method::DisBrw => "DisBrw",
+            Method::DisBrwObjectHierarchy => "DisBrw-OH",
+            Method::Road => "ROAD",
+            Method::Gtree => "Gtree",
+        }
+    }
+
+    /// The methods compared in the paper's main experiments (Section 7.3).
+    pub fn main_lineup() -> [Method; 6] {
+        [Method::Ine, Method::Road, Method::Gtree, Method::IerGtree, Method::IerPhl, Method::DisBrw]
+    }
+}
+
+/// Which road-network indexes the engine builds.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Build the G-tree (needed by `Gtree` and `IerGtree`).
+    pub build_gtree: bool,
+    /// Build the ROAD index.
+    pub build_road: bool,
+    /// Build the SILC index (needed by both Distance Browsing variants). Skipped
+    /// automatically when the graph exceeds the SILC size limit, as in the paper.
+    pub build_silc: bool,
+    /// Build the Contraction Hierarchy (needed by `IerCh` and `IerTnr`).
+    pub build_ch: bool,
+    /// Build hub labels (needed by `IerPhl`).
+    pub build_phl: bool,
+    /// Build Transit Node Routing (needed by `IerTnr`; implies a CH build).
+    pub build_tnr: bool,
+    /// Override the G-tree leaf capacity (defaults to the paper's size-based rule).
+    pub gtree_leaf_capacity: Option<usize>,
+    /// Override the ROAD level count (defaults to the paper's size-based rule).
+    pub road_levels: Option<usize>,
+    /// SILC size limit (vertices).
+    pub silc_max_vertices: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            build_gtree: true,
+            build_road: true,
+            build_silc: true,
+            build_ch: true,
+            build_phl: true,
+            build_tnr: false,
+            gtree_leaf_capacity: None,
+            road_levels: None,
+            silc_max_vertices: SilcConfig::default().max_vertices,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration that only builds the expansion-based indexes (fast to construct;
+    /// useful for examples and tests).
+    pub fn minimal() -> Self {
+        EngineConfig {
+            build_gtree: true,
+            build_road: true,
+            build_silc: false,
+            build_ch: false,
+            build_phl: false,
+            build_tnr: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Construction times of the road-network indexes, in microseconds (Figure 8(b) /
+/// Figure 26(a)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimes {
+    pub gtree_micros: u128,
+    pub road_micros: u128,
+    pub silc_micros: u128,
+    pub ch_micros: u128,
+    pub phl_micros: u128,
+    pub tnr_micros: u128,
+}
+
+/// The engine: road network + road-network indexes + the current object set and its
+/// object indexes.
+pub struct Engine {
+    graph: Graph,
+    chains: ChainIndex,
+    gtree: Option<Gtree>,
+    road: Option<RoadIndex>,
+    silc: Option<SilcIndex>,
+    ch: Option<rnknn_ch::ContractionHierarchy>,
+    phl: Option<rnknn_phl::HubLabels>,
+    tnr: Option<rnknn_tnr::TransitNodeRouting>,
+    build_times: BuildTimes,
+    // Current object set and derived object indexes.
+    objects: Option<ObjectSet>,
+    rtree: Option<ObjectRTree>,
+    occurrence: Option<OccurrenceList>,
+    association: Option<AssociationDirectory>,
+}
+
+impl Engine {
+    /// Builds the requested road-network indexes over `graph`.
+    pub fn build(graph: Graph, config: &EngineConfig) -> Engine {
+        let chains = ChainIndex::build(&graph);
+        let mut build_times = BuildTimes::default();
+
+        let gtree = config.build_gtree.then(|| {
+            let start = Instant::now();
+            let gconfig = GtreeConfig {
+                leaf_capacity: config
+                    .gtree_leaf_capacity
+                    .unwrap_or_else(|| GtreeConfig::paper_leaf_capacity(graph.num_vertices())),
+                ..Default::default()
+            };
+            let t = Gtree::build_with_config(&graph, gconfig);
+            build_times.gtree_micros = start.elapsed().as_micros();
+            t
+        });
+        let road = config.build_road.then(|| {
+            let start = Instant::now();
+            let mut rconfig = RoadConfig::for_network(graph.num_vertices());
+            if let Some(levels) = config.road_levels {
+                rconfig.levels = levels;
+            }
+            let r = RoadIndex::build_with_config(&graph, rconfig);
+            build_times.road_micros = start.elapsed().as_micros();
+            r
+        });
+        let silc = if config.build_silc {
+            let start = Instant::now();
+            let silc = SilcIndex::try_build(
+                &graph,
+                &SilcConfig { max_vertices: config.silc_max_vertices, ..Default::default() },
+            );
+            build_times.silc_micros = start.elapsed().as_micros();
+            silc
+        } else {
+            None
+        };
+        let ch = (config.build_ch || config.build_tnr).then(|| {
+            let start = Instant::now();
+            let ch = rnknn_ch::ContractionHierarchy::build(&graph);
+            build_times.ch_micros = start.elapsed().as_micros();
+            ch
+        });
+        let phl = if config.build_phl {
+            let start = Instant::now();
+            let phl = match &ch {
+                Some(ch) => rnknn_phl::HubLabels::build_with_ch(&graph, ch),
+                None => rnknn_phl::HubLabels::build(&graph),
+            };
+            build_times.phl_micros = start.elapsed().as_micros();
+            phl
+        } else {
+            None
+        };
+        let tnr = if config.build_tnr {
+            let start = Instant::now();
+            let ch_clone = ch.clone().expect("TNR requires a CH build");
+            let tnr = rnknn_tnr::TransitNodeRouting::build_from_ch(
+                &graph,
+                ch_clone,
+                rnknn_tnr::TnrConfig::default(),
+            );
+            build_times.tnr_micros = start.elapsed().as_micros();
+            Some(tnr)
+        } else {
+            None
+        };
+
+        Engine {
+            graph,
+            chains,
+            gtree,
+            road,
+            silc,
+            ch,
+            phl,
+            tnr,
+            build_times,
+            objects: None,
+            rtree: None,
+            occurrence: None,
+            association: None,
+        }
+    }
+
+    /// The road network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Index construction times.
+    pub fn build_times(&self) -> BuildTimes {
+        self.build_times
+    }
+
+    /// The G-tree, if built.
+    pub fn gtree(&self) -> Option<&Gtree> {
+        self.gtree.as_ref()
+    }
+
+    /// The ROAD index, if built.
+    pub fn road(&self) -> Option<&RoadIndex> {
+        self.road.as_ref()
+    }
+
+    /// The SILC index, if built (it may be absent because the graph was too large).
+    pub fn silc(&self) -> Option<&SilcIndex> {
+        self.silc.as_ref()
+    }
+
+    /// The contraction hierarchy, if built.
+    pub fn ch(&self) -> Option<&rnknn_ch::ContractionHierarchy> {
+        self.ch.as_ref()
+    }
+
+    /// The hub labels, if built.
+    pub fn phl(&self) -> Option<&rnknn_phl::HubLabels> {
+        self.phl.as_ref()
+    }
+
+    /// The current object set, if any.
+    pub fn objects(&self) -> Option<&ObjectSet> {
+        self.objects.as_ref()
+    }
+
+    /// True when `method` can be answered with the indexes that were built.
+    pub fn supports(&self, method: Method) -> bool {
+        match method {
+            Method::Ine | Method::IerDijkstra | Method::IerAStar => true,
+            Method::IerCh => self.ch.is_some(),
+            Method::IerPhl => self.phl.is_some(),
+            Method::IerTnr => self.tnr.is_some(),
+            Method::IerGtree | Method::Gtree => self.gtree.is_some(),
+            Method::DisBrw | Method::DisBrwObjectHierarchy => self.silc.is_some(),
+            Method::Road => self.road.is_some(),
+        }
+    }
+
+    /// Injects an object set, rebuilding the per-method object indexes (the cheap,
+    /// decoupled step of Section 7.4).
+    pub fn set_objects(&mut self, objects: ObjectSet) {
+        self.rtree = Some(ObjectRTree::build(&self.graph, &objects));
+        self.occurrence =
+            self.gtree.as_ref().map(|g| OccurrenceList::build(g, objects.vertices()));
+        self.association = self.road.as_ref().map(|r| {
+            AssociationDirectory::build(r, self.graph.num_vertices(), objects.vertices())
+        });
+        self.objects = Some(objects);
+    }
+
+    /// Answers a kNN query with the chosen method. Panics if the required index or the
+    /// object set is missing (check [`Engine::supports`] first).
+    pub fn knn(&mut self, method: Method, query: NodeId, k: usize) -> KnnResult {
+        let objects = self.objects.as_ref().expect("call set_objects before querying");
+        let rtree = self.rtree.as_ref().expect("object R-tree built with set_objects");
+        match method {
+            Method::Ine => IneSearch::new(&self.graph).knn(query, k, objects),
+            Method::IerDijkstra => IerSearch::new(&self.graph, DijkstraOracle::new(&self.graph))
+                .knn(query, k, rtree, objects),
+            Method::IerAStar => IerSearch::new(&self.graph, AStarOracle::new(&self.graph))
+                .knn(query, k, rtree, objects),
+            Method::IerCh => {
+                let ch = self.ch.as_ref().expect("CH index not built");
+                IerSearch::new(&self.graph, ChOracle::new(ch)).knn(query, k, rtree, objects)
+            }
+            Method::IerPhl => {
+                let phl = self.phl.as_ref().expect("PHL index not built");
+                IerSearch::new(&self.graph, PhlOracle::new(phl)).knn(query, k, rtree, objects)
+            }
+            Method::IerTnr => {
+                let tnr = self.tnr.as_mut().expect("TNR index not built");
+                IerSearch::new(&self.graph, TnrOracle::new(tnr)).knn(query, k, rtree, objects)
+            }
+            Method::IerGtree => {
+                let gtree = self.gtree.as_ref().expect("G-tree index not built");
+                IerSearch::new(&self.graph, GtreeOracle::new(gtree, &self.graph))
+                    .knn(query, k, rtree, objects)
+            }
+            Method::DisBrw => {
+                let silc = self.silc.as_ref().expect("SILC index not built");
+                DisBrwSearch::new(&self.graph, silc, Some(&self.chains))
+                    .knn(query, k, rtree, objects)
+            }
+            Method::DisBrwObjectHierarchy => {
+                let silc = self.silc.as_ref().expect("SILC index not built");
+                DisBrwSearch::with_variant(
+                    &self.graph,
+                    silc,
+                    Some(&self.chains),
+                    DisBrwVariant::ObjectHierarchy,
+                )
+                .knn(query, k, rtree, objects)
+            }
+            Method::Road => {
+                let road = self.road.as_ref().expect("ROAD index not built");
+                let directory = self.association.as_ref().expect("association directory built");
+                RoadKnn::new(&self.graph, road).knn(query, k, directory)
+            }
+            Method::Gtree => {
+                let gtree = self.gtree.as_ref().expect("G-tree index not built");
+                let occurrence = self.occurrence.as_ref().expect("occurrence list built");
+                rnknn_gtree::GtreeSearch::new(gtree, &self.graph, query).knn(
+                    k,
+                    occurrence,
+                    LeafSearchMode::Improved,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_objects::uniform;
+
+    #[test]
+    fn engine_answers_identically_across_all_supported_methods() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(900, 77));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let mut config = EngineConfig::default();
+        config.build_tnr = true;
+        config.gtree_leaf_capacity = Some(64);
+        let mut engine = Engine::build(graph, &config);
+        let objects = uniform(engine.graph(), 0.02, 5);
+        engine.set_objects(objects);
+
+        let methods = [
+            Method::Ine,
+            Method::IerDijkstra,
+            Method::IerAStar,
+            Method::IerCh,
+            Method::IerPhl,
+            Method::IerTnr,
+            Method::IerGtree,
+            Method::DisBrw,
+            Method::DisBrwObjectHierarchy,
+            Method::Road,
+            Method::Gtree,
+        ];
+        let n = engine.graph().num_vertices() as NodeId;
+        for &q in &[5u32, n / 2, n - 3] {
+            let reference: Vec<_> =
+                engine.knn(Method::Ine, q, 8).iter().map(|&(_, d)| d).collect();
+            for &m in &methods {
+                assert!(engine.supports(m), "{} should be supported", m.name());
+                let got: Vec<_> = engine.knn(m, q, 8).iter().map(|&(_, d)| d).collect();
+                assert_eq!(got, reference, "method {} disagrees at q={q}", m.name());
+            }
+        }
+        assert!(engine.build_times().gtree_micros > 0);
+    }
+
+    #[test]
+    fn swapping_object_sets_reuses_road_network_indexes() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 3));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let mut engine = Engine::build(graph, &EngineConfig::minimal());
+        assert!(!engine.supports(Method::IerPhl));
+        assert!(engine.supports(Method::Gtree));
+
+        let sparse = uniform(engine.graph(), 0.005, 1);
+        engine.set_objects(sparse);
+        let a = engine.knn(Method::Gtree, 10, 3);
+        assert_eq!(a, engine.knn(Method::Ine, 10, 3));
+
+        let dense = uniform(engine.graph(), 0.2, 2);
+        engine.set_objects(dense);
+        let b = engine.knn(Method::Road, 10, 3);
+        assert_eq!(b, engine.knn(Method::Ine, 10, 3));
+        assert!(b[0].1 <= a[0].1, "denser objects cannot be farther");
+    }
+
+    #[test]
+    fn method_names_and_lineup() {
+        assert_eq!(Method::IerPhl.name(), "IER-PHL");
+        assert_eq!(Method::Gtree.name(), "Gtree");
+        assert_eq!(Method::main_lineup().len(), 6);
+    }
+}

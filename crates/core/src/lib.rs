@@ -1,0 +1,56 @@
+//! rnknn — k-nearest-neighbor query processing on road networks.
+//!
+//! This crate is the public face of the workspace reproducing *"k-Nearest Neighbors on
+//! Road Networks: A Journey in Experimentation and In-Memory Implementation"*
+//! (Abeywickrama, Cheema, Taniar; PVLDB 2016). It implements the five kNN methods the
+//! paper compares, on top of the substrate crates:
+//!
+//! | method | module | road-network index | object index |
+//! |--------|--------|--------------------|--------------|
+//! | INE    | [`ine`] | the graph itself | object bitmap |
+//! | IER    | [`ier`] | any [`ier::DistanceOracle`] (Dijkstra, A*, CH, PHL, TNR, MGtree) | R-tree |
+//! | DisBrw | [`disbrw`] | SILC | R-tree (DB-ENN) or object hierarchy |
+//! | ROAD   | re-exported [`rnknn_road`] | Rnet hierarchy + Route Overlay | Association Directory |
+//! | G-tree | re-exported [`rnknn_gtree`] | partition tree + distance matrices | Occurrence List |
+//!
+//! [`engine::Engine`] bundles everything behind a single facade: build the indexes once,
+//! swap object sets freely (decoupled indexing), and answer kNN queries with any method.
+//!
+//! ```
+//! use rnknn::engine::{Engine, EngineConfig, Method};
+//! use rnknn_graph::{generator::GeneratorConfig, EdgeWeightKind, generator::RoadNetwork};
+//! use rnknn_objects::uniform;
+//!
+//! let network = RoadNetwork::generate(&GeneratorConfig::new(2_000, 7));
+//! let graph = network.graph(EdgeWeightKind::Distance);
+//! let objects = uniform(&graph, 0.01, 1);
+//! let mut engine = Engine::build(graph, &EngineConfig::default());
+//! engine.set_objects(objects);
+//! let knn = engine.knn(Method::Gtree, 17, 5);
+//! assert_eq!(knn, engine.knn(Method::Ine, 17, 5));
+//! ```
+
+pub mod disbrw;
+pub mod engine;
+pub mod ier;
+pub mod ine;
+pub mod verify;
+
+pub use engine::{Engine, EngineConfig, Method};
+
+// Re-export the substrate crates so downstream users need a single dependency.
+pub use rnknn_ch as ch;
+pub use rnknn_graph as graph;
+pub use rnknn_gtree as gtree;
+pub use rnknn_objects as objects;
+pub use rnknn_partition as partition;
+pub use rnknn_pathfinding as pathfinding;
+pub use rnknn_phl as phl;
+pub use rnknn_road as road;
+pub use rnknn_silc as silc;
+pub use rnknn_spatial as spatial;
+pub use rnknn_tnr as tnr;
+
+/// A kNN result: object vertices with their network distances, in non-decreasing
+/// distance order.
+pub type KnnResult = Vec<(rnknn_graph::NodeId, rnknn_graph::Weight)>;

@@ -1,0 +1,74 @@
+//! Ground-truth verification helpers used by tests, examples and the experiment
+//! harness.
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_objects::ObjectSet;
+use rnknn_pathfinding::dijkstra;
+
+use crate::KnnResult;
+
+/// Computes the exact kNN answer by a full Dijkstra from the query (slow but obviously
+/// correct). Only reachable objects are returned.
+pub fn ground_truth(graph: &Graph, query: NodeId, k: usize, objects: &ObjectSet) -> KnnResult {
+    let all = dijkstra::single_source(graph, query);
+    let mut result: Vec<(NodeId, Weight)> = objects
+        .vertices()
+        .iter()
+        .map(|&o| (o, all[o as usize]))
+        .filter(|&(_, d)| d < INFINITY)
+        .collect();
+    result.sort_unstable_by_key(|&(o, d)| (d, o));
+    result.truncate(k);
+    result
+}
+
+/// Checks that `answer` is a correct kNN result: distances match the ground truth
+/// (object identity may differ on ties) and the result is sorted.
+pub fn matches_ground_truth(
+    graph: &Graph,
+    query: NodeId,
+    k: usize,
+    objects: &ObjectSet,
+    answer: &KnnResult,
+) -> bool {
+    let truth = ground_truth(graph, query, k, objects);
+    if answer.len() != truth.len() {
+        return false;
+    }
+    if !answer.windows(2).all(|w| w[0].1 <= w[1].1) {
+        return false;
+    }
+    answer
+        .iter()
+        .zip(truth.iter())
+        .all(|(&(o, d), &(_, td))| d == td && objects.contains(o))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_objects::uniform;
+
+    #[test]
+    fn ground_truth_is_sorted_and_bounded_by_k() {
+        let g = RoadNetwork::generate(&GeneratorConfig::new(400, 9)).graph(EdgeWeightKind::Distance);
+        let objects = uniform(&g, 0.05, 3);
+        let truth = ground_truth(&g, 7, 5, &objects);
+        assert_eq!(truth.len(), 5);
+        assert!(truth.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert!(matches_ground_truth(&g, 7, 5, &objects, &truth));
+    }
+
+    #[test]
+    fn detects_wrong_answers() {
+        let g = RoadNetwork::generate(&GeneratorConfig::new(300, 4)).graph(EdgeWeightKind::Distance);
+        let objects = uniform(&g, 0.05, 8);
+        let mut truth = ground_truth(&g, 3, 4, &objects);
+        truth[0].1 += 1;
+        assert!(!matches_ground_truth(&g, 3, 4, &objects, &truth));
+        let short = ground_truth(&g, 3, 3, &objects);
+        assert!(!matches_ground_truth(&g, 3, 4, &objects, &short));
+    }
+}

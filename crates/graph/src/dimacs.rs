@@ -1,0 +1,206 @@
+//! Reader/writer for the 9th DIMACS Implementation Challenge graph exchange format.
+//!
+//! The paper's datasets are distributed as pairs of files: a `.gr` file with one `a u v w`
+//! line per directed arc, and a `.co` file with one `v id x y` line per vertex giving
+//! integer coordinates. This module parses and writes that format so real datasets can be
+//! substituted for the synthetic generator when they are available locally.
+
+use std::fmt::Write as _;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::point::Point;
+use crate::{NodeId, Weight};
+
+/// Errors produced while parsing DIMACS files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// A line could not be parsed; carries the 1-based line number and a description.
+    Malformed { line: usize, message: String },
+    /// The `.gr` and `.co` inputs disagree on the number of vertices.
+    InconsistentVertexCount { graph: usize, coordinates: usize },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::Malformed { line, message } => {
+                write!(f, "malformed DIMACS input at line {line}: {message}")
+            }
+            DimacsError::InconsistentVertexCount { graph, coordinates } => write!(
+                f,
+                "graph file declares {graph} vertices but coordinate file has {coordinates}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a `.gr` arc list and a `.co` coordinate list (as in the DIMACS shortest-path
+/// challenge) into a [`Graph`]. Vertex ids in the files are 1-based; they are converted
+/// to 0-based ids.
+pub fn parse(gr: &str, co: &str) -> Result<Graph, DimacsError> {
+    let mut declared_vertices = 0usize;
+    let mut arcs: Vec<(NodeId, NodeId, Weight)> = Vec::new();
+    for (i, line) in gr.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                // "p sp <vertices> <arcs>"
+                let _sp = parts.next();
+                declared_vertices = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| malformed(line_no, "missing vertex count in p line"))?;
+            }
+            Some("a") => {
+                let u: usize = parse_field(&mut parts, line_no, "source")?;
+                let v: usize = parse_field(&mut parts, line_no, "target")?;
+                let w: Weight = parse_field(&mut parts, line_no, "weight")?;
+                if u == 0 || v == 0 {
+                    return Err(malformed(line_no, "vertex ids are 1-based; found 0"));
+                }
+                arcs.push(((u - 1) as NodeId, (v - 1) as NodeId, w));
+            }
+            Some(other) => {
+                return Err(malformed(line_no, &format!("unknown record type '{other}'")));
+            }
+            None => {}
+        }
+    }
+
+    let mut coords: Vec<Point> = Vec::new();
+    for (i, line) in co.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let id: usize = parse_field(&mut parts, line_no, "vertex id")?;
+                let x: f64 = parse_field(&mut parts, line_no, "x coordinate")?;
+                let y: f64 = parse_field(&mut parts, line_no, "y coordinate")?;
+                if id == 0 {
+                    return Err(malformed(line_no, "vertex ids are 1-based; found 0"));
+                }
+                if coords.len() < id {
+                    coords.resize(id, Point::default());
+                }
+                coords[id - 1] = Point::new(x, y);
+            }
+            Some(other) => {
+                return Err(malformed(line_no, &format!("unknown record type '{other}'")));
+            }
+            None => {}
+        }
+    }
+
+    if declared_vertices != 0 && !coords.is_empty() && declared_vertices != coords.len() {
+        return Err(DimacsError::InconsistentVertexCount {
+            graph: declared_vertices,
+            coordinates: coords.len(),
+        });
+    }
+    let num_vertices = declared_vertices.max(coords.len()).max(
+        arcs.iter().map(|&(u, v, _)| u.max(v) as usize + 1).max().unwrap_or(0),
+    );
+    coords.resize(num_vertices, Point::default());
+
+    let mut b = GraphBuilder::new();
+    for p in coords {
+        b.add_vertex(p);
+    }
+    for (u, v, w) in arcs {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Serialises a graph to the DIMACS `.gr` / `.co` pair (returned as two strings).
+pub fn write(graph: &Graph) -> (String, String) {
+    let mut gr = String::new();
+    let _ = writeln!(gr, "c rnknn export");
+    let _ = writeln!(gr, "p sp {} {}", graph.num_vertices(), graph.num_edges() * 2);
+    for (u, v, w) in graph.edges() {
+        let _ = writeln!(gr, "a {} {} {}", u + 1, v + 1, w);
+        let _ = writeln!(gr, "a {} {} {}", v + 1, u + 1, w);
+    }
+    let mut co = String::new();
+    let _ = writeln!(co, "c rnknn export");
+    let _ = writeln!(co, "p aux sp co {}", graph.num_vertices());
+    for v in graph.vertices() {
+        let p = graph.coord(v);
+        let _ = writeln!(co, "v {} {} {}", v + 1, p.x.round() as i64, p.y.round() as i64);
+    }
+    (gr, co)
+}
+
+fn malformed(line: usize, message: &str) -> DimacsError {
+    DimacsError::Malformed { line, message: message.to_string() }
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line: usize,
+    what: &str,
+) -> Result<T, DimacsError> {
+    parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed(line, &format!("missing or invalid {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GR: &str = "c sample\np sp 3 4\na 1 2 7\na 2 1 7\na 2 3 9\na 3 2 9\n";
+    const CO: &str = "c sample\np aux sp co 3\nv 1 0 0\nv 2 100 0\nv 3 200 0\n";
+
+    #[test]
+    fn parses_small_graph() {
+        let g = parse(GR, CO).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.edge_weight(1, 2), Some(9));
+        assert_eq!(g.coord(2).x, 200.0);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let g = parse(GR, CO).unwrap();
+        let (gr2, co2) = write(&g);
+        let g2 = parse(&gr2, &co2).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.edge_weight(0, 1), Some(7));
+    }
+
+    #[test]
+    fn rejects_zero_based_ids() {
+        let err = parse("a 0 1 5\n", "").unwrap_err();
+        assert!(matches!(err, DimacsError::Malformed { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_inconsistent_vertex_counts() {
+        let err = parse("p sp 5 0\n", CO).unwrap_err();
+        assert!(matches!(err, DimacsError::InconsistentVertexCount { graph: 5, coordinates: 3 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn ignores_comments_and_blank_lines() {
+        let g = parse("c x\n\np sp 2 2\na 1 2 3\na 2 1 3\n", "c y\nv 1 0 0\nv 2 1 1\n").unwrap();
+        assert_eq!(g.num_vertices(), 2);
+    }
+}

@@ -1,0 +1,532 @@
+//! G-tree construction: recursive partitioning, border extraction, bottom-up distance
+//! matrices and the top-down exactness refinement.
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_partition::Partitioner;
+use rnknn_pathfinding::dijkstra;
+
+use crate::distmatrix::{DistanceMatrix, MatrixKind};
+use crate::tree::{Gtree, GtreeNode, NodeIndex};
+
+use std::collections::HashMap;
+
+/// Configuration of G-tree construction.
+#[derive(Debug, Clone)]
+pub struct GtreeConfig {
+    /// Fanout `f ≥ 2`: number of children per internal node. The paper uses 4.
+    pub fanout: usize,
+    /// Leaf capacity `τ ≥ 1`: maximum number of vertices per leaf. The paper uses
+    /// 64–512 depending on network size.
+    pub leaf_capacity: usize,
+    /// Distance-matrix storage layout (Figure 6 ablation); the array layout is the
+    /// default and the only sensible production choice.
+    pub matrix_kind: MatrixKind,
+    /// When true (default) a top-down refinement pass upgrades every distance-matrix
+    /// entry from subgraph-restricted to exact global network distance (DESIGN.md §4).
+    pub exact_refinement: bool,
+}
+
+impl Default for GtreeConfig {
+    fn default() -> Self {
+        GtreeConfig {
+            fanout: 4,
+            leaf_capacity: 128,
+            matrix_kind: MatrixKind::Array,
+            exact_refinement: true,
+        }
+    }
+}
+
+impl GtreeConfig {
+    /// Leaf capacity the paper uses for a network with `num_vertices` vertices
+    /// (64 for DE up to 512 for the US-scale networks), applied to our scaled sizes.
+    pub fn paper_leaf_capacity(num_vertices: usize) -> usize {
+        match num_vertices {
+            0..=2_999 => 64,
+            3_000..=15_999 => 128,
+            16_000..=79_999 => 256,
+            _ => 512,
+        }
+    }
+
+    /// Configuration matching the paper's parameter choices for a given network size.
+    pub fn for_network(num_vertices: usize) -> Self {
+        GtreeConfig { leaf_capacity: Self::paper_leaf_capacity(num_vertices), ..Default::default() }
+    }
+}
+
+impl Gtree {
+    /// Builds a G-tree over `graph` with the default configuration.
+    pub fn build(graph: &Graph) -> Gtree {
+        Self::build_with_config(graph, GtreeConfig::for_network(graph.num_vertices()))
+    }
+
+    /// Builds a G-tree with an explicit configuration.
+    pub fn build_with_config(graph: &Graph, config: GtreeConfig) -> Gtree {
+        assert!(config.fanout >= 2, "fanout must be at least 2");
+        assert!(config.leaf_capacity >= 1, "leaf capacity must be at least 1");
+        let mut builder = Builder {
+            graph,
+            config: config.clone(),
+            partitioner: Partitioner::new(),
+            nodes: Vec::new(),
+            leaf_of_vertex: vec![0; graph.num_vertices()],
+            vertex_position: vec![0; graph.num_vertices()],
+            next_leaf_index: 0,
+        };
+        let all: Vec<NodeId> = graph.vertices().collect();
+        let root = builder.build_node(None, all, 0);
+        builder.compute_borders();
+        builder.compute_matrices();
+        if config.exact_refinement {
+            builder.refine_matrices();
+        }
+        Gtree {
+            nodes: builder.nodes,
+            root,
+            leaf_of_vertex: builder.leaf_of_vertex,
+            vertex_position: builder.vertex_position,
+            config,
+        }
+    }
+}
+
+struct Builder<'a> {
+    graph: &'a Graph,
+    config: GtreeConfig,
+    partitioner: Partitioner,
+    nodes: Vec<GtreeNode>,
+    leaf_of_vertex: Vec<NodeIndex>,
+    vertex_position: Vec<u32>,
+    next_leaf_index: u32,
+}
+
+impl<'a> Builder<'a> {
+    /// Recursively partitions `vertices`, appending nodes and returning the new node's
+    /// index. Children are built before the parent's metadata is finalised.
+    fn build_node(&mut self, parent: Option<NodeIndex>, vertices: Vec<NodeId>, depth: u32) -> NodeIndex {
+        let index = self.nodes.len() as NodeIndex;
+        self.nodes.push(GtreeNode {
+            parent,
+            children: Vec::new(),
+            leaf_vertices: Vec::new(),
+            borders: Vec::new(),
+            child_borders: Vec::new(),
+            child_border_offsets: Vec::new(),
+            own_border_positions: Vec::new(),
+            matrix: DistanceMatrix::new(self.config.matrix_kind, 0, 0, INFINITY),
+            leaf_range: (0, 0),
+            depth,
+        });
+
+        if vertices.len() <= self.config.leaf_capacity {
+            let leaf_index = self.next_leaf_index;
+            self.next_leaf_index += 1;
+            for (pos, &v) in vertices.iter().enumerate() {
+                self.leaf_of_vertex[v as usize] = index;
+                self.vertex_position[v as usize] = pos as u32;
+            }
+            let node = &mut self.nodes[index as usize];
+            node.leaf_vertices = vertices;
+            node.leaf_range = (leaf_index, leaf_index + 1);
+            return index;
+        }
+
+        let assignment = self.partitioner.partition(self.graph, &vertices, self.config.fanout);
+        let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); self.config.fanout];
+        for (i, &v) in vertices.iter().enumerate() {
+            parts[assignment[i] as usize].push(v);
+        }
+        // Guard against degenerate partitions (possible on pathological inputs): if any
+        // part is empty or a single part holds everything, fall back to a round-robin
+        // split so recursion always terminates.
+        let non_empty = parts.iter().filter(|p| !p.is_empty()).count();
+        if non_empty <= 1 {
+            parts.iter_mut().for_each(|p| p.clear());
+            for (i, &v) in vertices.iter().enumerate() {
+                parts[i % self.config.fanout].push(v);
+            }
+        }
+
+        let leaf_lo = self.next_leaf_index;
+        let mut children = Vec::new();
+        for part in parts.into_iter().filter(|p| !p.is_empty()) {
+            let child = self.build_node(Some(index), part, depth + 1);
+            children.push(child);
+        }
+        let leaf_hi = self.next_leaf_index;
+        let node = &mut self.nodes[index as usize];
+        node.children = children;
+        node.leaf_range = (leaf_lo, leaf_hi);
+        index
+    }
+
+    /// Computes the border set of every node. A vertex is a border of node `X` when it
+    /// has a neighbour whose leaf falls outside `X`'s leaf range; borders propagate
+    /// upward only as long as that holds, so we walk each vertex up from its leaf.
+    fn compute_borders(&mut self) {
+        let mut borders_per_node: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for v in self.graph.vertices() {
+            let leaf = self.leaf_of_vertex[v as usize];
+            // Leaf DFS indexes of all neighbours.
+            let mut node = leaf;
+            loop {
+                let range = self.nodes[node as usize].leaf_range;
+                let is_border = self.graph.neighbor_ids(v).iter().any(|&t| {
+                    let tl = self.nodes[self.leaf_of_vertex[t as usize] as usize].leaf_range.0;
+                    tl < range.0 || tl >= range.1
+                });
+                if !is_border {
+                    break;
+                }
+                borders_per_node[node as usize].push(v);
+                match self.nodes[node as usize].parent {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+        }
+        for (i, mut borders) in borders_per_node.into_iter().enumerate() {
+            borders.sort_unstable();
+            borders.dedup();
+            self.nodes[i].borders = borders;
+        }
+        // Fill in the grouped child-border arrays and own-border positions.
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_leaf() {
+                let node = &self.nodes[i];
+                let positions: Vec<u32> = node
+                    .borders
+                    .iter()
+                    .map(|&b| {
+                        node.leaf_vertices.iter().position(|&v| v == b).expect("border in leaf") as u32
+                    })
+                    .collect();
+                self.nodes[i].own_border_positions = positions;
+                continue;
+            }
+            let children = self.nodes[i].children.clone();
+            let mut child_borders = Vec::new();
+            let mut offsets = vec![0u32];
+            for &c in &children {
+                child_borders.extend_from_slice(&self.nodes[c as usize].borders);
+                offsets.push(child_borders.len() as u32);
+            }
+            let mut position_of: HashMap<NodeId, u32> = HashMap::with_capacity(child_borders.len());
+            for (pos, &b) in child_borders.iter().enumerate() {
+                position_of.entry(b).or_insert(pos as u32);
+            }
+            let own_positions: Vec<u32> = self.nodes[i]
+                .borders
+                .iter()
+                .map(|&b| *position_of.get(&b).expect("own border is a child border"))
+                .collect();
+            let node = &mut self.nodes[i];
+            node.child_borders = child_borders;
+            node.child_border_offsets = offsets;
+            node.own_border_positions = own_positions;
+        }
+    }
+
+    /// Bottom-up computation of all distance matrices (subgraph-restricted distances).
+    fn compute_matrices(&mut self) {
+        // Process nodes deepest-first so children are ready before their parents.
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.nodes[i].depth));
+        for i in order {
+            if self.nodes[i].is_leaf() {
+                self.compute_leaf_matrix(i, None);
+            } else {
+                self.compute_internal_matrix(i, None);
+            }
+        }
+    }
+
+    /// Top-down refinement: upgrade matrices to exact global distances using the
+    /// parent's already-exact matrix as "external shortcut" edges between this node's
+    /// borders (DESIGN.md §4). The root is already exact (its restriction is the whole
+    /// graph).
+    fn refine_matrices(&mut self) {
+        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+        order.sort_unstable_by_key(|&i| self.nodes[i].depth);
+        for i in order {
+            if self.nodes[i].parent.is_none() {
+                continue;
+            }
+            let external = self.external_border_edges(i);
+            if self.nodes[i].is_leaf() {
+                self.compute_leaf_matrix(i, Some(&external));
+            } else {
+                self.compute_internal_matrix(i, Some(&external));
+            }
+        }
+    }
+
+    /// Exact distances between every pair of this node's own borders, read from the
+    /// parent's (already refined) matrix. Returned as `(border_index_i, border_index_j,
+    /// distance)` triples.
+    fn external_border_edges(&self, i: usize) -> Vec<(usize, usize, Weight)> {
+        let parent = self.nodes[i].parent.expect("non-root") as usize;
+        let pnode = &self.nodes[parent];
+        let child_pos = pnode.children.iter().position(|&c| c as usize == i).expect("child of parent");
+        let base = pnode.child_border_offsets[child_pos] as usize;
+        let nb = self.nodes[i].borders.len();
+        let mut edges = Vec::new();
+        for a in 0..nb {
+            for b in (a + 1)..nb {
+                let d = pnode.matrix.get(base + a, base + b);
+                if d < INFINITY {
+                    edges.push((a, b, d));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Computes a leaf's border-to-vertex matrix. When `external` edges are provided
+    /// (refinement pass) they are added between the leaf's borders, making the result
+    /// exact global distances.
+    fn compute_leaf_matrix(&mut self, i: usize, external: Option<&[(usize, usize, Weight)]>) {
+        let leaf_vertices = self.nodes[i].leaf_vertices.clone();
+        let borders = self.nodes[i].borders.clone();
+        let n_local = leaf_vertices.len();
+        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(n_local);
+        for (pos, &v) in leaf_vertices.iter().enumerate() {
+            local_of.insert(v, pos as u32);
+        }
+        // Local adjacency: edges of the induced subgraph plus optional external border
+        // shortcut edges.
+        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n_local];
+        for (pos, &v) in leaf_vertices.iter().enumerate() {
+            for (t, w) in self.graph.neighbors(v) {
+                if let Some(&lt) = local_of.get(&t) {
+                    adjacency[pos].push((lt, w));
+                }
+            }
+        }
+        if let Some(external) = external {
+            let border_pos = self.nodes[i].own_border_positions.clone();
+            for &(a, b, w) in external {
+                let la = border_pos[a];
+                let lb = border_pos[b];
+                adjacency[la as usize].push((lb, w));
+                adjacency[lb as usize].push((la, w));
+            }
+        }
+        let mut matrix =
+            DistanceMatrix::new(self.config.matrix_kind, borders.len(), n_local, INFINITY);
+        for (row, &b) in borders.iter().enumerate() {
+            let source = local_of[&b];
+            let dist = dijkstra::dijkstra_adjacency(n_local, source, |v, out| {
+                out.extend_from_slice(&adjacency[v as usize]);
+            });
+            for (col, &d) in dist.iter().enumerate() {
+                matrix.set(row, col, d);
+            }
+        }
+        self.nodes[i].matrix = matrix;
+    }
+
+    /// Computes an internal node's child-border-to-child-border matrix over the reduced
+    /// graph (children's border cliques + original cross edges + optional external
+    /// border shortcuts).
+    fn compute_internal_matrix(&mut self, i: usize, external: Option<&[(usize, usize, Weight)]>) {
+        let node = &self.nodes[i];
+        let child_borders = node.child_borders.clone();
+        let children = node.children.clone();
+        let offsets = node.child_border_offsets.clone();
+        let leaf_range = node.leaf_range;
+        let n_local = child_borders.len();
+        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(n_local);
+        for (pos, &v) in child_borders.iter().enumerate() {
+            local_of.entry(v).or_insert(pos as u32);
+        }
+
+        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n_local];
+        // (a) Intra-child cliques from the children's matrices.
+        for (ci, &c) in children.iter().enumerate() {
+            let child = &self.nodes[c as usize];
+            let base = offsets[ci] as usize;
+            let nb = child.borders.len();
+            for a in 0..nb {
+                for b in (a + 1)..nb {
+                    let d = if child.is_leaf() {
+                        child.matrix.get(a, child.own_border_positions[b] as usize)
+                    } else {
+                        child.matrix.get(
+                            child.own_border_positions[a] as usize,
+                            child.own_border_positions[b] as usize,
+                        )
+                    };
+                    if d < INFINITY {
+                        adjacency[base + a].push(((base + b) as u32, d));
+                        adjacency[base + b].push(((base + a) as u32, d));
+                    }
+                }
+            }
+        }
+        // (b) Original cross edges between different children of this node.
+        for (pos, &v) in child_borders.iter().enumerate() {
+            for (t, w) in self.graph.neighbors(v) {
+                let t_leaf = self.nodes[self.leaf_of_vertex[t as usize] as usize].leaf_range.0;
+                if t_leaf < leaf_range.0 || t_leaf >= leaf_range.1 {
+                    continue; // edge leaves this node entirely
+                }
+                if let Some(&lt) = local_of.get(&t) {
+                    // Skip edges within the same child: already covered by the clique
+                    // (and keeping them is harmless but redundant).
+                    adjacency[pos].push((lt, w));
+                }
+            }
+        }
+        // (c) External shortcut edges between this node's own borders (refinement pass).
+        if let Some(external) = external {
+            let own_positions = self.nodes[i].own_border_positions.clone();
+            for &(a, b, w) in external {
+                let la = own_positions[a];
+                let lb = own_positions[b];
+                adjacency[la as usize].push((lb, w));
+                adjacency[lb as usize].push((la, w));
+            }
+        }
+
+        let mut matrix = DistanceMatrix::new(self.config.matrix_kind, n_local, n_local, INFINITY);
+        for row in 0..n_local {
+            let dist = dijkstra::dijkstra_adjacency(n_local, row as u32, |v, out| {
+                out.extend_from_slice(&adjacency[v as usize]);
+            });
+            for (col, &d) in dist.iter().enumerate() {
+                matrix.set(row, col, d);
+            }
+        }
+        self.nodes[i].matrix = matrix;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+
+    fn build_test_tree(n: usize, seed: u64, tau: usize) -> (Graph, Gtree) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let config = GtreeConfig { leaf_capacity: tau, ..Default::default() };
+        let tree = Gtree::build_with_config(&g, config);
+        (g, tree)
+    }
+
+    #[test]
+    fn structure_invariants_hold() {
+        let (g, tree) = build_test_tree(800, 42, 32);
+        // Every vertex belongs to exactly one leaf, at the recorded position.
+        for v in g.vertices() {
+            let leaf = tree.leaf_of(v);
+            let node = tree.node(leaf);
+            assert!(node.is_leaf());
+            assert!(node.leaf_vertices.len() <= 32);
+            assert_eq!(node.leaf_vertices[tree.position_in_leaf(v) as usize], v);
+        }
+        // Leaf ranges of children tile the parent's range; borders of a node are borders
+        // of one of its children.
+        for (i, node) in tree.nodes().iter().enumerate() {
+            if node.is_leaf() {
+                continue;
+            }
+            let mut covered = 0;
+            for &c in &node.children {
+                let r = tree.node(c).leaf_range;
+                covered += r.1 - r.0;
+                assert!(node.leaf_range.0 <= r.0 && r.1 <= node.leaf_range.1);
+                assert_eq!(tree.node(c).parent, Some(i as NodeIndex));
+            }
+            assert_eq!(covered, node.leaf_range.1 - node.leaf_range.0);
+            for &b in &node.borders {
+                assert!(
+                    node.children.iter().any(|&c| tree.node(c).borders.contains(&b)),
+                    "border {b} of node {i} is not a border of any child"
+                );
+            }
+        }
+        // The root has no borders (no edges leave the whole graph).
+        assert!(tree.node(tree.root()).borders.is_empty());
+        assert!(tree.height() >= 2);
+        assert!(tree.num_leaves() >= 2);
+        assert!(tree.memory_bytes() > 0);
+        assert!(tree.average_borders() > 0.0);
+    }
+
+    #[test]
+    fn borders_have_outside_neighbors() {
+        let (g, tree) = build_test_tree(600, 7, 50);
+        for node in tree.nodes() {
+            if node.parent.is_none() {
+                continue;
+            }
+            for &b in &node.borders {
+                let outside = g.neighbor_ids(b).iter().any(|&t| {
+                    let tl = tree.node(tree.leaf_of(t)).leaf_range.0;
+                    tl < node.leaf_range.0 || tl >= node.leaf_range.1
+                });
+                assert!(outside, "border {b} has no neighbor outside its node");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_matrix_distances_are_exact_global() {
+        let (g, tree) = build_test_tree(500, 3, 40);
+        // For a sample of leaves, border-to-vertex matrix entries must equal Dijkstra
+        // distances on the full graph (thanks to the refinement pass).
+        for node in tree.nodes().iter().filter(|n| n.is_leaf()).take(5) {
+            for (row, &b) in node.borders.iter().enumerate().take(3) {
+                for (col, &v) in node.leaf_vertices.iter().enumerate().step_by(7) {
+                    assert_eq!(
+                        node.matrix.get(row, col),
+                        dijkstra::distance(&g, b, v),
+                        "leaf matrix {b}->{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn internal_matrix_distances_are_exact_global() {
+        let (g, tree) = build_test_tree(700, 9, 40);
+        for node in tree.nodes().iter().filter(|n| !n.is_leaf()).take(4) {
+            let cb = &node.child_borders;
+            for i in (0..cb.len()).step_by(5) {
+                for j in (0..cb.len()).step_by(7) {
+                    assert_eq!(
+                        node.matrix.get(i, j),
+                        dijkstra::distance(&g, cb[i], cb[j]),
+                        "matrix {}->{}",
+                        cb[i],
+                        cb[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_graph_is_supported() {
+        let (g, tree) = build_test_tree(60, 5, 128);
+        assert_eq!(tree.num_nodes(), 1);
+        let root = tree.node(tree.root());
+        assert!(root.is_leaf());
+        assert!(root.borders.is_empty());
+        assert_eq!(root.leaf_vertices.len(), g.num_vertices());
+    }
+
+    #[test]
+    fn paper_leaf_capacities() {
+        assert_eq!(GtreeConfig::paper_leaf_capacity(1_500), 64);
+        assert_eq!(GtreeConfig::paper_leaf_capacity(12_000), 128);
+        assert_eq!(GtreeConfig::paper_leaf_capacity(24_000), 256);
+        assert_eq!(GtreeConfig::paper_leaf_capacity(200_000), 512);
+        assert_eq!(GtreeConfig::for_network(24_000).leaf_capacity, 256);
+    }
+}

@@ -1,0 +1,31 @@
+//! G-tree (Zhong et al., TKDE 2015): a balanced partition tree with border-to-border
+//! distance matrices, the strongest road-network kNN index the paper evaluates.
+//!
+//! The crate provides:
+//!
+//! * [`Gtree`] — the index: a recursive partitioning of the road network (fanout `f`,
+//!   leaf capacity `τ`), border sets per node, and per-node distance matrices stored as
+//!   flat 1-D arrays grouped by child (the cache-friendly layout of Section 6.1).
+//! * [`DistanceMatrix`] / [`MatrixKind`] — the three distance-matrix implementations the
+//!   paper compares in Figure 6 and Table 3 (1-D array, chained hashing, quadratic
+//!   probing), with software probe counters standing in for hardware cache profiling.
+//! * [`OccurrenceList`] — the decoupled object index (Section 3.5).
+//! * [`GtreeSearch`] — materialized distance assembly, the kNN algorithm with the
+//!   improved leaf search of Appendix A.2.1 (the original leaf search is kept for the
+//!   Figure 22 ablation), and the `MGtree` point-to-point oracle used by IER-Gt.
+//!
+//! Distance matrices are made globally exact by a top-down refinement pass after the
+//! usual bottom-up computation (see DESIGN.md §4), so every distance returned by this
+//! crate equals the Dijkstra distance.
+
+mod build;
+mod distmatrix;
+mod occurrence;
+mod search;
+mod tree;
+
+pub use build::GtreeConfig;
+pub use distmatrix::{DistanceMatrix, MatrixKind, MatrixStats};
+pub use occurrence::OccurrenceList;
+pub use search::{GtreeDistanceOracle, GtreeSearch, GtreeSearchStats, LeafSearchMode};
+pub use tree::{Gtree, GtreeNode, NodeIndex};

@@ -1,0 +1,167 @@
+//! Occurrence lists: G-tree's decoupled object index (Section 3.5).
+//!
+//! Given an object set, the occurrence list records, for every G-tree node, which of
+//! its children contain at least one object (and, for leaves, which of their vertices
+//! are objects), so that the kNN search can prune object-free subtrees. Construction is
+//! a bottom-up propagation from the objects' leaves (the cost measured in Figure 18(b)).
+
+use rnknn_graph::NodeId;
+
+use crate::tree::{Gtree, NodeIndex};
+
+/// An occurrence list for one object set over one G-tree.
+#[derive(Debug, Clone)]
+pub struct OccurrenceList {
+    /// For every G-tree node: indexes (into `node.children`) of children containing
+    /// objects.
+    children_with_objects: Vec<Vec<u32>>,
+    /// For every G-tree node that is a leaf: the object vertices it contains (sorted).
+    leaf_objects: Vec<Vec<NodeId>>,
+    /// Total number of objects.
+    num_objects: usize,
+}
+
+impl OccurrenceList {
+    /// Builds the occurrence list for `objects` (road-network vertex ids; duplicates are
+    /// ignored).
+    pub fn build(gtree: &Gtree, objects: &[NodeId]) -> OccurrenceList {
+        let num_nodes = gtree.num_nodes();
+        let mut has_object = vec![false; num_nodes];
+        let mut leaf_objects: Vec<Vec<NodeId>> = vec![Vec::new(); num_nodes];
+        let mut unique: Vec<NodeId> = objects.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let num_objects = unique.len();
+        for &o in &unique {
+            let leaf = gtree.leaf_of(o);
+            leaf_objects[leaf as usize].push(o);
+            // Propagate the presence flag up to the root.
+            let mut node = leaf;
+            loop {
+                if has_object[node as usize] {
+                    break;
+                }
+                has_object[node as usize] = true;
+                match gtree.node(node).parent {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+        }
+        let mut children_with_objects: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
+        for i in 0..num_nodes {
+            let node = gtree.node(i as NodeIndex);
+            for (ci, &c) in node.children.iter().enumerate() {
+                if has_object[c as usize] {
+                    children_with_objects[i].push(ci as u32);
+                }
+            }
+        }
+        OccurrenceList { children_with_objects, leaf_objects, num_objects }
+    }
+
+    /// Number of (distinct) objects indexed.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// True when the subtree rooted at `node` contains at least one object.
+    pub fn has_objects(&self, gtree: &Gtree, node: NodeIndex) -> bool {
+        if gtree.node(node).is_leaf() {
+            !self.leaf_objects[node as usize].is_empty()
+        } else {
+            !self.children_with_objects[node as usize].is_empty()
+        }
+    }
+
+    /// Children (as indexes into `node.children`) of `node` that contain objects.
+    pub fn children_with_objects(&self, node: NodeIndex) -> &[u32] {
+        &self.children_with_objects[node as usize]
+    }
+
+    /// Object vertices contained in leaf `node`.
+    pub fn leaf_objects(&self, node: NodeIndex) -> &[NodeId] {
+        &self.leaf_objects[node as usize]
+    }
+
+    /// True when vertex `v` (which must lie in leaf `leaf`) is an object.
+    pub fn is_object_in_leaf(&self, leaf: NodeIndex, v: NodeId) -> bool {
+        self.leaf_objects[leaf as usize].binary_search(&v).is_ok()
+    }
+
+    /// Approximate resident size in bytes (Figure 18(a)).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for c in &self.children_with_objects {
+            bytes += std::mem::size_of::<Vec<u32>>() + c.len() * 4;
+        }
+        for l in &self.leaf_objects {
+            bytes += std::mem::size_of::<Vec<NodeId>>() + l.len() * 4;
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GtreeConfig;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+
+    fn tree() -> (rnknn_graph::Graph, Gtree) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 12));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let t = Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 40, ..Default::default() });
+        (g, t)
+    }
+
+    #[test]
+    fn occurrence_flags_cover_exactly_the_object_leaves() {
+        let (g, tree) = tree();
+        let objects: Vec<NodeId> = g.vertices().filter(|v| v % 17 == 0).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        assert_eq!(occ.num_objects(), objects.len());
+        for &o in &objects {
+            let leaf = tree.leaf_of(o);
+            assert!(occ.is_object_in_leaf(leaf, o));
+            assert!(occ.leaf_objects(leaf).contains(&o));
+            // Every ancestor must report objects below it.
+            let mut node = leaf;
+            loop {
+                assert!(occ.has_objects(&tree, node));
+                match tree.node(node).parent {
+                    Some(p) => node = p,
+                    None => break,
+                }
+            }
+        }
+        // Non-object vertices are not flagged.
+        let non_object = g.vertices().find(|v| v % 17 != 0).unwrap();
+        assert!(!occ.is_object_in_leaf(tree.leaf_of(non_object), non_object));
+    }
+
+    #[test]
+    fn children_with_objects_point_to_occupied_subtrees() {
+        let (g, tree) = tree();
+        let objects: Vec<NodeId> = g.vertices().filter(|v| v % 29 == 3).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        for (i, node) in tree.nodes().iter().enumerate() {
+            for &ci in occ.children_with_objects(i as NodeIndex) {
+                let child = node.children[ci as usize];
+                assert!(occ.has_objects(&tree, child));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_empty_sets() {
+        let (_, tree) = tree();
+        let occ = OccurrenceList::build(&tree, &[5, 5, 5]);
+        assert_eq!(occ.num_objects(), 1);
+        let empty = OccurrenceList::build(&tree, &[]);
+        assert_eq!(empty.num_objects(), 0);
+        assert!(!empty.has_objects(&tree, tree.root()));
+        assert!(empty.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,666 @@
+//! G-tree queries: materialized distance assembly, the kNN algorithm (with both leaf
+//! searches) and the MGtree point-to-point oracle.
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_pathfinding::heap::MinHeap;
+
+use crate::occurrence::OccurrenceList;
+use crate::tree::{Gtree, NodeIndex};
+
+/// Operation counters for one G-tree search. `border_computations` is the "path cost"
+/// series of Figure 9(b); `materialized_nodes` counts how many node border-distance
+/// vectors were computed (and therefore reused by later traversals).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GtreeSearchStats {
+    /// Border-to-border matrix-cell combinations evaluated during assembly.
+    pub border_computations: u64,
+    /// G-tree nodes whose border distances were materialized.
+    pub materialized_nodes: u64,
+    /// Priority-queue pushes performed by the kNN search.
+    pub heap_pushes: u64,
+    /// Vertices settled by leaf searches.
+    pub leaf_vertices_settled: u64,
+}
+
+/// Which leaf-search algorithm the kNN query uses within the query vertex's leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafSearchMode {
+    /// The improved leaf search of Appendix A.2.1 (default): a single Dijkstra over the
+    /// leaf subgraph augmented with exact border-to-border shortcuts, stopping after `k`
+    /// objects.
+    Improved,
+    /// The original G-tree leaf search: settle every leaf object with a restricted
+    /// Dijkstra, then additionally evaluate the path through the borders for each.
+    Original,
+}
+
+/// Elements of the kNN priority queue.
+#[derive(Debug, Clone, Copy)]
+enum Element {
+    Node(NodeIndex),
+    Object(NodeId),
+}
+
+/// A per-query (or per-source) search context over a G-tree.
+///
+/// The context memoizes, for every visited G-tree node, the distances from the source to
+/// that node's borders — the paper's "materialization" property. Reusing one context for
+/// many distance queries from the same source (as IER-Gt does) amortises the assembly
+/// work; the kNN algorithm uses the same cache internally.
+#[derive(Debug)]
+pub struct GtreeSearch<'a> {
+    gtree: &'a Gtree,
+    graph: &'a Graph,
+    source: NodeId,
+    source_leaf: NodeIndex,
+    /// Per node: distances from the source to the node's borders, if materialized.
+    border_dists: Vec<Option<Vec<Weight>>>,
+    /// Cached within-leaf distances from the source to every vertex of its own leaf
+    /// (restricted to the leaf subgraph), used for same-leaf point-to-point queries.
+    same_leaf_dists: Option<Vec<Weight>>,
+    /// Operation counters.
+    pub stats: GtreeSearchStats,
+}
+
+impl<'a> GtreeSearch<'a> {
+    /// Creates a search context for queries originating at `source`.
+    pub fn new(gtree: &'a Gtree, graph: &'a Graph, source: NodeId) -> Self {
+        GtreeSearch {
+            gtree,
+            graph,
+            source,
+            source_leaf: gtree.leaf_of(source),
+            border_dists: vec![None; gtree.num_nodes()],
+            same_leaf_dists: None,
+            stats: GtreeSearchStats::default(),
+        }
+    }
+
+    /// The source vertex of this context.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Exact network distance from the source to `target` (the MGtree oracle).
+    pub fn distance_to(&mut self, target: NodeId) -> Weight {
+        if target == self.source {
+            return 0;
+        }
+        let gtree = self.gtree;
+        let target_leaf = gtree.leaf_of(target);
+        if target_leaf == self.source_leaf {
+            let inside = self.same_leaf_distance(target);
+            let via = self.via_border_distance(target_leaf, target);
+            return inside.min(via);
+        }
+        self.ensure_border_distances(target_leaf);
+        self.via_border_distance(target_leaf, target)
+    }
+
+    /// `min_b dist(source, b) + matrix(b, target)` over the borders of `leaf`.
+    fn via_border_distance(&mut self, leaf: NodeIndex, target: NodeId) -> Weight {
+        self.ensure_border_distances(leaf);
+        let gtree = self.gtree;
+        let node = gtree.node(leaf);
+        let col = gtree.position_in_leaf(target) as usize;
+        let dists = self.border_dists[leaf as usize].as_ref().expect("materialized");
+        let mut best = INFINITY;
+        for (bi, &d) in dists.iter().enumerate() {
+            if d == INFINITY {
+                continue;
+            }
+            let m = node.matrix.get(bi, col);
+            self.stats.border_computations += 1;
+            if m != INFINITY && d + m < best {
+                best = d + m;
+            }
+        }
+        best
+    }
+
+    /// Distance from the source to `target` using only vertices of the source's leaf.
+    fn same_leaf_distance(&mut self, target: NodeId) -> Weight {
+        if self.same_leaf_dists.is_none() {
+            let gtree = self.gtree;
+            let node = gtree.node(self.source_leaf);
+            let nv = node.leaf_vertices.len();
+            let mut dist = vec![INFINITY; nv];
+            let mut visited = vec![false; nv];
+            let mut heap: MinHeap<u32> = MinHeap::new();
+            let qpos = gtree.position_in_leaf(self.source);
+            dist[qpos as usize] = 0;
+            heap.push(0, qpos);
+            while let Some((d, p)) = heap.pop() {
+                if visited[p as usize] {
+                    continue;
+                }
+                visited[p as usize] = true;
+                let v = node.leaf_vertices[p as usize];
+                for (t, w) in self.graph.neighbors(v) {
+                    if gtree.leaf_of(t) != self.source_leaf {
+                        continue;
+                    }
+                    let tp = gtree.position_in_leaf(t);
+                    let nd = d + w;
+                    if nd < dist[tp as usize] {
+                        dist[tp as usize] = nd;
+                        heap.push(nd, tp);
+                    }
+                }
+            }
+            self.same_leaf_dists = Some(dist);
+        }
+        let pos = self.gtree.position_in_leaf(target) as usize;
+        self.same_leaf_dists.as_ref().expect("just computed")[pos]
+    }
+
+    /// Minimum distance from the source to any border of `node` (the priority-queue key
+    /// for G-tree nodes).
+    pub fn min_border_distance(&mut self, node: NodeIndex) -> Weight {
+        self.ensure_border_distances(node);
+        self.border_dists[node as usize]
+            .as_ref()
+            .expect("materialized")
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(INFINITY)
+    }
+
+    /// Materializes the distances from the source to the borders of `t` (assembly along
+    /// the tree path, reusing previously materialized nodes).
+    fn ensure_border_distances(&mut self, t: NodeIndex) {
+        if self.border_dists[t as usize].is_some() {
+            return;
+        }
+        let gtree = self.gtree;
+        let node = gtree.node(t);
+        let result: Vec<Weight> = if t == self.source_leaf {
+            // Column of the source vertex in its own leaf matrix.
+            let col = gtree.position_in_leaf(self.source) as usize;
+            (0..node.borders.len()).map(|row| node.matrix.get(row, col)).collect()
+        } else if gtree.is_ancestor_of(t, self.source_leaf) {
+            // Climb: combine the child-on-the-path's border distances with this node's
+            // matrix to reach this node's own borders.
+            let c = gtree.child_towards(t, self.source_leaf);
+            self.ensure_border_distances(c);
+            let src = self.border_dists[c as usize].as_ref().expect("materialized").clone();
+            let child_pos = node.children.iter().position(|&x| x == c).expect("child of t");
+            let base = node.child_border_offsets[child_pos] as usize;
+            let mut out = Vec::with_capacity(node.borders.len());
+            for xi in 0..node.borders.len() {
+                let px = node.own_border_positions[xi] as usize;
+                let mut best = INFINITY;
+                for (bi, &d) in src.iter().enumerate() {
+                    if d == INFINITY {
+                        continue;
+                    }
+                    let m = node.matrix.get(base + bi, px);
+                    self.stats.border_computations += 1;
+                    if m != INFINITY && d + m < best {
+                        best = d + m;
+                    }
+                }
+                out.push(best);
+            }
+            out
+        } else {
+            // Descend: this node hangs off the path; go through its parent's matrix.
+            let p = node.parent.expect("non-root because the root is an ancestor of every leaf");
+            let pnode = gtree.node(p);
+            let t_child_pos =
+                pnode.children.iter().position(|&x| x == t).expect("t is a child of p");
+            let t_base = pnode.child_border_offsets[t_child_pos] as usize;
+            // Source side within the parent: either the sibling subtree containing the
+            // source (when the parent is an ancestor of the source leaf) or the parent's
+            // own borders.
+            let (src_positions, src_dists): (Vec<usize>, Vec<Weight>) =
+                if gtree.is_ancestor_of(p, self.source_leaf) {
+                    let s = gtree.child_towards(p, self.source_leaf);
+                    self.ensure_border_distances(s);
+                    let s_child_pos =
+                        pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
+                    let s_base = pnode.child_border_offsets[s_child_pos] as usize;
+                    let dists = self.border_dists[s as usize].as_ref().expect("materialized");
+                    ((0..dists.len()).map(|i| s_base + i).collect(), dists.clone())
+                } else {
+                    self.ensure_border_distances(p);
+                    let dists = self.border_dists[p as usize].as_ref().expect("materialized");
+                    (
+                        pnode.own_border_positions.iter().map(|&x| x as usize).collect(),
+                        dists.clone(),
+                    )
+                };
+            let mut out = Vec::with_capacity(node.borders.len());
+            for yi in 0..node.borders.len() {
+                let py = t_base + yi;
+                let mut best = INFINITY;
+                for (si, &d) in src_dists.iter().enumerate() {
+                    if d == INFINITY {
+                        continue;
+                    }
+                    let m = pnode.matrix.get(src_positions[si], py);
+                    self.stats.border_computations += 1;
+                    if m != INFINITY && d + m < best {
+                        best = d + m;
+                    }
+                }
+                out.push(best);
+            }
+            out
+        };
+        self.stats.materialized_nodes += 1;
+        self.border_dists[t as usize] = Some(result);
+    }
+
+    /// k-nearest-neighbor query: the `k` objects of `occurrence` closest to the source
+    /// by network distance, as `(vertex, distance)` pairs in increasing distance order.
+    pub fn knn(
+        &mut self,
+        k: usize,
+        occurrence: &OccurrenceList,
+        mode: LeafSearchMode,
+    ) -> Vec<(NodeId, Weight)> {
+        let mut result: Vec<(NodeId, Weight)> = Vec::new();
+        if k == 0 || occurrence.num_objects() == 0 {
+            return result;
+        }
+        let gtree = self.gtree;
+        let root = gtree.root();
+        let mut queue: MinHeap<Element> = MinHeap::new();
+
+        if !occurrence.leaf_objects(self.source_leaf).is_empty() {
+            match mode {
+                LeafSearchMode::Improved => {
+                    self.improved_leaf_search(k, occurrence, &mut queue, &mut result)
+                }
+                LeafSearchMode::Original => self.original_leaf_search(occurrence, &mut queue),
+            }
+        }
+
+        let mut tn = self.source_leaf;
+        let mut tmin = if tn == root { INFINITY } else { self.min_border_distance(tn) };
+
+        while result.len() < k && (!queue.is_empty() || tn != root) {
+            if queue.is_empty() {
+                let (new_tn, new_tmin) = self.expand_tn(tn, occurrence, &mut queue);
+                tn = new_tn;
+                tmin = new_tmin;
+                continue;
+            }
+            let (d, element) = queue.pop().expect("non-empty");
+            if d > tmin && tn != root {
+                let (new_tn, new_tmin) = self.expand_tn(tn, occurrence, &mut queue);
+                tn = new_tn;
+                tmin = new_tmin;
+                queue.push(d, element);
+                self.stats.heap_pushes += 1;
+                continue;
+            }
+            match element {
+                Element::Object(v) => {
+                    if d == INFINITY {
+                        break; // remaining candidates are unreachable
+                    }
+                    result.push((v, d));
+                }
+                Element::Node(x) => {
+                    let xnode = gtree.node(x);
+                    if xnode.is_leaf() {
+                        self.ensure_border_distances(x);
+                        for &o in occurrence.leaf_objects(x) {
+                            let dist = self.via_border_distance(x, o);
+                            queue.push(dist, Element::Object(o));
+                            self.stats.heap_pushes += 1;
+                        }
+                    } else {
+                        for &ci in occurrence.children_with_objects(x) {
+                            let c = xnode.children[ci as usize];
+                            let dist = self.min_border_distance(c);
+                            queue.push(dist, Element::Node(c));
+                            self.stats.heap_pushes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Moves the traversal frontier one level up: enqueues the object-bearing siblings
+    /// of `tn` under its parent and returns the new `(Tn, Tmin)`.
+    fn expand_tn(
+        &mut self,
+        tn: NodeIndex,
+        occurrence: &OccurrenceList,
+        queue: &mut MinHeap<Element>,
+    ) -> (NodeIndex, Weight) {
+        let gtree = self.gtree;
+        let root = gtree.root();
+        let parent = match gtree.node(tn).parent {
+            Some(p) => p,
+            None => return (tn, INFINITY),
+        };
+        let pnode = gtree.node(parent);
+        for &ci in occurrence.children_with_objects(parent) {
+            let c = pnode.children[ci as usize];
+            if c == tn {
+                continue;
+            }
+            let dist = self.min_border_distance(c);
+            queue.push(dist, Element::Node(c));
+            self.stats.heap_pushes += 1;
+        }
+        let tmin = if parent == root { INFINITY } else { self.min_border_distance(parent) };
+        (parent, tmin)
+    }
+
+    /// Improved leaf search (Appendix A.2.1, Algorithm 4): a Dijkstra over the source
+    /// leaf's subgraph augmented with exact border-to-border shortcuts. Objects settled
+    /// before any border are global kNNs and go straight into `result`; later objects
+    /// are enqueued with their exact distances.
+    fn improved_leaf_search(
+        &mut self,
+        k: usize,
+        occurrence: &OccurrenceList,
+        queue: &mut MinHeap<Element>,
+        result: &mut Vec<(NodeId, Weight)>,
+    ) {
+        let gtree = self.gtree;
+        let leaf = self.source_leaf;
+        let node = gtree.node(leaf);
+        let nv = node.leaf_vertices.len();
+        // border_row[pos] = row of the border located at leaf position `pos`.
+        let mut border_row = vec![u32::MAX; nv];
+        for (row, &pos) in node.own_border_positions.iter().enumerate() {
+            border_row[pos as usize] = row as u32;
+        }
+        let mut dist = vec![INFINITY; nv];
+        let mut visited = vec![false; nv];
+        let mut heap: MinHeap<u32> = MinHeap::new();
+        let qpos = gtree.position_in_leaf(self.source);
+        dist[qpos as usize] = 0;
+        heap.push(0, qpos);
+        let mut targets_found = 0usize;
+        let mut border_found = false;
+        while let Some((d, p)) = heap.pop() {
+            if result.len() >= k || targets_found >= k {
+                break;
+            }
+            if visited[p as usize] {
+                continue;
+            }
+            visited[p as usize] = true;
+            self.stats.leaf_vertices_settled += 1;
+            let v = node.leaf_vertices[p as usize];
+            if occurrence.is_object_in_leaf(leaf, v) {
+                targets_found += 1;
+                if !border_found {
+                    result.push((v, d));
+                } else {
+                    queue.push(d, Element::Object(v));
+                    self.stats.heap_pushes += 1;
+                }
+            }
+            // Relax ordinary leaf edges.
+            for (t, w) in self.graph.neighbors(v) {
+                if gtree.leaf_of(t) != leaf {
+                    continue;
+                }
+                let tp = gtree.position_in_leaf(t);
+                if visited[tp as usize] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[tp as usize] {
+                    dist[tp as usize] = nd;
+                    heap.push(nd, tp);
+                }
+            }
+            // Relax border-to-border shortcuts when standing on a border.
+            let row = border_row[p as usize];
+            if row != u32::MAX {
+                border_found = true;
+                for (orow, &opos) in node.own_border_positions.iter().enumerate() {
+                    if orow as u32 == row || visited[opos as usize] {
+                        continue;
+                    }
+                    let w = node.matrix.get(row as usize, opos as usize);
+                    self.stats.border_computations += 1;
+                    if w == INFINITY {
+                        continue;
+                    }
+                    let nd = d + w;
+                    if nd < dist[opos as usize] {
+                        dist[opos as usize] = nd;
+                        heap.push(nd, opos);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The original G-tree leaf search: settle every leaf object with a Dijkstra
+    /// restricted to the leaf, additionally evaluate the path through the borders for
+    /// each object, and enqueue everything (nothing goes straight to the result).
+    fn original_leaf_search(&mut self, occurrence: &OccurrenceList, queue: &mut MinHeap<Element>) {
+        let gtree = self.gtree;
+        let leaf = self.source_leaf;
+        let node = gtree.node(leaf);
+        let objects = occurrence.leaf_objects(leaf).to_vec();
+        let nv = node.leaf_vertices.len();
+        let mut dist = vec![INFINITY; nv];
+        let mut visited = vec![false; nv];
+        let mut heap: MinHeap<u32> = MinHeap::new();
+        let qpos = gtree.position_in_leaf(self.source);
+        dist[qpos as usize] = 0;
+        heap.push(0, qpos);
+        let mut remaining = objects.len();
+        while let Some((d, p)) = heap.pop() {
+            if remaining == 0 {
+                break;
+            }
+            if visited[p as usize] {
+                continue;
+            }
+            visited[p as usize] = true;
+            self.stats.leaf_vertices_settled += 1;
+            let v = node.leaf_vertices[p as usize];
+            if occurrence.is_object_in_leaf(leaf, v) {
+                remaining -= 1;
+            }
+            for (t, w) in self.graph.neighbors(v) {
+                if gtree.leaf_of(t) != leaf {
+                    continue;
+                }
+                let tp = gtree.position_in_leaf(t);
+                if visited[tp as usize] {
+                    continue;
+                }
+                let nd = d + w;
+                if nd < dist[tp as usize] {
+                    dist[tp as usize] = nd;
+                    heap.push(nd, tp);
+                }
+            }
+        }
+        for &o in &objects {
+            let inside = dist[gtree.position_in_leaf(o) as usize];
+            let via = self.via_border_distance(leaf, o);
+            queue.push(inside.min(via), Element::Object(o));
+            self.stats.heap_pushes += 1;
+        }
+    }
+}
+
+/// The "MGtree" point-to-point oracle: a thin wrapper around [`GtreeSearch`] that keeps
+/// the materialization cache alive across many distance queries from the same source —
+/// the property that makes IER-Gt robust to Euclidean false hits (Section 5).
+#[derive(Debug)]
+pub struct GtreeDistanceOracle<'a> {
+    search: GtreeSearch<'a>,
+}
+
+impl<'a> GtreeDistanceOracle<'a> {
+    /// Creates an oracle for distances originating at `source`.
+    pub fn new(gtree: &'a Gtree, graph: &'a Graph, source: NodeId) -> Self {
+        GtreeDistanceOracle { search: GtreeSearch::new(gtree, graph, source) }
+    }
+
+    /// Exact network distance from the source to `target`.
+    pub fn distance(&mut self, target: NodeId) -> Weight {
+        self.search.distance_to(target)
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn stats(&self) -> GtreeSearchStats {
+        self.search.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::GtreeConfig;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_pathfinding::dijkstra;
+
+    fn setup(n: usize, seed: u64, tau: usize) -> (Graph, Gtree) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let t = Gtree::build_with_config(
+            &g,
+            GtreeConfig { leaf_capacity: tau, ..Default::default() },
+        );
+        (g, t)
+    }
+
+    /// Reference kNN by brute force over all objects.
+    fn brute_knn(g: &Graph, q: NodeId, k: usize, objects: &[NodeId]) -> Vec<Weight> {
+        let all = dijkstra::single_source(g, q);
+        let mut d: Vec<Weight> = objects.iter().map(|&o| all[o as usize]).collect();
+        d.sort_unstable();
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn point_to_point_distances_match_dijkstra() {
+        let (g, tree) = setup(700, 4, 50);
+        let n = g.num_vertices() as NodeId;
+        for s in [0u32, 13, 401] {
+            let mut search = GtreeSearch::new(&tree, &g, s % n);
+            let truth = dijkstra::single_source(&g, s % n);
+            for t in (0..n).step_by(23) {
+                assert_eq!(search.distance_to(t), truth[t as usize], "{s}->{t}");
+            }
+            assert!(search.stats.materialized_nodes > 0);
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_both_leaf_searches() {
+        let (g, tree) = setup(900, 8, 64);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 13 == 1).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        for q in [3u32, 250, 777] {
+            let q = q % n;
+            let want = brute_knn(&g, q, 10, &objects);
+            for mode in [LeafSearchMode::Improved, LeafSearchMode::Original] {
+                let mut search = GtreeSearch::new(&tree, &g, q);
+                let got = search.knn(10, &occ, mode);
+                let got_d: Vec<Weight> = got.iter().map(|&(_, d)| d).collect();
+                assert_eq!(got_d, want, "query {q} mode {mode:?}");
+                // Results are sorted and are actual objects.
+                assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+                assert!(got.iter().all(|&(v, _)| objects.contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_with_dense_and_sparse_objects() {
+        let (g, tree) = setup(600, 15, 40);
+        let n = g.num_vertices() as NodeId;
+        // Dense: every other vertex; sparse: a handful of vertices.
+        let dense: Vec<NodeId> = (0..n).filter(|v| v % 2 == 0).collect();
+        let sparse: Vec<NodeId> = vec![1, n / 2, n - 3];
+        for objects in [dense, sparse] {
+            let occ = OccurrenceList::build(&tree, &objects);
+            for &q in &[0u32, n / 3, n - 1] {
+                let want = brute_knn(&g, q, 5, &objects);
+                let mut search = GtreeSearch::new(&tree, &g, q);
+                let got: Vec<Weight> =
+                    search.knn(5, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+                assert_eq!(got, want, "q={q} |O|={}", objects.len());
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_object_count_returns_all_objects() {
+        let (g, tree) = setup(300, 2, 32);
+        let objects: Vec<NodeId> = vec![5, 17, 100];
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut search = GtreeSearch::new(&tree, &g, 50);
+        let got = search.knn(10, &occ, LeafSearchMode::Improved);
+        assert_eq!(got.len(), 3);
+        let want = brute_knn(&g, 50, 3, &objects);
+        assert_eq!(got.iter().map(|&(_, d)| d).collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn query_vertex_that_is_an_object_is_its_own_nearest_neighbor() {
+        let (g, tree) = setup(400, 6, 32);
+        let objects: Vec<NodeId> = vec![42, 77, 200];
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut search = GtreeSearch::new(&tree, &g, 42);
+        let got = search.knn(2, &occ, LeafSearchMode::Improved);
+        assert_eq!(got[0], (42, 0));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_object_set_and_k_zero() {
+        let (g, tree) = setup(300, 9, 32);
+        let occ = OccurrenceList::build(&tree, &[]);
+        let mut search = GtreeSearch::new(&tree, &g, 10);
+        assert!(search.knn(5, &occ, LeafSearchMode::Improved).is_empty());
+        let occ2 = OccurrenceList::build(&tree, &[1, 2]);
+        assert!(search.knn(0, &occ2, LeafSearchMode::Improved).is_empty());
+    }
+
+    #[test]
+    fn oracle_materialization_reuses_computations() {
+        let (g, tree) = setup(800, 11, 64);
+        let n = g.num_vertices() as NodeId;
+        let mut oracle = GtreeDistanceOracle::new(&tree, &g, 7);
+        let truth = dijkstra::single_source(&g, 7);
+        let targets: Vec<NodeId> = (0..n).step_by(41).collect();
+        for &t in &targets {
+            assert_eq!(oracle.distance(t), truth[t as usize]);
+        }
+        let first_pass = oracle.stats().materialized_nodes;
+        for &t in &targets {
+            assert_eq!(oracle.distance(t), truth[t as usize]);
+        }
+        // The second pass must not materialize any additional nodes.
+        assert_eq!(oracle.stats().materialized_nodes, first_pass);
+    }
+
+    #[test]
+    fn single_leaf_tree_supports_queries() {
+        let (g, tree) = setup(80, 3, 200);
+        assert_eq!(tree.num_nodes(), 1);
+        let objects: Vec<NodeId> = vec![3, 9, 40];
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut search = GtreeSearch::new(&tree, &g, 0);
+        let got = search.knn(2, &occ, LeafSearchMode::Improved);
+        let want = brute_knn(&g, 0, 2, &objects);
+        assert_eq!(got.iter().map(|&(_, d)| d).collect::<Vec<_>>(), want);
+        let mut s2 = GtreeSearch::new(&tree, &g, 5);
+        assert_eq!(s2.distance_to(40), dijkstra::distance(&g, 5, 40));
+    }
+}

@@ -1,0 +1,222 @@
+//! Synthetic object-set generators (Section 4.2).
+
+use rnknn_graph::generator::SplitMix64;
+use rnknn_graph::{Graph, NodeId, INFINITY};
+use rnknn_pathfinding::dijkstra;
+
+use crate::set::ObjectSet;
+
+/// Uniform object set: `density × |V|` vertices chosen uniformly at random (at least
+/// one). Used as the paper's default workload.
+pub fn uniform(graph: &Graph, density: f64, seed: u64) -> ObjectSet {
+    let n = graph.num_vertices();
+    let target = ((n as f64 * density).round() as usize).clamp(1, n);
+    let mut rng = SplitMix64::new(seed ^ 0x0BEC7);
+    let mut chosen = Vec::with_capacity(target * 2);
+    // Rejection sampling with a bitmap; densities up to 1.0 are supported.
+    let mut taken = vec![false; n];
+    let mut count = 0usize;
+    while count < target {
+        let v = rng.next_below(n as u64) as usize;
+        if !taken[v] {
+            taken[v] = true;
+            chosen.push(v as NodeId);
+            count += 1;
+        }
+    }
+    ObjectSet::new(format!("uniform d={density}"), n, chosen)
+}
+
+/// Clustered object set: `num_clusters` random centres, each expanded outwards (BFS over
+/// the road network) to at most `max_cluster_size` vertices. Models POIs such as fast
+/// food outlets that appear in groups (used to evaluate ROAD in its original paper).
+pub fn clustered(graph: &Graph, num_clusters: usize, max_cluster_size: usize, seed: u64) -> ObjectSet {
+    let n = graph.num_vertices();
+    let mut rng = SplitMix64::new(seed ^ 0xC1A57E5);
+    let mut objects = Vec::new();
+    let mut taken = vec![false; n];
+    for _ in 0..num_clusters.max(1) {
+        let centre = rng.next_below(n as u64) as NodeId;
+        // BFS outwards from the centre collecting up to max_cluster_size vertices.
+        let size = 1 + rng.next_below(max_cluster_size.max(1) as u64) as usize;
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = std::collections::HashSet::new();
+        queue.push_back(centre);
+        seen.insert(centre);
+        let mut collected = 0usize;
+        while let Some(v) = queue.pop_front() {
+            if collected >= size {
+                break;
+            }
+            if !taken[v as usize] {
+                taken[v as usize] = true;
+                objects.push(v);
+                collected += 1;
+            }
+            for &t in graph.neighbor_ids(v) {
+                if seen.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    ObjectSet::new(format!("clustered |C|={num_clusters}"), n, objects)
+}
+
+/// The family of minimum-object-distance sets `R_1 … R_m` (Section 4.2): set `R_i`
+/// contains objects whose network distance from the network's centre vertex is at least
+/// `D_max / 2^(m - i + 1)`, so higher `i` means more remote objects.
+#[derive(Debug, Clone)]
+pub struct MinDistanceSets {
+    /// The approximate centre vertex `v_c`.
+    pub centre: NodeId,
+    /// `D_max`: network distance from the centre to the furthest vertex.
+    pub max_distance: u64,
+    /// The generated sets `R_1 … R_m` in order.
+    pub sets: Vec<ObjectSet>,
+    /// Query vertices sampled from within distance `D_max / 2^m` of the centre (the
+    /// paper uses these for all `R_i`).
+    pub query_vertices: Vec<NodeId>,
+}
+
+/// Builds the minimum-object-distance sets with `m` rings, `density × |V|` objects per
+/// set and `num_queries` query vertices.
+pub fn min_object_distance(
+    graph: &Graph,
+    density: f64,
+    m: usize,
+    num_queries: usize,
+    seed: u64,
+) -> MinDistanceSets {
+    let n = graph.num_vertices();
+    // Centre vertex: nearest vertex to the Euclidean centre of the network.
+    let rect = graph.bounding_rect();
+    let centre_point =
+        rnknn_graph::Point::new((rect.min_x + rect.max_x) / 2.0, (rect.min_y + rect.max_y) / 2.0);
+    let centre = graph
+        .vertices()
+        .min_by(|&a, &b| {
+            graph
+                .coord(a)
+                .distance(&centre_point)
+                .partial_cmp(&graph.coord(b).distance(&centre_point))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("non-empty graph");
+    let dist = dijkstra::single_source(graph, centre);
+    let max_distance = dist.iter().copied().filter(|&d| d < INFINITY).max().unwrap_or(0);
+
+    let target = ((n as f64 * density).round() as usize).clamp(1, n);
+    let mut rng = SplitMix64::new(seed ^ 0x313D);
+    let mut sets = Vec::with_capacity(m);
+    for i in 1..=m {
+        let threshold = max_distance / (1u64 << (m - i + 1));
+        let eligible: Vec<NodeId> = graph
+            .vertices()
+            .filter(|&v| dist[v as usize] < INFINITY && dist[v as usize] >= threshold)
+            .collect();
+        let mut chosen = Vec::with_capacity(target.min(eligible.len()));
+        if !eligible.is_empty() {
+            let mut taken = std::collections::HashSet::new();
+            let want = target.min(eligible.len());
+            while chosen.len() < want {
+                let v = eligible[rng.next_below(eligible.len() as u64) as usize];
+                if taken.insert(v) {
+                    chosen.push(v);
+                }
+            }
+        }
+        sets.push(ObjectSet::new(format!("R{i}"), n, chosen));
+    }
+
+    // Query vertices closer to the centre than any R_1 object may be.
+    let query_threshold = max_distance / (1u64 << m);
+    let close: Vec<NodeId> = graph
+        .vertices()
+        .filter(|&v| dist[v as usize] < query_threshold.max(1))
+        .collect();
+    let mut query_vertices = Vec::with_capacity(num_queries);
+    if !close.is_empty() {
+        for _ in 0..num_queries {
+            query_vertices.push(close[rng.next_below(close.len() as u64) as usize]);
+        }
+    } else {
+        query_vertices.push(centre);
+    }
+    MinDistanceSets { centre, max_distance, sets, query_vertices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+
+    fn graph(n: usize, seed: u64) -> Graph {
+        RoadNetwork::generate(&GeneratorConfig::new(n, seed)).graph(EdgeWeightKind::Distance)
+    }
+
+    #[test]
+    fn uniform_respects_density() {
+        let g = graph(1000, 4);
+        for density in [0.001, 0.01, 0.1, 1.0] {
+            let set = uniform(&g, density, 9);
+            let expected = ((g.num_vertices() as f64 * density).round() as usize).max(1);
+            assert_eq!(set.len(), expected.min(g.num_vertices()), "density {density}");
+            assert!(set.vertices().iter().all(|&v| (v as usize) < g.num_vertices()));
+        }
+        // Different seeds give different sets, same seed gives the same set.
+        assert_eq!(uniform(&g, 0.01, 5).vertices(), uniform(&g, 0.01, 5).vertices());
+        assert_ne!(uniform(&g, 0.01, 5).vertices(), uniform(&g, 0.01, 6).vertices());
+    }
+
+    #[test]
+    fn clustered_objects_form_connected_groups() {
+        let g = graph(800, 11);
+        let set = clustered(&g, 10, 5, 3);
+        assert!(!set.is_empty());
+        assert!(set.len() <= 10 * 5);
+        // Each object has another object within a couple of hops more often than a
+        // uniform set of the same size would (rough clustering check): at least half the
+        // objects have a neighbouring object within 2 hops.
+        let mut near = 0;
+        for &o in set.vertices() {
+            let mut found = false;
+            for &a in g.neighbor_ids(o) {
+                if set.contains(a) {
+                    found = true;
+                    break;
+                }
+                for &b in g.neighbor_ids(a) {
+                    if b != o && set.contains(b) {
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if found {
+                near += 1;
+            }
+        }
+        assert!(near * 2 >= set.len(), "only {near} of {} objects near another", set.len());
+    }
+
+    #[test]
+    fn min_distance_sets_respect_their_thresholds() {
+        let g = graph(900, 5);
+        let m = 4;
+        let bundle = min_object_distance(&g, 0.01, m, 20, 7);
+        assert_eq!(bundle.sets.len(), m);
+        let dist = dijkstra::single_source(&g, bundle.centre);
+        for (i, set) in bundle.sets.iter().enumerate() {
+            let threshold = bundle.max_distance / (1u64 << (m - (i + 1) + 1));
+            for &o in set.vertices() {
+                assert!(dist[o as usize] >= threshold, "set R{} object {o} too close", i + 1);
+            }
+        }
+        // Queries are close to the centre.
+        for &q in &bundle.query_vertices {
+            assert!(dist[q as usize] <= bundle.max_distance / (1u64 << m).max(1));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Multilevel graph partitioning.
+//!
+//! Both G-tree and ROAD recursively partition the road network into `f ≥ 2` balanced
+//! parts with small edge cut (Section 3.4 / 3.5). The paper uses the multilevel scheme
+//! of Karypis & Kumar [18] via the G-tree authors' code; since the road-network
+//! partitioning problem is NP-complete, any balanced small-cut heuristic preserves the
+//! experimental trends (DESIGN.md §5). This crate implements a self-contained multilevel
+//! partitioner:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching until the graph is small;
+//! 2. **Initial partitioning** — greedy BFS region growing from pseudo-peripheral seeds;
+//! 3. **Uncoarsening + refinement** — project the partition back up, applying
+//!    boundary Fiduccia–Mattheyses-style moves at every level.
+//!
+//! `k`-way partitions are produced by recursive bisection, which is how both G-tree
+//! (fanout `f`) and ROAD (`f` child Rnets) consume it.
+
+pub mod multilevel;
+pub mod refine;
+
+pub use multilevel::{PartitionConfig, Partitioner};
+
+/// A `k`-way partition assignment: `parts[i]` is the part (in `0..k`) of the `i`-th
+/// vertex of the partitioned vertex set.
+pub type PartitionAssignment = Vec<u32>;

@@ -1,0 +1,163 @@
+//! Boundary refinement of a bisection (Fiduccia–Mattheyses style).
+
+/// A compact working graph used during partitioning: CSR adjacency with vertex weights
+/// (vertex weights are the number of original vertices a coarse vertex represents).
+#[derive(Debug, Clone)]
+pub struct WorkGraph {
+    pub offsets: Vec<u32>,
+    pub targets: Vec<u32>,
+    pub edge_weights: Vec<u64>,
+    pub vertex_weights: Vec<u64>,
+}
+
+impl WorkGraph {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// True when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertex_weights.is_empty()
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.targets[lo..hi].iter().copied().zip(self.edge_weights[lo..hi].iter().copied())
+    }
+
+    /// Total vertex weight.
+    pub fn total_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Sum of edge weights crossing the bisection `side`.
+    pub fn cut(&self, side: &[bool]) -> u64 {
+        let mut cut = 0;
+        for v in 0..self.len() as u32 {
+            for (t, w) in self.neighbors(v) {
+                if v < t && side[v as usize] != side[t as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+}
+
+/// Performs boundary refinement passes on a bisection, moving vertices between sides
+/// when that reduces the cut and keeps both sides within `max_side_weight`.
+///
+/// `side[v]` is true when `v` is on side 1. Returns the number of vertices moved.
+pub fn refine_bisection(
+    graph: &WorkGraph,
+    side: &mut [bool],
+    max_side_weight: u64,
+    passes: usize,
+) -> usize {
+    let n = graph.len();
+    let mut weight_side1: u64 = (0..n).filter(|&v| side[v]).map(|v| graph.vertex_weights[v]).sum();
+    let total = graph.total_weight();
+    let mut moved_total = 0;
+
+    for _ in 0..passes {
+        let mut moved_this_pass = 0;
+        for v in 0..n as u32 {
+            // Gain of moving v to the other side = (cut edges to other side) - (to own side).
+            let mut to_same = 0i64;
+            let mut to_other = 0i64;
+            for (t, w) in graph.neighbors(v) {
+                if side[t as usize] == side[v as usize] {
+                    to_same += w as i64;
+                } else {
+                    to_other += w as i64;
+                }
+            }
+            let gain = to_other - to_same;
+            if gain <= 0 {
+                continue;
+            }
+            // Check balance after the move.
+            let vw = graph.vertex_weights[v as usize];
+            let new_weight_side1 =
+                if side[v as usize] { weight_side1 - vw } else { weight_side1 + vw };
+            let new_weight_side0 = total - new_weight_side1;
+            if new_weight_side1 > max_side_weight || new_weight_side0 > max_side_weight {
+                continue;
+            }
+            side[v as usize] = !side[v as usize];
+            weight_side1 = new_weight_side1;
+            moved_this_pass += 1;
+        }
+        moved_total += moved_this_pass;
+        if moved_this_pass == 0 {
+            break;
+        }
+    }
+    moved_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a WorkGraph from an undirected edge list.
+    pub(crate) fn work_graph(n: usize, edges: &[(u32, u32, u64)]) -> WorkGraph {
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut weights = vec![0u64; offsets[n] as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v, w) in edges {
+            targets[cursor[u as usize] as usize] = v;
+            weights[cursor[u as usize] as usize] = w;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            weights[cursor[v as usize] as usize] = w;
+            cursor[v as usize] += 1;
+        }
+        WorkGraph { offsets, targets, edge_weights: weights, vertex_weights: vec![1; n] }
+    }
+
+    #[test]
+    fn refinement_reduces_cut_on_a_path() {
+        // Path 0-1-2-3-4-5 with an alternating initial assignment: terrible cut.
+        let g = work_graph(6, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let mut side = vec![false, true, false, true, false, true];
+        let before = g.cut(&side);
+        refine_bisection(&g, &mut side, 4, 8);
+        let after = g.cut(&side);
+        assert!(after < before, "cut {before} -> {after}");
+        // Balance respected: neither side exceeds 4 vertices.
+        let ones = side.iter().filter(|&&s| s).count();
+        assert!((2..=4).contains(&ones));
+    }
+
+    #[test]
+    fn refinement_respects_balance_limit() {
+        // Star graph: center 0 connected to 1..=5. Moving everything to one side would
+        // zero the cut but violate balance.
+        let edges: Vec<(u32, u32, u64)> = (1..=5).map(|i| (0u32, i as u32, 1u64)).collect();
+        let g = work_graph(6, &edges);
+        let mut side = vec![false, false, false, true, true, true];
+        refine_bisection(&g, &mut side, 4, 10);
+        let ones = side.iter().filter(|&&s| s).count() as u64;
+        assert!(ones <= 4 && (6 - ones) <= 4);
+    }
+
+    #[test]
+    fn cut_counts_each_edge_once() {
+        let g = work_graph(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 2)]);
+        let side = vec![false, false, true, true];
+        assert_eq!(g.cut(&side), 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! A* point-to-point search with an admissible Euclidean heuristic.
+//!
+//! IER's original formulation computes network distances with Dijkstra; A* with the
+//! Euclidean lower bound is the natural first improvement and is included as an
+//! additional oracle baseline in the experiment harness.
+
+use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
+
+use crate::heap::MinHeap;
+use crate::settled::{BitSettled, SettledContainer};
+
+/// Network distance from `source` to `target` using A* guided by `bound`.
+///
+/// The heuristic must be admissible (never overestimate); [`Graph::euclidean_bound`]
+/// produces such a bound for both travel-distance and travel-time graphs.
+pub fn astar_distance(graph: &Graph, bound: &EuclideanBound, source: NodeId, target: NodeId) -> Weight {
+    if source == target {
+        return 0;
+    }
+    let n = graph.num_vertices();
+    let target_point = graph.coord(target);
+    let mut dist = vec![INFINITY; n];
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    let h0 = bound.lower_bound(graph.coord(source), target_point);
+    heap.push(h0, source);
+    while let Some((_, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        if v == target {
+            return dist[v as usize];
+        }
+        let dv = dist[v as usize];
+        for (t, w) in graph.neighbors(v) {
+            if settled.is_settled(t) {
+                continue;
+            }
+            let nd = dv + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                let h = bound.lower_bound(graph.coord(t), target_point);
+                heap.push(nd + h, t);
+            }
+        }
+    }
+    INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, GraphBuilder, Point};
+
+    #[test]
+    fn astar_matches_dijkstra_on_a_grid() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 11));
+        for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let g = net.graph(kind);
+            let bound = g.euclidean_bound();
+            let n = g.num_vertices() as NodeId;
+            for i in 0..30u32 {
+                let s = (i * 37) % n;
+                let t = (i * 101 + 7) % n;
+                assert_eq!(
+                    astar_distance(&g, &bound, s, t),
+                    dijkstra::distance(&g, s, t),
+                    "mismatch for {s}->{t} ({kind:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn astar_trivial_cases() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(Point::new(0.0, 0.0));
+        b.add_vertex(Point::new(1.0, 0.0));
+        b.add_vertex(Point::new(9.0, 9.0));
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let bound = g.euclidean_bound();
+        assert_eq!(astar_distance(&g, &bound, 0, 0), 0);
+        assert_eq!(astar_distance(&g, &bound, 0, 1), 1);
+        assert_eq!(astar_distance(&g, &bound, 0, 2), INFINITY);
+    }
+}

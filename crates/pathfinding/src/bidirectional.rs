@@ -1,0 +1,98 @@
+//! Bidirectional Dijkstra point-to-point search.
+//!
+//! Used as a baseline oracle and as the query skeleton for Contraction Hierarchies
+//! (which runs the same alternating search on the upward/downward graphs).
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+
+use crate::heap::MinHeap;
+use crate::settled::{BitSettled, SettledContainer};
+
+/// Network distance from `source` to `target` via bidirectional Dijkstra.
+pub fn bidirectional_distance(graph: &Graph, source: NodeId, target: NodeId) -> Weight {
+    if source == target {
+        return 0;
+    }
+    let n = graph.num_vertices();
+    let mut dist_f = vec![INFINITY; n];
+    let mut dist_b = vec![INFINITY; n];
+    let mut settled_f = BitSettled::new(n);
+    let mut settled_b = BitSettled::new(n);
+    let mut heap_f: MinHeap<NodeId> = MinHeap::new();
+    let mut heap_b: MinHeap<NodeId> = MinHeap::new();
+    dist_f[source as usize] = 0;
+    dist_b[target as usize] = 0;
+    heap_f.push(0, source);
+    heap_b.push(0, target);
+    let mut best = INFINITY;
+
+    loop {
+        let key_f = heap_f.peek_key().unwrap_or(INFINITY);
+        let key_b = heap_b.peek_key().unwrap_or(INFINITY);
+        // Standard stopping criterion: when the sum of the two frontiers' minima reaches
+        // the best meeting distance, no better path exists (weights are positive).
+        if key_f.saturating_add(key_b) >= best || (key_f == INFINITY && key_b == INFINITY) {
+            break;
+        }
+        let forward = key_f <= key_b;
+        let (heap, dist_this, dist_other, settled) = if forward {
+            (&mut heap_f, &mut dist_f, &dist_b, &mut settled_f)
+        } else {
+            (&mut heap_b, &mut dist_b, &dist_f, &mut settled_b)
+        };
+        if let Some((d, v)) = heap.pop() {
+            if !settled.settle(v) {
+                continue;
+            }
+            if dist_other[v as usize] != INFINITY {
+                best = best.min(d + dist_other[v as usize]);
+            }
+            for (t, w) in graph.neighbors(v) {
+                let nd = d + w;
+                if nd < dist_this[t as usize] {
+                    dist_this[t as usize] = nd;
+                    heap.push(nd, t);
+                    if dist_other[t as usize] != INFINITY {
+                        best = best.min(nd + dist_other[t as usize]);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, GraphBuilder};
+
+    #[test]
+    fn matches_unidirectional_dijkstra() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 5));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let n = g.num_vertices() as NodeId;
+        for i in 0..40u32 {
+            let s = (i * 97) % n;
+            let t = (i * 211 + 3) % n;
+            assert_eq!(
+                bidirectional_distance(&g, s, t),
+                dijkstra::distance(&g, s, t),
+                "mismatch {s}->{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_unreachable_and_identical_endpoints() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        assert_eq!(bidirectional_distance(&g, 0, 0), 0);
+        assert_eq!(bidirectional_distance(&g, 0, 1), 2);
+        assert_eq!(bidirectional_distance(&g, 0, 3), INFINITY);
+    }
+}

@@ -1,0 +1,330 @@
+//! Dijkstra searches in the flavours needed across the workspace.
+//!
+//! All variants use the no-decrease-key binary heap and a bit-array settled container
+//! (the paper's recommended combination), and all assume strictly positive edge weights
+//! (enforced by [`rnknn_graph::GraphBuilder`]).
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+
+use crate::heap::MinHeap;
+use crate::settled::{BitSettled, SettledContainer};
+
+/// Operation counters reported by the instrumented searches; used by the experiment
+/// harness to reproduce the paper's auxiliary series (e.g. vertices settled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Vertices removed from the priority queue and settled.
+    pub settled: usize,
+    /// Entries pushed onto the priority queue.
+    pub pushes: usize,
+    /// Edges relaxed (distance updates attempted).
+    pub relaxed: usize,
+}
+
+/// Point-to-point network distance from `source` to `target`, or [`INFINITY`] when
+/// unreachable. Terminates as soon as `target` is settled.
+pub fn distance(graph: &Graph, source: NodeId, target: NodeId) -> Weight {
+    distance_with_stats(graph, source, target).0
+}
+
+/// Same as [`distance`] but also returns operation counters.
+pub fn distance_with_stats(graph: &Graph, source: NodeId, target: NodeId) -> (Weight, SearchStats) {
+    let mut stats = SearchStats::default();
+    if source == target {
+        return (0, stats);
+    }
+    let n = graph.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    stats.pushes += 1;
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        stats.settled += 1;
+        if v == target {
+            return (d, stats);
+        }
+        for (t, w) in graph.neighbors(v) {
+            stats.relaxed += 1;
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(nd, t);
+                stats.pushes += 1;
+            }
+        }
+    }
+    (INFINITY, stats)
+}
+
+/// Full single-source shortest-path distances from `source` to every vertex.
+pub fn single_source(graph: &Graph, source: NodeId) -> Vec<Weight> {
+    let n = graph.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(nd, t);
+            }
+        }
+    }
+    dist
+}
+
+/// Single-source shortest-path tree: returns `(distances, parents)` where `parents[v]`
+/// is the predecessor of `v` on a shortest path from `source` (or `v` itself for the
+/// source and unreachable vertices). Used by the SILC colouring scheme.
+pub fn sssp_tree(graph: &Graph, source: NodeId) -> (Vec<Weight>, Vec<NodeId>) {
+    let n = graph.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                parent[t as usize] = v;
+                heap.push(nd, t);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Distances from `source` to each vertex in `targets`, terminating early once all
+/// targets are settled. Returns distances in the same order as `targets`.
+pub fn single_source_to_targets(graph: &Graph, source: NodeId, targets: &[NodeId]) -> Vec<Weight> {
+    let n = graph.num_vertices();
+    let mut remaining = targets.len();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if !is_target[t as usize] {
+            is_target[t as usize] = true;
+        } else {
+            remaining -= 1; // duplicate target
+        }
+    }
+    if source < n as NodeId && is_target[source as usize] {
+        // Handled naturally below, nothing special needed.
+    }
+    let mut dist = vec![INFINITY; n];
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        if is_target[v as usize] {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (t, w) in graph.neighbors(v) {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(nd, t);
+            }
+        }
+    }
+    targets.iter().map(|&t| dist[t as usize]).collect()
+}
+
+/// Single-source distances restricted to a vertex subset: only vertices for which
+/// `allowed` returns true may be traversed (the source is always allowed). Distances to
+/// disallowed vertices are [`INFINITY`]. Used to compute subgraph-restricted distance
+/// matrices / shortcuts while building G-tree and ROAD.
+pub fn single_source_restricted(
+    graph: &Graph,
+    source: NodeId,
+    allowed: impl Fn(NodeId) -> bool,
+) -> Vec<Weight> {
+    let n = graph.num_vertices();
+    let mut dist = vec![INFINITY; n];
+    let mut settled = BitSettled::new(n);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        for (t, w) in graph.neighbors(v) {
+            if !allowed(t) {
+                continue;
+            }
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(nd, t);
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra over an implicit graph given by an adjacency closure.
+///
+/// `num_vertices` bounds the vertex ids; `adjacency(v, out)` must append `(neighbor,
+/// weight)` pairs for vertex `v` into `out`. This is used for the reduced border graphs
+/// built while constructing G-tree distance matrices and ROAD shortcuts, where
+/// materialising an explicit [`Graph`] per level would be wasteful.
+pub fn dijkstra_adjacency(
+    num_vertices: usize,
+    source: NodeId,
+    mut adjacency: impl FnMut(NodeId, &mut Vec<(NodeId, Weight)>),
+) -> Vec<Weight> {
+    let mut dist = vec![INFINITY; num_vertices];
+    let mut settled = BitSettled::new(num_vertices);
+    let mut heap: MinHeap<NodeId> = MinHeap::new();
+    let mut scratch: Vec<(NodeId, Weight)> = Vec::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+    while let Some((d, v)) = heap.pop() {
+        if !settled.settle(v) {
+            continue;
+        }
+        scratch.clear();
+        adjacency(v, &mut scratch);
+        for &(t, w) in &scratch {
+            let nd = d + w;
+            if nd < dist[t as usize] {
+                dist[t as usize] = nd;
+                heap.push(nd, t);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::{GraphBuilder, Point};
+
+    /// 0 --1-- 1 --1-- 2
+    /// |               |
+    /// 10              1
+    /// |               |
+    /// 3 ------1------ 4
+    fn small_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            b.add_vertex(Point::new(i as f64, 0.0));
+        }
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 3, 10);
+        b.add_edge(2, 4, 1);
+        b.add_edge(3, 4, 1);
+        b.build()
+    }
+
+    #[test]
+    fn point_to_point_distances() {
+        let g = small_graph();
+        assert_eq!(distance(&g, 0, 0), 0);
+        assert_eq!(distance(&g, 0, 2), 2);
+        assert_eq!(distance(&g, 0, 4), 3);
+        assert_eq!(distance(&g, 0, 3), 4); // via 1,2,4 not the weight-10 edge
+        assert_eq!(distance(&g, 3, 1), 3);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = small_graph();
+        let (d, stats) = distance_with_stats(&g, 0, 4);
+        assert_eq!(d, 3);
+        assert!(stats.settled >= 3);
+        assert!(stats.pushes >= stats.settled);
+        assert!(stats.relaxed >= stats.settled);
+    }
+
+    #[test]
+    fn unreachable_returns_infinity() {
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(distance(&g, 0, 2), INFINITY);
+        let d = single_source(&g, 0);
+        assert_eq!(d[2], INFINITY);
+    }
+
+    #[test]
+    fn single_source_matches_point_to_point() {
+        let g = small_graph();
+        let all = single_source(&g, 0);
+        for t in 0..5 {
+            assert_eq!(all[t as usize], distance(&g, 0, t));
+        }
+    }
+
+    #[test]
+    fn sssp_tree_parents_are_consistent() {
+        let g = small_graph();
+        let (dist, parent) = sssp_tree(&g, 0);
+        assert_eq!(parent[0], 0);
+        for v in 1..5u32 {
+            if dist[v as usize] == INFINITY {
+                continue;
+            }
+            let p = parent[v as usize];
+            let w = g.edge_weight(p, v).expect("parent edge exists");
+            assert_eq!(dist[p as usize] + w, dist[v as usize]);
+        }
+    }
+
+    #[test]
+    fn targets_variant_matches_full_sssp() {
+        let g = small_graph();
+        let targets = vec![4, 3, 3, 0];
+        let d = single_source_to_targets(&g, 1, &targets);
+        let full = single_source(&g, 1);
+        assert_eq!(d, targets.iter().map(|&t| full[t as usize]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn restricted_search_cannot_leave_subset() {
+        let g = small_graph();
+        // Only allow vertices {0,1,2}: distance to 4 must be INFINITY and to 3 only via
+        // the direct weight-10 edge... but 3 is disallowed too.
+        let allowed = |v: NodeId| v <= 2;
+        let d = single_source_restricted(&g, 0, allowed);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], INFINITY);
+        assert_eq!(d[4], INFINITY);
+    }
+
+    #[test]
+    fn adjacency_closure_variant_matches_graph_variant() {
+        let g = small_graph();
+        let d1 = single_source(&g, 2);
+        let d2 = dijkstra_adjacency(g.num_vertices(), 2, |v, out| {
+            out.extend(g.neighbors(v));
+        });
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Binary min-heaps.
+//!
+//! The default heap ([`MinHeap`]) does **not** support decrease-key: duplicate entries
+//! for the same vertex are simply pushed and stale ones skipped when popped. On
+//! degree-bounded road networks the number of duplicates is small, and the paper reports
+//! a 2× speed-up from avoiding the per-vertex position map ("PQueue" line of Figure 7).
+//!
+//! [`IndexedMinHeap`] is the decrease-key variant used by the "first cut" INE ablation
+//! and by construction-time algorithms that benefit from unique entries.
+
+use rnknn_graph::Weight;
+
+/// A plain binary min-heap of `(key, item)` pairs without decrease-key support.
+///
+/// `K` is typically [`Weight`] and `T` a vertex id, but any ordered key works.
+#[derive(Debug, Clone)]
+pub struct MinHeap<T, K = Weight> {
+    data: Vec<(K, T)>,
+}
+
+impl<T: Copy, K: Copy + PartialOrd> MinHeap<T, K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        MinHeap { data: Vec::new() }
+    }
+
+    /// Creates an empty heap with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        MinHeap { data: Vec::with_capacity(cap) }
+    }
+
+    /// Number of entries currently stored (including stale duplicates).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Pushes an entry.
+    #[inline]
+    pub fn push(&mut self, key: K, item: T) {
+        self.data.push((key, item));
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// The smallest key currently in the heap.
+    #[inline]
+    pub fn peek_key(&self) -> Option<K> {
+        self.data.first().map(|&(k, _)| k)
+    }
+
+    /// The smallest entry currently in the heap.
+    pub fn peek(&self) -> Option<(K, T)> {
+        self.data.first().copied()
+    }
+
+    /// Pops the entry with the smallest key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(K, T)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        let out = self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].0 < self.data[parent].0 {
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.data[l].0 < self.data[smallest].0 {
+                smallest = l;
+            }
+            if r < n && self.data[r].0 < self.data[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+impl<T: Copy, K: Copy + PartialOrd> Default for MinHeap<T, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A binary min-heap over items `0..n` with decrease-key support via a position map.
+///
+/// Each item may appear at most once; [`IndexedMinHeap::push_or_decrease`] inserts the
+/// item or lowers its key. This is the classic "textbook" Dijkstra queue the paper's
+/// first-cut INE uses (and then abandons).
+#[derive(Debug, Clone)]
+pub struct IndexedMinHeap {
+    /// Heap of (key, item).
+    data: Vec<(Weight, u32)>,
+    /// Position of each item in `data`, or `u32::MAX` when absent.
+    positions: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl IndexedMinHeap {
+    /// Creates a heap able to hold items `0..n`.
+    pub fn new(n: usize) -> Self {
+        IndexedMinHeap { data: Vec::new(), positions: vec![ABSENT; n] }
+    }
+
+    /// Number of items currently in the heap.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// True when `item` is currently in the heap.
+    pub fn contains(&self, item: u32) -> bool {
+        self.positions[item as usize] != ABSENT
+    }
+
+    /// Current key of `item` if it is in the heap.
+    pub fn key_of(&self, item: u32) -> Option<Weight> {
+        let pos = self.positions[item as usize];
+        if pos == ABSENT {
+            None
+        } else {
+            Some(self.data[pos as usize].0)
+        }
+    }
+
+    /// Inserts `item` with `key`, or decreases its key if it is already present with a
+    /// larger key. Returns true if the heap changed.
+    pub fn push_or_decrease(&mut self, key: Weight, item: u32) -> bool {
+        let pos = self.positions[item as usize];
+        if pos == ABSENT {
+            self.data.push((key, item));
+            let i = self.data.len() - 1;
+            self.positions[item as usize] = i as u32;
+            self.sift_up(i);
+            true
+        } else if key < self.data[pos as usize].0 {
+            self.data[pos as usize].0 = key;
+            self.sift_up(pos as usize);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the item with the smallest key.
+    pub fn pop(&mut self) -> Option<(Weight, u32)> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        let (k, item) = self.data.pop().expect("non-empty");
+        self.positions[item as usize] = ABSENT;
+        if !self.data.is_empty() {
+            self.positions[self.data[0].1 as usize] = 0;
+            self.sift_down(0);
+        }
+        Some((k, item))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.data[i].0 < self.data[parent].0 {
+                self.positions[self.data[parent].1 as usize] = i as u32;
+                self.positions[self.data[i].1 as usize] = parent as u32;
+                self.data.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = l + 1;
+            let mut smallest = i;
+            if l < n && self.data[l].0 < self.data[smallest].0 {
+                smallest = l;
+            }
+            if r < n && self.data[r].0 < self.data[smallest].0 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.positions[self.data[smallest].1 as usize] = i as u32;
+            self.positions[self.data[i].1 as usize] = smallest as u32;
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_heap_pops_in_key_order() {
+        let mut h: MinHeap<u32> = MinHeap::new();
+        for (k, v) in [(5, 50), (1, 10), (3, 30), (2, 20), (4, 40)] {
+            h.push(k, v);
+        }
+        let mut out = Vec::new();
+        while let Some((k, v)) = h.pop() {
+            out.push((k, v));
+        }
+        assert_eq!(out, vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]);
+    }
+
+    #[test]
+    fn min_heap_allows_duplicates() {
+        let mut h: MinHeap<u32> = MinHeap::new();
+        h.push(7, 1);
+        h.push(3, 1);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.pop(), Some((3, 1)));
+        assert_eq!(h.pop(), Some((7, 1)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn min_heap_peek_and_clear() {
+        let mut h: MinHeap<u32> = MinHeap::new();
+        assert_eq!(h.peek(), None);
+        h.push(9, 2);
+        h.push(4, 8);
+        assert_eq!(h.peek_key(), Some(4));
+        assert_eq!(h.peek(), Some((4, 8)));
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn indexed_heap_decrease_key() {
+        let mut h = IndexedMinHeap::new(10);
+        assert!(h.push_or_decrease(10, 3));
+        assert!(h.push_or_decrease(8, 5));
+        assert!(h.contains(3));
+        assert_eq!(h.key_of(3), Some(10));
+        // Decrease 3's key below 5's.
+        assert!(h.push_or_decrease(2, 3));
+        // Increasing is a no-op.
+        assert!(!h.push_or_decrease(99, 3));
+        assert_eq!(h.pop(), Some((2, 3)));
+        assert_eq!(h.pop(), Some((8, 5)));
+        assert_eq!(h.pop(), None);
+        assert!(!h.contains(3));
+    }
+
+    #[test]
+    fn indexed_heap_orders_many_items() {
+        let mut h = IndexedMinHeap::new(100);
+        for i in 0..100u32 {
+            h.push_or_decrease(((i * 37) % 100) as Weight, i);
+        }
+        let mut prev = 0;
+        let mut count = 0;
+        while let Some((k, _)) = h.pop() {
+            assert!(k >= prev);
+            prev = k;
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn heaps_sort_randomised_sequences_identically() {
+        // Cross-check the two heap implementations against each other.
+        let keys: Vec<Weight> = (0..200).map(|i| ((i * 7919 + 13) % 997) as Weight).collect();
+        let mut plain: MinHeap<u32> = MinHeap::new();
+        let mut indexed = IndexedMinHeap::new(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            plain.push(k, i as u32);
+            indexed.push_or_decrease(k, i as u32);
+        }
+        let mut a = Vec::new();
+        while let Some((k, _)) = plain.pop() {
+            a.push(k);
+        }
+        let mut b = Vec::new();
+        while let Some((k, _)) = indexed.pop() {
+            b.push(k);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shortest-path primitives shared by every method in the rnknn workspace.
+//!
+//! The paper's Section 6.2 shows that the choice of priority queue, settled-vertex
+//! container and graph layout changes in-memory kNN performance by integer factors.
+//! This crate provides exactly those building blocks so every method uses the same,
+//! carefully chosen subroutines (as the paper does "to ensure fairness"):
+//!
+//! * [`heap`] — binary min-heaps: the default *no-decrease-key* heap (duplicates are
+//!   pushed and stale entries skipped on pop) and an indexed decrease-key heap used by
+//!   the "first cut" INE ablation of Figure 7.
+//! * [`settled`] — settled-vertex containers: a bit-array (the paper's recommendation)
+//!   and a hash-set variant for the same ablation.
+//! * [`dijkstra`] — single-source, point-to-point, many-target and restricted-subgraph
+//!   Dijkstra searches, plus shortest-path trees and a closure-based variant for the
+//!   reduced graphs used while building G-tree and ROAD.
+//! * [`astar`] — A* point-to-point search with a Euclidean lower-bound heuristic.
+//! * [`bidirectional`] — bidirectional Dijkstra point-to-point search.
+
+pub mod astar;
+pub mod bidirectional;
+pub mod dijkstra;
+pub mod heap;
+pub mod settled;
+
+pub use astar::astar_distance;
+pub use bidirectional::bidirectional_distance;
+pub use dijkstra::{
+    dijkstra_adjacency, distance, distance_with_stats, single_source, single_source_restricted,
+    single_source_to_targets, sssp_tree, SearchStats,
+};
+pub use heap::{IndexedMinHeap, MinHeap};
+pub use settled::{BitSettled, HashSettled, SettledContainer};

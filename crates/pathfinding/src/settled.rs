@@ -1,0 +1,155 @@
+//! Settled-vertex containers.
+//!
+//! Expansion-based searches (Dijkstra, INE, ROAD) must remember which vertices have
+//! already been dequeued. The paper compares a hash-set against a bit-array and finds
+//! the bit-array almost 2× faster despite the `O(|V|)` allocation per query ("Settled"
+//! line of Figure 7), because it occupies 32× less space than an integer array and so
+//! fits in cache. Both containers are provided behind a small trait so the INE ablation
+//! can swap them.
+
+use rnknn_graph::NodeId;
+use std::collections::HashSet;
+
+/// Common interface for settled-vertex containers.
+pub trait SettledContainer {
+    /// Creates a container for vertices `0..n`.
+    fn for_vertices(n: usize) -> Self;
+    /// Marks `v` as settled; returns true if it was not settled before.
+    fn settle(&mut self, v: NodeId) -> bool;
+    /// True when `v` has been settled.
+    fn is_settled(&self, v: NodeId) -> bool;
+    /// Number of settled vertices.
+    fn count(&self) -> usize;
+}
+
+/// Bit-array settled container (one bit per road-network vertex).
+#[derive(Debug, Clone)]
+pub struct BitSettled {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl BitSettled {
+    /// Creates a bit-array able to hold vertices `0..n`, all unsettled.
+    pub fn new(n: usize) -> Self {
+        BitSettled { bits: vec![0; n.div_ceil(64)], count: 0 }
+    }
+
+    /// Clears all bits, keeping the allocation (useful when a search object is reused
+    /// across queries).
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+}
+
+impl SettledContainer for BitSettled {
+    fn for_vertices(n: usize) -> Self {
+        BitSettled::new(n)
+    }
+
+    #[inline]
+    fn settle(&mut self, v: NodeId) -> bool {
+        let word = (v / 64) as usize;
+        let mask = 1u64 << (v % 64);
+        if self.bits[word] & mask != 0 {
+            false
+        } else {
+            self.bits[word] |= mask;
+            self.count += 1;
+            true
+        }
+    }
+
+    #[inline]
+    fn is_settled(&self, v: NodeId) -> bool {
+        let word = (v / 64) as usize;
+        self.bits[word] & (1u64 << (v % 64)) != 0
+    }
+
+    fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Hash-set settled container (the paper's slower, allocation-light alternative).
+#[derive(Debug, Clone, Default)]
+pub struct HashSettled {
+    set: HashSet<NodeId>,
+}
+
+impl SettledContainer for HashSettled {
+    fn for_vertices(_n: usize) -> Self {
+        HashSettled { set: HashSet::new() }
+    }
+
+    #[inline]
+    fn settle(&mut self, v: NodeId) -> bool {
+        self.set.insert(v)
+    }
+
+    #[inline]
+    fn is_settled(&self, v: NodeId) -> bool {
+        self.set.contains(&v)
+    }
+
+    fn count(&self) -> usize {
+        self.set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: SettledContainer>() {
+        let mut s = S::for_vertices(200);
+        assert_eq!(s.count(), 0);
+        assert!(!s.is_settled(5));
+        assert!(s.settle(5));
+        assert!(!s.settle(5));
+        assert!(s.is_settled(5));
+        assert!(s.settle(0));
+        assert!(s.settle(199));
+        assert!(s.is_settled(199));
+        assert!(!s.is_settled(63));
+        assert!(s.settle(63));
+        assert!(s.settle(64));
+        assert_eq!(s.count(), 5);
+    }
+
+    #[test]
+    fn bit_settled_behaviour() {
+        exercise::<BitSettled>();
+    }
+
+    #[test]
+    fn hash_settled_behaviour() {
+        exercise::<HashSettled>();
+    }
+
+    #[test]
+    fn bit_settled_clear_resets() {
+        let mut s = BitSettled::new(100);
+        s.settle(10);
+        s.settle(90);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.is_settled(10));
+        assert!(!s.is_settled(90));
+    }
+
+    #[test]
+    fn containers_agree_on_random_sequences() {
+        let mut bit = BitSettled::for_vertices(512);
+        let mut hash = HashSettled::for_vertices(512);
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 33) as NodeId % 512;
+            assert_eq!(bit.settle(v), hash.settle(v));
+            assert_eq!(bit.is_settled(v), hash.is_settled(v));
+        }
+        assert_eq!(bit.count(), hash.count());
+    }
+}

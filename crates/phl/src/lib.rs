@@ -1,0 +1,320 @@
+//! Pruned hub labelling ("PHL").
+//!
+//! The paper's IER-PHL uses Pruned Highway Labelling (Akiba et al., ALENEX 2014), a
+//! 2-hop labelling whose labels are built from highway paths. This crate implements the
+//! closely related *pruned landmark labelling* scheme: hub labels are built by running a
+//! pruned Dijkstra from every vertex in importance order, which yields the same query
+//! interface (sorted label intersection) and the same experimental role — the fastest
+//! point-to-point oracle with the largest index (DESIGN.md §5 records the substitution).
+//!
+//! Labels are canonical hub labels, so every query returns an exact network distance.
+//!
+//! The importance order defaults to an approximate-betweenness order obtained from a
+//! sample of shortest-path trees; a Contraction Hierarchies rank can be supplied instead
+//! (and is, in the experiment harness) for smaller labels.
+
+use rnknn_ch::ContractionHierarchy;
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_pathfinding::heap::MinHeap;
+use rnknn_pathfinding::settled::{BitSettled, SettledContainer};
+use rnknn_pathfinding::sssp_tree;
+
+/// Configuration for label construction.
+#[derive(Debug, Clone)]
+pub struct PhlConfig {
+    /// Number of sampled shortest-path trees used by the default importance order.
+    pub betweenness_samples: usize,
+    /// Abort construction (returning `None`) when the average label size exceeds this
+    /// bound. Mirrors the paper's observation that PHL cannot be built for the largest
+    /// travel-distance graphs within memory limits.
+    pub max_average_label: usize,
+    /// Seed for the sampling used by the default ordering.
+    pub seed: u64,
+}
+
+impl Default for PhlConfig {
+    fn default() -> Self {
+        PhlConfig { betweenness_samples: 24, max_average_label: 512, seed: 13 }
+    }
+}
+
+/// A hub-label index over a road network.
+#[derive(Debug, Clone)]
+pub struct HubLabels {
+    /// Concatenated labels: `(hub_order_position, distance)` pairs, sorted by hub order
+    /// within each vertex's slice.
+    label_hubs: Vec<u32>,
+    label_dists: Vec<Weight>,
+    offsets: Vec<u32>,
+}
+
+impl HubLabels {
+    /// Builds hub labels using the default approximate-betweenness ordering.
+    pub fn build(graph: &Graph) -> Option<HubLabels> {
+        Self::build_with_config(graph, &PhlConfig::default())
+    }
+
+    /// Builds hub labels using a Contraction Hierarchies importance order.
+    pub fn build_with_ch(graph: &Graph, ch: &ContractionHierarchy) -> Option<HubLabels> {
+        let order = ch.vertices_by_importance();
+        Self::build_with_order(graph, &order, &PhlConfig::default())
+    }
+
+    /// Builds hub labels with the default ordering and explicit configuration.
+    pub fn build_with_config(graph: &Graph, config: &PhlConfig) -> Option<HubLabels> {
+        let order = betweenness_order(graph, config);
+        Self::build_with_order(graph, &order, config)
+    }
+
+    /// Builds hub labels processing vertices in the given importance order (most
+    /// important first). Returns `None` when the label budget is exceeded.
+    pub fn build_with_order(
+        graph: &Graph,
+        order: &[NodeId],
+        config: &PhlConfig,
+    ) -> Option<HubLabels> {
+        let n = graph.num_vertices();
+        assert_eq!(order.len(), n, "order must cover every vertex");
+        // position in the order; used as the hub identifier so labels sort naturally.
+        let mut position = vec![0u32; n];
+        for (i, &v) in order.iter().enumerate() {
+            position[v as usize] = i as u32;
+        }
+
+        // Per-vertex labels as (hub position, distance), grown during construction.
+        let mut labels: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n];
+        let mut heap: MinHeap<NodeId> = MinHeap::new();
+        let mut dist = vec![INFINITY; n];
+        let mut touched: Vec<NodeId> = Vec::new();
+        let label_budget = config.max_average_label.saturating_mul(n);
+        let mut total_label_entries = 0usize;
+
+        for (pos, &root) in order.iter().enumerate() {
+            let root_pos = pos as u32;
+            // Pruned Dijkstra from root.
+            let mut settled = BitSettled::new(n);
+            heap.clear();
+            heap.push(0, root);
+            dist[root as usize] = 0;
+            touched.push(root);
+            while let Some((d, v)) = heap.pop() {
+                if !settled.settle(v) {
+                    continue;
+                }
+                // Prune: if existing labels already certify a distance <= d, the path
+                // through `root` adds nothing for v or anything beyond it.
+                if query_labels(&labels[root as usize], &labels[v as usize]) <= d {
+                    continue;
+                }
+                labels[v as usize].push((root_pos, d));
+                total_label_entries += 1;
+                for (t, w) in graph.neighbors(v) {
+                    let nd = d + w;
+                    if nd < dist[t as usize] {
+                        if dist[t as usize] == INFINITY {
+                            touched.push(t);
+                        }
+                        dist[t as usize] = nd;
+                        heap.push(nd, t);
+                    }
+                }
+            }
+            for &t in &touched {
+                dist[t as usize] = INFINITY;
+            }
+            touched.clear();
+            if total_label_entries > label_budget {
+                return None;
+            }
+        }
+
+        // Flatten into CSR storage. Labels are already sorted by hub position because
+        // hubs are added in increasing position order.
+        let mut offsets = vec![0u32; n + 1];
+        let mut label_hubs = Vec::with_capacity(total_label_entries);
+        let mut label_dists = Vec::with_capacity(total_label_entries);
+        for v in 0..n {
+            for &(h, d) in &labels[v] {
+                label_hubs.push(h);
+                label_dists.push(d);
+            }
+            offsets[v + 1] = label_hubs.len() as u32;
+        }
+        Some(HubLabels { label_hubs, label_dists, offsets })
+    }
+
+    /// Exact network distance between `s` and `t`.
+    #[inline]
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
+        if s == t {
+            return 0;
+        }
+        let (sh, sd) = self.label(s);
+        let (th, td) = self.label(t);
+        let mut best = INFINITY;
+        let mut i = 0;
+        let mut j = 0;
+        while i < sh.len() && j < th.len() {
+            match sh[i].cmp(&th[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let d = sd[i] + td[j];
+                    if d < best {
+                        best = d;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn label(&self, v: NodeId) -> (&[u32], &[Weight]) {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        (&self.label_hubs[lo..hi], &self.label_dists[lo..hi])
+    }
+
+    /// Number of label entries for vertex `v`.
+    pub fn label_size(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Average label size over all vertices.
+    pub fn average_label_size(&self) -> f64 {
+        self.label_hubs.len() as f64 / (self.offsets.len() - 1).max(1) as f64
+    }
+
+    /// Approximate resident size in bytes (the paper highlights PHL's large indexes).
+    pub fn memory_bytes(&self) -> usize {
+        self.label_hubs.len() * 4
+            + self.label_dists.len() * std::mem::size_of::<Weight>()
+            + self.offsets.len() * 4
+    }
+}
+
+/// Distance certified by two label sets (helper used during pruning).
+#[inline]
+fn query_labels(a: &[(u32, Weight)], b: &[(u32, Weight)]) -> Weight {
+    let mut best = INFINITY;
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a[i].1 + b[j].1;
+                if d < best {
+                    best = d;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Approximate-betweenness vertex ordering: sample shortest-path trees from random
+/// roots and rank vertices by the total size of the subtrees hanging below them.
+fn betweenness_order(graph: &Graph, config: &PhlConfig) -> Vec<NodeId> {
+    let n = graph.num_vertices();
+    let mut score = vec![0u64; n];
+    let samples = config.betweenness_samples.max(1).min(n.max(1));
+    let mut state = config.seed | 1;
+    for _ in 0..samples {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let root = ((state >> 33) as usize % n) as NodeId;
+        let (dist, parent) = sssp_tree(graph, root);
+        // Subtree sizes: process vertices in decreasing distance order.
+        let mut order: Vec<NodeId> = (0..n as NodeId).filter(|&v| dist[v as usize] < INFINITY).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(dist[v as usize]));
+        let mut subtree = vec![1u64; n];
+        for &v in &order {
+            if v != root {
+                let p = parent[v as usize];
+                subtree[p as usize] += subtree[v as usize];
+            }
+        }
+        for v in 0..n {
+            score[v] += subtree[v];
+        }
+    }
+    // Mix degree in as a tie-breaker so hubs at intersections come first.
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by_key(|&v| {
+        std::cmp::Reverse((score[v as usize], graph.degree(v) as u64))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, GraphBuilder};
+    use rnknn_pathfinding::dijkstra;
+
+    #[test]
+    fn distances_match_dijkstra_default_order() {
+        for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(700, 77));
+            let g = net.graph(kind);
+            let labels = HubLabels::build(&g).expect("within budget");
+            let n = g.num_vertices() as NodeId;
+            for i in 0..60u32 {
+                let s = (i * 89) % n;
+                let t = (i * 341 + 5) % n;
+                assert_eq!(labels.distance(s, t), dijkstra::distance(&g, s, t), "{s}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_dijkstra_with_ch_order() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 6));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        let labels = HubLabels::build_with_ch(&g, &ch).expect("within budget");
+        let n = g.num_vertices() as NodeId;
+        for i in 0..40u32 {
+            let s = (i * 53) % n;
+            let t = (i * 97 + 13) % n;
+            assert_eq!(labels.distance(s, t), dijkstra::distance(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_infinite() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.add_edge(0, 1, 2);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        let labels = HubLabels::build(&g).unwrap();
+        assert_eq!(labels.distance(0, 3), INFINITY);
+        assert_eq!(labels.distance(0, 1), 2);
+        assert_eq!(labels.distance(3, 3), 0);
+    }
+
+    #[test]
+    fn label_budget_aborts_construction() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(300, 1));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let config = PhlConfig { max_average_label: 1, ..Default::default() };
+        assert!(HubLabels::build_with_config(&g, &config).is_none());
+    }
+
+    #[test]
+    fn label_statistics_are_reported() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 19));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let labels = HubLabels::build(&g).unwrap();
+        assert!(labels.average_label_size() >= 1.0);
+        assert!(labels.memory_bytes() > 0);
+        assert!(labels.label_size(0) >= 1);
+    }
+}

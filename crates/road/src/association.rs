@@ -1,0 +1,131 @@
+//! Association Directory: ROAD's decoupled object index.
+//!
+//! For a given object set, the directory answers two questions in `O(1)`:
+//! "does this Rnet contain an object?" (one bit per Rnet, propagated bottom-up) and
+//! "is this vertex an object?" (a bit per vertex). Section 7.4 measures its size and
+//! construction time against the other methods' object indexes.
+
+use rnknn_graph::NodeId;
+
+use crate::index::{RnetIndex, RoadIndex};
+
+/// Association directory for one object set over one ROAD index.
+#[derive(Debug, Clone)]
+pub struct AssociationDirectory {
+    /// One bit per Rnet: set when the Rnet contains at least one object.
+    rnet_has_object: Vec<u64>,
+    /// One bit per road-network vertex: set when the vertex is an object.
+    vertex_is_object: Vec<u64>,
+    num_objects: usize,
+}
+
+impl AssociationDirectory {
+    /// Builds the directory for `objects` (duplicates are ignored).
+    pub fn build(road: &RoadIndex, num_vertices: usize, objects: &[NodeId]) -> Self {
+        let mut rnet_has_object = vec![0u64; road.num_rnets().div_ceil(64)];
+        let mut vertex_is_object = vec![0u64; num_vertices.div_ceil(64)];
+        let mut num_objects = 0usize;
+        for &o in objects {
+            let word = (o / 64) as usize;
+            let mask = 1u64 << (o % 64);
+            if vertex_is_object[word] & mask != 0 {
+                continue;
+            }
+            vertex_is_object[word] |= mask;
+            num_objects += 1;
+            // Propagate the presence bit from the object's leaf Rnet up to the root.
+            let mut r = road.leaf_of(o);
+            loop {
+                let word = (r / 64) as usize;
+                let mask = 1u64 << (r % 64);
+                if rnet_has_object[word] & mask != 0 {
+                    break;
+                }
+                rnet_has_object[word] |= mask;
+                match road.rnet(r).parent {
+                    Some(p) => r = p,
+                    None => break,
+                }
+            }
+        }
+        AssociationDirectory { rnet_has_object, vertex_is_object, num_objects }
+    }
+
+    /// Number of distinct objects indexed.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// True when Rnet `r` contains at least one object.
+    #[inline]
+    pub fn rnet_has_object(&self, r: RnetIndex) -> bool {
+        self.rnet_has_object[(r / 64) as usize] & (1u64 << (r % 64)) != 0
+    }
+
+    /// True when vertex `v` is an object.
+    #[inline]
+    pub fn is_object(&self, v: NodeId) -> bool {
+        self.vertex_is_object[(v / 64) as usize] & (1u64 << (v % 64)) != 0
+    }
+
+    /// Resident size in bytes (Figure 18(a): ROAD's object index is the smallest after
+    /// the raw object list because it is just two bit-arrays).
+    pub fn memory_bytes(&self) -> usize {
+        (self.rnet_has_object.len() + self.vertex_is_object.len()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{RoadConfig, RoadIndex};
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+
+    #[test]
+    fn directory_flags_match_object_locations() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 4));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let road = RoadIndex::build_with_config(
+            &g,
+            RoadConfig { fanout: 4, levels: 3, min_rnet_vertices: 16 },
+        );
+        let objects: Vec<NodeId> = g.vertices().filter(|v| v % 23 == 1).collect();
+        let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
+        assert_eq!(dir.num_objects(), objects.len());
+        for &o in &objects {
+            assert!(dir.is_object(o));
+            let mut r = road.leaf_of(o);
+            loop {
+                assert!(dir.rnet_has_object(r));
+                match road.rnet(r).parent {
+                    Some(p) => r = p,
+                    None => break,
+                }
+            }
+        }
+        // An Rnet whose subtree holds no objects must not be flagged.
+        for (ri, _) in road.rnets().iter().enumerate() {
+            let flagged = dir.rnet_has_object(ri as RnetIndex);
+            let contains = objects.iter().any(|&o| {
+                let range = road.rnet(ri as RnetIndex).leaf_range;
+                let l = road.rnet(road.leaf_of(o)).leaf_range.0;
+                range.0 <= l && l < range.1
+            });
+            assert_eq!(flagged, contains, "rnet {ri}");
+        }
+    }
+
+    #[test]
+    fn duplicates_and_empty_sets() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(300, 8));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let road = RoadIndex::build(&g);
+        let dir = AssociationDirectory::build(&road, g.num_vertices(), &[9, 9, 9]);
+        assert_eq!(dir.num_objects(), 1);
+        let empty = AssociationDirectory::build(&road, g.num_vertices(), &[]);
+        assert_eq!(empty.num_objects(), 0);
+        assert!(!empty.rnet_has_object(road.root()));
+        assert!(empty.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,542 @@
+//! The Rnet hierarchy and Route Overlay.
+
+use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_partition::Partitioner;
+use rnknn_pathfinding::dijkstra;
+
+use std::collections::HashMap;
+
+/// Index of an Rnet within the hierarchy.
+pub type RnetIndex = u32;
+
+/// Configuration of the ROAD index.
+#[derive(Debug, Clone)]
+pub struct RoadConfig {
+    /// Fanout `f ≥ 2` of the Rnet hierarchy (the paper uses 4).
+    pub fanout: usize,
+    /// Number of hierarchy levels `l > 1` below the root (the paper uses 7–11 depending
+    /// on network size). Partitioning stops early for Rnets that become too small.
+    pub levels: usize,
+    /// Rnets with at most this many vertices are not partitioned further even if the
+    /// level budget is not exhausted.
+    pub min_rnet_vertices: usize,
+}
+
+impl Default for RoadConfig {
+    fn default() -> Self {
+        RoadConfig { fanout: 4, levels: 6, min_rnet_vertices: 32 }
+    }
+}
+
+impl RoadConfig {
+    /// A configuration mirroring the paper's rule of increasing `l` with network size
+    /// until leaf Rnets become too small.
+    pub fn for_network(num_vertices: usize) -> Self {
+        let fanout = 4usize;
+        let mut levels = 2usize;
+        let mut leaf = num_vertices as f64;
+        while leaf / fanout as f64 >= 48.0 && levels < 12 {
+            leaf /= fanout as f64;
+            levels += 1;
+        }
+        RoadConfig { fanout, levels, min_rnet_vertices: 32 }
+    }
+}
+
+/// One Rnet in the hierarchy.
+#[derive(Debug, Clone)]
+pub struct Rnet {
+    /// Parent Rnet (`None` for the root, which is the whole network).
+    pub parent: Option<RnetIndex>,
+    /// Child Rnets (empty for leaf Rnets).
+    pub children: Vec<RnetIndex>,
+    /// Hierarchy level (root = 0).
+    pub level: u32,
+    /// Number of road-network vertices contained in this Rnet.
+    pub num_vertices: u32,
+    /// Border vertices of this Rnet, sorted by vertex id.
+    pub borders: Vec<NodeId>,
+    /// Range of leaf-Rnet DFS indexes covered (for `O(1)` containment tests).
+    pub leaf_range: (u32, u32),
+    /// Start of this Rnet's shortcut rows in the global shortcut array: row `i` holds
+    /// the distances from `borders[i]` to every border of this Rnet.
+    pub shortcut_offset: u32,
+}
+
+/// The ROAD road-network index: Rnet hierarchy plus Route Overlay.
+#[derive(Debug, Clone)]
+pub struct RoadIndex {
+    rnets: Vec<Rnet>,
+    root: RnetIndex,
+    /// Leaf Rnet of every vertex.
+    leaf_of_vertex: Vec<RnetIndex>,
+    /// For every vertex, the lowest level (closest to the root) at which it is a border,
+    /// or `u32::MAX` when it is interior to its leaf Rnet.
+    highest_border_level: Vec<u32>,
+    /// Global flat shortcut array (Section 6.2: a single array with per-Rnet offsets).
+    shortcuts: Vec<Weight>,
+    config: RoadConfig,
+}
+
+impl RoadIndex {
+    /// Builds the index with a size-appropriate configuration.
+    pub fn build(graph: &Graph) -> RoadIndex {
+        Self::build_with_config(graph, RoadConfig::for_network(graph.num_vertices()))
+    }
+
+    /// Builds the index with an explicit configuration.
+    pub fn build_with_config(graph: &Graph, config: RoadConfig) -> RoadIndex {
+        assert!(config.fanout >= 2, "fanout must be at least 2");
+        assert!(config.levels >= 1, "at least one level of partitioning is required");
+        let mut builder = Builder {
+            graph,
+            config: config.clone(),
+            partitioner: Partitioner::new(),
+            rnets: Vec::new(),
+            leaf_of_vertex: vec![0; graph.num_vertices()],
+            next_leaf: 0,
+        };
+        let all: Vec<NodeId> = graph.vertices().collect();
+        let root = builder.build_rnet(None, all, 0);
+        builder.compute_borders();
+        let (shortcuts, offsets) = builder.compute_shortcuts();
+        for (i, off) in offsets.into_iter().enumerate() {
+            builder.rnets[i].shortcut_offset = off;
+        }
+        let highest_border_level = builder.compute_highest_border_levels();
+        RoadIndex {
+            rnets: builder.rnets,
+            root,
+            leaf_of_vertex: builder.leaf_of_vertex,
+            highest_border_level,
+            shortcuts,
+            config,
+        }
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &RoadConfig {
+        &self.config
+    }
+
+    /// All Rnets.
+    pub fn rnets(&self) -> &[Rnet] {
+        &self.rnets
+    }
+
+    /// A single Rnet.
+    pub fn rnet(&self, i: RnetIndex) -> &Rnet {
+        &self.rnets[i as usize]
+    }
+
+    /// Index of the root Rnet (the whole network).
+    pub fn root(&self) -> RnetIndex {
+        self.root
+    }
+
+    /// Number of Rnets in the hierarchy.
+    pub fn num_rnets(&self) -> usize {
+        self.rnets.len()
+    }
+
+    /// The leaf Rnet containing vertex `v`.
+    pub fn leaf_of(&self, v: NodeId) -> RnetIndex {
+        self.leaf_of_vertex[v as usize]
+    }
+
+    /// The chain of Rnets containing `v`, from the root's children down to its leaf
+    /// Rnet (the root itself is omitted since it can never be bypassed).
+    pub fn chain_of(&self, v: NodeId) -> Vec<RnetIndex> {
+        let mut chain = Vec::new();
+        let mut cur = self.leaf_of_vertex[v as usize];
+        loop {
+            chain.push(cur);
+            match self.rnets[cur as usize].parent {
+                Some(p) if p != self.root => cur = p,
+                _ => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// True when `v` is a border of Rnet `r`.
+    pub fn is_border_of(&self, r: RnetIndex, v: NodeId) -> bool {
+        self.rnets[r as usize].borders.binary_search(&v).is_ok()
+    }
+
+    /// The lowest hierarchy level at which `v` is a border (`u32::MAX` when it is not a
+    /// border of any Rnet).
+    pub fn highest_border_level(&self, v: NodeId) -> u32 {
+        self.highest_border_level[v as usize]
+    }
+
+    /// The shortcuts from border `v` of Rnet `r`: pairs of (other border, restricted
+    /// network distance). Returns `None` when `v` is not a border of `r`.
+    pub fn shortcuts_from(&self, r: RnetIndex, v: NodeId) -> Option<impl Iterator<Item = (NodeId, Weight)> + '_> {
+        let rnet = &self.rnets[r as usize];
+        let row = rnet.borders.binary_search(&v).ok()?;
+        let nb = rnet.borders.len();
+        let base = rnet.shortcut_offset as usize + row * nb;
+        Some(
+            rnet.borders
+                .iter()
+                .copied()
+                .zip(self.shortcuts[base..base + nb].iter().copied())
+                .filter(move |&(b, _)| b != v),
+        )
+    }
+
+    /// Total number of shortcut entries stored.
+    pub fn num_shortcut_entries(&self) -> usize {
+        self.shortcuts.len()
+    }
+
+    /// Approximate resident size in bytes (Figure 8(a): ROAD's Route Overlay is larger
+    /// than G-tree because border lists repeat across levels).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.leaf_of_vertex.len() * 4
+            + self.highest_border_level.len() * 4
+            + self.shortcuts.len() * std::mem::size_of::<Weight>();
+        for r in &self.rnets {
+            bytes += std::mem::size_of::<Rnet>() + r.children.len() * 4 + r.borders.len() * 4;
+        }
+        bytes
+    }
+}
+
+struct Builder<'a> {
+    graph: &'a Graph,
+    config: RoadConfig,
+    partitioner: Partitioner,
+    rnets: Vec<Rnet>,
+    leaf_of_vertex: Vec<RnetIndex>,
+    next_leaf: u32,
+}
+
+impl<'a> Builder<'a> {
+    fn build_rnet(&mut self, parent: Option<RnetIndex>, vertices: Vec<NodeId>, level: u32) -> RnetIndex {
+        let index = self.rnets.len() as RnetIndex;
+        self.rnets.push(Rnet {
+            parent,
+            children: Vec::new(),
+            level,
+            num_vertices: vertices.len() as u32,
+            borders: Vec::new(),
+            leaf_range: (0, 0),
+            shortcut_offset: 0,
+        });
+        let is_leaf = level as usize >= self.config.levels
+            || vertices.len() <= self.config.min_rnet_vertices;
+        if is_leaf {
+            let leaf = self.next_leaf;
+            self.next_leaf += 1;
+            for &v in &vertices {
+                self.leaf_of_vertex[v as usize] = index;
+            }
+            self.rnets[index as usize].leaf_range = (leaf, leaf + 1);
+            // Leaf Rnets keep their vertex list only transiently (during shortcut
+            // computation) via `leaf_of_vertex`; nothing else to store.
+            return index;
+        }
+        let assignment = self.partitioner.partition(self.graph, &vertices, self.config.fanout);
+        let mut parts: Vec<Vec<NodeId>> = vec![Vec::new(); self.config.fanout];
+        for (i, &v) in vertices.iter().enumerate() {
+            parts[assignment[i] as usize].push(v);
+        }
+        let non_empty = parts.iter().filter(|p| !p.is_empty()).count();
+        if non_empty <= 1 {
+            parts.iter_mut().for_each(|p| p.clear());
+            for (i, &v) in vertices.iter().enumerate() {
+                parts[i % self.config.fanout].push(v);
+            }
+        }
+        let lo = self.next_leaf;
+        let mut children = Vec::new();
+        for part in parts.into_iter().filter(|p| !p.is_empty()) {
+            children.push(self.build_rnet(Some(index), part, level + 1));
+        }
+        let hi = self.next_leaf;
+        self.rnets[index as usize].children = children;
+        self.rnets[index as usize].leaf_range = (lo, hi);
+        index
+    }
+
+    fn leaf_dfs_of(&self, v: NodeId) -> u32 {
+        self.rnets[self.leaf_of_vertex[v as usize] as usize].leaf_range.0
+    }
+
+    fn compute_borders(&mut self) {
+        let mut borders: Vec<Vec<NodeId>> = vec![Vec::new(); self.rnets.len()];
+        for v in self.graph.vertices() {
+            let mut r = self.leaf_of_vertex[v as usize];
+            loop {
+                let range = self.rnets[r as usize].leaf_range;
+                let is_border = self
+                    .graph
+                    .neighbor_ids(v)
+                    .iter()
+                    .any(|&t| {
+                        let tl = self.leaf_dfs_of(t);
+                        tl < range.0 || tl >= range.1
+                    });
+                if !is_border {
+                    break;
+                }
+                borders[r as usize].push(v);
+                match self.rnets[r as usize].parent {
+                    Some(p) => r = p,
+                    None => break,
+                }
+            }
+        }
+        for (i, mut b) in borders.into_iter().enumerate() {
+            b.sort_unstable();
+            b.dedup();
+            self.rnets[i].borders = b;
+        }
+    }
+
+    /// Bottom-up shortcut computation. Returns the global shortcut array and the
+    /// per-Rnet offsets into it.
+    fn compute_shortcuts(&mut self) -> (Vec<Weight>, Vec<u32>) {
+        let n_rnets = self.rnets.len();
+        let mut order: Vec<usize> = (0..n_rnets).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.rnets[i].level));
+
+        // Vertex lists per leaf Rnet (for restricted Dijkstra).
+        let mut leaf_vertices: Vec<Vec<NodeId>> = vec![Vec::new(); n_rnets];
+        for v in self.graph.vertices() {
+            leaf_vertices[self.leaf_of_vertex[v as usize] as usize].push(v);
+        }
+
+        // Temporary per-Rnet matrices (borders × borders); flattened at the end.
+        let mut matrices: Vec<Vec<Weight>> = vec![Vec::new(); n_rnets];
+        for &i in &order {
+            let borders = self.rnets[i].borders.clone();
+            let nb = borders.len();
+            if nb == 0 {
+                continue;
+            }
+            let matrix = if self.rnets[i].children.is_empty() {
+                self.leaf_shortcut_matrix(&leaf_vertices[i], &borders)
+            } else {
+                self.internal_shortcut_matrix(i, &borders, &matrices)
+            };
+            matrices[i] = matrix;
+        }
+
+        let mut shortcuts = Vec::new();
+        let mut offsets = vec![0u32; n_rnets];
+        for i in 0..n_rnets {
+            offsets[i] = shortcuts.len() as u32;
+            shortcuts.extend_from_slice(&matrices[i]);
+        }
+        (shortcuts, offsets)
+    }
+
+    /// Border-to-border distances within a leaf Rnet (Dijkstra on the induced subgraph).
+    fn leaf_shortcut_matrix(&self, vertices: &[NodeId], borders: &[NodeId]) -> Vec<Weight> {
+        let nb = borders.len();
+        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(vertices.len());
+        for (pos, &v) in vertices.iter().enumerate() {
+            local_of.insert(v, pos as u32);
+        }
+        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); vertices.len()];
+        for (pos, &v) in vertices.iter().enumerate() {
+            for (t, w) in self.graph.neighbors(v) {
+                if let Some(&lt) = local_of.get(&t) {
+                    adjacency[pos].push((lt, w));
+                }
+            }
+        }
+        let mut matrix = vec![INFINITY; nb * nb];
+        for (row, &b) in borders.iter().enumerate() {
+            let dist = dijkstra::dijkstra_adjacency(vertices.len(), local_of[&b], |v, out| {
+                out.extend_from_slice(&adjacency[v as usize]);
+            });
+            for (col, &b2) in borders.iter().enumerate() {
+                matrix[row * nb + col] = dist[local_of[&b2] as usize];
+            }
+        }
+        matrix
+    }
+
+    /// Border-to-border distances within an internal Rnet, computed on the reduced graph
+    /// of child borders (children's shortcut cliques + cross edges inside this Rnet).
+    fn internal_shortcut_matrix(
+        &self,
+        i: usize,
+        borders: &[NodeId],
+        matrices: &[Vec<Weight>],
+    ) -> Vec<Weight> {
+        let rnet = &self.rnets[i];
+        let mut child_borders: Vec<NodeId> = Vec::new();
+        for &c in &rnet.children {
+            child_borders.extend_from_slice(&self.rnets[c as usize].borders);
+        }
+        child_borders.sort_unstable();
+        child_borders.dedup();
+        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(child_borders.len());
+        for (pos, &v) in child_borders.iter().enumerate() {
+            local_of.insert(v, pos as u32);
+        }
+        let n_local = child_borders.len();
+        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n_local];
+        // Child shortcut cliques.
+        for &c in &rnet.children {
+            let cb = &self.rnets[c as usize].borders;
+            let m = &matrices[c as usize];
+            let nb = cb.len();
+            for a in 0..nb {
+                for b in (a + 1)..nb {
+                    let d = m[a * nb + b];
+                    if d < INFINITY {
+                        let la = local_of[&cb[a]];
+                        let lb = local_of[&cb[b]];
+                        adjacency[la as usize].push((lb, d));
+                        adjacency[lb as usize].push((la, d));
+                    }
+                }
+            }
+        }
+        // Cross edges between different children, inside this Rnet.
+        let range = rnet.leaf_range;
+        for (pos, &v) in child_borders.iter().enumerate() {
+            for (t, w) in self.graph.neighbors(v) {
+                let tl = self.leaf_dfs_of(t);
+                if tl < range.0 || tl >= range.1 {
+                    continue;
+                }
+                if let Some(&lt) = local_of.get(&t) {
+                    adjacency[pos].push((lt, w));
+                }
+            }
+        }
+        let nb = borders.len();
+        let mut matrix = vec![INFINITY; nb * nb];
+        for (row, &b) in borders.iter().enumerate() {
+            let dist = dijkstra::dijkstra_adjacency(n_local, local_of[&b], |v, out| {
+                out.extend_from_slice(&adjacency[v as usize]);
+            });
+            for (col, &b2) in borders.iter().enumerate() {
+                matrix[row * nb + col] = dist[local_of[&b2] as usize];
+            }
+        }
+        matrix
+    }
+
+    fn compute_highest_border_levels(&self) -> Vec<u32> {
+        let mut levels = vec![u32::MAX; self.graph.num_vertices()];
+        for (i, rnet) in self.rnets.iter().enumerate() {
+            if i == 0 {
+                continue; // the root can never be bypassed
+            }
+            for &b in &rnet.borders {
+                levels[b as usize] = levels[b as usize].min(rnet.level);
+            }
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+
+    fn build(n: usize, seed: u64, levels: usize) -> (Graph, RoadIndex) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let idx = RoadIndex::build_with_config(
+            &g,
+            RoadConfig { fanout: 4, levels, min_rnet_vertices: 16 },
+        );
+        (g, idx)
+    }
+
+    #[test]
+    fn hierarchy_structure_is_consistent() {
+        let (g, idx) = build(800, 5, 3);
+        assert!(idx.num_rnets() > 4);
+        let root = idx.rnet(idx.root());
+        assert_eq!(root.num_vertices as usize, g.num_vertices());
+        assert!(root.borders.is_empty());
+        for v in g.vertices() {
+            let chain = idx.chain_of(v);
+            assert!(!chain.is_empty());
+            // The chain ends at the leaf Rnet of v and each element is the parent of
+            // the next.
+            assert_eq!(*chain.last().unwrap(), idx.leaf_of(v));
+            for w in chain.windows(2) {
+                assert_eq!(idx.rnet(w[1]).parent, Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn borders_have_edges_leaving_their_rnet() {
+        let (g, idx) = build(600, 9, 3);
+        for (ri, rnet) in idx.rnets().iter().enumerate() {
+            if rnet.parent.is_none() {
+                continue;
+            }
+            for &b in &rnet.borders {
+                let outside = g.neighbor_ids(b).iter().any(|&t| {
+                    let tl = idx.rnet(idx.leaf_of(t)).leaf_range.0;
+                    tl < rnet.leaf_range.0 || tl >= rnet.leaf_range.1
+                });
+                assert!(outside, "border {b} of rnet {ri} has no outside edge");
+                assert!(idx.is_border_of(ri as RnetIndex, b));
+            }
+        }
+    }
+
+    #[test]
+    fn shortcuts_never_underestimate_and_are_achievable() {
+        let (g, idx) = build(500, 3, 3);
+        // Restricted shortcuts are >= the true network distance, and for leaf Rnets on a
+        // connected subgraph they equal a realizable path length.
+        for (ri, rnet) in idx.rnets().iter().enumerate() {
+            if rnet.parent.is_none() || rnet.borders.is_empty() {
+                continue;
+            }
+            for &b in rnet.borders.iter().take(3) {
+                for (other, d) in idx.shortcuts_from(ri as RnetIndex, b).unwrap() {
+                    if d == INFINITY {
+                        continue;
+                    }
+                    let truth = dijkstra::distance(&g, b, other);
+                    assert!(d >= truth, "shortcut {b}->{other} = {d} < true {truth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn highest_border_level_is_consistent_with_border_lists() {
+        let (g, idx) = build(400, 7, 3);
+        for v in g.vertices() {
+            let level = idx.highest_border_level(v);
+            if level == u32::MAX {
+                for r in idx.chain_of(v) {
+                    assert!(!idx.is_border_of(r, v));
+                }
+            } else {
+                let chain = idx.chain_of(v);
+                let r = chain.iter().find(|&&r| idx.rnet(r).level == level).copied();
+                assert!(r.is_some_and(|r| idx.is_border_of(r, v)));
+            }
+        }
+    }
+
+    #[test]
+    fn config_scales_levels_with_network_size() {
+        assert!(RoadConfig::for_network(1_000).levels < RoadConfig::for_network(200_000).levels);
+        let (_, idx) = build(300, 1, 2);
+        assert!(idx.memory_bytes() > 0);
+        assert!(idx.num_shortcut_entries() > 0);
+        assert_eq!(idx.config().fanout, 4);
+    }
+}

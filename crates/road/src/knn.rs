@@ -1,0 +1,236 @@
+//! ROAD kNN search (Algorithm 5 / 6 of the paper's appendix).
+//!
+//! The search expands from the query vertex exactly like INE, but whenever it reaches a
+//! vertex that is a border of an object-free Rnet it *bypasses* that Rnet: it relaxes
+//! the precomputed shortcuts to the Rnet's other borders (plus the vertex's edges that
+//! leave the Rnet) instead of exploring the Rnet's interior. The Appendix A.3 fix —
+//! never re-inserting borders that are already settled — is applied.
+
+use rnknn_graph::{Graph, NodeId, Weight};
+use rnknn_pathfinding::heap::MinHeap;
+use rnknn_pathfinding::settled::{BitSettled, SettledContainer};
+
+use crate::association::AssociationDirectory;
+use crate::index::RoadIndex;
+
+/// Operation counters for one ROAD query (Figure 9(b) plots `vertices_bypassed`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoadSearchStats {
+    /// Vertices settled by the expansion.
+    pub settled: usize,
+    /// Priority-queue pushes.
+    pub heap_pushes: usize,
+    /// Number of Rnet bypass events (an object-free Rnet skipped via shortcuts).
+    pub bypasses: usize,
+    /// Total interior vertices of bypassed Rnets (an estimate of the expansion work
+    /// avoided).
+    pub vertices_bypassed: usize,
+    /// Shortcut relaxations performed.
+    pub shortcuts_relaxed: usize,
+}
+
+/// kNN query processor over a ROAD index.
+#[derive(Debug)]
+pub struct RoadKnn<'a> {
+    graph: &'a Graph,
+    road: &'a RoadIndex,
+}
+
+impl<'a> RoadKnn<'a> {
+    /// Creates a query processor.
+    pub fn new(graph: &'a Graph, road: &'a RoadIndex) -> Self {
+        RoadKnn { graph, road }
+    }
+
+    /// The `k` objects nearest to `query`, in increasing network-distance order.
+    pub fn knn(
+        &self,
+        query: NodeId,
+        k: usize,
+        directory: &AssociationDirectory,
+    ) -> Vec<(NodeId, Weight)> {
+        self.knn_with_stats(query, k, directory).0
+    }
+
+    /// Same as [`RoadKnn::knn`] but also returns operation counters.
+    pub fn knn_with_stats(
+        &self,
+        query: NodeId,
+        k: usize,
+        directory: &AssociationDirectory,
+    ) -> (Vec<(NodeId, Weight)>, RoadSearchStats) {
+        let mut stats = RoadSearchStats::default();
+        let mut result = Vec::new();
+        if k == 0 || directory.num_objects() == 0 {
+            return (result, stats);
+        }
+        let n = self.graph.num_vertices();
+        let mut settled = BitSettled::new(n);
+        let mut heap: MinHeap<NodeId> = MinHeap::new();
+        heap.push(0, query);
+        stats.heap_pushes += 1;
+
+        while let Some((d, v)) = heap.pop() {
+            if !settled.settle(v) {
+                continue;
+            }
+            stats.settled += 1;
+            if directory.is_object(v) {
+                result.push((v, d));
+                if result.len() >= k {
+                    break;
+                }
+            }
+            self.relax(v, d, directory, &settled, &mut heap, &mut stats);
+        }
+        (result, stats)
+    }
+
+    /// Relaxation step at vertex `v` with distance `d` (the shortcut-tree traversal of
+    /// Algorithm 6, specialised to the nested Rnet chain of a vertex-partitioned
+    /// hierarchy).
+    fn relax(
+        &self,
+        v: NodeId,
+        d: Weight,
+        directory: &AssociationDirectory,
+        settled: &BitSettled,
+        heap: &mut MinHeap<NodeId>,
+        stats: &mut RoadSearchStats,
+    ) {
+        let road = self.road;
+        // Find the highest-level (largest) object-free Rnet of which v is a border.
+        let border_level = road.highest_border_level(v);
+        if border_level != u32::MAX {
+            for r in road.chain_of(v) {
+                let rnet = road.rnet(r);
+                if rnet.level < border_level {
+                    continue; // v is interior to this Rnet, cannot bypass from it
+                }
+                if directory.rnet_has_object(r) {
+                    continue; // objects inside: must descend further
+                }
+                // Bypass: relax shortcuts to the Rnet's other borders...
+                if let Some(shortcuts) = road.shortcuts_from(r, v) {
+                    stats.bypasses += 1;
+                    stats.vertices_bypassed +=
+                        (rnet.num_vertices as usize).saturating_sub(rnet.borders.len());
+                    for (b, w) in shortcuts {
+                        stats.shortcuts_relaxed += 1;
+                        if w == rnknn_graph::INFINITY || settled.is_settled(b) {
+                            continue;
+                        }
+                        heap.push(d + w, b);
+                        stats.heap_pushes += 1;
+                    }
+                    // ...plus the edges of v that leave the bypassed Rnet.
+                    let range = rnet.leaf_range;
+                    for (t, w) in self.graph.neighbors(v) {
+                        let tl = road.rnet(road.leaf_of(t)).leaf_range.0;
+                        let outside = tl < range.0 || tl >= range.1;
+                        if outside && !settled.is_settled(t) {
+                            heap.push(d + w, t);
+                            stats.heap_pushes += 1;
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        // No bypass possible: relax edges exactly as INE does.
+        for (t, w) in self.graph.neighbors(v) {
+            if !settled.is_settled(t) {
+                heap.push(d + w, t);
+                stats.heap_pushes += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::RoadConfig;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_pathfinding::dijkstra;
+
+    fn setup(n: usize, seed: u64, levels: usize) -> (Graph, RoadIndex) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let road = RoadIndex::build_with_config(
+            &g,
+            RoadConfig { fanout: 4, levels, min_rnet_vertices: 16 },
+        );
+        (g, road)
+    }
+
+    fn brute_knn(g: &Graph, q: NodeId, k: usize, objects: &[NodeId]) -> Vec<Weight> {
+        let all = dijkstra::single_source(g, q);
+        let mut d: Vec<Weight> = objects.iter().map(|&o| all[o as usize]).collect();
+        d.sort_unstable();
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn knn_matches_brute_force_across_densities() {
+        let (g, road) = setup(900, 21, 4);
+        let n = g.num_vertices() as NodeId;
+        for modulo in [3u32, 29, 113] {
+            let objects: Vec<NodeId> = (0..n).filter(|v| v % modulo == 1).collect();
+            let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
+            let knn = RoadKnn::new(&g, &road);
+            for q in [0u32, n / 2, n - 7] {
+                let got: Vec<Weight> =
+                    knn.knn(q, 8, &dir).iter().map(|&(_, d)| d).collect();
+                let want = brute_knn(&g, q, 8, &objects);
+                assert_eq!(got, want, "q={q} modulo={modulo}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_objects_trigger_bypasses() {
+        let (g, road) = setup(1200, 2, 4);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = vec![n - 1, n - 2, n - 3];
+        let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
+        let knn = RoadKnn::new(&g, &road);
+        let (got, stats) = knn.knn_with_stats(0, 2, &dir);
+        let want = brute_knn(&g, 0, 2, &objects);
+        assert_eq!(got.iter().map(|&(_, d)| d).collect::<Vec<_>>(), want);
+        assert!(stats.bypasses > 0, "expected at least one Rnet bypass");
+        assert!(stats.vertices_bypassed > 0);
+        // Bypassing must settle fewer vertices than plain Dijkstra would.
+        assert!(stats.settled < g.num_vertices());
+    }
+
+    #[test]
+    fn query_on_an_object_and_k_exceeding_object_count() {
+        let (g, road) = setup(400, 6, 3);
+        let objects: Vec<NodeId> = vec![10, 20, 30];
+        let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
+        let knn = RoadKnn::new(&g, &road);
+        let got = knn.knn(10, 5, &dir);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], (10, 0));
+        assert!(knn.knn(10, 0, &dir).is_empty());
+    }
+
+    #[test]
+    fn results_are_sorted_and_distinct() {
+        let (g, road) = setup(700, 13, 4);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 11 == 4).collect();
+        let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
+        let knn = RoadKnn::new(&g, &road);
+        let got = knn.knn(5, 20, &dir);
+        assert_eq!(got.len(), 20);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        let mut ids: Vec<NodeId> = got.iter().map(|&(v, _)| v).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+}

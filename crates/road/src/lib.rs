@@ -1,0 +1,24 @@
+//! ROAD — Route Overlay and Association Directory (Lee et al., TKDE 2012 / EDBT 2009).
+//!
+//! ROAD accelerates INE-style expansion by *bypassing* object-free regions (Rnets):
+//! the road network is recursively partitioned into a hierarchy of Rnets; for every Rnet
+//! the distances between its border vertices are precomputed as shortcuts; during a kNN
+//! search, when the expansion reaches a border of an object-free Rnet it relaxes the
+//! Rnet's shortcuts instead of exploring its interior.
+//!
+//! The crate provides:
+//!
+//! * [`RoadIndex`] — the Rnet hierarchy plus Route Overlay (per-Rnet border shortcut
+//!   lists stored in one flat array, as Section 6.2 recommends);
+//! * [`AssociationDirectory`] — the decoupled object index: one bit per Rnet plus the
+//!   object bitmap (Section 7.4 measures exactly this structure);
+//! * [`RoadKnn`] — the kNN search of Appendix A.3, including the fix that skips
+//!   re-inserting already-visited borders.
+
+mod association;
+mod index;
+mod knn;
+
+pub use association::AssociationDirectory;
+pub use index::{RnetIndex, RoadConfig, RoadIndex};
+pub use knn::{RoadKnn, RoadSearchStats};

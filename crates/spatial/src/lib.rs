@@ -1,0 +1,17 @@
+//! Spatial index substrate: Morton codes, region quadtrees and an R-tree.
+//!
+//! Three of the paper's methods need planar spatial indexing:
+//!
+//! * **IER** and the **DB-ENN** variant of Distance Browsing retrieve Euclidean nearest
+//!   neighbors incrementally from an R-tree over the object set ([`rtree`]).
+//! * **SILC / Distance Browsing** stores, per road-network vertex, a region quadtree of
+//!   vertex "colors"; [`quadtree`] provides the Morton-ordered block structure those
+//!   quadtrees are built from, and [`morton`] the space-filling-curve arithmetic.
+
+pub mod morton;
+pub mod quadtree;
+pub mod rtree;
+
+pub use morton::{morton_decode, morton_encode, CoordinateNormalizer};
+pub use quadtree::{QuadBlock, RegionQuadtree};
+pub use rtree::{EuclideanBrowser, RTree};

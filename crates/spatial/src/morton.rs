@@ -1,0 +1,118 @@
+//! Morton (Z-order) codes over a normalised 2^16 × 2^16 grid.
+//!
+//! SILC quadtree blocks are axis-aligned power-of-two squares; representing them as
+//! ranges of Morton codes turns "which block contains vertex t?" into a single binary
+//! search over a sorted array — the paper's `O(log |V|)` "Morton List" lookup.
+
+use rnknn_graph::{Point, Rect};
+
+/// Number of bits per coordinate axis in the normalised grid.
+pub const MORTON_BITS: u32 = 16;
+
+/// Interleaves the low 16 bits of `x` and `y` into a 32-bit Morton code (x in the even
+/// bit positions).
+#[inline]
+pub fn morton_encode(x: u32, y: u32) -> u64 {
+    (spread(x) | (spread(y) << 1)) as u64
+}
+
+/// Inverse of [`morton_encode`].
+#[inline]
+pub fn morton_decode(code: u64) -> (u32, u32) {
+    (compact(code as u32), compact((code >> 1) as u32))
+}
+
+#[inline]
+fn spread(v: u32) -> u32 {
+    let mut v = v & 0xFFFF;
+    v = (v | (v << 8)) & 0x00FF00FF;
+    v = (v | (v << 4)) & 0x0F0F0F0F;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    v
+}
+
+#[inline]
+fn compact(v: u32) -> u32 {
+    let mut v = v & 0x55555555;
+    v = (v | (v >> 1)) & 0x33333333;
+    v = (v | (v >> 2)) & 0x0F0F0F0F;
+    v = (v | (v >> 4)) & 0x00FF00FF;
+    v = (v | (v >> 8)) & 0x0000FFFF;
+    v
+}
+
+/// Maps arbitrary planar coordinates onto the normalised Morton grid.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinateNormalizer {
+    min_x: f64,
+    min_y: f64,
+    scale: f64,
+}
+
+impl CoordinateNormalizer {
+    /// Builds a normalizer covering `rect` (typically the graph's bounding rectangle).
+    pub fn new(rect: Rect) -> Self {
+        let extent = rect.width().max(rect.height()).max(1e-9);
+        let cells = (1u32 << MORTON_BITS) as f64;
+        CoordinateNormalizer {
+            min_x: rect.min_x,
+            min_y: rect.min_y,
+            // Scale so that the maximum coordinate maps just below 2^16.
+            scale: (cells - 1.0) / extent,
+        }
+    }
+
+    /// Grid cell of a point.
+    #[inline]
+    pub fn cell(&self, p: Point) -> (u32, u32) {
+        let max = (1u32 << MORTON_BITS) - 1;
+        let x = ((p.x - self.min_x) * self.scale).round().clamp(0.0, max as f64) as u32;
+        let y = ((p.y - self.min_y) * self.scale).round().clamp(0.0, max as f64) as u32;
+        (x, y)
+    }
+
+    /// Morton code of a point.
+    #[inline]
+    pub fn code(&self, p: Point) -> u64 {
+        let (x, y) = self.cell(p);
+        morton_encode(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for &(x, y) in &[(0u32, 0u32), (1, 0), (0, 1), (12345, 54321), (65535, 65535)] {
+            let code = morton_encode(x, y);
+            assert_eq!(morton_decode(code), (x, y));
+        }
+    }
+
+    #[test]
+    fn z_order_locality_of_quadrants() {
+        // All codes in the lower-left quadrant are smaller than any code in the
+        // upper-right quadrant.
+        let ll = morton_encode(100, 200);
+        let ur = morton_encode(40_000, 40_000);
+        assert!(ll < ur);
+        // Sibling cells within a 2x2 block are consecutive.
+        assert_eq!(morton_encode(0, 0) + 1, morton_encode(1, 0));
+        assert_eq!(morton_encode(1, 0) + 1, morton_encode(0, 1));
+        assert_eq!(morton_encode(0, 1) + 1, morton_encode(1, 1));
+    }
+
+    #[test]
+    fn normalizer_maps_corners_to_grid_extremes() {
+        let rect = Rect { min_x: -50.0, min_y: 10.0, max_x: 150.0, max_y: 210.0 };
+        let norm = CoordinateNormalizer::new(rect);
+        assert_eq!(norm.cell(Point::new(-50.0, 10.0)), (0, 0));
+        let (x, y) = norm.cell(Point::new(150.0, 210.0));
+        assert_eq!((x, y), (65535, 65535));
+        // Out-of-range points clamp rather than wrap.
+        assert_eq!(norm.cell(Point::new(-999.0, -999.0)), (0, 0));
+    }
+}

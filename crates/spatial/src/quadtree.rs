@@ -1,0 +1,215 @@
+//! Region quadtree over labelled points, stored as a Morton-ordered block list.
+//!
+//! This is the storage scheme behind the SILC index (Section 3.3): for a source vertex,
+//! every other vertex is labelled with the "color" of the first edge on the shortest
+//! path towards it; contiguous single-color regions are represented by maximal quadtree
+//! blocks. A block is a power-of-two aligned square in Morton space, so the block
+//! containing a query point is found by binary search over the sorted block list.
+//!
+//! The tree is generic over the label type so it can also be reused for object
+//! hierarchies (Distance Browsing's original candidate generator).
+
+use crate::morton::{morton_encode, MORTON_BITS};
+
+/// A maximal single-label quadtree block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadBlock<L> {
+    /// Smallest Morton code covered by the block.
+    pub morton_lo: u64,
+    /// Largest Morton code covered by the block (inclusive).
+    pub morton_hi: u64,
+    /// The label shared by every point in the block.
+    pub label: L,
+    /// Range into the Morton-sorted point array of the points inside this block.
+    pub point_range: (u32, u32),
+}
+
+/// A region quadtree over a set of labelled grid points.
+#[derive(Debug, Clone)]
+pub struct RegionQuadtree<L> {
+    blocks: Vec<QuadBlock<L>>,
+    /// Points sorted by Morton code: `(morton, original_index)`.
+    points: Vec<(u64, u32)>,
+}
+
+impl<L: Copy + Eq> RegionQuadtree<L> {
+    /// Builds the quadtree for `points`, where `points[i]` is the grid cell of item `i`
+    /// and `label(i)` its label. Items whose label is `None` are skipped (SILC skips the
+    /// source vertex itself).
+    pub fn build(points: &[(u32, u32)], label: impl Fn(usize) -> Option<L>) -> RegionQuadtree<L> {
+        let mut coded: Vec<(u64, u32)> = Vec::with_capacity(points.len());
+        let mut labels: Vec<Option<L>> = Vec::with_capacity(points.len());
+        for (i, &(x, y)) in points.iter().enumerate() {
+            if let Some(l) = label(i) {
+                coded.push((morton_encode(x, y), i as u32));
+                labels.push(Some(l));
+            }
+        }
+        // Sort points by Morton code, carrying labels along.
+        let mut order: Vec<u32> = (0..coded.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| coded[i as usize].0);
+        let points_sorted: Vec<(u64, u32)> = order.iter().map(|&i| coded[i as usize]).collect();
+        let labels_sorted: Vec<L> =
+            order.iter().map(|&i| labels[i as usize].expect("filtered")).collect();
+
+        let mut blocks = Vec::new();
+        if !points_sorted.is_empty() {
+            subdivide(
+                &points_sorted,
+                &labels_sorted,
+                0,
+                points_sorted.len(),
+                0,
+                1u64 << (2 * MORTON_BITS),
+                &mut blocks,
+            );
+        }
+        RegionQuadtree { blocks, points: points_sorted }
+    }
+
+    /// Number of blocks (the index's storage cost driver).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All blocks in Morton order.
+    pub fn blocks(&self) -> &[QuadBlock<L>] {
+        &self.blocks
+    }
+
+    /// Morton-sorted points `(code, original_index)` backing the tree.
+    pub fn points(&self) -> &[(u64, u32)] {
+        &self.points
+    }
+
+    /// Finds the block containing the given Morton code, if any. This is the
+    /// `O(log |V|)` lookup of the SILC "Morton list".
+    pub fn locate(&self, morton: u64) -> Option<&QuadBlock<L>> {
+        // Blocks are disjoint and sorted by morton_lo; find the last block whose lo <= code.
+        let idx = self.blocks.partition_point(|b| b.morton_lo <= morton);
+        if idx == 0 {
+            return None;
+        }
+        let b = &self.blocks[idx - 1];
+        if morton <= b.morton_hi {
+            Some(b)
+        } else {
+            None
+        }
+    }
+
+    /// The label of the block containing the Morton code, if any.
+    pub fn label_at(&self, morton: u64) -> Option<L> {
+        self.locate(morton).map(|b| b.label)
+    }
+
+    /// Approximate memory footprint of the index in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<QuadBlock<L>>()
+            + self.points.len() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+/// Recursively subdivides the Morton range `[range_lo, range_hi)` covering the sorted
+/// points `points[lo..hi]` until each emitted block contains points of one label only.
+fn subdivide<L: Copy + Eq>(
+    points: &[(u64, u32)],
+    labels: &[L],
+    lo: usize,
+    hi: usize,
+    range_lo: u64,
+    range_hi: u64,
+    out: &mut Vec<QuadBlock<L>>,
+) {
+    if lo >= hi {
+        return;
+    }
+    let first = labels[lo];
+    let uniform = labels[lo..hi].iter().all(|&l| l == first);
+    if uniform || range_hi - range_lo <= 1 {
+        out.push(QuadBlock {
+            morton_lo: range_lo,
+            morton_hi: range_hi - 1,
+            label: first,
+            point_range: (lo as u32, hi as u32),
+        });
+        return;
+    }
+    // Split into the four Morton-contiguous quadrants of this square.
+    let quarter = (range_hi - range_lo) / 4;
+    let mut start = lo;
+    for q in 0..4u64 {
+        let q_lo = range_lo + q * quarter;
+        let q_hi = q_lo + quarter;
+        let end = start + points[start..hi].partition_point(|&(code, _)| code < q_hi);
+        subdivide(points, labels, start, end, q_lo, q_hi, out);
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_label_collapses_to_one_block() {
+        let pts: Vec<(u32, u32)> = (0..20).map(|i| (i, i * 2)).collect();
+        let qt = RegionQuadtree::build(&pts, |_| Some(1u32));
+        assert_eq!(qt.num_blocks(), 1);
+        assert_eq!(qt.label_at(morton_encode(5, 10)), Some(1));
+    }
+
+    #[test]
+    fn two_half_planes_produce_pure_blocks() {
+        // Left half labelled 0, right half labelled 1.
+        let mut pts = Vec::new();
+        for x in 0..32u32 {
+            for y in 0..32u32 {
+                pts.push((x * 1000, y * 1000));
+            }
+        }
+        let qt = RegionQuadtree::build(&pts, |i| Some((pts[i].0 >= 16_000) as u8));
+        // Every point must be found in a block with its own label.
+        for &(x, y) in &pts {
+            let label = qt.label_at(morton_encode(x, y)).expect("point covered");
+            assert_eq!(label, (x >= 16_000) as u8);
+        }
+        // And far fewer blocks than points.
+        assert!(qt.num_blocks() < pts.len() / 4);
+    }
+
+    #[test]
+    fn locate_misses_outside_any_block() {
+        let pts = vec![(0u32, 0u32), (1, 1)];
+        let qt = RegionQuadtree::build(&pts, |i| Some(i as u8));
+        // A far-away cell falls in a quadrant with no points, hence no block.
+        assert_eq!(qt.label_at(morton_encode(60_000, 60_000)), None);
+    }
+
+    #[test]
+    fn skipped_points_are_not_indexed() {
+        let pts = vec![(10u32, 10u32), (20, 20), (30, 30)];
+        let qt = RegionQuadtree::build(&pts, |i| if i == 1 { None } else { Some(7u8) });
+        assert_eq!(qt.points().len(), 2);
+        assert!(qt.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_cells_with_conflicting_labels_terminate() {
+        // Two items in the same grid cell with different labels cannot be separated; the
+        // builder must still terminate and emit a minimal block.
+        let pts = vec![(5u32, 5u32), (5, 5)];
+        let qt = RegionQuadtree::build(&pts, |i| Some(i as u8));
+        assert!(qt.num_blocks() >= 1);
+        assert!(qt.label_at(morton_encode(5, 5)).is_some());
+    }
+
+    #[test]
+    fn blocks_partition_the_points() {
+        let pts: Vec<(u32, u32)> = (0..200).map(|i| ((i * 37) % 500, (i * 91) % 500)).collect();
+        let qt = RegionQuadtree::build(&pts, |i| Some((i % 5) as u8));
+        let covered: usize =
+            qt.blocks().iter().map(|b| (b.point_range.1 - b.point_range.0) as usize).sum();
+        assert_eq!(covered, pts.len());
+    }
+}

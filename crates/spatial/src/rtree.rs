@@ -1,0 +1,388 @@
+//! STR bulk-loaded R-tree over points with incremental Euclidean nearest-neighbor
+//! browsing.
+//!
+//! IER (Section 3.2) and the DB-ENN variant of Distance Browsing (Appendix A.1.1)
+//! retrieve candidate objects in increasing Euclidean distance order, one at a time,
+//! suspending and resuming the search between candidates. [`EuclideanBrowser`]
+//! implements that incremental best-first traversal; [`RTree::knn`] is the one-shot
+//! variant used to seed IER's initial candidate set.
+
+use rnknn_graph::{Point, Rect};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Default R-tree node capacity. The paper tunes node capacity for best Euclidean kNN
+/// performance; 16 is a good default for point data in memory.
+pub const DEFAULT_NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Node {
+    rect: Rect,
+    /// Child node indices for internal nodes; empty for leaves.
+    children: Vec<u32>,
+    /// Entry indices for leaf nodes; empty for internal nodes.
+    entries: Vec<u32>,
+}
+
+/// An immutable, bulk-loaded R-tree over `(Point, payload)` entries.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: u32,
+    points: Vec<Point>,
+    payloads: Vec<u32>,
+    node_capacity: usize,
+}
+
+impl RTree {
+    /// Bulk loads an R-tree with the Sort-Tile-Recursive algorithm using the default
+    /// node capacity.
+    pub fn bulk_load(entries: &[(Point, u32)]) -> RTree {
+        Self::bulk_load_with_capacity(entries, DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Bulk loads with an explicit node capacity (Figure 18 tunes this parameter).
+    pub fn bulk_load_with_capacity(entries: &[(Point, u32)], node_capacity: usize) -> RTree {
+        let node_capacity = node_capacity.max(2);
+        let points: Vec<Point> = entries.iter().map(|e| e.0).collect();
+        let payloads: Vec<u32> = entries.iter().map(|e| e.1).collect();
+        let mut nodes: Vec<Node> = Vec::new();
+
+        if entries.is_empty() {
+            nodes.push(Node { rect: Rect::empty(), children: Vec::new(), entries: Vec::new() });
+            return RTree { nodes, root: 0, points, payloads, node_capacity };
+        }
+
+        // --- Leaf level via STR tiling ---
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            points[a as usize]
+                .x
+                .partial_cmp(&points[b as usize].x)
+                .unwrap_or(Ordering::Equal)
+        });
+        let leaf_count = entries.len().div_ceil(node_capacity);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = entries.len().div_ceil(slices.max(1));
+        let mut leaves: Vec<u32> = Vec::new();
+        for slice in order.chunks(slice_size.max(1)) {
+            let mut slice: Vec<u32> = slice.to_vec();
+            slice.sort_by(|&a, &b| {
+                points[a as usize]
+                    .y
+                    .partial_cmp(&points[b as usize].y)
+                    .unwrap_or(Ordering::Equal)
+            });
+            for group in slice.chunks(node_capacity) {
+                let mut rect = Rect::empty();
+                for &e in group {
+                    rect.expand_point(points[e as usize]);
+                }
+                nodes.push(Node { rect, children: Vec::new(), entries: group.to_vec() });
+                leaves.push(nodes.len() as u32 - 1);
+            }
+        }
+
+        // --- Internal levels: repeatedly pack node rectangles with STR ---
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut order: Vec<u32> = level.clone();
+            order.sort_by(|&a, &b| {
+                center_x(&nodes[a as usize].rect)
+                    .partial_cmp(&center_x(&nodes[b as usize].rect))
+                    .unwrap_or(Ordering::Equal)
+            });
+            let parent_count = order.len().div_ceil(node_capacity);
+            let slices = (parent_count as f64).sqrt().ceil() as usize;
+            let slice_size = order.len().div_ceil(slices.max(1));
+            let mut next_level = Vec::new();
+            for slice in order.chunks(slice_size.max(1)) {
+                let mut slice: Vec<u32> = slice.to_vec();
+                slice.sort_by(|&a, &b| {
+                    center_y(&nodes[a as usize].rect)
+                        .partial_cmp(&center_y(&nodes[b as usize].rect))
+                        .unwrap_or(Ordering::Equal)
+                });
+                for group in slice.chunks(node_capacity) {
+                    let mut rect = Rect::empty();
+                    for &c in group {
+                        rect.expand_rect(&nodes[c as usize].rect);
+                    }
+                    nodes.push(Node { rect, children: group.to_vec(), entries: Vec::new() });
+                    next_level.push(nodes.len() as u32 - 1);
+                }
+            }
+            level = next_level;
+        }
+        let root = level[0];
+        RTree { nodes, root, points, payloads, node_capacity }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the tree indexes no entries.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Node capacity the tree was built with.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+
+    /// Approximate resident size in bytes (reported by the object-index experiments,
+    /// Figure 18(a)).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.points.len() * std::mem::size_of::<Point>()
+            + self.payloads.len() * std::mem::size_of::<u32>();
+        for n in &self.nodes {
+            bytes += std::mem::size_of::<Node>()
+                + n.children.len() * std::mem::size_of::<u32>()
+                + n.entries.len() * std::mem::size_of::<u32>();
+        }
+        bytes
+    }
+
+    /// The `k` entries nearest to `query` in Euclidean distance, as
+    /// `(euclidean_distance, payload)` pairs in increasing distance order.
+    pub fn knn(&self, query: Point, k: usize) -> Vec<(f64, u32)> {
+        self.browse(query).take(k).collect()
+    }
+
+    /// Starts an incremental nearest-neighbor browse from `query`.
+    pub fn browse(&self, query: Point) -> EuclideanBrowser<'_> {
+        let mut heap = BinaryHeap::new();
+        if !self.is_empty() {
+            heap.push(HeapEntry {
+                distance: self.nodes[self.root as usize].rect.min_distance(query),
+                kind: EntryKind::Node(self.root),
+            });
+        }
+        EuclideanBrowser { tree: self, query, heap }
+    }
+
+    /// All entries within `radius` of `query` (used by tests and the object generators).
+    pub fn within_radius(&self, query: Point, radius: f64) -> Vec<(f64, u32)> {
+        let mut out = Vec::new();
+        for item in self.browse(query) {
+            if item.0 > radius {
+                break;
+            }
+            out.push(item);
+        }
+        out
+    }
+}
+
+fn center_x(r: &Rect) -> f64 {
+    (r.min_x + r.max_x) * 0.5
+}
+
+fn center_y(r: &Rect) -> f64 {
+    (r.min_y + r.max_y) * 0.5
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EntryKind {
+    Node(u32),
+    Entry(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    distance: f64,
+    kind: EntryKind,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we need the minimum distance first.
+        other.distance.partial_cmp(&self.distance).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Incremental best-first Euclidean nearest-neighbor iterator over an [`RTree`].
+///
+/// Yields `(euclidean_distance, payload)` in non-decreasing distance order; the
+/// traversal state persists between `next` calls so IER can suspend and resume it.
+#[derive(Debug, Clone)]
+pub struct EuclideanBrowser<'a> {
+    tree: &'a RTree,
+    query: Point,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl<'a> EuclideanBrowser<'a> {
+    /// Lower bound on the Euclidean distance of the *next* entry this browser will
+    /// yield, or `None` when exhausted. DB-ENN uses this to interleave Euclidean
+    /// candidates with interval refinements.
+    pub fn peek_distance(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.distance)
+    }
+}
+
+impl<'a> Iterator for EuclideanBrowser<'a> {
+    type Item = (f64, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(HeapEntry { distance, kind }) = self.heap.pop() {
+            match kind {
+                EntryKind::Entry(e) => {
+                    return Some((distance, self.tree.payloads[e as usize]));
+                }
+                EntryKind::Node(n) => {
+                    let node = &self.tree.nodes[n as usize];
+                    for &c in &node.children {
+                        self.heap.push(HeapEntry {
+                            distance: self.tree.nodes[c as usize].rect.min_distance(self.query),
+                            kind: EntryKind::Node(c),
+                        });
+                    }
+                    for &e in &node.entries {
+                        self.heap.push(HeapEntry {
+                            distance: self.tree.points[e as usize].distance(&self.query),
+                            kind: EntryKind::Entry(e),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scattered_points(n: usize) -> Vec<(Point, u32)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 7919) % 1000) as f64;
+                let y = ((i * 104729) % 1000) as f64;
+                (Point::new(x, y), i as u32)
+            })
+            .collect()
+    }
+
+    fn brute_force_knn(entries: &[(Point, u32)], q: Point, k: usize) -> Vec<(f64, u32)> {
+        let mut v: Vec<(f64, u32)> = entries.iter().map(|&(p, id)| (p.distance(&q), id)).collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn knn_matches_brute_force() {
+        let entries = scattered_points(500);
+        let tree = RTree::bulk_load(&entries);
+        for q in [Point::new(0.0, 0.0), Point::new(500.0, 500.0), Point::new(999.0, 1.0)] {
+            let got = tree.knn(q, 10);
+            let want = brute_force_knn(&entries, q, 10);
+            let got_d: Vec<f64> = got.iter().map(|e| e.0).collect();
+            let want_d: Vec<f64> = want.iter().map(|e| e.0).collect();
+            for (a, b) in got_d.iter().zip(want_d.iter()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn browser_yields_nondecreasing_distances_and_all_entries() {
+        let entries = scattered_points(300);
+        let tree = RTree::bulk_load(&entries);
+        let mut prev = 0.0;
+        let mut count = 0;
+        for (d, _) in tree.browse(Point::new(123.0, 456.0)) {
+            assert!(d >= prev - 1e-12);
+            prev = d;
+            count += 1;
+        }
+        assert_eq!(count, entries.len());
+    }
+
+    #[test]
+    fn browser_peek_matches_next() {
+        let entries = scattered_points(50);
+        let tree = RTree::bulk_load(&entries);
+        let mut browser = tree.browse(Point::new(10.0, 10.0));
+        // peek is a lower bound on (and after node expansion equals) the next distance.
+        let peek = browser.peek_distance().unwrap();
+        let (next, _) = browser.next().unwrap();
+        assert!(peek <= next + 1e-12);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let tree = RTree::bulk_load(&[]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.knn(Point::new(0.0, 0.0), 5), vec![]);
+        assert_eq!(tree.browse(Point::new(0.0, 0.0)).next(), None);
+    }
+
+    #[test]
+    fn single_entry_and_duplicate_points() {
+        let entries = vec![
+            (Point::new(5.0, 5.0), 1),
+            (Point::new(5.0, 5.0), 2),
+            (Point::new(6.0, 5.0), 3),
+        ];
+        let tree = RTree::bulk_load(&entries);
+        let knn = tree.knn(Point::new(5.0, 5.0), 2);
+        assert_eq!(knn.len(), 2);
+        assert!(knn.iter().all(|&(d, _)| d < 1e-9));
+    }
+
+    #[test]
+    fn within_radius_filters_correctly() {
+        let entries = scattered_points(200);
+        let tree = RTree::bulk_load(&entries);
+        let q = Point::new(500.0, 500.0);
+        let within = tree.within_radius(q, 100.0);
+        let brute: Vec<u32> = entries
+            .iter()
+            .filter(|(p, _)| p.distance(&q) <= 100.0)
+            .map(|&(_, id)| id)
+            .collect();
+        assert_eq!(within.len(), brute.len());
+        assert!(within.iter().all(|&(d, _)| d <= 100.0));
+    }
+
+    #[test]
+    fn various_node_capacities_agree() {
+        let entries = scattered_points(257);
+        let q = Point::new(42.0, 777.0);
+        let reference = RTree::bulk_load_with_capacity(&entries, 4).knn(q, 15);
+        for cap in [2, 8, 32, 128] {
+            let got = RTree::bulk_load_with_capacity(&entries, cap).knn(q, 15);
+            let a: Vec<f64> = reference.iter().map(|e| e.0).collect();
+            let b: Vec<f64> = got.iter().map(|e| e.0).collect();
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_entries() {
+        let small = RTree::bulk_load(&scattered_points(10));
+        let large = RTree::bulk_load(&scattered_points(1000));
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert_eq!(large.node_capacity(), DEFAULT_NODE_CAPACITY);
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: build a road network, inject an object set and answer kNN queries with
+//! every available method.
+//!
+//! ```sh
+//! cargo run --release -p rnknn-examples --bin quickstart
+//! ```
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_objects::uniform;
+
+fn main() {
+    // 1. A synthetic road network (substitute a DIMACS dataset via rnknn_graph::dimacs
+    //    if you have one on disk).
+    let network = RoadNetwork::generate(&GeneratorConfig::new(20_000, 42));
+    let graph = network.graph(EdgeWeightKind::Distance);
+    println!(
+        "road network: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Build the road-network indexes once.
+    let mut config = EngineConfig::default();
+    config.build_tnr = true;
+    let mut engine = Engine::build(graph, &config);
+    let times = engine.build_times();
+    println!(
+        "index build times: G-tree {:.1} ms, ROAD {:.1} ms, SILC {:.1} ms, CH {:.1} ms, PHL {:.1} ms",
+        times.gtree_micros as f64 / 1e3,
+        times.road_micros as f64 / 1e3,
+        times.silc_micros as f64 / 1e3,
+        times.ch_micros as f64 / 1e3,
+        times.phl_micros as f64 / 1e3,
+    );
+
+    // 3. Inject an object set (restaurants, ATMs, ...). Object indexes are decoupled
+    //    from the road-network indexes and cheap to rebuild.
+    let objects = uniform(engine.graph(), 0.001, 7);
+    println!("object set: {} objects (density 0.001)", objects.len());
+    engine.set_objects(objects);
+
+    // 4. Query with every method; they all return the same answer.
+    let query = (engine.graph().num_vertices() / 3) as u32;
+    let k = 5;
+    for method in [
+        Method::Ine,
+        Method::Road,
+        Method::Gtree,
+        Method::IerGtree,
+        Method::IerPhl,
+        Method::IerTnr,
+        Method::DisBrw,
+    ] {
+        if !engine.supports(method) {
+            println!("{:<10} (index not built for this configuration)", method.name());
+            continue;
+        }
+        let start = std::time::Instant::now();
+        let result = engine.knn(method, query, k);
+        let micros = start.elapsed().as_micros();
+        let distances: Vec<_> = result.iter().map(|&(_, d)| d).collect();
+        println!("{:<10} {:>7} µs  kNN distances: {:?}", method.name(), micros, distances);
+    }
+}

@@ -1,0 +1,2 @@
+//! Example crate: the runnable binaries in this directory demonstrate the public
+//! `rnknn` API. This library target is intentionally empty.

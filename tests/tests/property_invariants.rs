@@ -1,0 +1,165 @@
+//! Property-based integration tests (proptest): core invariants that must hold on
+//! arbitrary generated road networks, object sets and query parameters.
+
+use proptest::prelude::*;
+
+use rnknn::disbrw::DisBrwSearch;
+use rnknn::ier::{DijkstraOracle, IerSearch};
+use rnknn::ine::{IneSearch, IneVariant};
+use rnknn::verify::{ground_truth, matches_ground_truth};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{ChainIndex, EdgeWeightKind, Graph, NodeId};
+use rnknn_gtree::{Gtree, GtreeConfig, GtreeSearch, LeafSearchMode, OccurrenceList};
+use rnknn_objects::{ObjectRTree, ObjectSet};
+use rnknn_pathfinding::dijkstra;
+use rnknn_road::{AssociationDirectory, RoadConfig, RoadIndex, RoadKnn};
+use rnknn_silc::{SilcConfig, SilcIndex};
+
+/// Generates a small road network and an object set from proptest parameters.
+fn make_world(
+    size: usize,
+    seed: u64,
+    kind: EdgeWeightKind,
+    object_stride: usize,
+) -> (Graph, ObjectSet) {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(size, seed));
+    let graph = net.graph(kind);
+    let objects: Vec<NodeId> =
+        graph.vertices().filter(|v| (*v as usize) % object_stride == 1).collect();
+    let set = ObjectSet::new("prop", graph.num_vertices(), objects);
+    (graph, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// INE (every ablation variant) always matches the Dijkstra ground truth.
+    #[test]
+    fn ine_variants_match_ground_truth(
+        seed in 0u64..500,
+        size in 150usize..400,
+        stride in 3usize..40,
+        k in 1usize..12,
+        query in 0u32..100,
+    ) {
+        let (graph, objects) = make_world(size, seed, EdgeWeightKind::Distance, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        for variant in IneVariant::all() {
+            let answer = IneSearch::with_variant(&graph, variant).knn(q, k, &objects);
+            prop_assert!(matches_ground_truth(&graph, q, k, &objects, &answer));
+        }
+    }
+
+    /// IER over the R-tree browser is exact for both edge-weight kinds.
+    #[test]
+    fn ier_matches_ground_truth(
+        seed in 0u64..500,
+        size in 150usize..400,
+        stride in 3usize..40,
+        k in 1usize..12,
+        query in 0u32..100,
+        time_weights in proptest::bool::ANY,
+    ) {
+        let kind = if time_weights { EdgeWeightKind::Time } else { EdgeWeightKind::Distance };
+        let (graph, objects) = make_world(size, seed, kind, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        let rtree = ObjectRTree::build(&graph, &objects);
+        let answer = IerSearch::new(&graph, DijkstraOracle::new(&graph)).knn(q, k, &rtree, &objects);
+        prop_assert!(matches_ground_truth(&graph, q, k, &objects, &answer));
+    }
+
+    /// G-tree point-to-point distances equal Dijkstra and its kNN equals ground truth
+    /// with both leaf-search modes.
+    #[test]
+    fn gtree_matches_ground_truth(
+        seed in 0u64..300,
+        size in 150usize..350,
+        stride in 3usize..30,
+        k in 1usize..10,
+        query in 0u32..100,
+        tau in 16usize..64,
+    ) {
+        let (graph, objects) = make_world(size, seed, EdgeWeightKind::Distance, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        let gtree = Gtree::build_with_config(
+            &graph,
+            GtreeConfig { leaf_capacity: tau, ..Default::default() },
+        );
+        // Point-to-point spot checks.
+        let truth = dijkstra::single_source(&graph, q);
+        let mut search = GtreeSearch::new(&gtree, &graph, q);
+        for t in (0..graph.num_vertices() as NodeId).step_by(29) {
+            prop_assert_eq!(search.distance_to(t), truth[t as usize]);
+        }
+        // kNN with both leaf-search modes.
+        let occurrence = OccurrenceList::build(&gtree, objects.vertices());
+        for mode in [LeafSearchMode::Improved, LeafSearchMode::Original] {
+            let answer = GtreeSearch::new(&gtree, &graph, q).knn(k, &occurrence, mode);
+            prop_assert!(matches_ground_truth(&graph, q, k, &objects, &answer));
+        }
+    }
+
+    /// ROAD equals ground truth for arbitrary hierarchy depths.
+    #[test]
+    fn road_matches_ground_truth(
+        seed in 0u64..300,
+        size in 150usize..350,
+        stride in 3usize..30,
+        k in 1usize..10,
+        query in 0u32..100,
+        levels in 2usize..5,
+    ) {
+        let (graph, objects) = make_world(size, seed, EdgeWeightKind::Distance, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        let road = RoadIndex::build_with_config(
+            &graph,
+            RoadConfig { fanout: 4, levels, min_rnet_vertices: 8 },
+        );
+        let directory = AssociationDirectory::build(&road, graph.num_vertices(), objects.vertices());
+        let answer = RoadKnn::new(&graph, &road).knn(q, k, &directory);
+        prop_assert!(matches_ground_truth(&graph, q, k, &objects, &answer));
+    }
+
+    /// SILC intervals always bracket the true distance, and Distance Browsing (DB-ENN)
+    /// equals ground truth.
+    #[test]
+    fn silc_and_disbrw_match_ground_truth(
+        seed in 0u64..200,
+        size in 120usize..300,
+        stride in 3usize..25,
+        k in 1usize..8,
+        query in 0u32..100,
+    ) {
+        let (graph, objects) = make_world(size, seed, EdgeWeightKind::Distance, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        let silc = SilcIndex::try_build(&graph, &SilcConfig { max_vertices: 100_000, threads: 1 })
+            .expect("small graph");
+        let truth = dijkstra::single_source(&graph, q);
+        for t in (0..graph.num_vertices() as NodeId).step_by(17) {
+            let interval = silc.interval(&graph, q, t);
+            prop_assert!(interval.lower <= truth[t as usize]);
+            prop_assert!(interval.upper >= truth[t as usize]);
+        }
+        let chains = ChainIndex::build(&graph);
+        let rtree = ObjectRTree::build(&graph, &objects);
+        let answer = DisBrwSearch::new(&graph, &silc, Some(&chains)).knn(q, k, &rtree, &objects);
+        prop_assert!(matches_ground_truth(&graph, q, k, &objects, &answer));
+    }
+
+    /// The ground-truth helper itself: results are sorted, within k, and all objects.
+    #[test]
+    fn ground_truth_shape(
+        seed in 0u64..500,
+        size in 100usize..300,
+        stride in 2usize..30,
+        k in 0usize..15,
+        query in 0u32..100,
+    ) {
+        let (graph, objects) = make_world(size, seed, EdgeWeightKind::Distance, stride);
+        let q = query % graph.num_vertices() as NodeId;
+        let truth = ground_truth(&graph, q, k, &objects);
+        prop_assert!(truth.len() <= k);
+        prop_assert!(truth.windows(2).all(|w| w[0].1 <= w[1].1));
+        prop_assert!(truth.iter().all(|&(o, _)| objects.contains(o)));
+    }
+}
