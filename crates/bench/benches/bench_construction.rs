@@ -8,9 +8,13 @@ use rnknn_road::RoadIndex;
 use std::time::Duration;
 
 fn bench_construction(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(2_000, 13)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(2_000, 13)).graph(EdgeWeightKind::Distance);
     let mut group = c.benchmark_group("fig8_construction");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("gtree", |b| b.iter(|| Gtree::build(&graph).num_nodes()));
     group.bench_function("road", |b| b.iter(|| RoadIndex::build(&graph).num_rnets()));
     group.bench_function("ch", |b| {

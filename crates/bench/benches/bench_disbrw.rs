@@ -9,14 +9,18 @@ use rnknn_silc::SilcIndex;
 use std::time::Duration;
 
 fn bench_disbrw(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(2_500, 31)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(2_500, 31)).graph(EdgeWeightKind::Distance);
     let silc = SilcIndex::build(&graph);
     let chains = ChainIndex::build(&graph);
     let objects = uniform(&graph, 0.001, 9);
     let rtree = ObjectRTree::build(&graph, &objects);
     let queries: Vec<u32> = (0..8u32).map(|i| (i * 283) % graph.num_vertices() as u32).collect();
     let mut group = c.benchmark_group("fig19_disbrw");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
     let configs = [
         ("object_hierarchy", DisBrwVariant::ObjectHierarchy, false),
         ("db_enn", DisBrwVariant::DbEnn, false),

@@ -8,11 +8,15 @@ use rnknn_objects::uniform;
 use std::time::Duration;
 
 fn bench_matrix_kinds(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(3_000, 3)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(3_000, 3)).graph(EdgeWeightKind::Distance);
     let objects = uniform(&graph, 0.001, 5);
     let queries: Vec<u32> = (0..16u32).map(|i| (i * 131) % graph.num_vertices() as u32).collect();
     let mut group = c.benchmark_group("fig6_distance_matrix");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for kind in MatrixKind::all() {
         let gtree = Gtree::build_with_config(
             &graph,

@@ -8,11 +8,15 @@ use rnknn_objects::uniform;
 use std::time::Duration;
 
 fn bench_ine_variants(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(4_000, 9)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(4_000, 9)).graph(EdgeWeightKind::Distance);
     let objects = uniform(&graph, 0.001, 3);
     let queries: Vec<u32> = (0..8u32).map(|i| (i * 389) % graph.num_vertices() as u32).collect();
     let mut group = c.benchmark_group("fig7_ine_variants");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     for variant in IneVariant::all() {
         let search = IneSearch::with_variant(&graph, variant);
         group.bench_function(variant.name(), |b| {

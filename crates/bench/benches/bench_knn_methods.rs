@@ -8,22 +8,33 @@ use rnknn_objects::uniform;
 use std::time::Duration;
 
 fn bench_methods(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(4_000, 21)).graph(EdgeWeightKind::Distance);
-    let mut config = EngineConfig::default();
-    config.silc_max_vertices = 6_000;
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(4_000, 21)).graph(EdgeWeightKind::Distance);
+    let config = EngineConfig { silc_max_vertices: 6_000, ..Default::default() };
     let mut engine = Engine::build(graph, &config);
     let objects = uniform(engine.graph(), 0.001, 7);
     engine.set_objects(objects);
-    let queries: Vec<u32> = (0..8u32).map(|i| (i * 467) % engine.graph().num_vertices() as u32).collect();
+    let queries: Vec<u32> =
+        (0..8u32).map(|i| (i * 467) % engine.graph().num_vertices() as u32).collect();
 
     let mut group = c.benchmark_group("fig10_knn_methods");
-    group.sample_size(10).measurement_time(Duration::from_millis(800)).warm_up_time(Duration::from_millis(200));
-    for method in [Method::Ine, Method::Road, Method::Gtree, Method::IerGtree, Method::IerPhl, Method::DisBrw] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(800))
+        .warm_up_time(Duration::from_millis(200));
+    for method in
+        [Method::Ine, Method::Road, Method::Gtree, Method::IerGtree, Method::IerPhl, Method::DisBrw]
+    {
         if !engine.supports(method) {
             continue;
         }
         group.bench_function(method.name(), |b| {
-            b.iter(|| queries.iter().map(|&q| engine.knn(method, q, 10).len()).sum::<usize>())
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&q| engine.query(method, q, 10).expect("supported").result.len())
+                    .sum::<usize>()
+            })
         });
     }
     group.finish();

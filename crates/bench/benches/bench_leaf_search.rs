@@ -8,14 +8,21 @@ use rnknn_objects::uniform;
 use std::time::Duration;
 
 fn bench_leaf_search(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(3_000, 17)).graph(EdgeWeightKind::Distance);
-    let gtree = Gtree::build_with_config(&graph, GtreeConfig { leaf_capacity: 256, ..Default::default() });
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(3_000, 17)).graph(EdgeWeightKind::Distance);
+    let gtree =
+        Gtree::build_with_config(&graph, GtreeConfig { leaf_capacity: 256, ..Default::default() });
     let objects = uniform(&graph, 0.5, 3);
     let occ = OccurrenceList::build(&gtree, objects.vertices());
     let queries: Vec<u32> = (0..16u32).map(|i| (i * 149) % graph.num_vertices() as u32).collect();
     let mut group = c.benchmark_group("fig22_leaf_search");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
-    for (name, mode) in [("original", LeafSearchMode::Original), ("improved", LeafSearchMode::Improved)] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
+    for (name, mode) in
+        [("original", LeafSearchMode::Original), ("improved", LeafSearchMode::Improved)]
+    {
         group.bench_function(name, |b| {
             b.iter(|| {
                 queries

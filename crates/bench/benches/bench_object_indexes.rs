@@ -9,19 +9,24 @@ use rnknn_road::{AssociationDirectory, RoadIndex};
 use std::time::Duration;
 
 fn bench_object_indexes(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(5_000, 5)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(5_000, 5)).graph(EdgeWeightKind::Distance);
     let gtree = Gtree::build(&graph);
     let road = RoadIndex::build(&graph);
     let objects = uniform(&graph, 0.01, 3);
     let mut group = c.benchmark_group("fig18_object_indexes");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("rtree", |b| b.iter(|| ObjectRTree::build(&graph, &objects).len()));
     group.bench_function("occurrence_list", |b| {
         b.iter(|| OccurrenceList::build(&gtree, objects.vertices()).num_objects())
     });
     group.bench_function("association_directory", |b| {
         b.iter(|| {
-            AssociationDirectory::build(&road, graph.num_vertices(), objects.vertices()).num_objects()
+            AssociationDirectory::build(&road, graph.num_vertices(), objects.vertices())
+                .num_objects()
         })
     });
     group.finish();

@@ -8,7 +8,8 @@ use rnknn_pathfinding::dijkstra;
 use std::time::Duration;
 
 fn bench_oracles(c: &mut Criterion) {
-    let graph = RoadNetwork::generate(&GeneratorConfig::new(4_000, 7)).graph(EdgeWeightKind::Distance);
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(4_000, 7)).graph(EdgeWeightKind::Distance);
     let ch = rnknn_ch::ContractionHierarchy::build(&graph);
     let phl = rnknn_phl::HubLabels::build_with_ch(&graph, &ch).expect("label budget");
     let gtree = Gtree::build(&graph);
@@ -17,7 +18,10 @@ fn bench_oracles(c: &mut Criterion) {
         (0..32u32).map(|i| ((i * 997) % n, (i * 7919 + 13) % n)).collect();
 
     let mut group = c.benchmark_group("fig4_oracles");
-    group.sample_size(10).measurement_time(Duration::from_millis(600)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(600))
+        .warm_up_time(Duration::from_millis(200));
     group.bench_function("dijkstra", |b| {
         b.iter(|| pairs.iter().map(|&(s, t)| dijkstra::distance(&graph, s, t)).sum::<u64>())
     });

@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use rnknn::engine::{EngineConfig, Method};
-use rnknn::ier::{
-    ChOracle, DijkstraOracle, GtreeOracle, IerSearch, PhlOracle, TnrOracle,
-};
+use rnknn::ier::{ChOracle, DijkstraOracle, GtreeOracle, IerSearch, PhlOracle, TnrOracle};
 use rnknn::ine::{IneSearch, IneVariant};
 use rnknn_bench::{defaults, Table, Testbed, TestbedOptions, DEFAULT_QUERIES, DEFAULT_SCALE};
 use rnknn_graph::generator::DatasetPreset;
@@ -53,10 +51,9 @@ impl Ctx {
         let scale = self.scale;
         let queries = self.queries;
         self.testbeds.entry((preset, kind)).or_insert_with(|| {
-            let mut engine = EngineConfig::default();
-            engine.build_tnr = false;
             // Mirror the paper's memory limits: SILC only for the smaller networks.
-            engine.silc_max_vertices = 10_000;
+            let engine =
+                EngineConfig { build_tnr: false, silc_max_vertices: 10_000, ..Default::default() };
             let options = TestbedOptions { scale, kind, num_queries: queries, engine };
             eprintln!("[setup] building testbed {} ({kind:?}, scale {scale}) ...", preset.name());
             let start = Instant::now();
@@ -205,7 +202,7 @@ fn ier_variants(ctx: &mut Ctx, kind: EdgeWeightKind, figure: &str) {
     let graph = ctx.testbed(DatasetPreset::NW, kind).graph().clone();
     let ch = rnknn::ch::ContractionHierarchy::build(&graph);
     let phl = rnknn::phl::HubLabels::build_with_ch(&graph, &ch);
-    let mut tnr = rnknn::tnr::TransitNodeRouting::build_from_ch(
+    let tnr = rnknn::tnr::TransitNodeRouting::build_from_ch(
         &graph,
         ch.clone(),
         rnknn::tnr::TnrConfig::default(),
@@ -213,7 +210,7 @@ fn ier_variants(ctx: &mut Ctx, kind: EdgeWeightKind, figure: &str) {
     let gtree = Gtree::build(&graph);
 
     let series = vec!["Dijk".into(), "MGtree".into(), "PHL".into(), "TNR".into(), "CH".into()];
-    let mut measure = |objects: &rnknn_objects::ObjectSet, rtree: &ObjectRTree, k: usize| -> Vec<f64> {
+    let measure = |objects: &rnknn_objects::ObjectSet, rtree: &ObjectRTree, k: usize| -> Vec<f64> {
         let mut out = Vec::new();
         {
             let mut ier = IerSearch::new(&graph, DijkstraOracle::new(&graph));
@@ -243,7 +240,7 @@ fn ier_variants(ctx: &mut Ctx, kind: EdgeWeightKind, figure: &str) {
             None => out.push(f64::NAN),
         }
         {
-            let mut ier = IerSearch::new(&graph, TnrOracle::new(&mut tnr));
+            let mut ier = IerSearch::new(&graph, TnrOracle::new(&tnr));
             let start = Instant::now();
             for &q in &queries {
                 std::hint::black_box(ier.knn(q, k, rtree, objects));
@@ -308,7 +305,11 @@ fn distance_matrix_study(ctx: &mut Ctx) {
     let time_workload = |gtree: &Gtree, occ: &OccurrenceList, k: usize| -> f64 {
         let start = Instant::now();
         for &q in &queries {
-            std::hint::black_box(GtreeSearch::new(gtree, &graph, q).knn(k, occ, LeafSearchMode::Improved));
+            std::hint::black_box(GtreeSearch::new(gtree, &graph, q).knn(
+                k,
+                occ,
+                LeafSearchMode::Improved,
+            ));
         }
         start.elapsed().as_micros() as f64 / queries.len() as f64
     };
@@ -425,8 +426,13 @@ fn ine_ablation(ctx: &mut Ctx) {
 
 /// Figure 8 (distance) / Figure 26 (time): road-network index size and build time vs |V|.
 fn index_costs(ctx: &mut Ctx, kind: EdgeWeightKind, figure: &str) {
-    let presets =
-        [DatasetPreset::DE, DatasetPreset::VT, DatasetPreset::ME, DatasetPreset::CO, DatasetPreset::NW];
+    let presets = [
+        DatasetPreset::DE,
+        DatasetPreset::VT,
+        DatasetPreset::ME,
+        DatasetPreset::CO,
+        DatasetPreset::NW,
+    ];
     let mut size = Table::new(
         &format!("{figure}(a): road-network index size vs |V| ({kind:?})"),
         "network",
@@ -515,7 +521,11 @@ fn network_size_study(ctx: &mut Ctx) {
     let mut stats_table = Table::new(
         "Figure 9(b): G-tree path cost and ROAD vertices bypassed vs |V|",
         "network",
-        vec!["Gtree border comps".into(), "IER-Gt border comps".into(), "ROAD vert. bypassed".into()],
+        vec![
+            "Gtree border comps".into(),
+            "IER-Gt border comps".into(),
+            "ROAD vert. bypassed".into(),
+        ],
         "count/query",
     );
     for preset in presets {
@@ -764,7 +774,8 @@ fn disbrw_variants(ctx: &mut Ctx) {
         vec!["DisBrw".into(), "DB-ENN".into()],
         "µs/query",
     );
-    ctx.testbed(DatasetPreset::NW, EdgeWeightKind::Distance).set_uniform_objects(defaults::DENSITY, 3);
+    ctx.testbed(DatasetPreset::NW, EdgeWeightKind::Distance)
+        .set_uniform_objects(defaults::DENSITY, 3);
     for &k in &defaults::K_SWEEP {
         let bed = ctx.testbed(DatasetPreset::NW, EdgeWeightKind::Distance);
         let oh = bed.avg_query_micros(Method::DisBrwObjectHierarchy, k);
@@ -837,9 +848,17 @@ fn leaf_search_study(ctx: &mut Ctx) {
         let graph = ctx.testbed(preset, EdgeWeightKind::Distance).graph().clone();
         let gtree = Gtree::build(&graph);
         let mut table = Table::new(
-            &format!("Figure 22: G-tree leaf search improvement, varying density ({})", preset.name()),
+            &format!(
+                "Figure 22: G-tree leaf search improvement, varying density ({})",
+                preset.name()
+            ),
             "density",
-            vec!["k=1 before".into(), "k=1 after".into(), "k=10 before".into(), "k=10 after".into()],
+            vec![
+                "k=1 before".into(),
+                "k=1 after".into(),
+                "k=10 before".into(),
+                "k=10 after".into(),
+            ],
             "µs/query",
         );
         for &d in &defaults::DENSITY_SWEEP {
@@ -850,7 +869,9 @@ fn leaf_search_study(ctx: &mut Ctx) {
                 for mode in [LeafSearchMode::Original, LeafSearchMode::Improved] {
                     let start = Instant::now();
                     for &q in &queries {
-                        std::hint::black_box(GtreeSearch::new(&gtree, &graph, q).knn(k, &occ, mode));
+                        std::hint::black_box(
+                            GtreeSearch::new(&gtree, &graph, q).knn(k, &occ, mode),
+                        );
                     }
                     values.push(start.elapsed().as_micros() as f64 / queries.len() as f64);
                 }
@@ -873,9 +894,8 @@ fn ranking(ctx: &mut Ctx) {
     );
     fn add_ranked(label: &str, times: Vec<f64>, table: &mut Table) {
         let mut order: Vec<usize> = (0..times.len()).collect();
-        order.sort_by(|&a, &b| {
-            times[a].partial_cmp(&times[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order
+            .sort_by(|&a, &b| times[a].partial_cmp(&times[b]).unwrap_or(std::cmp::Ordering::Equal));
         let mut ranks = vec![f64::NAN; times.len()];
         let mut rank = 1.0;
         for &i in &order {
@@ -901,7 +921,8 @@ fn ranking(ctx: &mut Ctx) {
         let low: Vec<f64> = methods.iter().map(|&m| bed.avg_query_micros(m, defaults::K)).collect();
         add_ranked("low density", low, &mut table);
         bed.set_uniform_objects(0.1, 9);
-        let high: Vec<f64> = methods.iter().map(|&m| bed.avg_query_micros(m, defaults::K)).collect();
+        let high: Vec<f64> =
+            methods.iter().map(|&m| bed.avg_query_micros(m, defaults::K)).collect();
         add_ranked("high density", high, &mut table);
     }
     ctx.emit(table);
@@ -921,12 +942,40 @@ fn run(ctx: &mut Ctx, name: &str) {
         "fig8" => index_costs(ctx, EdgeWeightKind::Distance, "Figure 8"),
         "fig9" => network_size_study(ctx),
         "fig10" => {
-            sweep_k(ctx, "Figure 10(a): varying k (NW, d=0.001)", DatasetPreset::NW, EdgeWeightKind::Distance, &MAIN_METHODS, defaults::DENSITY);
-            sweep_k(ctx, "Figure 10(b): varying k (US, d=0.001)", DatasetPreset::US, EdgeWeightKind::Distance, &LARGE_METHODS, defaults::DENSITY);
+            sweep_k(
+                ctx,
+                "Figure 10(a): varying k (NW, d=0.001)",
+                DatasetPreset::NW,
+                EdgeWeightKind::Distance,
+                &MAIN_METHODS,
+                defaults::DENSITY,
+            );
+            sweep_k(
+                ctx,
+                "Figure 10(b): varying k (US, d=0.001)",
+                DatasetPreset::US,
+                EdgeWeightKind::Distance,
+                &LARGE_METHODS,
+                defaults::DENSITY,
+            );
         }
         "fig11" => {
-            sweep_density(ctx, "Figure 11(a): varying density (NW, k=10)", DatasetPreset::NW, EdgeWeightKind::Distance, &MAIN_METHODS, defaults::K);
-            sweep_density(ctx, "Figure 11(b): varying density (US, k=10)", DatasetPreset::US, EdgeWeightKind::Distance, &LARGE_METHODS, defaults::K);
+            sweep_density(
+                ctx,
+                "Figure 11(a): varying density (NW, k=10)",
+                DatasetPreset::NW,
+                EdgeWeightKind::Distance,
+                &MAIN_METHODS,
+                defaults::K,
+            );
+            sweep_density(
+                ctx,
+                "Figure 11(b): varying density (US, k=10)",
+                DatasetPreset::US,
+                EdgeWeightKind::Distance,
+                &LARGE_METHODS,
+                defaults::K,
+            );
         }
         "fig12" => clustered_objects(ctx, EdgeWeightKind::Distance, "Figure 12"),
         "fig13" => poi_study(ctx, EdgeWeightKind::Distance, "Figure 13"),
@@ -937,9 +986,29 @@ fn run(ctx: &mut Ctx, name: &str) {
         "fig15" => poi_k_study(ctx, EdgeWeightKind::Distance, "Figure 15"),
         "fig16" => original_settings(ctx),
         "fig17" => {
-            sweep_k(ctx, "Figure 17(a): travel time, varying k (US)", DatasetPreset::US, EdgeWeightKind::Time, &LARGE_METHODS, defaults::DENSITY);
-            sweep_density(ctx, "Figure 17(b): travel time, varying density (US)", DatasetPreset::US, EdgeWeightKind::Time, &LARGE_METHODS, defaults::K);
-            sweep_networks(ctx, "Figure 17(c): travel time, varying |V|", &[DatasetPreset::DE, DatasetPreset::ME, DatasetPreset::NW, DatasetPreset::CA], EdgeWeightKind::Time, &LARGE_METHODS);
+            sweep_k(
+                ctx,
+                "Figure 17(a): travel time, varying k (US)",
+                DatasetPreset::US,
+                EdgeWeightKind::Time,
+                &LARGE_METHODS,
+                defaults::DENSITY,
+            );
+            sweep_density(
+                ctx,
+                "Figure 17(b): travel time, varying density (US)",
+                DatasetPreset::US,
+                EdgeWeightKind::Time,
+                &LARGE_METHODS,
+                defaults::K,
+            );
+            sweep_networks(
+                ctx,
+                "Figure 17(c): travel time, varying |V|",
+                &[DatasetPreset::DE, DatasetPreset::ME, DatasetPreset::NW, DatasetPreset::CA],
+                EdgeWeightKind::Time,
+                &LARGE_METHODS,
+            );
             min_distance_study(ctx, DatasetPreset::US, EdgeWeightKind::Time, "Figure 17(d)");
         }
         "fig18" => object_index_study(ctx),
@@ -948,8 +1017,22 @@ fn run(ctx: &mut Ctx, name: &str) {
         "fig22" => leaf_search_study(ctx),
         "fig23" => ier_variants(ctx, EdgeWeightKind::Time, "Figure 23"),
         "fig24" => {
-            sweep_k(ctx, "Figure 24(a): travel time, varying k (NW)", DatasetPreset::NW, EdgeWeightKind::Time, &MAIN_METHODS, defaults::DENSITY);
-            sweep_density(ctx, "Figure 24(b): travel time, varying density (NW)", DatasetPreset::NW, EdgeWeightKind::Time, &MAIN_METHODS, defaults::K);
+            sweep_k(
+                ctx,
+                "Figure 24(a): travel time, varying k (NW)",
+                DatasetPreset::NW,
+                EdgeWeightKind::Time,
+                &MAIN_METHODS,
+                defaults::DENSITY,
+            );
+            sweep_density(
+                ctx,
+                "Figure 24(b): travel time, varying density (NW)",
+                DatasetPreset::NW,
+                EdgeWeightKind::Time,
+                &MAIN_METHODS,
+                defaults::K,
+            );
             min_distance_study(ctx, DatasetPreset::NW, EdgeWeightKind::Time, "Figure 24(c)");
             clustered_objects(ctx, EdgeWeightKind::Time, "Figure 24(d)");
         }
@@ -962,9 +1045,9 @@ fn run(ctx: &mut Ctx, name: &str) {
 }
 
 const ALL: &[&str] = &[
-    "table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig22", "fig23",
-    "fig24", "fig25", "fig26", "fig27", "table5",
+    "table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24",
+    "fig25", "fig26", "fig27", "table5",
 ];
 
 fn main() {

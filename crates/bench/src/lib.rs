@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn::QueryStats;
 use rnknn_graph::generator::{DatasetPreset, RoadNetwork};
 use rnknn_graph::{EdgeWeightKind, Graph, NodeId};
 use rnknn_objects::{uniform, ObjectSet};
@@ -66,8 +67,9 @@ impl Testbed {
     /// Builds a testbed from an already-materialised graph.
     pub fn from_graph(preset: DatasetPreset, graph: Graph, options: &TestbedOptions) -> Testbed {
         let n = graph.num_vertices() as NodeId;
-        let queries: Vec<NodeId> =
-            (0..options.num_queries as u64).map(|i| ((i * 2_654_435_769) % n as u64) as NodeId).collect();
+        let queries: Vec<NodeId> = (0..options.num_queries as u64)
+            .map(|i| ((i * 2_654_435_769) % n as u64) as NodeId)
+            .collect();
         let engine = Engine::build(graph, &options.engine);
         Testbed { preset, engine, queries }
     }
@@ -91,18 +93,44 @@ impl Testbed {
     }
 
     /// Average query time in microseconds of `method` over the testbed's query workload.
-    pub fn avg_query_micros(&mut self, method: Method, k: usize) -> f64 {
+    pub fn avg_query_micros(&self, method: Method, k: usize) -> f64 {
         if !self.engine.supports(method) {
             return f64::NAN;
         }
         let start = Instant::now();
         let mut sink = 0u64;
-        for &q in &self.queries.clone() {
-            let result = self.engine.knn(method, q, k);
-            sink = sink.wrapping_add(result.last().map(|&(_, d)| d).unwrap_or(0));
+        for &q in &self.queries {
+            let output = self.engine.query(method, q, k).expect("supported method with objects");
+            sink = sink.wrapping_add(output.result.last().map(|&(_, d)| d).unwrap_or(0));
         }
         // Keep the optimiser honest.
         std::hint::black_box(sink);
+        start.elapsed().as_micros() as f64 / self.queries.len().max(1) as f64
+    }
+
+    /// Aggregate [`QueryStats`] of `method` over the testbed's query workload
+    /// (the per-method counters behind Figure 9(b) / Table 3).
+    pub fn workload_stats(&self, method: Method, k: usize) -> Option<QueryStats> {
+        if !self.engine.supports(method) {
+            return None;
+        }
+        let mut total = QueryStats::default();
+        for &q in &self.queries {
+            let output = self.engine.query(method, q, k).ok()?;
+            total.accumulate(&output.stats);
+        }
+        Some(total)
+    }
+
+    /// Average query time of `method` when the workload is fanned across threads
+    /// with [`Engine::knn_batch`] (wall-clock per query, not per-thread work).
+    pub fn avg_batch_query_micros(&self, method: Method, k: usize) -> f64 {
+        if !self.engine.supports(method) {
+            return f64::NAN;
+        }
+        let start = Instant::now();
+        let batch = self.engine.knn_batch(method, &self.queries, k).expect("supported method");
+        std::hint::black_box(batch.len());
         start.elapsed().as_micros() as f64 / self.queries.len().max(1) as f64
     }
 }
@@ -205,6 +233,12 @@ mod tests {
         assert!(micros.is_finite() && micros >= 0.0);
         // Unsupported method reports NaN rather than panicking.
         assert!(bed.avg_query_micros(Method::IerPhl, 5).is_nan());
+        // Unified stats aggregate over the workload.
+        let stats = bed.workload_stats(Method::Gtree, 5).expect("supported");
+        assert!(stats.nodes_expanded > 0);
+        assert!(bed.workload_stats(Method::IerPhl, 5).is_none());
+        // The parallel path answers the same workload.
+        assert!(bed.avg_batch_query_micros(Method::Gtree, 5).is_finite());
     }
 
     #[test]

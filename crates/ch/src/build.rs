@@ -46,18 +46,25 @@ impl ContractionHierarchy {
         let n = graph.num_vertices();
         // Working adjacency among not-yet-contracted vertices. Starts as a copy of the
         // input graph and gains shortcuts as contraction proceeds.
-        let mut adjacency: Vec<Vec<(NodeId, Weight)>> = (0..n)
-            .map(|v| graph.neighbors(v as NodeId).collect::<Vec<_>>())
-            .collect();
+        let mut adjacency: Vec<Vec<(NodeId, Weight)>> =
+            (0..n).map(|v| graph.neighbors(v as NodeId).collect::<Vec<_>>()).collect();
         let mut contracted = vec![false; n];
         let mut deleted_neighbours = vec![0i64; n];
         let mut rank = vec![0u32; n];
         let mut num_shortcuts = 0usize;
+        let mut scratch = WitnessScratch::new(n);
 
         // Lazy priority queue of (priority, vertex).
         let mut queue: MinHeap<NodeId, i64> = MinHeap::with_capacity(n);
         for v in 0..n as NodeId {
-            let p = node_priority(v, &adjacency, &contracted, &deleted_neighbours, config);
+            let p = node_priority(
+                v,
+                &adjacency,
+                &contracted,
+                &deleted_neighbours,
+                config,
+                &mut scratch,
+            );
             queue.push(p, v);
         }
 
@@ -67,7 +74,14 @@ impl ContractionHierarchy {
                 continue;
             }
             // Lazy update: recompute the priority; if it is no longer minimal, requeue.
-            let current = node_priority(v, &adjacency, &contracted, &deleted_neighbours, config);
+            let current = node_priority(
+                v,
+                &adjacency,
+                &contracted,
+                &deleted_neighbours,
+                config,
+                &mut scratch,
+            );
             if current > priority {
                 if let Some(next_best) = queue.peek_key() {
                     if current > next_best {
@@ -89,8 +103,15 @@ impl ContractionHierarchy {
                 .collect();
             for &(t, _) in &neighbours {
                 deleted_neighbours[t as usize] += 1;
+                // Prune edges into the contracted core so witness searches and
+                // priority estimates only ever scan live vertices. Without this the
+                // working lists of late-contracted hubs grow without bound and
+                // preprocessing degenerates from seconds to hours on ~10k-vertex
+                // networks.
+                adjacency[t as usize].retain(|&(x, _)| !contracted[x as usize]);
             }
-            let added = contract_vertex(v, &neighbours, &mut adjacency, &contracted, config);
+            let added =
+                contract_vertex(v, &neighbours, &mut adjacency, &contracted, config, &mut scratch);
             num_shortcuts += added;
         }
 
@@ -102,11 +123,8 @@ impl ContractionHierarchy {
         let mut up_weights = Vec::new();
         for v in 0..n {
             // Deduplicate parallel edges keeping the smallest weight.
-            let mut ups: Vec<(NodeId, Weight)> = adjacency[v]
-                .iter()
-                .copied()
-                .filter(|&(t, _)| rank[t as usize] > rank[v])
-                .collect();
+            let mut ups: Vec<(NodeId, Weight)> =
+                adjacency[v].iter().copied().filter(|&(t, _)| rank[t as usize] > rank[v]).collect();
             ups.sort_unstable_by_key(|&(t, w)| (t, w));
             ups.dedup_by_key(|&mut (t, _)| t);
             for (t, w) in ups {
@@ -166,13 +184,11 @@ fn node_priority(
     contracted: &[bool],
     deleted_neighbours: &[i64],
     config: &ChConfig,
+    scratch: &mut WitnessScratch,
 ) -> i64 {
-    let neighbours: Vec<(NodeId, Weight)> = adjacency[v as usize]
-        .iter()
-        .copied()
-        .filter(|&(t, _)| !contracted[t as usize])
-        .collect();
-    let shortcuts = count_shortcuts(v, &neighbours, adjacency, contracted, config);
+    let neighbours: Vec<(NodeId, Weight)> =
+        adjacency[v as usize].iter().copied().filter(|&(t, _)| !contracted[t as usize]).collect();
+    let shortcuts = count_shortcuts(v, &neighbours, adjacency, contracted, config, scratch);
     let edge_difference = shortcuts as i64 - neighbours.len() as i64;
     edge_difference * 4 + deleted_neighbours[v as usize] * config.deleted_neighbour_weight
 }
@@ -184,12 +200,14 @@ fn count_shortcuts(
     adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
+    scratch: &mut WitnessScratch,
 ) -> usize {
     let mut count = 0;
     for (i, &(u, wu)) in neighbours.iter().enumerate() {
         for &(t, wt) in neighbours.iter().skip(i + 1) {
             let via = wu + wt;
-            if witness_distance(u, t, v, via, adjacency, contracted, config) > via {
+            let query = WitnessQuery { source: u, target: t, skip: v, cutoff: via };
+            if witness_distance(query, adjacency, contracted, config, scratch) > via {
                 count += 1;
             }
         }
@@ -202,44 +220,97 @@ fn count_shortcuts(
 fn contract_vertex(
     v: NodeId,
     neighbours: &[(NodeId, Weight)],
-    adjacency: &mut Vec<Vec<(NodeId, Weight)>>,
+    adjacency: &mut [Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
+    scratch: &mut WitnessScratch,
 ) -> usize {
     let mut added = 0;
     for (i, &(u, wu)) in neighbours.iter().enumerate() {
         for &(t, wt) in neighbours.iter().skip(i + 1) {
             let via = wu + wt;
-            if witness_distance(u, t, v, via, adjacency, contracted, config) > via {
-                adjacency[u as usize].push((t, via));
-                adjacency[t as usize].push((u, via));
-                added += 1;
+            let query = WitnessQuery { source: u, target: t, skip: v, cutoff: via };
+            if witness_distance(query, adjacency, contracted, config, scratch) > via {
+                if upsert_edge(&mut adjacency[u as usize], t, via) {
+                    added += 1;
+                }
+                upsert_edge(&mut adjacency[t as usize], u, via);
             }
         }
     }
     added
 }
 
-/// Bounded Dijkstra between two neighbours of the vertex being contracted, avoiding that
-/// vertex and all already-contracted vertices. Returns the best distance found within
-/// the settle budget (possibly an overestimate, which only causes extra shortcuts).
-fn witness_distance(
+/// Inserts edge `(t, w)` or lowers the weight of an existing parallel edge. Returns true
+/// when a new edge was inserted. Keeping the working lists free of parallel edges is
+/// what keeps witness searches (which scan these lists) fast.
+fn upsert_edge(edges: &mut Vec<(NodeId, Weight)>, t: NodeId, w: Weight) -> bool {
+    match edges.iter_mut().find(|(x, _)| *x == t) {
+        Some(entry) => {
+            if w < entry.1 {
+                entry.1 = w;
+            }
+            false
+        }
+        None => {
+            edges.push((t, w));
+            true
+        }
+    }
+}
+
+/// Reusable witness-search state: a full-size distance array reset via a touched
+/// list, so each search costs no allocations regardless of how many millions of
+/// searches preprocessing performs.
+struct WitnessScratch {
+    dist: Vec<Weight>,
+    touched: Vec<NodeId>,
+    heap: MinHeap<NodeId>,
+}
+
+impl WitnessScratch {
+    fn new(n: usize) -> Self {
+        WitnessScratch { dist: vec![INFINITY; n], touched: Vec::new(), heap: MinHeap::new() }
+    }
+
+    fn reset(&mut self) {
+        for &t in &self.touched {
+            self.dist[t as usize] = INFINITY;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+}
+
+/// One witness search request: is there a path `source -> target` avoiding `skip`
+/// of length at most `cutoff`?
+#[derive(Clone, Copy)]
+struct WitnessQuery {
     source: NodeId,
     target: NodeId,
     skip: NodeId,
     cutoff: Weight,
+}
+
+/// Bounded Dijkstra between two neighbours of the vertex being contracted, avoiding that
+/// vertex and all already-contracted vertices. Returns the best distance found within
+/// the settle budget (possibly an overestimate, which only causes extra shortcuts).
+fn witness_distance(
+    query: WitnessQuery,
     adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
+    scratch: &mut WitnessScratch,
 ) -> Weight {
-    let mut heap: MinHeap<NodeId> = MinHeap::with_capacity(config.witness_settle_limit * 2);
-    let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
-    heap.push(0, source);
-    dist.insert(source, 0);
+    let WitnessQuery { source, target, skip, cutoff } = query;
+    scratch.reset();
+    scratch.heap.push(0, source);
+    scratch.dist[source as usize] = 0;
+    scratch.touched.push(source);
     let mut settled = 0usize;
     let mut best = INFINITY;
-    while let Some((d, x)) = heap.pop() {
-        if d > *dist.get(&x).unwrap_or(&INFINITY) {
+    while let Some((d, x)) = scratch.heap.pop() {
+        if d > scratch.dist[x as usize] {
             continue;
         }
         if x == target {
@@ -258,9 +329,12 @@ fn witness_distance(
                 continue;
             }
             let nd = d + w;
-            if nd < *dist.get(&t).unwrap_or(&INFINITY) {
-                dist.insert(t, nd);
-                heap.push(nd, t);
+            if nd < scratch.dist[t as usize] {
+                if scratch.dist[t as usize] == INFINITY {
+                    scratch.touched.push(t);
+                }
+                scratch.dist[t as usize] = nd;
+                scratch.heap.push(nd, t);
             }
         }
     }

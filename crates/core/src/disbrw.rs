@@ -80,7 +80,13 @@ impl<'a> DisBrwSearch<'a> {
     }
 
     /// The `k` objects nearest to `query` by network distance.
-    pub fn knn(&self, query: NodeId, k: usize, rtree: &ObjectRTree, objects: &ObjectSet) -> KnnResult {
+    pub fn knn(
+        &self,
+        query: NodeId,
+        k: usize,
+        rtree: &ObjectRTree,
+        objects: &ObjectSet,
+    ) -> KnnResult {
         self.knn_with_stats(query, k, rtree, objects).0
     }
 
@@ -121,9 +127,8 @@ impl<'a> DisBrwSearch<'a> {
         // Seed with the Euclidean kNNs, then keep the browser suspended.
         for _ in 0..k {
             match browser.next() {
-                Some((_, object)) => {
-                    self.process_candidate(query, object, &mut pool, &mut queue, &mut best, &mut stats)
-                }
+                Some((_, object)) => self
+                    .process_candidate(query, object, &mut pool, &mut queue, &mut best, &mut stats),
                 None => break,
             }
         }
@@ -140,7 +145,9 @@ impl<'a> DisBrwSearch<'a> {
             if next_euclid_lb < next_queue_lb {
                 // A closer Euclidean candidate may exist: pull it in.
                 if let Some((_, object)) = browser.next() {
-                    self.process_candidate(query, object, &mut pool, &mut queue, &mut best, &mut stats);
+                    self.process_candidate(
+                        query, object, &mut pool, &mut queue, &mut best, &mut stats,
+                    );
                 }
                 continue;
             }
@@ -365,8 +372,8 @@ impl ObjectHierarchy {
     fn build(graph: &Graph, objects: &ObjectSet) -> Self {
         let points: Vec<(Point, NodeId)> =
             objects.vertices().iter().map(|&o| (graph.coord(o), o)).collect();
-        let mut nodes = Vec::new();
-        nodes.push(HierarchyNode { rect: Rect::empty(), children: Vec::new(), objects: Vec::new() });
+        let nodes =
+            vec![HierarchyNode { rect: Rect::empty(), children: Vec::new(), objects: Vec::new() }];
         let mut hierarchy = ObjectHierarchy { nodes };
         hierarchy.split(0, points);
         hierarchy

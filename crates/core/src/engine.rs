@@ -5,20 +5,24 @@
 //! mirrors how the paper's experiments operate: road-network indexes are built once,
 //! object indexes are cheap and swapped per object set (Section 7.4), and every method
 //! answers the same queries.
+//!
+//! Queries go through [`Engine::query`], which returns a `Result` carrying the
+//! kNN result plus unified [`QueryStats`], and dispatches through the
+//! [`crate::methods`] registry of [`crate::KnnAlgorithm`] implementors. The
+//! engine is [`Sync`]: [`Engine::knn_batch`] fans a query workload across
+//! scoped threads over one shared engine.
 
 use std::time::Instant;
 
 use rnknn_graph::{ChainIndex, Graph, NodeId};
-use rnknn_gtree::{Gtree, GtreeConfig, LeafSearchMode, OccurrenceList};
+use rnknn_gtree::{Gtree, GtreeConfig, OccurrenceList};
 use rnknn_objects::{ObjectRTree, ObjectSet};
-use rnknn_road::{AssociationDirectory, RoadConfig, RoadIndex, RoadKnn};
+use rnknn_road::{AssociationDirectory, RoadConfig, RoadIndex};
 use rnknn_silc::{SilcConfig, SilcIndex};
 
-use crate::disbrw::{DisBrwSearch, DisBrwVariant};
-use crate::ier::{
-    AStarOracle, ChOracle, DijkstraOracle, GtreeOracle, IerSearch, PhlOracle, TnrOracle,
-};
-use crate::ine::IneSearch;
+use crate::error::EngineError;
+use crate::methods;
+use crate::query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput};
 use crate::KnnResult;
 
 /// The kNN methods the engine can dispatch to.
@@ -49,21 +53,19 @@ pub enum Method {
 }
 
 impl Method {
-    /// Display name matching the paper's figure legends.
+    /// Display name matching the paper's figure legends (from the registry).
     pub fn name(self) -> &'static str {
-        match self {
-            Method::Ine => "INE",
-            Method::IerDijkstra => "IER-Dijk",
-            Method::IerAStar => "IER-A*",
-            Method::IerCh => "IER-CH",
-            Method::IerPhl => "IER-PHL",
-            Method::IerTnr => "IER-TNR",
-            Method::IerGtree => "IER-Gt",
-            Method::DisBrw => "DisBrw",
-            Method::DisBrwObjectHierarchy => "DisBrw-OH",
-            Method::Road => "ROAD",
-            Method::Gtree => "Gtree",
-        }
+        methods::algorithm(self).name()
+    }
+
+    /// The road-network indexes this method needs (from the registry).
+    pub fn required_indexes(self) -> &'static [IndexKind] {
+        methods::algorithm(self).required_indexes()
+    }
+
+    /// Every registered method, in the order the paper introduces them.
+    pub fn all() -> Vec<Method> {
+        methods::registry().iter().map(|a| a.method()).collect()
     }
 
     /// The methods compared in the paper's main experiments (Section 7.3).
@@ -286,91 +288,173 @@ impl Engine {
         self.objects.as_ref()
     }
 
-    /// True when `method` can be answered with the indexes that were built.
+    /// True when `method` can be answered with the indexes that were built
+    /// (derived from the registry's [`IndexKind`] requirements).
     pub fn supports(&self, method: Method) -> bool {
-        match method {
-            Method::Ine | Method::IerDijkstra | Method::IerAStar => true,
-            Method::IerCh => self.ch.is_some(),
-            Method::IerPhl => self.phl.is_some(),
-            Method::IerTnr => self.tnr.is_some(),
-            Method::IerGtree | Method::Gtree => self.gtree.is_some(),
-            Method::DisBrw | Method::DisBrwObjectHierarchy => self.silc.is_some(),
-            Method::Road => self.road.is_some(),
+        methods::algorithm(method).required_indexes().iter().all(|&kind| self.has_index(kind))
+    }
+
+    /// True when the road-network index `kind` was built.
+    pub fn has_index(&self, kind: IndexKind) -> bool {
+        match kind {
+            IndexKind::Gtree => self.gtree.is_some(),
+            IndexKind::Road => self.road.is_some(),
+            IndexKind::Silc => self.silc.is_some(),
+            IndexKind::Ch => self.ch.is_some(),
+            IndexKind::Phl => self.phl.is_some(),
+            IndexKind::Tnr => self.tnr.is_some(),
         }
+    }
+
+    /// Shared validation for `query` and `knn_batch*`: `k` must be positive,
+    /// every index the method requires must have been built, and an object set
+    /// must have been injected.
+    fn validate(&self, method: Method, k: usize) -> Result<&'static dyn KnnAlgorithm, EngineError> {
+        if k == 0 {
+            return Err(EngineError::InvalidK { k });
+        }
+        let algorithm = methods::algorithm(method);
+        for &kind in algorithm.required_indexes() {
+            if !self.has_index(kind) {
+                return Err(EngineError::MissingIndex {
+                    method: algorithm.name(),
+                    index: kind.name(),
+                });
+            }
+        }
+        if self.objects.is_none() {
+            return Err(EngineError::NoObjects);
+        }
+        Ok(algorithm)
     }
 
     /// Injects an object set, rebuilding the per-method object indexes (the cheap,
     /// decoupled step of Section 7.4).
     pub fn set_objects(&mut self, objects: ObjectSet) {
         self.rtree = Some(ObjectRTree::build(&self.graph, &objects));
-        self.occurrence =
-            self.gtree.as_ref().map(|g| OccurrenceList::build(g, objects.vertices()));
-        self.association = self.road.as_ref().map(|r| {
-            AssociationDirectory::build(r, self.graph.num_vertices(), objects.vertices())
-        });
+        self.occurrence = self.gtree.as_ref().map(|g| OccurrenceList::build(g, objects.vertices()));
+        self.association = self
+            .road
+            .as_ref()
+            .map(|r| AssociationDirectory::build(r, self.graph.num_vertices(), objects.vertices()));
         self.objects = Some(objects);
     }
 
-    /// Answers a kNN query with the chosen method. Panics if the required index or the
-    /// object set is missing (check [`Engine::supports`] first).
-    pub fn knn(&mut self, method: Method, query: NodeId, k: usize) -> KnnResult {
-        let objects = self.objects.as_ref().expect("call set_objects before querying");
-        let rtree = self.rtree.as_ref().expect("object R-tree built with set_objects");
-        match method {
-            Method::Ine => IneSearch::new(&self.graph).knn(query, k, objects),
-            Method::IerDijkstra => IerSearch::new(&self.graph, DijkstraOracle::new(&self.graph))
-                .knn(query, k, rtree, objects),
-            Method::IerAStar => IerSearch::new(&self.graph, AStarOracle::new(&self.graph))
-                .knn(query, k, rtree, objects),
-            Method::IerCh => {
-                let ch = self.ch.as_ref().expect("CH index not built");
-                IerSearch::new(&self.graph, ChOracle::new(ch)).knn(query, k, rtree, objects)
-            }
-            Method::IerPhl => {
-                let phl = self.phl.as_ref().expect("PHL index not built");
-                IerSearch::new(&self.graph, PhlOracle::new(phl)).knn(query, k, rtree, objects)
-            }
-            Method::IerTnr => {
-                let tnr = self.tnr.as_mut().expect("TNR index not built");
-                IerSearch::new(&self.graph, TnrOracle::new(tnr)).knn(query, k, rtree, objects)
-            }
-            Method::IerGtree => {
-                let gtree = self.gtree.as_ref().expect("G-tree index not built");
-                IerSearch::new(&self.graph, GtreeOracle::new(gtree, &self.graph))
-                    .knn(query, k, rtree, objects)
-            }
-            Method::DisBrw => {
-                let silc = self.silc.as_ref().expect("SILC index not built");
-                DisBrwSearch::new(&self.graph, silc, Some(&self.chains))
-                    .knn(query, k, rtree, objects)
-            }
-            Method::DisBrwObjectHierarchy => {
-                let silc = self.silc.as_ref().expect("SILC index not built");
-                DisBrwSearch::with_variant(
-                    &self.graph,
-                    silc,
-                    Some(&self.chains),
-                    DisBrwVariant::ObjectHierarchy,
-                )
-                .knn(query, k, rtree, objects)
-            }
-            Method::Road => {
-                let road = self.road.as_ref().expect("ROAD index not built");
-                let directory = self.association.as_ref().expect("association directory built");
-                RoadKnn::new(&self.graph, road).knn(query, k, directory)
-            }
-            Method::Gtree => {
-                let gtree = self.gtree.as_ref().expect("G-tree index not built");
-                let occurrence = self.occurrence.as_ref().expect("occurrence list built");
-                rnknn_gtree::GtreeSearch::new(gtree, &self.graph, query).knn(
-                    k,
-                    occurrence,
-                    LeafSearchMode::Improved,
-                )
-            }
+    /// Answers a kNN query with the chosen method, returning the result together
+    /// with unified per-query [`crate::QueryStats`].
+    ///
+    /// Unlike the deprecated [`Engine::knn`], this never panics: a missing
+    /// index, a missing object set, an out-of-range vertex or `k == 0` come
+    /// back as an [`EngineError`]. The engine is borrowed immutably, so any
+    /// number of queries may run concurrently (see [`Engine::knn_batch`]).
+    pub fn query(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let algorithm = self.validate(method, k)?;
+        let num_vertices = self.graph.num_vertices();
+        if query as usize >= num_vertices {
+            return Err(EngineError::InvalidVertex { vertex: query, num_vertices });
         }
+        let (objects, rtree) = match (&self.objects, &self.rtree) {
+            (Some(objects), Some(rtree)) => (objects, rtree),
+            _ => return Err(EngineError::NoObjects),
+        };
+        let ctx = QueryContext {
+            graph: &self.graph,
+            chains: &self.chains,
+            gtree: self.gtree.as_ref(),
+            road: self.road.as_ref(),
+            silc: self.silc.as_ref(),
+            ch: self.ch.as_ref(),
+            phl: self.phl.as_ref(),
+            tnr: self.tnr.as_ref(),
+            objects,
+            rtree,
+            occurrence: self.occurrence.as_ref(),
+            association: self.association.as_ref(),
+        };
+        let start = Instant::now();
+        let mut output = algorithm.knn(&ctx, query, k)?;
+        output.stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(output)
+    }
+
+    /// Answers a whole query workload in parallel, fanning the queries across
+    /// scoped worker threads over this shared engine (the paper's 10,000-query
+    /// measurement loops, parallelized). Uses one worker per available core;
+    /// results are returned in input order and are identical to running
+    /// [`Engine::query`] sequentially.
+    pub fn knn_batch(
+        &self,
+        method: Method,
+        queries: &[NodeId],
+        k: usize,
+    ) -> Result<Vec<QueryOutput>, EngineError> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.knn_batch_with_threads(method, queries, k, threads)
+    }
+
+    /// [`Engine::knn_batch`] with an explicit worker count.
+    pub fn knn_batch_with_threads(
+        &self,
+        method: Method,
+        queries: &[NodeId],
+        k: usize,
+        threads: usize,
+    ) -> Result<Vec<QueryOutput>, EngineError> {
+        // Surface configuration errors (bad k, missing index) even for an empty
+        // workload, so a warm-up batch is a reliable configuration check.
+        self.validate(method, k)?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = threads.max(1).min(queries.len());
+        if threads <= 1 {
+            return queries.iter().map(|&q| self.query(method, q, k)).collect();
+        }
+        let chunk_len = queries.len().div_ceil(threads);
+        let chunk_results = std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&q| self.query(method, q, k))
+                            .collect::<Vec<Result<QueryOutput, EngineError>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("kNN batch worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+
+    /// Answers a kNN query, panicking on any error.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Engine::query, which returns Result and per-query QueryStats"
+    )]
+    pub fn knn(&self, method: Method, query: NodeId, k: usize) -> KnnResult {
+        self.query(method, query, k)
+            .unwrap_or_else(|e| panic!("kNN query failed: {e} (use Engine::query for a Result)"))
+            .result
     }
 }
+
+// Compile-time guarantee that one `Engine` can be shared across threads — the
+// contract `Engine::knn_batch` and any server embedding the engine rely on.
+const _: () = {
+    fn assert_sync<T: Sync>() {}
+    // Referencing the instantiation is enough; the function never runs.
+    let _ = assert_sync::<Engine>;
+};
 
 #[cfg(test)]
 mod tests {
@@ -383,34 +467,26 @@ mod tests {
     fn engine_answers_identically_across_all_supported_methods() {
         let net = RoadNetwork::generate(&GeneratorConfig::new(900, 77));
         let graph = net.graph(EdgeWeightKind::Distance);
-        let mut config = EngineConfig::default();
-        config.build_tnr = true;
-        config.gtree_leaf_capacity = Some(64);
+        let config =
+            EngineConfig { build_tnr: true, gtree_leaf_capacity: Some(64), ..Default::default() };
         let mut engine = Engine::build(graph, &config);
         let objects = uniform(engine.graph(), 0.02, 5);
         engine.set_objects(objects);
 
-        let methods = [
-            Method::Ine,
-            Method::IerDijkstra,
-            Method::IerAStar,
-            Method::IerCh,
-            Method::IerPhl,
-            Method::IerTnr,
-            Method::IerGtree,
-            Method::DisBrw,
-            Method::DisBrwObjectHierarchy,
-            Method::Road,
-            Method::Gtree,
-        ];
         let n = engine.graph().num_vertices() as NodeId;
         for &q in &[5u32, n / 2, n - 3] {
-            let reference: Vec<_> =
-                engine.knn(Method::Ine, q, 8).iter().map(|&(_, d)| d).collect();
-            for &m in &methods {
+            let reference = engine.query(Method::Ine, q, 8).unwrap().distances();
+            for m in Method::all() {
                 assert!(engine.supports(m), "{} should be supported", m.name());
-                let got: Vec<_> = engine.knn(m, q, 8).iter().map(|&(_, d)| d).collect();
-                assert_eq!(got, reference, "method {} disagrees at q={q}", m.name());
+                let output = engine.query(m, q, 8).unwrap();
+                assert_eq!(output.distances(), reference, "method {} disagrees at q={q}", m.name());
+                let s = output.stats;
+                assert!(
+                    s.nodes_expanded + s.heap_operations + s.oracle_calls + s.candidates_examined
+                        > 0,
+                    "method {} reported trivial stats",
+                    m.name()
+                );
             }
         }
         assert!(engine.build_times().gtree_micros > 0);
@@ -426,13 +502,13 @@ mod tests {
 
         let sparse = uniform(engine.graph(), 0.005, 1);
         engine.set_objects(sparse);
-        let a = engine.knn(Method::Gtree, 10, 3);
-        assert_eq!(a, engine.knn(Method::Ine, 10, 3));
+        let a = engine.query(Method::Gtree, 10, 3).unwrap().result;
+        assert_eq!(a, engine.query(Method::Ine, 10, 3).unwrap().result);
 
         let dense = uniform(engine.graph(), 0.2, 2);
         engine.set_objects(dense);
-        let b = engine.knn(Method::Road, 10, 3);
-        assert_eq!(b, engine.knn(Method::Ine, 10, 3));
+        let b = engine.query(Method::Road, 10, 3).unwrap().result;
+        assert_eq!(b, engine.query(Method::Ine, 10, 3).unwrap().result);
         assert!(b[0].1 <= a[0].1, "denser objects cannot be farther");
     }
 
@@ -441,5 +517,60 @@ mod tests {
         assert_eq!(Method::IerPhl.name(), "IER-PHL");
         assert_eq!(Method::Gtree.name(), "Gtree");
         assert_eq!(Method::main_lineup().len(), 6);
+        assert_eq!(Method::all().len(), 11);
+        assert_eq!(Method::IerPhl.required_indexes(), &[crate::IndexKind::Phl]);
+    }
+
+    #[test]
+    fn query_reports_errors_instead_of_panicking() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(300, 4));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let mut engine = Engine::build(graph, &EngineConfig::minimal());
+
+        // Before set_objects: NoObjects (for a supported method).
+        assert_eq!(engine.query(Method::Ine, 0, 3).unwrap_err(), crate::EngineError::NoObjects);
+        // minimal() builds neither PHL nor SILC: MissingIndex, even without objects.
+        assert_eq!(
+            engine.query(Method::IerPhl, 0, 3).unwrap_err(),
+            crate::EngineError::MissingIndex { method: "IER-PHL", index: "PHL" }
+        );
+        assert_eq!(
+            engine.query(Method::DisBrw, 0, 3).unwrap_err(),
+            crate::EngineError::MissingIndex { method: "DisBrw", index: "SILC" }
+        );
+
+        let objects = uniform(engine.graph(), 0.05, 9);
+        engine.set_objects(objects);
+        let n = engine.graph().num_vertices();
+        assert_eq!(
+            engine.query(Method::Ine, n as NodeId, 3).unwrap_err(),
+            crate::EngineError::InvalidVertex { vertex: n as NodeId, num_vertices: n }
+        );
+        assert_eq!(
+            engine.query(Method::Ine, 0, 0).unwrap_err(),
+            crate::EngineError::InvalidK { k: 0 }
+        );
+        assert!(engine.query(Method::Ine, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn knn_batch_matches_sequential_queries() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 12));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let mut engine = Engine::build(graph, &EngineConfig::minimal());
+        engine.set_objects(uniform(engine.graph(), 0.02, 5));
+        let n = engine.graph().num_vertices() as NodeId;
+        let queries: Vec<NodeId> = (0..40u32).map(|i| (i * 131) % n).collect();
+        let batch = engine.knn_batch(Method::Gtree, &queries, 4).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (&q, output) in queries.iter().zip(&batch) {
+            let sequential = engine.query(Method::Gtree, q, 4).unwrap();
+            assert_eq!(output.result, sequential.result, "q={q}");
+        }
+        assert!(engine.knn_batch(Method::Gtree, &[], 4).unwrap().is_empty());
+        assert_eq!(
+            engine.knn_batch(Method::Gtree, &queries, 0).unwrap_err(),
+            crate::EngineError::InvalidK { k: 0 }
+        );
     }
 }

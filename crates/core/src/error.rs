@@ -1,0 +1,75 @@
+//! Errors surfaced by the fallible query API ([`crate::Engine::query`]).
+//!
+//! The old `Engine::knn` panicked when a required index or the object set was
+//! missing; [`EngineError`] turns every such condition into a value the caller
+//! can match on, which is what a server in front of the engine needs.
+
+use std::error::Error;
+use std::fmt;
+
+use rnknn_graph::NodeId;
+
+/// Why the engine could not answer a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineError {
+    /// The method needs a road-network index that was not built by the current
+    /// [`crate::EngineConfig`] (check [`crate::Engine::supports`] first).
+    MissingIndex {
+        /// Display name of the requested method (e.g. `"IER-PHL"`).
+        method: &'static str,
+        /// Display name of the absent index (e.g. `"PHL"`).
+        index: &'static str,
+    },
+    /// No object set was injected; call [`crate::Engine::set_objects`] first.
+    NoObjects,
+    /// The query vertex is outside the road network.
+    InvalidVertex {
+        /// The offending vertex id.
+        vertex: NodeId,
+        /// Number of vertices in the road network.
+        num_vertices: usize,
+    },
+    /// `k` must be at least 1.
+    InvalidK {
+        /// The offending value.
+        k: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::MissingIndex { method, index } => {
+                write!(f, "method {method} requires the {index} index, which was not built")
+            }
+            EngineError::NoObjects => {
+                write!(f, "no object set injected (call Engine::set_objects before querying)")
+            }
+            EngineError::InvalidVertex { vertex, num_vertices } => {
+                write!(
+                    f,
+                    "query vertex {vertex} is out of range (network has {num_vertices} vertices)"
+                )
+            }
+            EngineError::InvalidK { k } => write!(f, "k must be at least 1 (got {k})"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_missing_pieces() {
+        let e = EngineError::MissingIndex { method: "IER-PHL", index: "PHL" };
+        assert!(e.to_string().contains("IER-PHL"));
+        assert!(e.to_string().contains("PHL"));
+        assert!(EngineError::NoObjects.to_string().contains("set_objects"));
+        let e = EngineError::InvalidVertex { vertex: 99, num_vertices: 10 };
+        assert!(e.to_string().contains("99"));
+        assert!(EngineError::InvalidK { k: 0 }.to_string().contains('0'));
+    }
+}

@@ -69,7 +69,13 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
     }
 
     /// The `k` objects nearest to `query` by network distance.
-    pub fn knn(&mut self, query: NodeId, k: usize, rtree: &ObjectRTree, objects: &ObjectSet) -> KnnResult {
+    pub fn knn(
+        &mut self,
+        query: NodeId,
+        k: usize,
+        rtree: &ObjectRTree,
+        objects: &ObjectSet,
+    ) -> KnnResult {
         self.knn_with_stats(query, k, rtree, objects).0
     }
 
@@ -93,10 +99,9 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
         // Dk = network distance of the current k-th candidate (upper bound on the k-th
         // nearest neighbor's distance once we hold k candidates).
         let mut dk = INFINITY;
-        loop {
-            // Peek the Euclidean lower bound of the next candidate; stop when it cannot
-            // beat the current k-th candidate.
-            let Some(next_euclid) = browser.peek_distance() else { break };
+        // Peek the Euclidean lower bound of the next candidate; stop when it cannot
+        // beat the current k-th candidate.
+        while let Some(next_euclid) = browser.peek_distance() {
             let lower_bound = self.bound.lower_bound_from_euclidean(next_euclid);
             if candidates.len() >= k && lower_bound >= dk {
                 break;
@@ -241,12 +246,12 @@ impl<'a> DistanceOracle for PhlOracle<'a> {
 /// Transit Node Routing oracle.
 #[derive(Debug)]
 pub struct TnrOracle<'a> {
-    tnr: &'a mut rnknn_tnr::TransitNodeRouting,
+    tnr: &'a rnknn_tnr::TransitNodeRouting,
 }
 
 impl<'a> TnrOracle<'a> {
     /// Creates the oracle over a prebuilt TNR index.
-    pub fn new(tnr: &'a mut rnknn_tnr::TransitNodeRouting) -> Self {
+    pub fn new(tnr: &'a rnknn_tnr::TransitNodeRouting) -> Self {
         TnrOracle { tnr }
     }
 }
@@ -317,7 +322,12 @@ mod tests {
         d
     }
 
-    fn check_oracle<O: DistanceOracle>(g: &Graph, oracle: O, objects: &ObjectSet, rtree: &ObjectRTree) {
+    fn check_oracle<O: DistanceOracle>(
+        g: &Graph,
+        oracle: O,
+        objects: &ObjectSet,
+        rtree: &ObjectRTree,
+    ) {
         let mut ier = IerSearch::new(g, oracle);
         let n = g.num_vertices() as NodeId;
         for &q in &[1u32, n / 3, n - 2] {
@@ -347,8 +357,8 @@ mod tests {
         check_oracle(&g, ChOracle::new(&ch), &objects, &rtree);
         let labels = rnknn_phl::HubLabels::build(&g).expect("within budget");
         check_oracle(&g, PhlOracle::new(&labels), &objects, &rtree);
-        let mut tnr = rnknn_tnr::TransitNodeRouting::build(&g);
-        check_oracle(&g, TnrOracle::new(&mut tnr), &objects, &rtree);
+        let tnr = rnknn_tnr::TransitNodeRouting::build(&g);
+        check_oracle(&g, TnrOracle::new(&tnr), &objects, &rtree);
         let gtree = rnknn_gtree::Gtree::build_with_config(
             &g,
             rnknn_gtree::GtreeConfig { leaf_capacity: 64, ..Default::default() },

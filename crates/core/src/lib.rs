@@ -13,11 +13,16 @@
 //! | ROAD   | re-exported [`rnknn_road`] | Rnet hierarchy + Route Overlay | Association Directory |
 //! | G-tree | re-exported [`rnknn_gtree`] | partition tree + distance matrices | Occurrence List |
 //!
-//! [`engine::Engine`] bundles everything behind a single facade: build the indexes once,
-//! swap object sets freely (decoupled indexing), and answer kNN queries with any method.
+//! [`engine::Engine`] bundles everything behind a single facade: build the indexes
+//! once, swap object sets freely (decoupled indexing), and answer kNN queries with any
+//! method through the fallible [`Engine::query`] API. Every method is a
+//! [`KnnAlgorithm`] registered in [`methods`]; a query returns a [`QueryOutput`]
+//! carrying the result list plus unified per-query [`QueryStats`] (the counters behind
+//! the paper's figures). The engine is [`Sync`], and [`Engine::knn_batch`] fans a
+//! query workload across threads.
 //!
 //! ```
-//! use rnknn::engine::{Engine, EngineConfig, Method};
+//! use rnknn::{Engine, EngineConfig, EngineError, Method};
 //! use rnknn_graph::{generator::GeneratorConfig, EdgeWeightKind, generator::RoadNetwork};
 //! use rnknn_objects::uniform;
 //!
@@ -25,18 +30,35 @@
 //! let graph = network.graph(EdgeWeightKind::Distance);
 //! let objects = uniform(&graph, 0.01, 1);
 //! let mut engine = Engine::build(graph, &EngineConfig::default());
+//!
+//! // Querying before objects are injected is an error, not a panic.
+//! assert_eq!(engine.query(Method::Gtree, 17, 5).unwrap_err(), EngineError::NoObjects);
+//!
 //! engine.set_objects(objects);
-//! let knn = engine.knn(Method::Gtree, 17, 5);
-//! assert_eq!(knn, engine.knn(Method::Ine, 17, 5));
+//! let output = engine.query(Method::Gtree, 17, 5).unwrap();
+//! assert_eq!(output.result, engine.query(Method::Ine, 17, 5).unwrap().result);
+//! assert!(output.stats.nodes_expanded > 0); // unified per-query counters
+//!
+//! // The same workload, fanned across threads over the shared engine.
+//! let n = engine.graph().num_vertices() as u32;
+//! let queries: Vec<u32> = (0..64).map(|i| i * 31 % n).collect();
+//! let batch = engine.knn_batch(Method::Gtree, &queries, 5).unwrap();
+//! assert_eq!(batch.len(), queries.len());
+//! assert_eq!(batch[0].result, engine.query(Method::Gtree, queries[0], 5).unwrap().result);
 //! ```
 
 pub mod disbrw;
 pub mod engine;
+pub mod error;
 pub mod ier;
 pub mod ine;
+pub mod methods;
+pub mod query;
 pub mod verify;
 
-pub use engine::{Engine, EngineConfig, Method};
+pub use engine::{BuildTimes, Engine, EngineConfig, Method};
+pub use error::EngineError;
+pub use query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
 
 // Re-export the substrate crates so downstream users need a single dependency.
 pub use rnknn_ch as ch;

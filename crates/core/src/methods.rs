@@ -1,0 +1,397 @@
+//! The method registry: one [`KnnAlgorithm`] implementor per kNN method.
+//!
+//! This replaces the former giant `match` inside `Engine::knn`. Dispatch,
+//! `Engine::supports`, and `Method::name` all read the single [`registry`]
+//! below, so adding a method means adding one implementor here and one
+//! [`Method`] variant — nothing in the facade changes.
+
+use rnknn_graph::NodeId;
+use rnknn_gtree::LeafSearchMode;
+use rnknn_road::RoadKnn;
+
+use crate::disbrw::{DisBrwSearch, DisBrwVariant};
+use crate::engine::Method;
+use crate::error::EngineError;
+use crate::ier::{
+    AStarOracle, ChOracle, DijkstraOracle, DistanceOracle, GtreeOracle, IerSearch, PhlOracle,
+    TnrOracle,
+};
+use crate::ine::IneSearch;
+use crate::query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
+
+/// Every registered method, in the order the paper introduces them.
+pub fn registry() -> &'static [&'static dyn KnnAlgorithm] {
+    REGISTRY
+}
+
+static REGISTRY: &[&dyn KnnAlgorithm] = &[
+    &Ine,
+    &IerDijkstra,
+    &IerAStar,
+    &IerCh,
+    &IerPhl,
+    &IerTnr,
+    &IerGtree,
+    &DisBrw,
+    &DisBrwObjectHierarchy,
+    &Road,
+    &GtreeKnn,
+];
+
+/// The implementor registered for `method`.
+pub fn algorithm(method: Method) -> &'static dyn KnnAlgorithm {
+    REGISTRY
+        .iter()
+        .copied()
+        .find(|a| a.method() == method)
+        .expect("every Method variant has a registered KnnAlgorithm")
+}
+
+/// Shared body of the seven IER variants: run IER with `oracle` and translate
+/// [`crate::ier::IerStats`] into the unified vocabulary.
+fn ier_knn<O: DistanceOracle>(
+    ctx: &QueryContext<'_>,
+    oracle: O,
+    query: NodeId,
+    k: usize,
+) -> QueryOutput {
+    let mut search = IerSearch::new(ctx.graph, oracle);
+    let (result, stats) = search.knn_with_stats(query, k, ctx.rtree, ctx.objects);
+    QueryOutput::new(
+        result,
+        QueryStats {
+            oracle_calls: stats.network_distance_computations as u64,
+            candidates_examined: stats.euclidean_candidates as u64,
+            ..Default::default()
+        },
+    )
+}
+
+/// Incremental Network Expansion (the expansion-based baseline).
+struct Ine;
+
+impl KnnAlgorithm for Ine {
+    fn method(&self) -> Method {
+        Method::Ine
+    }
+    fn name(&self) -> &'static str {
+        "INE"
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let (result, stats) = IneSearch::new(ctx.graph).knn_with_stats(query, k, ctx.objects);
+        Ok(QueryOutput::new(
+            result,
+            QueryStats {
+                nodes_expanded: stats.settled as u64,
+                heap_operations: stats.heap_operations as u64,
+                ..Default::default()
+            },
+        ))
+    }
+}
+
+/// IER with a fresh Dijkstra per candidate (the historical baseline).
+struct IerDijkstra;
+
+impl KnnAlgorithm for IerDijkstra {
+    fn method(&self) -> Method {
+        Method::IerDijkstra
+    }
+    fn name(&self) -> &'static str {
+        "IER-Dijk"
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        Ok(ier_knn(ctx, DijkstraOracle::new(ctx.graph), query, k))
+    }
+}
+
+/// IER with A*.
+struct IerAStar;
+
+impl KnnAlgorithm for IerAStar {
+    fn method(&self) -> Method {
+        Method::IerAStar
+    }
+    fn name(&self) -> &'static str {
+        "IER-A*"
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        Ok(ier_knn(ctx, AStarOracle::new(ctx.graph), query, k))
+    }
+}
+
+/// IER with Contraction Hierarchies.
+struct IerCh;
+
+impl KnnAlgorithm for IerCh {
+    fn method(&self) -> Method {
+        Method::IerCh
+    }
+    fn name(&self) -> &'static str {
+        "IER-CH"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Ch]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let ch = ctx.require_ch(self.name())?;
+        Ok(ier_knn(ctx, ChOracle::new(ch), query, k))
+    }
+}
+
+/// IER with hub labels ("IER-PHL", the paper's headline winner).
+struct IerPhl;
+
+impl KnnAlgorithm for IerPhl {
+    fn method(&self) -> Method {
+        Method::IerPhl
+    }
+    fn name(&self) -> &'static str {
+        "IER-PHL"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Phl]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let phl = ctx.require_phl(self.name())?;
+        Ok(ier_knn(ctx, PhlOracle::new(phl), query, k))
+    }
+}
+
+/// IER with Transit Node Routing.
+struct IerTnr;
+
+impl KnnAlgorithm for IerTnr {
+    fn method(&self) -> Method {
+        Method::IerTnr
+    }
+    fn name(&self) -> &'static str {
+        "IER-TNR"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Tnr]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let tnr = ctx.require_tnr(self.name())?;
+        Ok(ier_knn(ctx, TnrOracle::new(tnr), query, k))
+    }
+}
+
+/// IER with the materialized G-tree oracle ("IER-Gt").
+struct IerGtree;
+
+impl KnnAlgorithm for IerGtree {
+    fn method(&self) -> Method {
+        Method::IerGtree
+    }
+    fn name(&self) -> &'static str {
+        "IER-Gt"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Gtree]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let gtree = ctx.require_gtree(self.name())?;
+        Ok(ier_knn(ctx, GtreeOracle::new(gtree, ctx.graph), query, k))
+    }
+}
+
+/// Shared body of the two Distance Browsing variants.
+fn disbrw_knn(
+    ctx: &QueryContext<'_>,
+    variant: DisBrwVariant,
+    method: &'static str,
+    query: NodeId,
+    k: usize,
+) -> Result<QueryOutput, EngineError> {
+    let silc = ctx.require_silc(method)?;
+    let search = DisBrwSearch::with_variant(ctx.graph, silc, Some(ctx.chains), variant);
+    let (result, stats) = search.knn_with_stats(query, k, ctx.rtree, ctx.objects);
+    Ok(QueryOutput::new(
+        result,
+        QueryStats {
+            nodes_expanded: stats.hierarchy_nodes as u64,
+            oracle_calls: stats.refinements as u64,
+            candidates_examined: stats.candidates as u64,
+            ..Default::default()
+        },
+    ))
+}
+
+/// Distance Browsing with Euclidean-NN candidates (DB-ENN).
+struct DisBrw;
+
+impl KnnAlgorithm for DisBrw {
+    fn method(&self) -> Method {
+        Method::DisBrw
+    }
+    fn name(&self) -> &'static str {
+        "DisBrw"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Silc]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        disbrw_knn(ctx, DisBrwVariant::DbEnn, self.name(), query, k)
+    }
+}
+
+/// Distance Browsing with the original object hierarchy.
+struct DisBrwObjectHierarchy;
+
+impl KnnAlgorithm for DisBrwObjectHierarchy {
+    fn method(&self) -> Method {
+        Method::DisBrwObjectHierarchy
+    }
+    fn name(&self) -> &'static str {
+        "DisBrw-OH"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Silc]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        disbrw_knn(ctx, DisBrwVariant::ObjectHierarchy, self.name(), query, k)
+    }
+}
+
+/// ROAD (Rnet hierarchy with Route Overlay bypassing).
+struct Road;
+
+impl KnnAlgorithm for Road {
+    fn method(&self) -> Method {
+        Method::Road
+    }
+    fn name(&self) -> &'static str {
+        "ROAD"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Road]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let road = ctx.require_road(self.name())?;
+        let directory = ctx.require_association(self.name())?;
+        let (result, stats) = RoadKnn::new(ctx.graph, road).knn_with_stats(query, k, directory);
+        Ok(QueryOutput::new(
+            result,
+            QueryStats {
+                nodes_expanded: stats.settled as u64,
+                heap_operations: stats.heap_pushes as u64,
+                oracle_calls: stats.shortcuts_relaxed as u64,
+                ..Default::default()
+            },
+        ))
+    }
+}
+
+/// G-tree kNN (occurrence-list traversal with the improved leaf search).
+struct GtreeKnn;
+
+impl KnnAlgorithm for GtreeKnn {
+    fn method(&self) -> Method {
+        Method::Gtree
+    }
+    fn name(&self) -> &'static str {
+        "Gtree"
+    }
+    fn required_indexes(&self) -> &'static [IndexKind] {
+        &[IndexKind::Gtree]
+    }
+    fn knn(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let gtree = ctx.require_gtree(self.name())?;
+        let occurrence = ctx.require_occurrence(self.name())?;
+        let mut search = rnknn_gtree::GtreeSearch::new(gtree, ctx.graph, query);
+        let result = search.knn(k, occurrence, LeafSearchMode::Improved);
+        let stats = search.stats;
+        Ok(QueryOutput::new(
+            result,
+            QueryStats {
+                nodes_expanded: stats.materialized_nodes + stats.leaf_vertices_settled,
+                heap_operations: stats.heap_pushes,
+                oracle_calls: stats.border_computations,
+                ..Default::default()
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_method_exactly_once() {
+        let mut methods: Vec<Method> = registry().iter().map(|a| a.method()).collect();
+        assert_eq!(methods.len(), 11);
+        methods.dedup();
+        assert_eq!(methods.len(), 11, "duplicate Method in registry");
+        for &m in &methods {
+            assert_eq!(algorithm(m).method(), m);
+            assert!(!algorithm(m).name().is_empty());
+        }
+    }
+
+    #[test]
+    fn required_indexes_match_the_paper_table() {
+        assert!(algorithm(Method::Ine).required_indexes().is_empty());
+        assert!(algorithm(Method::IerDijkstra).required_indexes().is_empty());
+        assert_eq!(algorithm(Method::IerPhl).required_indexes(), &[IndexKind::Phl]);
+        assert_eq!(algorithm(Method::DisBrw).required_indexes(), &[IndexKind::Silc]);
+        assert_eq!(algorithm(Method::Road).required_indexes(), &[IndexKind::Road]);
+        assert_eq!(algorithm(Method::Gtree).required_indexes(), &[IndexKind::Gtree]);
+    }
+}

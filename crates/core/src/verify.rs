@@ -38,10 +38,7 @@ pub fn matches_ground_truth(
     if !answer.windows(2).all(|w| w[0].1 <= w[1].1) {
         return false;
     }
-    answer
-        .iter()
-        .zip(truth.iter())
-        .all(|(&(o, d), &(_, td))| d == td && objects.contains(o))
+    answer.iter().zip(truth.iter()).all(|(&(o, d), &(_, td))| d == td && objects.contains(o))
 }
 
 #[cfg(test)]
@@ -53,7 +50,8 @@ mod tests {
 
     #[test]
     fn ground_truth_is_sorted_and_bounded_by_k() {
-        let g = RoadNetwork::generate(&GeneratorConfig::new(400, 9)).graph(EdgeWeightKind::Distance);
+        let g =
+            RoadNetwork::generate(&GeneratorConfig::new(400, 9)).graph(EdgeWeightKind::Distance);
         let objects = uniform(&g, 0.05, 3);
         let truth = ground_truth(&g, 7, 5, &objects);
         assert_eq!(truth.len(), 5);
@@ -63,7 +61,8 @@ mod tests {
 
     #[test]
     fn detects_wrong_answers() {
-        let g = RoadNetwork::generate(&GeneratorConfig::new(300, 4)).graph(EdgeWeightKind::Distance);
+        let g =
+            RoadNetwork::generate(&GeneratorConfig::new(300, 4)).graph(EdgeWeightKind::Distance);
         let objects = uniform(&g, 0.05, 8);
         let mut truth = ground_truth(&g, 3, 4, &objects);
         truth[0].1 += 1;

@@ -109,9 +109,9 @@ pub fn parse(gr: &str, co: &str) -> Result<Graph, DimacsError> {
             coordinates: coords.len(),
         });
     }
-    let num_vertices = declared_vertices.max(coords.len()).max(
-        arcs.iter().map(|&(u, v, _)| u.max(v) as usize + 1).max().unwrap_or(0),
-    );
+    let num_vertices = declared_vertices
+        .max(coords.len())
+        .max(arcs.iter().map(|&(u, v, _)| u.max(v) as usize + 1).max().unwrap_or(0));
     coords.resize(num_vertices, Point::default());
 
     let mut b = GraphBuilder::new();

@@ -320,13 +320,16 @@ impl RoadNetwork {
 
         // Subdivide a fraction of local edges into chains of degree-2 vertices.
         let mut edges: Vec<(NodeId, NodeId, Weight, Weight)> = Vec::new();
-        let push_edge =
-            |edges: &mut Vec<(NodeId, NodeId, Weight, Weight)>, coords: &[Point], u: NodeId, v: NodeId, class: RoadClass| {
-                let len = coords[u as usize].distance(&coords[v as usize]).max(1.0);
-                let dist = len.round() as Weight;
-                let time = (len / class.speed() * 10.0).round().max(1.0) as Weight;
-                edges.push((u, v, dist.max(1), time));
-            };
+        let push_edge = |edges: &mut Vec<(NodeId, NodeId, Weight, Weight)>,
+                         coords: &[Point],
+                         u: NodeId,
+                         v: NodeId,
+                         class: RoadClass| {
+            let len = coords[u as usize].distance(&coords[v as usize]).max(1.0);
+            let dist = len.round() as Weight;
+            let time = (len / class.speed() * 10.0).round().max(1.0) as Weight;
+            edges.push((u, v, dist.max(1), time));
+        };
         for (u, v, class) in kept {
             let subdivide = class == RoadClass::Local && rng.chance(config.chain_fraction);
             if !subdivide || config.max_chain_length == 0 {

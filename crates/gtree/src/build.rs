@@ -104,7 +104,12 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     /// Recursively partitions `vertices`, appending nodes and returning the new node's
     /// index. Children are built before the parent's metadata is finalised.
-    fn build_node(&mut self, parent: Option<NodeIndex>, vertices: Vec<NodeId>, depth: u32) -> NodeIndex {
+    fn build_node(
+        &mut self,
+        parent: Option<NodeIndex>,
+        vertices: Vec<NodeId>,
+        depth: u32,
+    ) -> NodeIndex {
         let index = self.nodes.len() as NodeIndex;
         self.nodes.push(GtreeNode {
             parent,
@@ -199,7 +204,8 @@ impl<'a> Builder<'a> {
                     .borders
                     .iter()
                     .map(|&b| {
-                        node.leaf_vertices.iter().position(|&v| v == b).expect("border in leaf") as u32
+                        node.leaf_vertices.iter().position(|&v| v == b).expect("border in leaf")
+                            as u32
                     })
                     .collect();
                 self.nodes[i].own_border_positions = positions;
@@ -268,7 +274,8 @@ impl<'a> Builder<'a> {
     fn external_border_edges(&self, i: usize) -> Vec<(usize, usize, Weight)> {
         let parent = self.nodes[i].parent.expect("non-root") as usize;
         let pnode = &self.nodes[parent];
-        let child_pos = pnode.children.iter().position(|&c| c as usize == i).expect("child of parent");
+        let child_pos =
+            pnode.children.iter().position(|&c| c as usize == i).expect("child of parent");
         let base = pnode.child_border_offsets[child_pos] as usize;
         let nb = self.nodes[i].borders.len();
         let mut edges = Vec::new();

@@ -207,7 +207,12 @@ impl DistanceMatrix {
     /// Reads a cell.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Weight {
-        debug_assert!(row < self.rows && col < self.cols, "({row},{col}) in {}x{}", self.rows, self.cols);
+        debug_assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) in {}x{}",
+            self.rows,
+            self.cols
+        );
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         match self.kind {
             MatrixKind::Array => {

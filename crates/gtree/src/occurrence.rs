@@ -49,11 +49,11 @@ impl OccurrenceList {
             }
         }
         let mut children_with_objects: Vec<Vec<u32>> = vec![Vec::new(); num_nodes];
-        for i in 0..num_nodes {
+        for (i, with_objects) in children_with_objects.iter_mut().enumerate() {
             let node = gtree.node(i as NodeIndex);
             for (ci, &c) in node.children.iter().enumerate() {
                 if has_object[c as usize] {
-                    children_with_objects[i].push(ci as u32);
+                    with_objects.push(ci as u32);
                 }
             }
         }
@@ -112,7 +112,8 @@ mod tests {
     fn tree() -> (rnknn_graph::Graph, Gtree) {
         let net = RoadNetwork::generate(&GeneratorConfig::new(600, 12));
         let g = net.graph(EdgeWeightKind::Distance);
-        let t = Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 40, ..Default::default() });
+        let t =
+            Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 40, ..Default::default() });
         (g, t)
     }
 

@@ -214,23 +214,21 @@ impl<'a> GtreeSearch<'a> {
             // Source side within the parent: either the sibling subtree containing the
             // source (when the parent is an ancestor of the source leaf) or the parent's
             // own borders.
-            let (src_positions, src_dists): (Vec<usize>, Vec<Weight>) =
-                if gtree.is_ancestor_of(p, self.source_leaf) {
-                    let s = gtree.child_towards(p, self.source_leaf);
-                    self.ensure_border_distances(s);
-                    let s_child_pos =
-                        pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
-                    let s_base = pnode.child_border_offsets[s_child_pos] as usize;
-                    let dists = self.border_dists[s as usize].as_ref().expect("materialized");
-                    ((0..dists.len()).map(|i| s_base + i).collect(), dists.clone())
-                } else {
-                    self.ensure_border_distances(p);
-                    let dists = self.border_dists[p as usize].as_ref().expect("materialized");
-                    (
-                        pnode.own_border_positions.iter().map(|&x| x as usize).collect(),
-                        dists.clone(),
-                    )
-                };
+            let (src_positions, src_dists): (Vec<usize>, Vec<Weight>) = if gtree
+                .is_ancestor_of(p, self.source_leaf)
+            {
+                let s = gtree.child_towards(p, self.source_leaf);
+                self.ensure_border_distances(s);
+                let s_child_pos =
+                    pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
+                let s_base = pnode.child_border_offsets[s_child_pos] as usize;
+                let dists = self.border_dists[s as usize].as_ref().expect("materialized");
+                ((0..dists.len()).map(|i| s_base + i).collect(), dists.clone())
+            } else {
+                self.ensure_border_distances(p);
+                let dists = self.border_dists[p as usize].as_ref().expect("materialized");
+                (pnode.own_border_positions.iter().map(|&x| x as usize).collect(), dists.clone())
+            };
             let mut out = Vec::with_capacity(node.borders.len());
             for yi in 0..node.borders.len() {
                 let py = t_base + yi;
@@ -529,10 +527,8 @@ mod tests {
     fn setup(n: usize, seed: u64, tau: usize) -> (Graph, Gtree) {
         let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
         let g = net.graph(EdgeWeightKind::Distance);
-        let t = Gtree::build_with_config(
-            &g,
-            GtreeConfig { leaf_capacity: tau, ..Default::default() },
-        );
+        let t =
+            Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: tau, ..Default::default() });
         (g, t)
     }
 

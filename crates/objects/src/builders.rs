@@ -22,21 +22,20 @@ pub struct ObjectIndexCost {
 pub fn build_rtree(graph: &Graph, objects: &ObjectSet) -> (ObjectRTree, ObjectIndexCost) {
     let start = Instant::now();
     let index = ObjectRTree::build(graph, objects);
-    let cost = ObjectIndexCost {
-        build_micros: start.elapsed().as_micros(),
-        bytes: index.memory_bytes(),
-    };
+    let cost =
+        ObjectIndexCost { build_micros: start.elapsed().as_micros(), bytes: index.memory_bytes() };
     (index, cost)
 }
 
 /// Builds the G-tree occurrence list and reports its cost.
-pub fn build_occurrence_list(gtree: &Gtree, objects: &ObjectSet) -> (OccurrenceList, ObjectIndexCost) {
+pub fn build_occurrence_list(
+    gtree: &Gtree,
+    objects: &ObjectSet,
+) -> (OccurrenceList, ObjectIndexCost) {
     let start = Instant::now();
     let index = OccurrenceList::build(gtree, objects.vertices());
-    let cost = ObjectIndexCost {
-        build_micros: start.elapsed().as_micros(),
-        bytes: index.memory_bytes(),
-    };
+    let cost =
+        ObjectIndexCost { build_micros: start.elapsed().as_micros(), bytes: index.memory_bytes() };
     (index, cost)
 }
 
@@ -48,10 +47,8 @@ pub fn build_association_directory(
 ) -> (AssociationDirectory, ObjectIndexCost) {
     let start = Instant::now();
     let index = AssociationDirectory::build(road, graph.num_vertices(), objects.vertices());
-    let cost = ObjectIndexCost {
-        build_micros: start.elapsed().as_micros(),
-        bytes: index.memory_bytes(),
-    };
+    let cost =
+        ObjectIndexCost { build_micros: start.elapsed().as_micros(), bytes: index.memory_bytes() };
     (index, cost)
 }
 
@@ -66,8 +63,10 @@ mod tests {
 
     #[test]
     fn all_three_object_indexes_build_and_report_costs() {
-        let g = RoadNetwork::generate(&GeneratorConfig::new(600, 3)).graph(EdgeWeightKind::Distance);
-        let gtree = Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 64, ..Default::default() });
+        let g =
+            RoadNetwork::generate(&GeneratorConfig::new(600, 3)).graph(EdgeWeightKind::Distance);
+        let gtree =
+            Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 64, ..Default::default() });
         let road = RoadIndex::build_with_config(
             &g,
             RoadConfig { fanout: 4, levels: 3, min_rnet_vertices: 16 },

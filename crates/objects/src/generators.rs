@@ -30,7 +30,12 @@ pub fn uniform(graph: &Graph, density: f64, seed: u64) -> ObjectSet {
 /// Clustered object set: `num_clusters` random centres, each expanded outwards (BFS over
 /// the road network) to at most `max_cluster_size` vertices. Models POIs such as fast
 /// food outlets that appear in groups (used to evaluate ROAD in its original paper).
-pub fn clustered(graph: &Graph, num_clusters: usize, max_cluster_size: usize, seed: u64) -> ObjectSet {
+pub fn clustered(
+    graph: &Graph,
+    num_clusters: usize,
+    max_cluster_size: usize,
+    seed: u64,
+) -> ObjectSet {
     let n = graph.num_vertices();
     let mut rng = SplitMix64::new(seed ^ 0xC1A57E5);
     let mut objects = Vec::new();
@@ -131,10 +136,8 @@ pub fn min_object_distance(
 
     // Query vertices closer to the centre than any R_1 object may be.
     let query_threshold = max_distance / (1u64 << m);
-    let close: Vec<NodeId> = graph
-        .vertices()
-        .filter(|&v| dist[v as usize] < query_threshold.max(1))
-        .collect();
+    let close: Vec<NodeId> =
+        graph.vertices().filter(|&v| dist[v as usize] < query_threshold.max(1)).collect();
     let mut query_vertices = Vec::with_capacity(num_queries);
     if !close.is_empty() {
         for _ in 0..num_queries {

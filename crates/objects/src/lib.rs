@@ -17,7 +17,9 @@ pub mod generators;
 pub mod poi;
 pub mod set;
 
-pub use builders::{build_association_directory, build_occurrence_list, build_rtree, ObjectIndexCost};
+pub use builders::{
+    build_association_directory, build_occurrence_list, build_rtree, ObjectIndexCost,
+};
 pub use generators::{clustered, min_object_distance, uniform, MinDistanceSets};
 pub use poi::{PoiCategory, PoiSets};
 pub use set::{ObjectRTree, ObjectSet};

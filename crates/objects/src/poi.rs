@@ -94,9 +94,7 @@ pub struct PoiSets {
 impl PoiSets {
     /// Generates every category on `graph`.
     pub fn generate(graph: &Graph, seed: u64) -> PoiSets {
-        PoiSets {
-            sets: PoiCategory::all().iter().map(|&c| (c, c.generate(graph, seed))).collect(),
-        }
+        PoiSets { sets: PoiCategory::all().iter().map(|&c| (c, c.generate(graph, seed))).collect() }
     }
 
     /// Iterates over `(category, object set)` pairs, largest category first.
@@ -118,7 +116,8 @@ mod tests {
 
     #[test]
     fn categories_have_decreasing_sizes() {
-        let g = RoadNetwork::generate(&GeneratorConfig::new(4_000, 2)).graph(EdgeWeightKind::Distance);
+        let g =
+            RoadNetwork::generate(&GeneratorConfig::new(4_000, 2)).graph(EdgeWeightKind::Distance);
         let sets = PoiSets::generate(&g, 5);
         let sizes: Vec<usize> = sets.iter().map(|(_, s)| s.len()).collect();
         // Sizes follow the density ordering (allowing equality for tiny sets).
@@ -131,7 +130,8 @@ mod tests {
 
     #[test]
     fn densities_roughly_match_the_table() {
-        let g = RoadNetwork::generate(&GeneratorConfig::new(8_000, 3)).graph(EdgeWeightKind::Distance);
+        let g =
+            RoadNetwork::generate(&GeneratorConfig::new(8_000, 3)).graph(EdgeWeightKind::Distance);
         let schools = PoiCategory::Schools.generate(&g, 1);
         let d = schools.density(g.num_vertices());
         assert!((d - 0.007).abs() < 0.002, "schools density {d}");

@@ -54,9 +54,7 @@ impl ObjectSet {
     /// True when `v` is an object.
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
-        self.bitmap
-            .get((v / 64) as usize)
-            .is_some_and(|w| w & (1 << (v % 64)) != 0)
+        self.bitmap.get((v / 64) as usize).is_some_and(|w| w & (1 << (v % 64)) != 0)
     }
 
     /// Size of the raw object list in bytes — the lower bound on object-index storage

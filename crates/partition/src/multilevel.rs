@@ -52,7 +52,12 @@ impl Partitioner {
     /// Returns one part id (in `0..parts`) per entry of `vertices`. Parts are balanced
     /// within the configured tolerance and every part is non-empty whenever
     /// `vertices.len() >= parts`.
-    pub fn partition(&self, graph: &Graph, vertices: &[NodeId], parts: usize) -> PartitionAssignment {
+    pub fn partition(
+        &self,
+        graph: &Graph,
+        vertices: &[NodeId],
+        parts: usize,
+    ) -> PartitionAssignment {
         assert!(parts >= 1, "parts must be >= 1");
         let n = vertices.len();
         if parts == 1 || n <= 1 {
@@ -81,7 +86,12 @@ impl Partitioner {
         let work = WorkGraph { offsets, targets, edge_weights, vertex_weights: vec![1; n] };
         let mut assignment = vec![0u32; n];
         let part_ids: Vec<u32> = (0..parts as u32).collect();
-        self.recursive_bisect(&work, &(0..n as u32).collect::<Vec<_>>(), &part_ids, &mut assignment);
+        self.recursive_bisect(
+            &work,
+            &(0..n as u32).collect::<Vec<_>>(),
+            &part_ids,
+            &mut assignment,
+        );
         assignment
     }
 
@@ -271,10 +281,8 @@ fn coarsen(graph: &WorkGraph, seed: u64) -> (WorkGraph, Vec<u32>) {
         // Pick the heaviest-edge unmatched neighbor.
         let mut best: Option<(u32, u64)> = None;
         for (t, w) in graph.neighbors(v) {
-            if t != v && matched[t as usize] == u32::MAX {
-                if best.map_or(true, |(_, bw)| w > bw) {
-                    best = Some((t, w));
-                }
+            if t != v && matched[t as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((t, w));
             }
         }
         match best {
@@ -361,12 +369,7 @@ mod tests {
                 cut += 1;
             }
         }
-        assert!(
-            cut * 8 < g.num_edges(),
-            "cut {} of {} edges looks too large",
-            cut,
-            g.num_edges()
-        );
+        assert!(cut * 8 < g.num_edges(), "cut {} of {} edges looks too large", cut, g.num_edges());
     }
 
     #[test]

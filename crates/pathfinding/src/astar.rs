@@ -13,7 +13,12 @@ use crate::settled::{BitSettled, SettledContainer};
 ///
 /// The heuristic must be admissible (never overestimate); [`Graph::euclidean_bound`]
 /// produces such a bound for both travel-distance and travel-time graphs.
-pub fn astar_distance(graph: &Graph, bound: &EuclideanBound, source: NodeId, target: NodeId) -> Weight {
+pub fn astar_distance(
+    graph: &Graph,
+    bound: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+) -> Weight {
     if source == target {
         return 0;
     }

@@ -231,7 +231,8 @@ fn betweenness_order(graph: &Graph, config: &PhlConfig) -> Vec<NodeId> {
         let root = ((state >> 33) as usize % n) as NodeId;
         let (dist, parent) = sssp_tree(graph, root);
         // Subtree sizes: process vertices in decreasing distance order.
-        let mut order: Vec<NodeId> = (0..n as NodeId).filter(|&v| dist[v as usize] < INFINITY).collect();
+        let mut order: Vec<NodeId> =
+            (0..n as NodeId).filter(|&v| dist[v as usize] < INFINITY).collect();
         order.sort_unstable_by_key(|&v| std::cmp::Reverse(dist[v as usize]));
         let mut subtree = vec![1u64; n];
         for &v in &order {
@@ -246,9 +247,7 @@ fn betweenness_order(graph: &Graph, config: &PhlConfig) -> Vec<NodeId> {
     }
     // Mix degree in as a tie-breaker so hubs at intersections come first.
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    order.sort_unstable_by_key(|&v| {
-        std::cmp::Reverse((score[v as usize], graph.degree(v) as u64))
-    });
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse((score[v as usize], graph.degree(v) as u64)));
     order
 }
 

@@ -173,7 +173,11 @@ impl RoadIndex {
 
     /// The shortcuts from border `v` of Rnet `r`: pairs of (other border, restricted
     /// network distance). Returns `None` when `v` is not a border of `r`.
-    pub fn shortcuts_from(&self, r: RnetIndex, v: NodeId) -> Option<impl Iterator<Item = (NodeId, Weight)> + '_> {
+    pub fn shortcuts_from(
+        &self,
+        r: RnetIndex,
+        v: NodeId,
+    ) -> Option<impl Iterator<Item = (NodeId, Weight)> + '_> {
         let rnet = &self.rnets[r as usize];
         let row = rnet.borders.binary_search(&v).ok()?;
         let nb = rnet.borders.len();
@@ -215,7 +219,12 @@ struct Builder<'a> {
 }
 
 impl<'a> Builder<'a> {
-    fn build_rnet(&mut self, parent: Option<RnetIndex>, vertices: Vec<NodeId>, level: u32) -> RnetIndex {
+    fn build_rnet(
+        &mut self,
+        parent: Option<RnetIndex>,
+        vertices: Vec<NodeId>,
+        level: u32,
+    ) -> RnetIndex {
         let index = self.rnets.len() as RnetIndex;
         self.rnets.push(Rnet {
             parent,
@@ -226,8 +235,8 @@ impl<'a> Builder<'a> {
             leaf_range: (0, 0),
             shortcut_offset: 0,
         });
-        let is_leaf = level as usize >= self.config.levels
-            || vertices.len() <= self.config.min_rnet_vertices;
+        let is_leaf =
+            level as usize >= self.config.levels || vertices.len() <= self.config.min_rnet_vertices;
         if is_leaf {
             let leaf = self.next_leaf;
             self.next_leaf += 1;
@@ -272,14 +281,10 @@ impl<'a> Builder<'a> {
             let mut r = self.leaf_of_vertex[v as usize];
             loop {
                 let range = self.rnets[r as usize].leaf_range;
-                let is_border = self
-                    .graph
-                    .neighbor_ids(v)
-                    .iter()
-                    .any(|&t| {
-                        let tl = self.leaf_dfs_of(t);
-                        tl < range.0 || tl >= range.1
-                    });
+                let is_border = self.graph.neighbor_ids(v).iter().any(|&t| {
+                    let tl = self.leaf_dfs_of(t);
+                    tl < range.0 || tl >= range.1
+                });
                 if !is_border {
                     break;
                 }

@@ -182,8 +182,7 @@ mod tests {
             let dir = AssociationDirectory::build(&road, g.num_vertices(), &objects);
             let knn = RoadKnn::new(&g, &road);
             for q in [0u32, n / 2, n - 7] {
-                let got: Vec<Weight> =
-                    knn.knn(q, 8, &dir).iter().map(|&(_, d)| d).collect();
+                let got: Vec<Weight> = knn.knn(q, 8, &dir).iter().map(|&(_, d)| d).collect();
                 let want = brute_knn(&g, q, 8, &objects);
                 assert_eq!(got, want, "q={q} modulo={modulo}");
             }

@@ -141,16 +141,15 @@ impl SilcIndex {
                 per_source.chunks_mut(chunk).enumerate().map(|(i, c)| (i * chunk, c)).collect()
             };
             let cells_ref = &cells;
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (start, slot) in chunks {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (i, out) in slot.iter_mut().enumerate() {
                             *out = build_source(graph, cells_ref, (start + i) as NodeId);
                         }
                     });
                 }
-            })
-            .expect("SILC construction worker panicked");
+            });
         }
 
         let mut blocks = Vec::new();
@@ -247,9 +246,7 @@ impl SilcIndex {
         }
         let mut path = vec![s];
         let mut prev = s;
-        let mut cur = match self.first_hop(graph, s, t)? {
-            v => v,
-        };
+        let mut cur = self.first_hop(graph, s, t)?;
         path.push(cur);
         let mut guard = 0usize;
         while cur != t {
@@ -293,10 +290,9 @@ impl SilcIndex {
                     INFINITY
                 }
             }
-            Some(path) => path
-                .windows(2)
-                .map(|w| graph.edge_weight(w[0], w[1]).unwrap_or(INFINITY))
-                .sum(),
+            Some(path) => {
+                path.windows(2).map(|w| graph.edge_weight(w[0], w[1]).unwrap_or(INFINITY)).sum()
+            }
         }
     }
 
@@ -326,10 +322,8 @@ impl SilcIndex {
         }
         let cur = refiner.next_vertex;
         if cur == refiner.target {
-            refiner.interval = DistanceInterval {
-                lower: refiner.dist_to_next,
-                upper: refiner.dist_to_next,
-            };
+            refiner.interval =
+                DistanceInterval { lower: refiner.dist_to_next, upper: refiner.dist_to_next };
             return true;
         }
         // Next vertex on the path: chain shortcut when possible, quadtree otherwise.
@@ -355,7 +349,7 @@ impl SilcIndex {
         let w = graph.edge_weight(cur, next).unwrap_or(INFINITY);
         refiner.prev_vertex = cur;
         refiner.next_vertex = next;
-        refiner.dist_to_next = refiner.dist_to_next + w;
+        refiner.dist_to_next += w;
         if next == refiner.target {
             refiner.interval =
                 DistanceInterval { lower: refiner.dist_to_next, upper: refiner.dist_to_next };
@@ -364,7 +358,8 @@ impl SilcIndex {
         let tail = self.interval(graph, next, refiner.target);
         refiner.interval = DistanceInterval {
             lower: refiner.dist_to_next.saturating_add(tail.lower).max(refiner.interval.lower),
-            upper: (refiner.dist_to_next.saturating_add(tail.upper)).min(refiner.interval.upper.max(refiner.dist_to_next)),
+            upper: (refiner.dist_to_next.saturating_add(tail.upper))
+                .min(refiner.interval.upper.max(refiner.dist_to_next)),
         };
         // Guard against pathological float rounding: keep the interval well-formed.
         if refiner.interval.lower > refiner.interval.upper {
@@ -402,7 +397,8 @@ fn build_source(graph: &Graph, cells: &[(u32, u32)], s: NodeId) -> Vec<SilcBlock
     let neighbors = graph.neighbor_ids(s);
     let mut color: Vec<u16> = vec![u16::MAX; n];
     // Process vertices in increasing distance order so parents are coloured first.
-    let mut order: Vec<NodeId> = (0..n as NodeId).filter(|&v| dist[v as usize] < INFINITY).collect();
+    let mut order: Vec<NodeId> =
+        (0..n as NodeId).filter(|&v| dist[v as usize] < INFINITY).collect();
     order.sort_unstable_by_key(|&v| dist[v as usize]);
     for &v in &order {
         if v == s {
@@ -580,8 +576,10 @@ mod tests {
     fn parallel_and_sequential_builds_agree() {
         let net = RoadNetwork::generate(&GeneratorConfig::new(300, 44));
         let g = net.graph(EdgeWeightKind::Distance);
-        let seq = SilcIndex::try_build(&g, &SilcConfig { max_vertices: 10_000, threads: 1 }).unwrap();
-        let par = SilcIndex::try_build(&g, &SilcConfig { max_vertices: 10_000, threads: 4 }).unwrap();
+        let seq =
+            SilcIndex::try_build(&g, &SilcConfig { max_vertices: 10_000, threads: 1 }).unwrap();
+        let par =
+            SilcIndex::try_build(&g, &SilcConfig { max_vertices: 10_000, threads: 4 }).unwrap();
         assert_eq!(seq.num_blocks(), par.num_blocks());
         let n = g.num_vertices() as NodeId;
         for i in 0..20u32 {

@@ -57,10 +57,7 @@ impl RTree {
         // --- Leaf level via STR tiling ---
         let mut order: Vec<u32> = (0..entries.len() as u32).collect();
         order.sort_by(|&a, &b| {
-            points[a as usize]
-                .x
-                .partial_cmp(&points[b as usize].x)
-                .unwrap_or(Ordering::Equal)
+            points[a as usize].x.partial_cmp(&points[b as usize].x).unwrap_or(Ordering::Equal)
         });
         let leaf_count = entries.len().div_ceil(node_capacity);
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
@@ -69,10 +66,7 @@ impl RTree {
         for slice in order.chunks(slice_size.max(1)) {
             let mut slice: Vec<u32> = slice.to_vec();
             slice.sort_by(|&a, &b| {
-                points[a as usize]
-                    .y
-                    .partial_cmp(&points[b as usize].y)
-                    .unwrap_or(Ordering::Equal)
+                points[a as usize].y.partial_cmp(&points[b as usize].y).unwrap_or(Ordering::Equal)
             });
             for group in slice.chunks(node_capacity) {
                 let mut rect = Rect::empty();
@@ -337,11 +331,8 @@ mod tests {
 
     #[test]
     fn single_entry_and_duplicate_points() {
-        let entries = vec![
-            (Point::new(5.0, 5.0), 1),
-            (Point::new(5.0, 5.0), 2),
-            (Point::new(6.0, 5.0), 3),
-        ];
+        let entries =
+            vec![(Point::new(5.0, 5.0), 1), (Point::new(5.0, 5.0), 2), (Point::new(6.0, 5.0), 3)];
         let tree = RTree::bulk_load(&entries);
         let knn = tree.knn(Point::new(5.0, 5.0), 2);
         assert_eq!(knn.len(), 2);
@@ -354,11 +345,8 @@ mod tests {
         let tree = RTree::bulk_load(&entries);
         let q = Point::new(500.0, 500.0);
         let within = tree.within_radius(q, 100.0);
-        let brute: Vec<u32> = entries
-            .iter()
-            .filter(|(p, _)| p.distance(&q) <= 100.0)
-            .map(|&(_, id)| id)
-            .collect();
+        let brute: Vec<u32> =
+            entries.iter().filter(|(p, _)| p.distance(&q) <= 100.0).map(|&(_, id)| id).collect();
         assert_eq!(within.len(), brute.len());
         assert!(within.iter().all(|&(d, _)| d <= 100.0));
     }

@@ -19,6 +19,8 @@
 //! pairs (matching the behaviour the paper observes: "CH is the technique used to answer
 //! local queries in TNR").
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rnknn_ch::ContractionHierarchy;
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 
@@ -43,7 +45,7 @@ impl Default for TnrConfig {
 }
 
 /// The Transit Node Routing index.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TransitNodeRouting {
     ch: ContractionHierarchy,
     /// Transit node ids, indexed by their position in the distance table.
@@ -56,18 +58,44 @@ pub struct TransitNodeRouting {
     /// Grid cell of every vertex (for the locality filter).
     cell: Vec<(i32, i32)>,
     config: TnrConfig,
-    /// Statistics: how many queries were answered by the table vs the local search.
-    pub stats: TnrStats,
+    /// How many queries were answered by the table vs the local search. Atomic so
+    /// `distance` takes `&self` and the index can be queried from many threads.
+    counters: TnrCounters,
 }
 
-/// Query counters (useful for reproducing the paper's analysis of when transit nodes
-/// are actually used).
+impl Clone for TransitNodeRouting {
+    fn clone(&self) -> Self {
+        TransitNodeRouting {
+            ch: self.ch.clone(),
+            transit_nodes: self.transit_nodes.clone(),
+            access_offsets: self.access_offsets.clone(),
+            access_nodes: self.access_nodes.clone(),
+            table: self.table.clone(),
+            cell: self.cell.clone(),
+            config: self.config.clone(),
+            counters: TnrCounters {
+                local_only: AtomicU64::new(self.counters.local_only.load(Ordering::Relaxed)),
+                table_queries: AtomicU64::new(self.counters.table_queries.load(Ordering::Relaxed)),
+            },
+        }
+    }
+}
+
+/// Query-counter snapshot (useful for reproducing the paper's analysis of when transit
+/// nodes are actually used). Obtain one via [`TransitNodeRouting::stats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TnrStats {
     /// Queries where the locality filter skipped the table.
     pub local_only: u64,
     /// Queries that consulted the access-node table.
     pub table_queries: u64,
+}
+
+/// Live atomic counters behind [`TnrStats`].
+#[derive(Debug, Default)]
+struct TnrCounters {
+    local_only: AtomicU64,
+    table_queries: AtomicU64,
 }
 
 impl TransitNodeRouting {
@@ -85,7 +113,8 @@ impl TransitNodeRouting {
     /// Builds the index reusing an existing contraction hierarchy.
     pub fn build_from_ch(graph: &Graph, ch: ContractionHierarchy, config: TnrConfig) -> Self {
         let n = graph.num_vertices();
-        let num_transit = ((n as f64 * config.transit_fraction).ceil() as usize).clamp(16.min(n), n);
+        let num_transit =
+            ((n as f64 * config.transit_fraction).ceil() as usize).clamp(16.min(n), n);
         // Transit nodes = highest-ranked vertices.
         let rank_threshold = (n - num_transit) as u32;
         let mut transit_nodes: Vec<NodeId> =
@@ -114,8 +143,7 @@ impl TransitNodeRouting {
         // search spaces are reused per row.
         let t_count = transit_nodes.len();
         let mut table = vec![INFINITY; t_count * t_count];
-        let spaces: Vec<_> =
-            transit_nodes.iter().map(|&t| ch.upward_search_space(t)).collect();
+        let spaces: Vec<_> = transit_nodes.iter().map(|&t| ch.upward_search_space(t)).collect();
         for i in 0..t_count {
             table[i * t_count + i] = 0;
             for j in (i + 1)..t_count {
@@ -148,7 +176,15 @@ impl TransitNodeRouting {
             table,
             cell,
             config,
-            stats: TnrStats::default(),
+            counters: TnrCounters::default(),
+        }
+    }
+
+    /// Snapshot of the query counters accumulated so far.
+    pub fn stats(&self) -> TnrStats {
+        TnrStats {
+            local_only: self.counters.local_only.load(Ordering::Relaxed),
+            table_queries: self.counters.table_queries.load(Ordering::Relaxed),
         }
     }
 
@@ -191,26 +227,24 @@ impl TransitNodeRouting {
     }
 
     /// Exact network distance between `s` and `t`.
-    pub fn distance(&mut self, s: NodeId, t: NodeId) -> Weight {
+    pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
         if s == t {
             return 0;
         }
         // Local search: CH query that never expands transit nodes. Exact whenever the
         // contracted shortest path's peak is not a transit node.
-        let is_transit = |v: NodeId| {
-            self.transit_nodes.binary_search(&v).is_ok()
-        };
+        let is_transit = |v: NodeId| self.transit_nodes.binary_search(&v).is_ok();
         let forward = self.ch.upward_search_space_stopping_at(s, is_transit);
         let backward = self.ch.upward_search_space_stopping_at(t, is_transit);
         let local = forward.meet(&backward);
 
         if self.is_local(s, t) {
-            self.stats.local_only += 1;
+            self.counters.local_only.fetch_add(1, Ordering::Relaxed);
             // For local pairs the full CH query is used directly (the paper's "CH
             // answers local queries"); combine with the table-free local estimate.
             return local.min(self.table_estimate(s, t)).min(self.ch.distance(s, t));
         }
-        self.stats.table_queries += 1;
+        self.counters.table_queries.fetch_add(1, Ordering::Relaxed);
         local.min(self.table_estimate(s, t))
     }
 
@@ -246,7 +280,7 @@ mod tests {
         for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
             let net = RoadNetwork::generate(&GeneratorConfig::new(900, 14));
             let g = net.graph(kind);
-            let mut tnr = TransitNodeRouting::build_with_config(
+            let tnr = TransitNodeRouting::build_with_config(
                 &g,
                 TnrConfig { transit_fraction: 0.02, grid_cells: 16, locality_radius: 2 },
             );
@@ -256,7 +290,8 @@ mod tests {
                 let t = (i * 389 + 17) % n;
                 assert_eq!(tnr.distance(s, t), dijkstra::distance(&g, s, t), "{s}->{t} {kind:?}");
             }
-            assert!(tnr.stats.local_only + tnr.stats.table_queries > 0);
+            let stats = tnr.stats();
+            assert!(stats.local_only + stats.table_queries > 0);
         }
     }
 
@@ -290,7 +325,7 @@ mod tests {
     fn identical_endpoints_are_zero() {
         let net = RoadNetwork::generate(&GeneratorConfig::new(200, 5));
         let g = net.graph(EdgeWeightKind::Distance);
-        let mut tnr = TransitNodeRouting::build(&g);
+        let tnr = TransitNodeRouting::build(&g);
         assert_eq!(tnr.distance(7, 7), 0);
     }
 }

@@ -36,7 +36,7 @@ fn time_oracle<O: DistanceOracle>(
 }
 
 fn main() {
-    let network = RoadNetwork::generate(&GeneratorConfig::new(24_000, 4));
+    let network = RoadNetwork::generate(&GeneratorConfig::new(9_000, 4));
     let graph = network.graph(EdgeWeightKind::Distance);
     let objects = uniform(&graph, 0.001, 17);
     let rtree = ObjectRTree::build(&graph, &objects);
@@ -49,7 +49,7 @@ fn main() {
     println!("building oracles...");
     let ch = rnknn::ch::ContractionHierarchy::build(&graph);
     let phl = rnknn::phl::HubLabels::build_with_ch(&graph, &ch).expect("label budget");
-    let mut tnr = rnknn::tnr::TransitNodeRouting::build_from_ch(
+    let tnr = rnknn::tnr::TransitNodeRouting::build_from_ch(
         &graph,
         ch.clone(),
         rnknn::tnr::TnrConfig::default(),
@@ -60,13 +60,14 @@ fn main() {
     let queries: Vec<NodeId> = (0..40u32).map(|i| (i * 2_654_435) % n).collect();
     let k = 10;
 
-    let mut rows = Vec::new();
-    rows.push(time_oracle(&graph, DijkstraOracle::new(&graph), &rtree, &objects, &queries, k));
-    rows.push(time_oracle(&graph, AStarOracle::new(&graph), &rtree, &objects, &queries, k));
-    rows.push(time_oracle(&graph, ChOracle::new(&ch), &rtree, &objects, &queries, k));
-    rows.push(time_oracle(&graph, TnrOracle::new(&mut tnr), &rtree, &objects, &queries, k));
-    rows.push(time_oracle(&graph, GtreeOracle::new(&gtree, &graph), &rtree, &objects, &queries, k));
-    rows.push(time_oracle(&graph, PhlOracle::new(&phl), &rtree, &objects, &queries, k));
+    let rows = vec![
+        time_oracle(&graph, DijkstraOracle::new(&graph), &rtree, &objects, &queries, k),
+        time_oracle(&graph, AStarOracle::new(&graph), &rtree, &objects, &queries, k),
+        time_oracle(&graph, ChOracle::new(&ch), &rtree, &objects, &queries, k),
+        time_oracle(&graph, TnrOracle::new(&tnr), &rtree, &objects, &queries, k),
+        time_oracle(&graph, GtreeOracle::new(&gtree, &graph), &rtree, &objects, &queries, k),
+        time_oracle(&graph, PhlOracle::new(&phl), &rtree, &objects, &queries, k),
+    ];
 
     let reference = rows[0].2.clone();
     println!("\n{:<10} {:>14}   result", "oracle", "avg query (µs)");

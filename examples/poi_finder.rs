@@ -14,11 +14,7 @@ use rnknn_objects::PoiSets;
 fn main() {
     let network = RoadNetwork::generate(&GeneratorConfig::new(24_000, 7));
     let graph = network.graph(EdgeWeightKind::Distance);
-    println!(
-        "city-scale network: {} vertices / {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("city-scale network: {} vertices / {} edges", graph.num_vertices(), graph.num_edges());
 
     // One road-network index build serves every POI category.
     let mut engine = Engine::build(graph, &EngineConfig::minimal());
@@ -29,16 +25,15 @@ fn main() {
     println!("{:<12} {:>8} {:>30}", "category", "|O|", "network distances");
     for (category, set) in pois.iter() {
         engine.set_objects(set.clone());
-        let result = engine.knn(Method::Gtree, user_location, 5);
-        let distances: Vec<_> = result.iter().map(|&(_, d)| d).collect();
-        println!("{:<12} {:>8} {:>30?}", category.name(), set.len(), distances);
+        let output = engine.query(Method::Gtree, user_location, 5).expect("G-tree built");
+        println!("{:<12} {:>8} {:>30?}", category.name(), set.len(), output.distances());
     }
 
     // Object sets that change often (e.g. available parking) only need the cheap object
     // index rebuilt — demonstrate by perturbing one category and re-querying.
     let hospitals = pois.get(rnknn_objects::PoiCategory::Hospitals);
     engine.set_objects(hospitals.clone());
-    let before = engine.knn(Method::Road, user_location, 3);
-    println!("\nnearest hospitals (ROAD): {:?}", before.iter().map(|&(_, d)| d).collect::<Vec<_>>());
+    let before = engine.query(Method::Road, user_location, 3).expect("ROAD built");
+    println!("\nnearest hospitals (ROAD): {:?}", before.distances());
     println!("(swapping object sets reused the ROAD / G-tree road-network indexes)");
 }

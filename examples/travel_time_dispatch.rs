@@ -12,26 +12,29 @@ use rnknn_graph::EdgeWeightKind;
 use rnknn_objects::uniform;
 
 fn main() {
-    let network = RoadNetwork::generate(&GeneratorConfig::new(20_000, 99));
+    let network = RoadNetwork::generate(&GeneratorConfig::new(9_000, 99));
 
     // The same physical network, once with distance weights and once with travel times.
     let distance_graph = network.graph(EdgeWeightKind::Distance);
     let time_graph = network.graph(EdgeWeightKind::Time);
 
-    let mut config = EngineConfig::default();
-    config.build_silc = false; // not needed for this scenario
+    // SILC is not needed for this scenario.
+    let config = EngineConfig { build_silc: false, ..Default::default() };
     let mut by_distance = Engine::build(distance_graph, &config);
     let mut by_time = Engine::build(time_graph, &config);
 
     // 30 idle vehicles scattered over the network.
-    let vehicles = uniform(by_distance.graph(), 30.0 / by_distance.graph().num_vertices() as f64, 3);
+    let vehicles =
+        uniform(by_distance.graph(), 30.0 / by_distance.graph().num_vertices() as f64, 3);
     println!("dispatching among {} vehicles", vehicles.len());
     by_distance.set_objects(vehicles.clone());
     by_time.set_objects(vehicles);
 
     let incident = (by_distance.graph().num_vertices() / 4) as u32;
-    let nearest_by_distance = by_distance.knn(Method::IerGtree, incident, 3);
-    let nearest_by_time = by_time.knn(Method::IerGtree, incident, 3);
+    let nearest_by_distance =
+        by_distance.query(Method::IerGtree, incident, 3).expect("G-tree built").result;
+    let nearest_by_time =
+        by_time.query(Method::IerGtree, incident, 3).expect("G-tree built").result;
 
     println!("\nincident at vertex {incident}");
     println!("3 nearest vehicles by travel DISTANCE: {nearest_by_distance:?}");

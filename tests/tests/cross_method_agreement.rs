@@ -11,37 +11,20 @@ use rnknn_objects::{clustered, min_object_distance, uniform, PoiSets};
 fn engine_for(kind: EdgeWeightKind, n: usize, seed: u64) -> Engine {
     let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
     let graph = net.graph(kind);
-    let mut config = EngineConfig::default();
-    config.build_tnr = true;
-    config.gtree_leaf_capacity = Some(64);
+    let config =
+        EngineConfig { build_tnr: true, gtree_leaf_capacity: Some(64), ..Default::default() };
     Engine::build(graph, &config)
 }
 
-fn all_methods() -> Vec<Method> {
-    vec![
-        Method::Ine,
-        Method::IerDijkstra,
-        Method::IerAStar,
-        Method::IerCh,
-        Method::IerPhl,
-        Method::IerTnr,
-        Method::IerGtree,
-        Method::DisBrw,
-        Method::DisBrwObjectHierarchy,
-        Method::Road,
-        Method::Gtree,
-    ]
-}
-
-fn check_engine(engine: &mut Engine, queries: &[NodeId], ks: &[usize]) {
+fn check_engine(engine: &Engine, queries: &[NodeId], ks: &[usize]) {
     let objects = engine.objects().expect("objects injected").clone();
     for &q in queries {
         for &k in ks {
-            for method in all_methods() {
+            for method in Method::all() {
                 if !engine.supports(method) {
                     continue;
                 }
-                let answer = engine.knn(method, q, k);
+                let answer = engine.query(method, q, k).expect("supported method").result;
                 assert!(
                     matches_ground_truth(engine.graph(), q, k, &objects, &answer),
                     "{} wrong for q={q} k={k} on {:?} ({} objects)",
@@ -61,7 +44,7 @@ fn all_methods_agree_on_travel_distance_graphs() {
     for density in [0.001, 0.01, 0.1] {
         let objects = uniform(engine.graph(), density, 7);
         engine.set_objects(objects);
-        check_engine(&mut engine, &[1, n / 2, n - 4], &[1, 5, 10]);
+        check_engine(&engine, &[1, n / 2, n - 4], &[1, 5, 10]);
     }
 }
 
@@ -71,7 +54,7 @@ fn all_methods_agree_on_travel_time_graphs() {
     let n = engine.graph().num_vertices() as NodeId;
     let objects = uniform(engine.graph(), 0.01, 13);
     engine.set_objects(objects);
-    check_engine(&mut engine, &[3, n / 3, n - 9], &[1, 10]);
+    check_engine(&engine, &[3, n / 3, n - 9], &[1, 10]);
 }
 
 #[test]
@@ -80,7 +63,7 @@ fn all_methods_agree_on_clustered_objects() {
     let n = engine.graph().num_vertices() as NodeId;
     let objects = clustered(engine.graph(), 12, 5, 5);
     engine.set_objects(objects);
-    check_engine(&mut engine, &[7, n / 2], &[5, 25]);
+    check_engine(&engine, &[7, n / 2], &[5, 25]);
 }
 
 #[test]
@@ -93,7 +76,7 @@ fn all_methods_agree_on_minimum_distance_objects() {
             continue;
         }
         engine.set_objects(set);
-        check_engine(&mut engine, &queries[..2.min(queries.len())], &[5]);
+        check_engine(&engine, &queries[..2.min(queries.len())], &[5]);
     }
 }
 
@@ -109,7 +92,7 @@ fn all_methods_agree_on_poi_like_sets() {
             if !engine.supports(method) {
                 continue;
             }
-            let answer = engine.knn(method, n / 2, k);
+            let answer = engine.query(method, n / 2, k).expect("supported method").result;
             assert!(
                 matches_ground_truth(engine.graph(), n / 2, k, set, &answer),
                 "{} wrong on POI category {}",
@@ -127,20 +110,22 @@ fn edge_cases_are_consistent_across_methods() {
     let count = objects.len();
     engine.set_objects(objects);
     // k exceeding |O| returns every object, k = 1 returns the single nearest.
-    for method in all_methods() {
+    for method in Method::all() {
         if !engine.supports(method) {
             continue;
         }
-        assert_eq!(engine.knn(method, 11, count + 10).len(), count, "{}", method.name());
-        assert_eq!(engine.knn(method, 11, 1).len(), 1, "{}", method.name());
+        let all = engine.query(method, 11, count + 10).expect("supported").result;
+        assert_eq!(all.len(), count, "{}", method.name());
+        let one = engine.query(method, 11, 1).expect("supported").result;
+        assert_eq!(one.len(), 1, "{}", method.name());
     }
     // A query located on an object returns itself at distance zero.
     let object_vertex = engine.objects().unwrap().vertices()[0];
-    for method in all_methods() {
+    for method in Method::all() {
         if !engine.supports(method) {
             continue;
         }
-        let got = engine.knn(method, object_vertex, 1);
+        let got = engine.query(method, object_vertex, 1).expect("supported").result;
         assert_eq!(got[0].1, 0, "{}", method.name());
     }
 }

@@ -19,7 +19,7 @@ fn every_oracle_agrees_with_dijkstra_on_both_weight_kinds() {
 
         let ch = ContractionHierarchy::build(&graph);
         let phl = HubLabels::build_with_ch(&graph, &ch).expect("within budget");
-        let mut tnr = TransitNodeRouting::build_from_ch(
+        let tnr = TransitNodeRouting::build_from_ch(
             &graph,
             ch.clone(),
             TnrConfig { transit_fraction: 0.02, grid_cells: 16, locality_radius: 2 },
@@ -41,11 +41,7 @@ fn every_oracle_agrees_with_dijkstra_on_both_weight_kinds() {
             assert_eq!(ch.distance(s, t), truth, "ch {s}->{t}");
             assert_eq!(phl.distance(s, t), truth, "phl {s}->{t}");
             assert_eq!(tnr.distance(s, t), truth, "tnr {s}->{t}");
-            assert_eq!(
-                GtreeSearch::new(&gtree, &graph, s).distance_to(t),
-                truth,
-                "gtree {s}->{t}"
-            );
+            assert_eq!(GtreeSearch::new(&gtree, &graph, s).distance_to(t), truth, "gtree {s}->{t}");
             assert_eq!(silc.distance(&graph, s, t, Some(&chains)), truth, "silc {s}->{t}");
         }
     }
