@@ -1,6 +1,13 @@
 //! Figures 8 / 26: road-network index construction.
+//!
+//! Besides the small cross-index comparison, this bench runs the CH construction
+//! scaling experiment (20k/50k/100k vertices, one build each) and writes the measured
+//! 10k/20k/50k trajectory to `BENCH_ch_build.json` via [`rnknn_bench::ch_build`] —
+//! CI runs this bench as a smoke test so the build-time trend is tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rnknn::ch::{ChConfig, ContractionHierarchy};
+use rnknn_bench::ch_build;
 use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
 use rnknn_graph::EdgeWeightKind;
 use rnknn_gtree::Gtree;
@@ -17,11 +24,30 @@ fn bench_construction(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200));
     group.bench_function("gtree", |b| b.iter(|| Gtree::build(&graph).num_nodes()));
     group.bench_function("road", |b| b.iter(|| RoadIndex::build(&graph).num_rnets()));
-    group.bench_function("ch", |b| {
-        b.iter(|| rnknn_ch::ContractionHierarchy::build(&graph).num_shortcuts())
-    });
+    group.bench_function("ch", |b| b.iter(|| ContractionHierarchy::build(&graph).num_shortcuts()));
     group.finish();
 }
 
-criterion_group!(benches, bench_construction);
+fn bench_ch_scaling(c: &mut Criterion) {
+    // Past-the-dense-core scaling. The 10k/20k/50k points come from run_and_track()
+    // below (which also verifies exactness and persists BENCH_ch_build.json), so the
+    // criterion group only adds the 100k ceiling — one build is the measurement, not
+    // a sample mean.
+    let mut group = c.benchmark_group("fig8_ch_scaling");
+    group.sample_size(1).measurement_time(Duration::ZERO).warm_up_time(Duration::ZERO);
+    let size = 100_000usize;
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(size, 42)).graph(EdgeWeightKind::Distance);
+    group.bench_function(format!("ch_{size}"), |b| {
+        b.iter(|| {
+            ContractionHierarchy::build_with_config(&graph, &ChConfig::default()).num_shortcuts()
+        })
+    });
+    group.finish();
+
+    // Persist the standard 10k/20k/50k trajectory (with exactness verification).
+    ch_build::run_and_track();
+}
+
+criterion_group!(benches, bench_construction, bench_ch_scaling);
 criterion_main!(benches);

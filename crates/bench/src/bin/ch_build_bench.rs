@@ -1,0 +1,50 @@
+//! CH construction scaling bench (Figure 8-style build-time trajectory).
+//!
+//! Builds contraction hierarchies on generated networks of increasing size, verifies
+//! the result against Dijkstra on random pairs, and writes the measured build times to
+//! `BENCH_ch_build.json` in the workspace root so CI can track the perf trajectory
+//! across PRs. The knob flags mirror [`rnknn::ch::ChConfig`] for tuning experiments.
+//!
+//! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench [--sizes 10000,20000,50000]`
+
+use rnknn::ch::ChConfig;
+use rnknn_bench::ch_build;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![10_000, 20_000, 50_000];
+    let mut verify_pairs = 20u32;
+    let mut config = ChConfig::default();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i].split(',').map(|s| s.trim().parse().expect("size")).collect();
+            }
+            "--verify-pairs" => {
+                i += 1;
+                verify_pairs = args[i].parse().expect("pair count");
+            }
+            "--settle-limit" => {
+                i += 1;
+                config.witness_settle_limit = args[i].parse().expect("settle limit");
+            }
+            "--hop-limit" => {
+                i += 1;
+                config.hop_limit = args[i].parse().expect("hop limit");
+            }
+            "--core-degree" => {
+                i += 1;
+                config.core_degree_threshold = args[i].parse().expect("core degree threshold");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let points = ch_build::measure(&sizes, &config, verify_pairs);
+    let path = ch_build::tracking_file();
+    std::fs::write(path, ch_build::render_json(&points)).expect("write BENCH_ch_build.json");
+    println!("wrote {path}");
+}

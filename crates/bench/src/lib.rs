@@ -213,6 +213,105 @@ pub mod defaults {
     pub const DENSITY_SWEEP: [f64; 5] = [0.0001, 0.001, 0.01, 0.1, 1.0];
 }
 
+/// CH construction scaling measurement shared by the `bench_construction` bench (CI
+/// smoke run) and the `ch_build_bench` binary: build hierarchies on generated networks
+/// of increasing size, verify exactness against Dijkstra, and persist the measured
+/// build times to `BENCH_ch_build.json` so the perf trajectory is tracked across PRs.
+pub mod ch_build {
+    use std::time::Instant;
+
+    use rnknn::ch::{ChConfig, ContractionHierarchy};
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, NodeId};
+    use rnknn_pathfinding::dijkstra;
+
+    /// One measured build.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BuildPoint {
+        /// Vertices of the generated network (slightly above the requested size, since
+        /// the generator subdivides edges into chains).
+        pub vertices: usize,
+        /// Edges of the generated network.
+        pub edges: usize,
+        /// Shortcuts the build inserted.
+        pub shortcuts: usize,
+        /// Wall-clock build time in seconds.
+        pub build_seconds: f64,
+    }
+
+    /// Builds a CH per requested size, asserting exactness against Dijkstra on
+    /// `verify_pairs` random pairs so a fast-but-wrong build never lands in the
+    /// tracking file.
+    pub fn measure(sizes: &[usize], config: &ChConfig, verify_pairs: u32) -> Vec<BuildPoint> {
+        let mut points = Vec::new();
+        for &size in sizes {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+            let g = net.graph(EdgeWeightKind::Distance);
+            let start = Instant::now();
+            let ch = ContractionHierarchy::build_with_config(&g, config);
+            let elapsed = start.elapsed().as_secs_f64();
+            let n = g.num_vertices() as NodeId;
+            for i in 0..verify_pairs {
+                let s = (i * 7919) % n;
+                let t = (i * 104_729 + 31) % n;
+                assert_eq!(
+                    ch.distance(s, t),
+                    dijkstra::distance(&g, s, t),
+                    "{s}->{t} at size {size}"
+                );
+            }
+            println!(
+                "ch build n={:>7} vertices={:>7} edges={:>7} shortcuts={:>7} time={:.3}s",
+                size,
+                g.num_vertices(),
+                g.num_edges(),
+                ch.num_shortcuts(),
+                elapsed
+            );
+            points.push(BuildPoint {
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                shortcuts: ch.num_shortcuts(),
+                build_seconds: elapsed,
+            });
+        }
+        points
+    }
+
+    /// Renders the tracking JSON for `BENCH_ch_build.json`.
+    pub fn render_json(points: &[BuildPoint]) -> String {
+        let mut json = String::from(
+            "{\n  \"bench\": \"ch_build\",\n  \"unit\": \"seconds\",\n  \"points\": [\n",
+        );
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"vertices\": {}, \"edges\": {}, \"shortcuts\": {}, \"build_seconds\": {:.3}}}{}\n",
+                p.vertices,
+                p.edges,
+                p.shortcuts,
+                p.build_seconds,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Path of the tracking file (workspace root).
+    pub fn tracking_file() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ch_build.json")
+    }
+
+    /// Measures the standard 10k/20k/50k trajectory and writes the tracking file.
+    pub fn run_and_track() -> Vec<BuildPoint> {
+        let points = measure(&[10_000, 20_000, 50_000], &ChConfig::default(), 10);
+        let path = tracking_file();
+        std::fs::write(path, render_json(&points)).expect("write BENCH_ch_build.json");
+        println!("wrote {path}");
+        points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,27 @@
 //! Preprocessing: node ordering and contraction.
+//!
+//! The contraction loop is the hottest build-time path in the repo, and it is what
+//! gates continent-scale experiments: a naive lazy-update loop re-runs the full
+//! O(deg²) witness sweep over the dense core on every queue pop and goes superlinear
+//! past ~10k vertices. This implementation keeps preprocessing near-linear with three
+//! techniques:
+//!
+//! * **cached priorities with neighbour-only invalidation** — contracting `v` marks
+//!   only `v`'s surviving neighbours dirty; a priority is recomputed at most once per
+//!   invalidation, when the vertex is popped;
+//! * **staged, hop-limited witness searches** — a direct-edge (1-hop) scan, then a
+//!   bounded 2-hop neighbour scan, and only for still-unresolved pairs a hop- and
+//!   settle-limited multi-target Dijkstra (one search per *source* neighbour, not one
+//!   per pair);
+//! * **contract-rest-by-rank** — once the average live degree crosses
+//!   [`ChConfig::core_degree_threshold`], the remaining dense-core vertices are
+//!   contracted in their current priority order with no further recomputation.
+//!
+//! Witness-search invariant: a *witness* for the pair `(u, t)` around `v` is a path
+//! avoiding `v` (and all contracted vertices) of weight **at most** `w(u,v) + w(v,t)`;
+//! a pair gets a shortcut iff no pass certifies a witness. Every pass uses the same
+//! `<=` comparison, and every limit (hops, settles, cutoff) can only *miss* witnesses,
+//! which adds redundant shortcuts but never breaks correctness.
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;
@@ -6,20 +29,52 @@ use rnknn_pathfinding::heap::MinHeap;
 /// Tuning parameters for CH preprocessing.
 #[derive(Debug, Clone)]
 pub struct ChConfig {
-    /// Maximum number of vertices settled by each witness search. Larger values produce
-    /// fewer shortcuts at the cost of slower preprocessing; correctness is unaffected
-    /// (an inconclusive witness search simply adds the shortcut).
+    /// Maximum number of vertices settled by each bounded witness Dijkstra. One such
+    /// search now serves *all* unresolved pairs of a source neighbour (multi-target),
+    /// so this budget is shared per source, not per pair — which is why the default is
+    /// larger than a per-pair budget would be. Larger values produce fewer shortcuts
+    /// (usually a net preprocessing speed-up, since shortcuts feed back into degree
+    /// growth); correctness is unaffected (an inconclusive search adds the shortcut).
     pub witness_settle_limit: usize,
     /// Weighting of the "deleted neighbours" term in the node priority, which spreads
     /// contraction evenly across the network.
     pub deleted_neighbour_weight: i64,
+    /// Weighting of the hierarchy-depth ("level") term in the node priority. Keeping
+    /// the hierarchy shallow shrinks upward search spaces, which is what query time
+    /// and IER-CH candidate cost scale with.
+    pub level_weight: i64,
+    /// Maximum number of edges a witness path may use in the final bounded-Dijkstra
+    /// pass (`0` = unlimited). Witness searches run as staged passes — direct-edge
+    /// (1-hop), bounded neighbour scan (2-hop), then this hop-limited Dijkstra — so
+    /// the O(deg²) sweep over the dense core stops dominating preprocessing.
+    pub hop_limit: usize,
+    /// Average live degree at which the build switches to contract-rest-by-rank:
+    /// the remaining (dense-core) vertices are contracted in their current cached
+    /// priority order without further recomputation. `0.0` disables the fallback.
+    ///
+    /// With the staged witness passes the measured builds never benefit from firing
+    /// this early (a frozen order produces more shortcuts, which is its own
+    /// slowdown), so the default is a safety net against pathological cores rather
+    /// than a knob that triggers on ordinary road networks.
+    pub core_degree_threshold: f64,
 }
 
 impl Default for ChConfig {
     fn default() -> Self {
-        ChConfig { witness_settle_limit: 64, deleted_neighbour_weight: 2 }
+        ChConfig {
+            witness_settle_limit: 256,
+            deleted_neighbour_weight: 2,
+            level_weight: 2,
+            hop_limit: 8,
+            core_degree_threshold: 40.0,
+        }
     }
 }
+
+/// How many contractions happen between checks of the average live degree (the
+/// trigger for contract-rest-by-rank). Each check is O(live vertices), so the total
+/// checking overhead stays O(n²/interval) even in the worst case.
+const DEGREE_CHECK_INTERVAL: usize = 256;
 
 /// A preprocessed contraction hierarchy over an undirected road network.
 #[derive(Debug, Clone)]
@@ -44,97 +99,62 @@ impl ContractionHierarchy {
     /// Builds the hierarchy with explicit parameters.
     pub fn build_with_config(graph: &Graph, config: &ChConfig) -> Self {
         let n = graph.num_vertices();
-        // Working adjacency among not-yet-contracted vertices. Starts as a copy of the
-        // input graph and gains shortcuts as contraction proceeds.
-        let mut adjacency: Vec<Vec<(NodeId, Weight)>> =
-            (0..n).map(|v| graph.neighbors(v as NodeId).collect::<Vec<_>>()).collect();
-        let mut contracted = vec![false; n];
-        let mut deleted_neighbours = vec![0i64; n];
-        let mut rank = vec![0u32; n];
-        let mut num_shortcuts = 0usize;
-        let mut scratch = WitnessScratch::new(n);
+        let mut c = Contractor::new(graph, config);
 
-        // Lazy priority queue of (priority, vertex).
+        // Initial priorities, computed once; afterwards a priority is only recomputed
+        // when a neighbour's contraction marked it dirty.
         let mut queue: MinHeap<NodeId, i64> = MinHeap::with_capacity(n);
         for v in 0..n as NodeId {
-            let p = node_priority(
-                v,
-                &adjacency,
-                &contracted,
-                &deleted_neighbours,
-                config,
-                &mut scratch,
-            );
+            let p = c.compute_priority(v);
+            c.priority[v as usize] = p;
             queue.push(p, v);
         }
 
-        let mut next_rank = 0u32;
-        while let Some((priority, v)) = queue.pop() {
-            if contracted[v as usize] {
+        let mut until_degree_check = DEGREE_CHECK_INTERVAL;
+        while let Some((key, v)) = queue.pop() {
+            if c.contracted[v as usize] {
                 continue;
             }
-            // Lazy update: recompute the priority; if it is no longer minimal, requeue.
-            let current = node_priority(
-                v,
-                &adjacency,
-                &contracted,
-                &deleted_neighbours,
-                config,
-                &mut scratch,
-            );
-            if current > priority {
-                if let Some(next_best) = queue.peek_key() {
-                    if current > next_best {
-                        queue.push(current, v);
-                        continue;
-                    }
+            // Stale duplicate from an earlier requeue: the authoritative entry carries
+            // the cached priority.
+            if key != c.priority[v as usize] {
+                continue;
+            }
+            let mut plan_is_fresh = false;
+            if c.dirty[v as usize] {
+                c.dirty[v as usize] = false;
+                let p = c.compute_priority(v);
+                c.priority[v as usize] = p;
+                // Requeue whenever the priority rose and any other candidate remains;
+                // contracting on a momentarily-empty queue or on a tie with the next
+                // best entry is only allowed when the priority did not rise.
+                if p > key && !queue.is_empty() {
+                    queue.push(p, v);
+                    continue;
+                }
+                // The plan compute_priority just produced is exactly the contraction
+                // plan for v (nothing was contracted in between), so contract() can
+                // reuse it instead of re-running the witness passes.
+                plan_is_fresh = true;
+            }
+            c.contract(v, plan_is_fresh);
+
+            // Periodically check whether the dense core has been reached; if so,
+            // freeze the current cached priorities as the contraction order and
+            // contract the rest without further recomputation.
+            until_degree_check -= 1;
+            if until_degree_check == 0 {
+                until_degree_check = DEGREE_CHECK_INTERVAL;
+                if config.core_degree_threshold > 0.0
+                    && c.average_live_degree() > config.core_degree_threshold
+                {
+                    c.contract_rest_by_rank();
+                    break;
                 }
             }
-
-            // Contract v: connect every pair of its uncontracted neighbours unless a
-            // witness path that avoids v is at least as short.
-            rank[v as usize] = next_rank;
-            next_rank += 1;
-            contracted[v as usize] = true;
-            let neighbours: Vec<(NodeId, Weight)> = adjacency[v as usize]
-                .iter()
-                .copied()
-                .filter(|&(t, _)| !contracted[t as usize])
-                .collect();
-            for &(t, _) in &neighbours {
-                deleted_neighbours[t as usize] += 1;
-                // Prune edges into the contracted core so witness searches and
-                // priority estimates only ever scan live vertices. Without this the
-                // working lists of late-contracted hubs grow without bound and
-                // preprocessing degenerates from seconds to hours on ~10k-vertex
-                // networks.
-                adjacency[t as usize].retain(|&(x, _)| !contracted[x as usize]);
-            }
-            let added =
-                contract_vertex(v, &neighbours, &mut adjacency, &contracted, config, &mut scratch);
-            num_shortcuts += added;
         }
 
-        // Assemble the upward graph: for each vertex keep only edges towards
-        // higher-ranked vertices (original edges plus every shortcut accumulated in the
-        // working adjacency).
-        let mut up_offsets = vec![0u32; n + 1];
-        let mut up_targets = Vec::new();
-        let mut up_weights = Vec::new();
-        for v in 0..n {
-            // Deduplicate parallel edges keeping the smallest weight.
-            let mut ups: Vec<(NodeId, Weight)> =
-                adjacency[v].iter().copied().filter(|&(t, _)| rank[t as usize] > rank[v]).collect();
-            ups.sort_unstable_by_key(|&(t, w)| (t, w));
-            ups.dedup_by_key(|&mut (t, _)| t);
-            for (t, w) in ups {
-                up_targets.push(t);
-                up_weights.push(w);
-            }
-            up_offsets[v + 1] = up_targets.len() as u32;
-        }
-
-        ContractionHierarchy { rank, up_offsets, up_targets, up_weights, num_shortcuts }
+        c.into_hierarchy()
     }
 
     /// Number of vertices in the hierarchy.
@@ -177,68 +197,297 @@ impl ContractionHierarchy {
     }
 }
 
-/// Priority of a vertex: edge difference plus a spreading term.
-fn node_priority(
-    v: NodeId,
-    adjacency: &[Vec<(NodeId, Weight)>],
-    contracted: &[bool],
-    deleted_neighbours: &[i64],
-    config: &ChConfig,
-    scratch: &mut WitnessScratch,
-) -> i64 {
-    let neighbours: Vec<(NodeId, Weight)> =
-        adjacency[v as usize].iter().copied().filter(|&(t, _)| !contracted[t as usize]).collect();
-    let shortcuts = count_shortcuts(v, &neighbours, adjacency, contracted, config, scratch);
-    let edge_difference = shortcuts as i64 - neighbours.len() as i64;
-    edge_difference * 4 + deleted_neighbours[v as usize] * config.deleted_neighbour_weight
+/// One shortcut that contracting a vertex would create: indices into the neighbour
+/// list, the via weight, and whether inserting it creates a *new* edge (as opposed to
+/// lowering an existing parallel edge — which [`upsert_edge`] does not count).
+#[derive(Clone, Copy)]
+struct PlannedShortcut {
+    from: usize,
+    to: usize,
+    weight: Weight,
+    is_new: bool,
 }
 
-/// Counts how many shortcuts contracting `v` would insert (without inserting them).
-fn count_shortcuts(
-    v: NodeId,
-    neighbours: &[(NodeId, Weight)],
-    adjacency: &[Vec<(NodeId, Weight)>],
-    contracted: &[bool],
-    config: &ChConfig,
-    scratch: &mut WitnessScratch,
-) -> usize {
-    let mut count = 0;
-    for (i, &(u, wu)) in neighbours.iter().enumerate() {
-        for &(t, wt) in neighbours.iter().skip(i + 1) {
-            let via = wu + wt;
-            let query = WitnessQuery { source: u, target: t, skip: v, cutoff: via };
-            if witness_distance(query, adjacency, contracted, config, scratch) > via {
-                count += 1;
-            }
+/// All mutable state of one CH build. Keeping it in one struct lets the priority
+/// estimate ([`Contractor::compute_priority`]) and the actual contraction
+/// ([`Contractor::contract`]) share the same shortcut plan, so the edge-difference
+/// term counts exactly the edges a contraction would insert.
+struct Contractor<'a> {
+    config: &'a ChConfig,
+    /// Working adjacency among not-yet-contracted vertices. Starts as a copy of the
+    /// input graph and gains shortcuts as contraction proceeds. Invariant: the list of
+    /// a live vertex only contains live vertices (lists are pruned the moment a
+    /// neighbour is contracted), which keeps witness searches fast.
+    adjacency: Vec<Vec<(NodeId, Weight)>>,
+    contracted: Vec<bool>,
+    deleted_neighbours: Vec<i64>,
+    /// Hierarchy-depth estimate: `level[t] >= level[v] + 1` for every contracted
+    /// neighbour `v` of `t`. Penalising deep vertices keeps the hierarchy shallow,
+    /// which directly bounds upward search-space sizes at query time.
+    level: Vec<i64>,
+    /// Cached node priorities; exact unless `dirty` is set.
+    priority: Vec<i64>,
+    /// Set for the surviving neighbours of every contracted vertex; cleared when the
+    /// priority is lazily recomputed.
+    dirty: Vec<bool>,
+    rank: Vec<u32>,
+    next_rank: u32,
+    num_shortcuts: usize,
+    remaining: usize,
+    scratch: WitnessScratch,
+    plan: Vec<PlannedShortcut>,
+}
+
+impl<'a> Contractor<'a> {
+    fn new(graph: &Graph, config: &'a ChConfig) -> Self {
+        let n = graph.num_vertices();
+        Contractor {
+            config,
+            adjacency: (0..n).map(|v| graph.neighbors(v as NodeId).collect()).collect(),
+            contracted: vec![false; n],
+            deleted_neighbours: vec![0i64; n],
+            level: vec![0i64; n],
+            priority: vec![0i64; n],
+            dirty: vec![false; n],
+            rank: vec![0u32; n],
+            next_rank: 0,
+            num_shortcuts: 0,
+            remaining: n,
+            scratch: WitnessScratch::new(n),
+            plan: Vec::new(),
         }
     }
-    count
+
+    fn live_neighbours(&self, v: NodeId) -> Vec<(NodeId, Weight)> {
+        self.adjacency[v as usize]
+            .iter()
+            .copied()
+            .filter(|&(t, _)| !self.contracted[t as usize])
+            .collect()
+    }
+
+    /// Priority of a vertex: edge difference plus a spreading term. The edge
+    /// difference uses the same "would a new edge actually be inserted" rule as
+    /// [`Contractor::contract`], so the estimate never systematically overcounts
+    /// pairs whose shortcut merely lowers an existing parallel edge.
+    fn compute_priority(&mut self, v: NodeId) -> i64 {
+        let neighbours = self.live_neighbours(v);
+        plan_contraction(
+            v,
+            &neighbours,
+            &self.adjacency,
+            &self.contracted,
+            self.config,
+            &mut self.scratch,
+            &mut self.plan,
+        );
+        let new_edges = self.plan.iter().filter(|s| s.is_new).count();
+        let edge_difference = new_edges as i64 - neighbours.len() as i64;
+        edge_difference * 4
+            + self.deleted_neighbours[v as usize] * self.config.deleted_neighbour_weight
+            + self.level[v as usize] * self.config.level_weight
+    }
+
+    /// Contracts `v`: assigns its rank, prunes and dirties its surviving neighbours,
+    /// and inserts the planned shortcuts.
+    ///
+    /// When `plan_is_fresh` is set, `self.plan` was produced by a
+    /// [`Contractor::compute_priority`] call for `v` on this very queue pop (nothing
+    /// contracted in between) and is reused as-is — witness planning is the dominant
+    /// build cost, and on the hot path (dirty pop → recompute → contract) this halves
+    /// it. The plan is position-stable: both paths see the same live-neighbour list,
+    /// all witness passes already exclude `v` and contracted vertices, and the
+    /// pruning below only removes edges those passes ignore anyway.
+    fn contract(&mut self, v: NodeId, plan_is_fresh: bool) {
+        self.rank[v as usize] = self.next_rank;
+        self.next_rank += 1;
+        self.contracted[v as usize] = true;
+        self.remaining -= 1;
+        let neighbours = self.live_neighbours(v);
+        let child_level = self.level[v as usize] + 1;
+        for &(t, _) in &neighbours {
+            self.deleted_neighbours[t as usize] += 1;
+            self.level[t as usize] = self.level[t as usize].max(child_level);
+            // Neighbour-only invalidation: only these vertices' priorities changed.
+            self.dirty[t as usize] = true;
+            // Prune edges into the contracted core so witness searches and priority
+            // estimates only ever scan live vertices. Without this the working lists
+            // of late-contracted hubs grow without bound and preprocessing
+            // degenerates from seconds to hours on ~10k-vertex networks.
+            let contracted = &self.contracted;
+            self.adjacency[t as usize].retain(|&(x, _)| !contracted[x as usize]);
+        }
+        if !plan_is_fresh {
+            plan_contraction(
+                v,
+                &neighbours,
+                &self.adjacency,
+                &self.contracted,
+                self.config,
+                &mut self.scratch,
+                &mut self.plan,
+            );
+        }
+        for i in 0..self.plan.len() {
+            let s = self.plan[i];
+            let (u, _) = neighbours[s.from];
+            let (t, _) = neighbours[s.to];
+            if upsert_edge(&mut self.adjacency[u as usize], t, s.weight) {
+                self.num_shortcuts += 1;
+                debug_assert!(s.is_new);
+            } else {
+                debug_assert!(!s.is_new);
+            }
+            upsert_edge(&mut self.adjacency[t as usize], u, s.weight);
+        }
+    }
+
+    /// Average degree over the not-yet-contracted vertices. Exact, because live
+    /// adjacency lists are pruned eagerly (see the invariant on `adjacency`).
+    fn average_live_degree(&self) -> f64 {
+        if self.remaining == 0 {
+            return 0.0;
+        }
+        let total: usize = (0..self.adjacency.len())
+            .filter(|&v| !self.contracted[v])
+            .map(|v| self.adjacency[v].len())
+            .sum();
+        total as f64 / self.remaining as f64
+    }
+
+    /// Contract-rest-by-rank fallback for the dense core: the remaining vertices are
+    /// contracted in their current cached priority order, with witness searches still
+    /// limiting shortcut growth but no further priority recomputation.
+    fn contract_rest_by_rank(&mut self) {
+        let mut rest: Vec<NodeId> = (0..self.contracted.len() as NodeId)
+            .filter(|&v| !self.contracted[v as usize])
+            .collect();
+        rest.sort_unstable_by_key(|&v| (self.priority[v as usize], v));
+        for v in rest {
+            self.contract(v, false);
+        }
+    }
+
+    /// Assembles the upward graph: for each vertex keep only edges towards
+    /// higher-ranked vertices (original edges plus every shortcut accumulated in the
+    /// working adjacency).
+    fn into_hierarchy(self) -> ContractionHierarchy {
+        let n = self.rank.len();
+        let mut up_offsets = vec![0u32; n + 1];
+        let mut up_targets = Vec::new();
+        let mut up_weights = Vec::new();
+        for v in 0..n {
+            // Deduplicate parallel edges keeping the smallest weight.
+            let mut ups: Vec<(NodeId, Weight)> = self.adjacency[v]
+                .iter()
+                .copied()
+                .filter(|&(t, _)| self.rank[t as usize] > self.rank[v])
+                .collect();
+            ups.sort_unstable_by_key(|&(t, w)| (t, w));
+            ups.dedup_by_key(|&mut (t, _)| t);
+            for (t, w) in ups {
+                up_targets.push(t);
+                up_weights.push(w);
+            }
+            up_offsets[v + 1] = up_targets.len() as u32;
+        }
+
+        ContractionHierarchy {
+            rank: self.rank,
+            up_offsets,
+            up_targets,
+            up_weights,
+            num_shortcuts: self.num_shortcuts,
+        }
+    }
 }
 
-/// Contracts `v`, inserting the needed shortcuts into `adjacency`. Returns the number of
-/// shortcuts added.
-fn contract_vertex(
+/// Decides, for every unordered pair of live neighbours of `v`, whether contracting
+/// `v` requires a shortcut, writing the required shortcuts into `plan`.
+///
+/// Pairs are resolved by staged witness passes sharing one invariant — a witness is a
+/// path avoiding `v` and all contracted vertices of weight `<=` the via-`v` weight:
+///
+/// 1. **1-hop**: a direct `u`–`t` edge (one scan of `u`'s list, which also records
+///    whether a parallel edge exists for the `is_new` insertion rule);
+/// 2. **2-hop**: a bounded scan of `u`'s neighbours' lists;
+/// 3. **bounded Dijkstra**: multi-target, hop-limited ([`ChConfig::hop_limit`]) and
+///    settle-limited, run once per *source* neighbour for all still-unresolved
+///    targets.
+fn plan_contraction(
     v: NodeId,
     neighbours: &[(NodeId, Weight)],
-    adjacency: &mut [Vec<(NodeId, Weight)>],
+    adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
     scratch: &mut WitnessScratch,
-) -> usize {
-    let mut added = 0;
-    for (i, &(u, wu)) in neighbours.iter().enumerate() {
+    plan: &mut Vec<PlannedShortcut>,
+) {
+    plan.clear();
+    if neighbours.len() < 2 {
+        return;
+    }
+    for (i, &(u, wu)) in neighbours.iter().enumerate().take(neighbours.len() - 1) {
+        // Register the targets: all later neighbours, each with its via-v cutoff.
+        scratch.begin_targets();
+        let mut unresolved = 0usize;
         for &(t, wt) in neighbours.iter().skip(i + 1) {
-            let via = wu + wt;
-            let query = WitnessQuery { source: u, target: t, skip: v, cutoff: via };
-            if witness_distance(query, adjacency, contracted, config, scratch) > via {
-                if upsert_edge(&mut adjacency[u as usize], t, via) {
-                    added += 1;
+            scratch.add_target(t, wu + wt);
+            unresolved += 1;
+        }
+
+        // Pass 1 (1-hop): direct edges from u. Also records existing parallel edges,
+        // which is what makes the planned `is_new` flag match upsert_edge exactly.
+        for &(x, w) in &adjacency[u as usize] {
+            if let Some(via) = scratch.target_cutoff(x) {
+                scratch.record_direct(x, w);
+                if w <= via && scratch.mark_witnessed(x) {
+                    unresolved -= 1;
                 }
-                upsert_edge(&mut adjacency[t as usize], u, via);
+            }
+        }
+
+        // Pass 2 (2-hop): scan u's neighbours' lists, bounded so a dense core cannot
+        // turn this into a quadratic sweep.
+        if unresolved > 0 {
+            let mut budget = config.witness_settle_limit * 16;
+            'two_hop: for &(x, wx) in &adjacency[u as usize] {
+                if x == v || contracted[x as usize] {
+                    continue;
+                }
+                for &(y, wxy) in &adjacency[x as usize] {
+                    if budget == 0 {
+                        break 'two_hop;
+                    }
+                    budget -= 1;
+                    if let Some(via) = scratch.target_cutoff(y) {
+                        if wx + wxy <= via && scratch.mark_witnessed(y) {
+                            unresolved -= 1;
+                            if unresolved == 0 {
+                                break 'two_hop;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 3: bounded multi-target Dijkstra for the remaining pairs.
+        if unresolved > 0 {
+            witness_search(u, v, unresolved, adjacency, contracted, config, scratch);
+        }
+
+        for (j, &(t, wt)) in neighbours.iter().enumerate().skip(i + 1) {
+            if !scratch.is_witnessed(t) {
+                plan.push(PlannedShortcut {
+                    from: i,
+                    to: j,
+                    weight: wu + wt,
+                    is_new: !scratch.has_direct(t),
+                });
             }
         }
     }
-    added
 }
 
 /// Inserts edge `(t, w)` or lowers the weight of an existing parallel edge. Returns true
@@ -259,86 +508,155 @@ fn upsert_edge(edges: &mut Vec<(NodeId, Weight)>, t: NodeId, w: Weight) -> bool 
     }
 }
 
-/// Reusable witness-search state: a full-size distance array reset via a touched
-/// list, so each search costs no allocations regardless of how many millions of
-/// searches preprocessing performs.
+/// Reusable witness-search state: full-size arrays reset via touched lists, so each
+/// search costs no allocations regardless of how many millions of searches
+/// preprocessing performs.
 struct WitnessScratch {
+    /// Tentative distances of the current Dijkstra pass.
     dist: Vec<Weight>,
+    /// Edge count of the path behind `dist` (for the hop limit).
+    hops: Vec<u32>,
     touched: Vec<NodeId>,
     heap: MinHeap<NodeId>,
+    /// Per-target state for the current source: via-v cutoff, direct-edge flag,
+    /// witnessed flag. `INFINITY` in `via` means "not a target".
+    via: Vec<Weight>,
+    direct: Vec<bool>,
+    witnessed: Vec<bool>,
+    target_touched: Vec<NodeId>,
+    /// Largest via cutoff among the current targets (global search bound).
+    max_cutoff: Weight,
 }
 
 impl WitnessScratch {
     fn new(n: usize) -> Self {
-        WitnessScratch { dist: vec![INFINITY; n], touched: Vec::new(), heap: MinHeap::new() }
+        WitnessScratch {
+            dist: vec![INFINITY; n],
+            hops: vec![0; n],
+            touched: Vec::new(),
+            heap: MinHeap::new(),
+            via: vec![INFINITY; n],
+            direct: vec![false; n],
+            witnessed: vec![false; n],
+            target_touched: Vec::new(),
+            max_cutoff: 0,
+        }
     }
 
-    fn reset(&mut self) {
+    fn reset_search(&mut self) {
         for &t in &self.touched {
             self.dist[t as usize] = INFINITY;
         }
         self.touched.clear();
         self.heap.clear();
     }
+
+    fn begin_targets(&mut self) {
+        for &t in &self.target_touched {
+            self.via[t as usize] = INFINITY;
+            self.direct[t as usize] = false;
+            self.witnessed[t as usize] = false;
+        }
+        self.target_touched.clear();
+        self.max_cutoff = 0;
+    }
+
+    fn add_target(&mut self, t: NodeId, cutoff: Weight) {
+        self.via[t as usize] = cutoff;
+        self.target_touched.push(t);
+        self.max_cutoff = self.max_cutoff.max(cutoff);
+    }
+
+    /// The via cutoff of `t`, or `None` when `t` is not a current target.
+    #[inline]
+    fn target_cutoff(&self, t: NodeId) -> Option<Weight> {
+        let via = self.via[t as usize];
+        (via != INFINITY).then_some(via)
+    }
+
+    #[inline]
+    fn record_direct(&mut self, t: NodeId, _w: Weight) {
+        self.direct[t as usize] = true;
+    }
+
+    #[inline]
+    fn has_direct(&self, t: NodeId) -> bool {
+        self.direct[t as usize]
+    }
+
+    /// Marks `t` witnessed; returns true when it was not already.
+    #[inline]
+    fn mark_witnessed(&mut self, t: NodeId) -> bool {
+        !std::mem::replace(&mut self.witnessed[t as usize], true)
+    }
+
+    #[inline]
+    fn is_witnessed(&self, t: NodeId) -> bool {
+        self.witnessed[t as usize]
+    }
 }
 
-/// One witness search request: is there a path `source -> target` avoiding `skip`
-/// of length at most `cutoff`?
-#[derive(Clone, Copy)]
-struct WitnessQuery {
+/// Bounded multi-target Dijkstra from `source` avoiding `skip` and all contracted
+/// vertices, resolving the still-unwitnessed targets registered in `scratch`.
+///
+/// The global bound is checked **before** a popped vertex is matched against the
+/// targets, so the `d > cutoff` semantics are identical for targets and non-targets:
+/// once the frontier passes the largest via cutoff, no remaining target can have a
+/// witness, and the search stops. A target settled within the bound is a witness iff
+/// its distance is `<= ` its own via cutoff (same `<=` rule as the 1-/2-hop passes).
+fn witness_search(
     source: NodeId,
-    target: NodeId,
     skip: NodeId,
-    cutoff: Weight,
-}
-
-/// Bounded Dijkstra between two neighbours of the vertex being contracted, avoiding that
-/// vertex and all already-contracted vertices. Returns the best distance found within
-/// the settle budget (possibly an overestimate, which only causes extra shortcuts).
-fn witness_distance(
-    query: WitnessQuery,
+    mut unresolved: usize,
     adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
     scratch: &mut WitnessScratch,
-) -> Weight {
-    let WitnessQuery { source, target, skip, cutoff } = query;
-    scratch.reset();
-    scratch.heap.push(0, source);
+) {
+    scratch.reset_search();
     scratch.dist[source as usize] = 0;
+    scratch.hops[source as usize] = 0;
     scratch.touched.push(source);
+    scratch.heap.push(0, source);
+    let cutoff = scratch.max_cutoff;
     let mut settled = 0usize;
-    let mut best = INFINITY;
     while let Some((d, x)) = scratch.heap.pop() {
         if d > scratch.dist[x as usize] {
             continue;
         }
-        if x == target {
-            best = d;
-            break;
-        }
+        // Bound check first: beyond the largest via cutoff nothing can be a witness,
+        // so a target settled past the bound must not be reported as one.
         if d > cutoff {
             break;
+        }
+        if scratch.target_cutoff(x).is_some_and(|via| d <= via) && scratch.mark_witnessed(x) {
+            unresolved -= 1;
+            if unresolved == 0 {
+                break;
+            }
         }
         settled += 1;
         if settled > config.witness_settle_limit {
             break;
+        }
+        if config.hop_limit > 0 && scratch.hops[x as usize] >= config.hop_limit as u32 {
+            continue;
         }
         for &(t, w) in &adjacency[x as usize] {
             if t == skip || contracted[t as usize] {
                 continue;
             }
             let nd = d + w;
-            if nd < scratch.dist[t as usize] {
+            if nd <= cutoff && nd < scratch.dist[t as usize] {
                 if scratch.dist[t as usize] == INFINITY {
                     scratch.touched.push(t);
                 }
                 scratch.dist[t as usize] = nd;
+                scratch.hops[t as usize] = scratch.hops[x as usize] + 1;
                 scratch.heap.push(nd, t);
             }
         }
     }
-    best
 }
 
 #[cfg(test)]
@@ -402,5 +720,64 @@ mod tests {
         // Shortcut count should be modest relative to the number of edges on a planar
         // network.
         assert!(ch.num_shortcuts() < g.num_edges() * 4);
+    }
+
+    #[test]
+    fn hop_limited_witnesses_stay_exact() {
+        // Even a 1-hop limit (only direct edges and single-edge Dijkstra steps can
+        // certify witnesses) must stay exact — it merely inserts more shortcuts.
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 77));
+        let g = net.graph(EdgeWeightKind::Time);
+        let tight = ChConfig { hop_limit: 1, ..ChConfig::default() };
+        let ch = ContractionHierarchy::build_with_config(&g, &tight);
+        let unlimited = ChConfig { hop_limit: 0, ..ChConfig::default() };
+        let ch_unlimited = ContractionHierarchy::build_with_config(&g, &unlimited);
+        let n = g.num_vertices() as NodeId;
+        for i in 0..50u32 {
+            let s = (i * 211) % n;
+            let t = (i * 401 + 3) % n;
+            let want = dijkstra::distance(&g, s, t);
+            assert_eq!(ch.distance(s, t), want, "hop-limited {s}->{t}");
+            assert_eq!(ch_unlimited.distance(s, t), want, "unlimited {s}->{t}");
+        }
+        // Tighter witness passes can only add shortcuts, never remove them.
+        assert!(ch.num_shortcuts() >= ch_unlimited.num_shortcuts());
+    }
+
+    #[test]
+    fn core_contraction_fallback_stays_exact() {
+        // A threshold below the planar average degree forces contract-rest-by-rank
+        // almost immediately; distances must still be exact.
+        let net = RoadNetwork::generate(&GeneratorConfig::new(700, 5));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let eager = ChConfig { core_degree_threshold: 0.1, ..ChConfig::default() };
+        let ch = ContractionHierarchy::build_with_config(&g, &eager);
+        let n = g.num_vertices() as NodeId;
+        for i in 0..50u32 {
+            let s = (i * 97) % n;
+            let t = (i * 307 + 13) % n;
+            assert_eq!(ch.distance(s, t), dijkstra::distance(&g, s, t), "{s}->{t}");
+        }
+        // The fallback still assigns every rank exactly once.
+        let mut seen = vec![false; g.num_vertices()];
+        for v in g.vertices() {
+            seen[ch.rank(v) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn disabled_fallback_and_tiny_settle_limit_stay_exact() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 31));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let config =
+            ChConfig { witness_settle_limit: 2, core_degree_threshold: 0.0, ..ChConfig::default() };
+        let ch = ContractionHierarchy::build_with_config(&g, &config);
+        let n = g.num_vertices() as NodeId;
+        for i in 0..40u32 {
+            let s = (i * 53) % n;
+            let t = (i * 173 + 7) % n;
+            assert_eq!(ch.distance(s, t), dijkstra::distance(&g, s, t), "{s}->{t}");
+        }
     }
 }

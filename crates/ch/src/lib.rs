@@ -6,6 +6,13 @@
 //! remaining vertices; queries run a bidirectional Dijkstra that only ever relaxes edges
 //! towards more important vertices.
 //!
+//! Preprocessing scales to continent-style inputs: priorities are cached and
+//! invalidated neighbour-only, witness searches run as staged hop-limited passes, and
+//! a contract-rest-by-rank fallback guards against pathological dense cores (all
+//! tunable via [`ChConfig`]). Queries run on a reusable epoch-tagged scratch with
+//! frontier pruning; see [`ContractionHierarchy::distance_with_counters`] and
+//! [`ContractionHierarchy::distance_from_space`] (the IER-CH hot path).
+//!
 //! Besides serving as the IER-CH oracle, the hierarchy's contraction order is reused by
 //! the [`rnknn-tnr`](../rnknn_tnr/index.html) crate to select transit nodes and by
 //! [`rnknn-phl`](../rnknn_phl/index.html) as a label ordering.
@@ -14,4 +21,4 @@ mod build;
 mod query;
 
 pub use build::{ChConfig, ContractionHierarchy};
-pub use query::ChSearchSpace;
+pub use query::{ChSearchCounters, ChSearchSpace};

@@ -1,19 +1,230 @@
-//! CH queries: bidirectional upward search, reusable upward search spaces.
+//! CH queries: pruned bidirectional upward search, reusable upward search spaces.
+//!
+//! All searches run on a thread-local, epoch-tagged scratch (distance array + heap
+//! reused across queries), so a query allocates nothing beyond its result and never
+//! touches a `HashMap`. [`ContractionHierarchy::distance`] is a bidirectional upward
+//! Dijkstra that stops each direction as soon as its frontier minimum reaches the best
+//! meet found so far — on road networks that prunes most of the full upward search
+//! space. Materialised [`ChSearchSpace`]s remain available for consumers that reuse a
+//! space across many queries (IER-CH's forward space, TNR's access-node searches).
+
+use std::cell::RefCell;
 
 use rnknn_graph::{NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;
 
 use crate::build::ContractionHierarchy;
 
+/// Effort counters of one CH search (feeds the engine's unified `QueryStats`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChSearchCounters {
+    /// Vertices settled across both directions.
+    pub settled: u64,
+    /// Heap pushes across both directions.
+    pub heap_pushes: u64,
+}
+
+impl ChSearchCounters {
+    /// Accumulates another search's counters into this one.
+    pub fn accumulate(&mut self, other: ChSearchCounters) {
+        self.settled += other.settled;
+        self.heap_pushes += other.heap_pushes;
+    }
+}
+
+/// Reusable per-thread search state. Distance entries are validated by an epoch tag,
+/// so "clearing" between queries is one integer increment instead of an O(n) wipe.
+struct QueryScratch {
+    /// Tentative distances per direction (0 = forward, 1 = backward).
+    dist: [Vec<Weight>; 2],
+    /// Epoch that wrote each `dist` entry; a mismatch means "unvisited this query".
+    epoch_of: [Vec<u32>; 2],
+    heap: [MinHeap<NodeId>; 2],
+    epoch: u32,
+}
+
+impl QueryScratch {
+    fn new() -> Self {
+        QueryScratch {
+            dist: [Vec::new(), Vec::new()],
+            epoch_of: [Vec::new(), Vec::new()],
+            heap: [MinHeap::new(), MinHeap::new()],
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new query over a hierarchy of `n` vertices: grows the arrays if this
+    /// thread has only seen smaller hierarchies, and advances the epoch (resetting the
+    /// tags on the rare u32 wrap-around).
+    fn begin(&mut self, n: usize) {
+        for side in 0..2 {
+            if self.dist[side].len() < n {
+                self.dist[side].resize(n, INFINITY);
+                self.epoch_of[side].resize(n, 0);
+            }
+            self.heap[side].clear();
+        }
+        if self.epoch == u32::MAX {
+            for side in 0..2 {
+                self.epoch_of[side].iter_mut().for_each(|e| *e = 0);
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn get(&self, side: usize, v: NodeId) -> Weight {
+        if self.epoch_of[side][v as usize] == self.epoch {
+            self.dist[side][v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, side: usize, v: NodeId, d: Weight) {
+        self.dist[side][v as usize] = d;
+        self.epoch_of[side][v as usize] = self.epoch;
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::new());
+}
+
+const FORWARD: usize = 0;
+const BACKWARD: usize = 1;
+
 impl ContractionHierarchy {
     /// Exact network distance between `s` and `t`.
     pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
+        self.distance_with_counters(s, t).0
+    }
+
+    /// [`ContractionHierarchy::distance`] plus search-effort counters.
+    ///
+    /// Runs a bidirectional upward Dijkstra; a direction stops as soon as its frontier
+    /// minimum is at least the best meet found so far (every later meet in that
+    /// direction would cost at least the frontier minimum), so neither search space is
+    /// materialised in full.
+    pub fn distance_with_counters(&self, s: NodeId, t: NodeId) -> (Weight, ChSearchCounters) {
+        let mut counters = ChSearchCounters::default();
         if s == t {
-            return 0;
+            return (0, counters);
         }
-        let forward = self.upward_search_space(s);
-        let backward = self.upward_search_space(t);
-        forward.meet(&backward)
+        let best = SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.begin(self.num_vertices());
+            scratch.set(FORWARD, s, 0);
+            scratch.heap[FORWARD].push(0, s);
+            scratch.set(BACKWARD, t, 0);
+            scratch.heap[BACKWARD].push(0, t);
+            counters.heap_pushes += 2;
+
+            let mut best = INFINITY;
+            loop {
+                // Advance the direction with the smaller frontier, pruning any
+                // direction whose frontier minimum can no longer improve the meet.
+                let side =
+                    match (scratch.heap[FORWARD].peek_key(), scratch.heap[BACKWARD].peek_key()) {
+                        (Some(f), Some(b)) => {
+                            if f.min(b) >= best {
+                                break;
+                            }
+                            if f <= b {
+                                FORWARD
+                            } else {
+                                BACKWARD
+                            }
+                        }
+                        (Some(f), None) => {
+                            if f >= best {
+                                break;
+                            }
+                            FORWARD
+                        }
+                        (None, Some(b)) => {
+                            if b >= best {
+                                break;
+                            }
+                            BACKWARD
+                        }
+                        (None, None) => break,
+                    };
+                let Some((d, x)) = scratch.heap[side].pop() else { break };
+                if d > scratch.get(side, x) {
+                    continue;
+                }
+                counters.settled += 1;
+                let other = scratch.get(1 - side, x);
+                if other != INFINITY {
+                    best = best.min(d + other);
+                }
+                for (y, w) in self.upward_edges(x) {
+                    let nd = d + w;
+                    // A label at distance >= best can never improve the meet (both
+                    // directions only ascend), so don't even push it.
+                    if nd < best && nd < scratch.get(side, y) {
+                        scratch.set(side, y, nd);
+                        scratch.heap[side].push(nd, y);
+                        counters.heap_pushes += 1;
+                    }
+                }
+            }
+            best
+        });
+        (best, counters)
+    }
+
+    /// Exact network distance from a previously materialised forward space to `t`.
+    ///
+    /// This is the IER-CH hot path: the query vertex's forward space is computed once
+    /// per kNN query, then every candidate object runs only this backward upward
+    /// search, pruned against the best meet exactly like
+    /// [`ContractionHierarchy::distance_with_counters`].
+    pub fn distance_from_space(&self, forward: &ChSearchSpace, t: NodeId) -> Weight {
+        self.distance_from_space_with_counters(forward, t).0
+    }
+
+    /// [`ContractionHierarchy::distance_from_space`] plus search-effort counters.
+    pub fn distance_from_space_with_counters(
+        &self,
+        forward: &ChSearchSpace,
+        t: NodeId,
+    ) -> (Weight, ChSearchCounters) {
+        let mut counters = ChSearchCounters::default();
+        let best = SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.begin(self.num_vertices());
+            scratch.set(BACKWARD, t, 0);
+            scratch.heap[BACKWARD].push(0, t);
+            counters.heap_pushes += 1;
+            let mut best = INFINITY;
+            while let Some((d, x)) = scratch.heap[BACKWARD].pop() {
+                if d >= best {
+                    break;
+                }
+                if d > scratch.get(BACKWARD, x) {
+                    continue;
+                }
+                counters.settled += 1;
+                if let Some(df) = forward.distance_to(x) {
+                    best = best.min(df + d);
+                }
+                for (y, w) in self.upward_edges(x) {
+                    let nd = d + w;
+                    // A backward label at distance >= best cannot improve the meet.
+                    if nd < best && nd < scratch.get(BACKWARD, y) {
+                        scratch.set(BACKWARD, y, nd);
+                        scratch.heap[BACKWARD].push(nd, y);
+                        counters.heap_pushes += 1;
+                    }
+                }
+            }
+            best
+        });
+        (best, counters)
     }
 
     /// Computes the complete upward search space from `v`: the set of vertices reachable
@@ -23,59 +234,69 @@ impl ContractionHierarchy {
     /// reuses the query vertex's forward space across all candidate objects, which is
     /// the CH analogue of G-tree's "materialization".
     pub fn upward_search_space(&self, v: NodeId) -> ChSearchSpace {
-        let mut entries: Vec<(NodeId, Weight)> = Vec::new();
-        let mut heap: MinHeap<NodeId> = MinHeap::new();
-        let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
-        heap.push(0, v);
-        dist.insert(v, 0);
-        while let Some((d, x)) = heap.pop() {
-            if d > *dist.get(&x).unwrap_or(&INFINITY) {
-                continue;
-            }
-            entries.push((x, d));
-            for (t, w) in self.upward_edges(x) {
-                let nd = d + w;
-                if nd < *dist.get(&t).unwrap_or(&INFINITY) {
-                    dist.insert(t, nd);
-                    heap.push(nd, t);
-                }
-            }
-        }
-        entries.sort_unstable_by_key(|&(x, _)| x);
-        ChSearchSpace { entries }
+        self.search_space_impl(v, |_| false).0
+    }
+
+    /// [`ContractionHierarchy::upward_search_space`] plus search-effort counters, so
+    /// callers that account for materialization cost (the IER-CH oracle) report the
+    /// same settled/heap-push vocabulary as the pruned searches.
+    pub fn upward_search_space_with_counters(
+        &self,
+        v: NodeId,
+    ) -> (ChSearchSpace, ChSearchCounters) {
+        self.search_space_impl(v, |_| false)
     }
 
     /// Upward search space from `v` that does not expand any vertex for which `stop`
     /// returns true (the vertex itself is still settled). Used by Transit Node Routing,
     /// whose "local" searches stop at transit nodes.
+    ///
+    /// `stop` must not issue CH queries of its own (the thread-local search scratch is
+    /// held while it runs).
     pub fn upward_search_space_stopping_at(
         &self,
         v: NodeId,
         stop: impl Fn(NodeId) -> bool,
     ) -> ChSearchSpace {
-        let mut entries: Vec<(NodeId, Weight)> = Vec::new();
-        let mut heap: MinHeap<NodeId> = MinHeap::new();
-        let mut dist: std::collections::HashMap<NodeId, Weight> = std::collections::HashMap::new();
-        heap.push(0, v);
-        dist.insert(v, 0);
-        while let Some((d, x)) = heap.pop() {
-            if d > *dist.get(&x).unwrap_or(&INFINITY) {
-                continue;
-            }
-            entries.push((x, d));
-            if x != v && stop(x) {
-                continue;
-            }
-            for (t, w) in self.upward_edges(x) {
-                let nd = d + w;
-                if nd < *dist.get(&t).unwrap_or(&INFINITY) {
-                    dist.insert(t, nd);
-                    heap.push(nd, t);
+        self.search_space_impl(v, |x| x != v && stop(x)).0
+    }
+
+    fn search_space_impl(
+        &self,
+        v: NodeId,
+        stop: impl Fn(NodeId) -> bool,
+    ) -> (ChSearchSpace, ChSearchCounters) {
+        let mut counters = ChSearchCounters::default();
+        let entries = SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.begin(self.num_vertices());
+            let mut entries: Vec<(NodeId, Weight)> = Vec::new();
+            scratch.set(FORWARD, v, 0);
+            scratch.heap[FORWARD].push(0, v);
+            counters.heap_pushes += 1;
+            while let Some((d, x)) = scratch.heap[FORWARD].pop() {
+                if d > scratch.get(FORWARD, x) {
+                    continue;
+                }
+                entries.push((x, d));
+                if stop(x) {
+                    continue;
+                }
+                for (y, w) in self.upward_edges(x) {
+                    let nd = d + w;
+                    if nd < scratch.get(FORWARD, y) {
+                        scratch.set(FORWARD, y, nd);
+                        scratch.heap[FORWARD].push(nd, y);
+                        counters.heap_pushes += 1;
+                    }
                 }
             }
-        }
+            entries
+        });
+        counters.settled = entries.len() as u64;
+        let mut entries = entries;
         entries.sort_unstable_by_key(|&(x, _)| x);
-        ChSearchSpace { entries }
+        (ChSearchSpace { entries }, counters)
     }
 }
 
@@ -155,6 +376,46 @@ mod tests {
     }
 
     #[test]
+    fn pruned_bidirectional_distance_matches_full_materialization_meets() {
+        // The pruned bidirectional search must produce exactly the meet of the two
+        // fully materialised upward spaces — including unreachable pairs.
+        for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(500, 71));
+            let g = net.graph(kind);
+            let ch = ContractionHierarchy::build(&g);
+            let n = g.num_vertices() as NodeId;
+            for i in 0..80u32 {
+                let s = (i * 379) % n;
+                let t = (i * 523 + 7) % n;
+                let full = ch.upward_search_space(s).meet(&ch.upward_search_space(t));
+                let (pruned, counters) = ch.distance_with_counters(s, t);
+                assert_eq!(pruned, full, "{s}->{t} {kind:?}");
+                if s != t {
+                    assert!(counters.settled > 0);
+                    assert!(counters.heap_pushes >= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_from_space_matches_meet() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(700, 12));
+        let g = net.graph(EdgeWeightKind::Time);
+        let ch = ContractionHierarchy::build(&g);
+        let s: NodeId = 41;
+        let forward = ch.upward_search_space(s);
+        for t in (0..g.num_vertices() as NodeId).step_by(53) {
+            let want = forward.meet(&ch.upward_search_space(t));
+            let (got, counters) = ch.distance_from_space_with_counters(&forward, t);
+            assert_eq!(got, want, "{s}->{t}");
+            // The pruned backward search must not settle more than the full backward
+            // space would.
+            assert!(counters.settled <= ch.upward_search_space(t).len() as u64);
+        }
+    }
+
+    #[test]
     fn stopping_search_space_is_a_subset() {
         let net = RoadNetwork::generate(&GeneratorConfig::new(400, 4));
         let g = net.graph(EdgeWeightKind::Distance);
@@ -167,6 +428,26 @@ mod tests {
         for &(v, d) in stopped.entries() {
             let full_d = full.distance_to(v).expect("present in full space");
             assert!(d >= full_d);
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_hierarchies_of_different_sizes() {
+        // The thread-local scratch grows monotonically; interleaving queries against a
+        // large and a small hierarchy on the same thread must not leak state.
+        let big = RoadNetwork::generate(&GeneratorConfig::new(900, 1));
+        let small = RoadNetwork::generate(&GeneratorConfig::new(150, 2));
+        let gb = big.graph(EdgeWeightKind::Distance);
+        let gs = small.graph(EdgeWeightKind::Distance);
+        let chb = ContractionHierarchy::build(&gb);
+        let chs = ContractionHierarchy::build(&gs);
+        for i in 0..30u32 {
+            let sb = (i * 101) % gb.num_vertices() as NodeId;
+            let tb = (i * 211 + 5) % gb.num_vertices() as NodeId;
+            let ss = (i * 31) % gs.num_vertices() as NodeId;
+            let ts = (i * 47 + 3) % gs.num_vertices() as NodeId;
+            assert_eq!(chb.distance(sb, tb), dijkstra::distance(&gb, sb, tb));
+            assert_eq!(chs.distance(ss, ts), dijkstra::distance(&gs, ss, ts));
         }
     }
 }

@@ -96,6 +96,9 @@ pub struct EngineConfig {
     pub road_levels: Option<usize>,
     /// SILC size limit (vertices).
     pub silc_max_vertices: usize,
+    /// CH preprocessing knobs (witness settle/hop limits, dense-core fallback). The
+    /// defaults preprocess ~100k-vertex networks in seconds; see [`rnknn_ch::ChConfig`].
+    pub ch_config: rnknn_ch::ChConfig,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +113,7 @@ impl Default for EngineConfig {
             gtree_leaf_capacity: None,
             road_levels: None,
             silc_max_vertices: SilcConfig::default().max_vertices,
+            ch_config: rnknn_ch::ChConfig::default(),
         }
     }
 }
@@ -202,7 +206,7 @@ impl Engine {
         };
         let ch = (config.build_ch || config.build_tnr).then(|| {
             let start = Instant::now();
-            let ch = rnknn_ch::ContractionHierarchy::build(&graph);
+            let ch = rnknn_ch::ContractionHierarchy::build_with_config(&graph, &config.ch_config);
             build_times.ch_micros = start.elapsed().as_micros();
             ch
         });

@@ -26,6 +26,23 @@ pub trait DistanceOracle {
     fn begin_query(&mut self, _source: NodeId) {}
     /// Exact network distance from `source` to `target` ([`INFINITY`] when unreachable).
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight;
+    /// Search-effort counters accumulated since construction. Oracles that run real
+    /// searches per candidate (CH) report settles and heap work here so IER's unified
+    /// [`crate::QueryStats`] reflects oracle effort; table-lookup oracles keep the
+    /// default zeros.
+    fn search_stats(&self) -> OracleSearchStats {
+        OracleSearchStats::default()
+    }
+}
+
+/// Search effort an oracle spent answering distance queries (see
+/// [`DistanceOracle::search_stats`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleSearchStats {
+    /// Vertices settled by oracle-internal searches.
+    pub nodes_expanded: u64,
+    /// Priority-queue operations performed by oracle-internal searches.
+    pub heap_operations: u64,
 }
 
 /// Operation counters for one IER query.
@@ -184,17 +201,21 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
 }
 
 /// Contraction Hierarchies oracle. The forward (query-side) upward search space is
-/// computed once per kNN query and reused for every candidate.
+/// computed once per kNN query and reused for every candidate; each candidate then
+/// runs only a pruned backward upward search
+/// ([`rnknn_ch::ContractionHierarchy::distance_from_space`]) instead of materialising
+/// its full search space.
 #[derive(Debug)]
 pub struct ChOracle<'a> {
     ch: &'a rnknn_ch::ContractionHierarchy,
     forward: Option<(NodeId, rnknn_ch::ChSearchSpace)>,
+    counters: rnknn_ch::ChSearchCounters,
 }
 
 impl<'a> ChOracle<'a> {
     /// Creates the oracle over a prebuilt hierarchy.
     pub fn new(ch: &'a rnknn_ch::ContractionHierarchy) -> Self {
-        ChOracle { ch, forward: None }
+        ChOracle { ch, forward: None, counters: rnknn_ch::ChSearchCounters::default() }
     }
 }
 
@@ -203,7 +224,9 @@ impl<'a> DistanceOracle for ChOracle<'a> {
         "CH"
     }
     fn begin_query(&mut self, source: NodeId) {
-        self.forward = Some((source, self.ch.upward_search_space(source)));
+        let (space, counters) = self.ch.upward_search_space_with_counters(source);
+        self.counters.accumulate(counters);
+        self.forward = Some((source, space));
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
         if source == target {
@@ -212,12 +235,19 @@ impl<'a> DistanceOracle for ChOracle<'a> {
         let forward = match &self.forward {
             Some((s, space)) if *s == source => space,
             _ => {
-                self.forward = Some((source, self.ch.upward_search_space(source)));
+                self.begin_query(source);
                 &self.forward.as_ref().expect("just set").1
             }
         };
-        let backward = self.ch.upward_search_space(target);
-        forward.meet(&backward)
+        let (d, counters) = self.ch.distance_from_space_with_counters(forward, target);
+        self.counters.accumulate(counters);
+        d
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        OracleSearchStats {
+            nodes_expanded: self.counters.settled,
+            heap_operations: self.counters.heap_pushes,
+        }
     }
 }
 

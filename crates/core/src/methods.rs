@@ -57,11 +57,14 @@ fn ier_knn<O: DistanceOracle>(
 ) -> QueryOutput {
     let mut search = IerSearch::new(ctx.graph, oracle);
     let (result, stats) = search.knn_with_stats(query, k, ctx.rtree, ctx.objects);
+    let oracle_stats = search.oracle().search_stats();
     QueryOutput::new(
         result,
         QueryStats {
             oracle_calls: stats.network_distance_computations as u64,
             candidates_examined: stats.euclidean_candidates as u64,
+            nodes_expanded: oracle_stats.nodes_expanded,
+            heap_operations: oracle_stats.heap_operations,
             ..Default::default()
         },
     )

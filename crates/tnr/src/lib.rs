@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rnknn_ch::ContractionHierarchy;
+use rnknn_ch::{ChConfig, ContractionHierarchy};
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 
 /// Configuration for Transit Node Routing.
@@ -36,11 +36,19 @@ pub struct TnrConfig {
     /// Pairs whose cells are within this Chebyshev distance are considered "local" and
     /// skip the access-node table scan.
     pub locality_radius: i32,
+    /// Preprocessing knobs for the internally built contraction hierarchy (ignored by
+    /// [`TransitNodeRouting::build_from_ch`], which receives a prebuilt one).
+    pub ch_config: ChConfig,
 }
 
 impl Default for TnrConfig {
     fn default() -> Self {
-        TnrConfig { transit_fraction: 0.01, grid_cells: 64, locality_radius: 3 }
+        TnrConfig {
+            transit_fraction: 0.01,
+            grid_cells: 64,
+            locality_radius: 3,
+            ch_config: ChConfig::default(),
+        }
     }
 }
 
@@ -106,7 +114,7 @@ impl TransitNodeRouting {
 
     /// Builds the index with explicit parameters.
     pub fn build_with_config(graph: &Graph, config: TnrConfig) -> Self {
-        let ch = ContractionHierarchy::build(graph);
+        let ch = ContractionHierarchy::build_with_config(graph, &config.ch_config);
         Self::build_from_ch(graph, ch, config)
     }
 
@@ -241,7 +249,8 @@ impl TransitNodeRouting {
         if self.is_local(s, t) {
             self.counters.local_only.fetch_add(1, Ordering::Relaxed);
             // For local pairs the full CH query is used directly (the paper's "CH
-            // answers local queries"); combine with the table-free local estimate.
+            // answers local queries"); since the CH query is a pruned bidirectional
+            // search it settles far fewer vertices than the two stopped spaces above.
             return local.min(self.table_estimate(s, t)).min(self.ch.distance(s, t));
         }
         self.counters.table_queries.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +291,12 @@ mod tests {
             let g = net.graph(kind);
             let tnr = TransitNodeRouting::build_with_config(
                 &g,
-                TnrConfig { transit_fraction: 0.02, grid_cells: 16, locality_radius: 2 },
+                TnrConfig {
+                    transit_fraction: 0.02,
+                    grid_cells: 16,
+                    locality_radius: 2,
+                    ..TnrConfig::default()
+                },
             );
             let n = g.num_vertices() as NodeId;
             for i in 0..60u32 {

@@ -36,7 +36,10 @@ fn time_oracle<O: DistanceOracle>(
 }
 
 fn main() {
-    let network = RoadNetwork::generate(&GeneratorConfig::new(9_000, 4));
+    // 20k was far past the CH preprocessing wall before priority caching and
+    // hop-limited witness searches; now the whole oracle build is dominated by the
+    // other indexes.
+    let network = RoadNetwork::generate(&GeneratorConfig::new(20_000, 4));
     let graph = network.graph(EdgeWeightKind::Distance);
     let objects = uniform(&graph, 0.001, 17);
     let rtree = ObjectRTree::build(&graph, &objects);
@@ -47,7 +50,13 @@ fn main() {
     );
 
     println!("building oracles...");
-    let ch = rnknn::ch::ContractionHierarchy::build(&graph);
+    let ch_start = Instant::now();
+    let ch = rnknn::ch::ContractionHierarchy::build_with_config(
+        &graph,
+        // The defaults already scale; spelled out here to showcase the knobs.
+        &rnknn::ch::ChConfig { witness_settle_limit: 256, ..Default::default() },
+    );
+    println!("  CH: {} shortcuts in {:.2}s", ch.num_shortcuts(), ch_start.elapsed().as_secs_f64());
     let phl = rnknn::phl::HubLabels::build_with_ch(&graph, &ch).expect("label budget");
     let tnr = rnknn::tnr::TransitNodeRouting::build_from_ch(
         &graph,

@@ -1,0 +1,59 @@
+//! Regression guard for the CH preprocessing dense-core wall: builds must stay exact
+//! at sizes where the pre-fix contraction loop went superlinear, and (in release
+//! builds) must finish inside a wall-clock budget.
+//!
+//! History: the seed's lazy-update loop re-ran the full O(deg²) witness sweep on every
+//! queue pop; a ~23k-vertex build took ~186s in release mode. With cached priorities,
+//! staged hop-limited witness passes, and the pruned query path, the same build is
+//! ~1s, so the release budgets below have an order of magnitude of slack — if one
+//! trips, the superlinear blowup is back.
+
+use std::time::{Duration, Instant};
+
+use rnknn_ch::{ChConfig, ContractionHierarchy};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, NodeId};
+use rnknn_pathfinding::dijkstra;
+
+fn build_and_verify(size: usize, kind: EdgeWeightKind, pairs: u32) -> Duration {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+    let g = net.graph(kind);
+    let start = Instant::now();
+    let ch = ContractionHierarchy::build_with_config(&g, &ChConfig::default());
+    let elapsed = start.elapsed();
+    let n = g.num_vertices() as NodeId;
+    for i in 0..pairs {
+        let s = (i * 7919) % n;
+        let t = (i * 104_729 + 31) % n;
+        assert_eq!(
+            ch.distance(s, t),
+            dijkstra::distance(&g, s, t),
+            "{s}->{t} at size {size} {kind:?}"
+        );
+    }
+    elapsed
+}
+
+#[test]
+fn ch_matches_dijkstra_at_5k_on_both_weight_kinds() {
+    for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+        let elapsed = build_and_verify(5_000, kind, 25);
+        // Debug builds are ~10x slower; only release timings are meaningful.
+        if !cfg!(debug_assertions) {
+            assert!(elapsed < Duration::from_secs(2), "5k {kind:?} build took {elapsed:?}");
+        }
+    }
+}
+
+// The 20k build is release-only: the point is the wall-clock regression guard, and in
+// debug mode the build alone would dominate the tier-1 suite without adding coverage
+// beyond the 5k case above.
+#[cfg(not(debug_assertions))]
+#[test]
+fn ch_matches_dijkstra_at_20k_within_wall_clock_budget() {
+    for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+        let elapsed = build_and_verify(20_000, kind, 15);
+        // Measured ~1.0-1.3s per weight kind; 10s means the dense-core wall is back.
+        assert!(elapsed < Duration::from_secs(10), "20k {kind:?} build took {elapsed:?}");
+    }
+}

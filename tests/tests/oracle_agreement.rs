@@ -22,7 +22,12 @@ fn every_oracle_agrees_with_dijkstra_on_both_weight_kinds() {
         let tnr = TransitNodeRouting::build_from_ch(
             &graph,
             ch.clone(),
-            TnrConfig { transit_fraction: 0.02, grid_cells: 16, locality_radius: 2 },
+            TnrConfig {
+                transit_fraction: 0.02,
+                grid_cells: 16,
+                locality_radius: 2,
+                ..TnrConfig::default()
+            },
         );
         let gtree = Gtree::build_with_config(
             &graph,
