@@ -1,13 +1,14 @@
 //! Figures 8 / 26: road-network index construction.
 //!
-//! Besides the small cross-index comparison, this bench runs the CH construction
-//! scaling experiment (20k/50k/100k vertices, one build each) and writes the measured
-//! 10k/20k/50k trajectory to `BENCH_ch_build.json` via [`rnknn_bench::ch_build`] —
-//! CI runs this bench as a smoke test so the build-time trend is tracked across PRs.
+//! Besides the small cross-index comparison, this bench runs the CH and G-tree
+//! construction scaling experiments (up to 100k requested vertices) and writes the
+//! measured trajectories to `BENCH_ch_build.json` / `BENCH_gtree_build.json` via
+//! [`rnknn_bench::ch_build`] / [`rnknn_bench::gtree_build`] — CI runs this bench as a
+//! smoke test so both build-time trends are tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rnknn::ch::{ChConfig, ContractionHierarchy};
-use rnknn_bench::ch_build;
+use rnknn_bench::{ch_build, gtree_build};
 use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
 use rnknn_graph::EdgeWeightKind;
 use rnknn_gtree::Gtree;
@@ -49,5 +50,23 @@ fn bench_ch_scaling(c: &mut Criterion) {
     ch_build::run_and_track();
 }
 
-criterion_group!(benches, bench_construction, bench_ch_scaling);
+fn bench_gtree_scaling(c: &mut Criterion) {
+    // Figure 9-style construction scaling for the paper's primary index. The
+    // 20k/50k/100k points come from run_and_track() below (which also verifies kNN
+    // agreement against Dijkstra and persists BENCH_gtree_build.json), so the
+    // criterion group only times the 100k ceiling — one build is the measurement,
+    // not a sample mean.
+    let mut group = c.benchmark_group("fig9_gtree_scaling");
+    group.sample_size(1).measurement_time(Duration::ZERO).warm_up_time(Duration::ZERO);
+    let size = 100_000usize;
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(size, 42)).graph(EdgeWeightKind::Distance);
+    group.bench_function(format!("gtree_{size}"), |b| b.iter(|| Gtree::build(&graph).num_nodes()));
+    group.finish();
+
+    // Persist the standard 20k/50k/100k trajectory (with kNN verification).
+    gtree_build::run_and_track();
+}
+
+criterion_group!(benches, bench_construction, bench_ch_scaling, bench_gtree_scaling);
 criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! G-tree construction scaling bench (Figure 9-style build-time trajectory).
+//!
+//! Builds G-trees on generated networks of increasing size, verifies kNN results
+//! against a Dijkstra brute force, and writes the measured build times to
+//! `BENCH_gtree_build.json` in the workspace root so CI can track the perf trajectory
+//! across PRs. The knob flags mirror [`rnknn::gtree::GtreeConfig`]; unless
+//! `--leaf-capacity` is given, the paper's size-based leaf capacity applies per size.
+//!
+//! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench [--sizes 20000,50000,100000]`
+
+use rnknn::gtree::{GtreeConfig, MatrixOracle};
+use rnknn_bench::gtree_build;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![20_000, 50_000, 100_000];
+    let mut verify_queries = 5u32;
+    let mut leaf_capacity: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut ch_oracle = false;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i].split(',').map(|s| s.trim().parse().expect("size")).collect();
+            }
+            "--verify-queries" => {
+                i += 1;
+                verify_queries = args[i].parse().expect("query count");
+            }
+            "--leaf-capacity" => {
+                i += 1;
+                leaf_capacity = Some(args[i].parse().expect("leaf capacity"));
+            }
+            "--threads" => {
+                i += 1;
+                threads = Some(args[i].parse().expect("thread count"));
+            }
+            "--ch-oracle" => ch_oracle = true,
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    // One measure() call per size so the paper's size-based leaf capacity applies
+    // even when other knobs are overridden.
+    let mut points = Vec::new();
+    for &size in &sizes {
+        let config = if leaf_capacity.is_none() && threads.is_none() && !ch_oracle {
+            None
+        } else {
+            let mut config = GtreeConfig {
+                leaf_capacity: leaf_capacity
+                    .unwrap_or_else(|| GtreeConfig::paper_leaf_capacity(size)),
+                ..Default::default()
+            };
+            if let Some(t) = threads {
+                config.build_threads = t;
+            }
+            if ch_oracle {
+                config.matrix_oracle = MatrixOracle::Ch(rnknn::ch::ChConfig::default());
+            }
+            Some(config)
+        };
+        points.extend(gtree_build::measure(&[size], config.as_ref(), verify_queries));
+    }
+    let path = gtree_build::tracking_file();
+    std::fs::write(path, gtree_build::render_json(&points)).expect("write BENCH_gtree_build.json");
+    println!("wrote {path}");
+}

@@ -312,6 +312,125 @@ pub mod ch_build {
     }
 }
 
+/// G-tree construction scaling measurement shared by the `bench_construction` bench
+/// (CI smoke run) and the `gtree_build_bench` binary: build G-trees on generated
+/// networks of increasing size, verify kNN results against a Dijkstra brute force,
+/// and persist the measured build times to `BENCH_gtree_build.json` so the perf
+/// trajectory is tracked across PRs (the CH analogue is [`ch_build`]).
+pub mod gtree_build {
+    use std::time::Instant;
+
+    use rnknn::gtree::{Gtree, GtreeConfig, LeafSearchMode, OccurrenceList};
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, NodeId, Weight};
+    use rnknn_pathfinding::dijkstra;
+
+    /// One measured build.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BuildPoint {
+        /// Vertices of the generated network (slightly above the requested size, since
+        /// the generator subdivides edges into chains).
+        pub vertices: usize,
+        /// Edges of the generated network.
+        pub edges: usize,
+        /// G-tree nodes (leaves + internal).
+        pub tree_nodes: usize,
+        /// Resident size of the index in bytes.
+        pub memory_bytes: usize,
+        /// Wall-clock build time in seconds.
+        pub build_seconds: f64,
+    }
+
+    /// Builds a G-tree per requested size (with the paper's size-based leaf capacity
+    /// unless `config` overrides it), asserting kNN agreement against a Dijkstra brute
+    /// force on `verify_queries` query vertices so a fast-but-wrong build never lands
+    /// in the tracking file.
+    pub fn measure(
+        sizes: &[usize],
+        config: Option<&GtreeConfig>,
+        verify_queries: u32,
+    ) -> Vec<BuildPoint> {
+        let mut points = Vec::new();
+        for &size in sizes {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+            let g = net.graph(EdgeWeightKind::Distance);
+            let gconfig =
+                config.cloned().unwrap_or_else(|| GtreeConfig::for_network(g.num_vertices()));
+            let start = Instant::now();
+            let tree = Gtree::build_with_config(&g, gconfig);
+            let elapsed = start.elapsed().as_secs_f64();
+            let n = g.num_vertices() as NodeId;
+            let objects: Vec<NodeId> = (0..n).filter(|v| v % 101 == 3).collect();
+            let occ = OccurrenceList::build(&tree, &objects);
+            for i in 0..verify_queries {
+                let q = (i * 7919 + 13) % n;
+                let truth = dijkstra::single_source(&g, q);
+                let mut want: Vec<Weight> = objects.iter().map(|&o| truth[o as usize]).collect();
+                want.sort_unstable();
+                want.truncate(10);
+                let mut search = rnknn::gtree::GtreeSearch::new(&tree, &g, q);
+                let got: Vec<Weight> = search
+                    .knn(10, &occ, LeafSearchMode::Improved)
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect();
+                assert_eq!(got, want, "kNN mismatch from {q} at size {size}");
+            }
+            println!(
+                "gtree build n={:>7} vertices={:>7} edges={:>7} nodes={:>5} mem={:>9}B time={:.3}s",
+                size,
+                g.num_vertices(),
+                g.num_edges(),
+                tree.num_nodes(),
+                tree.memory_bytes(),
+                elapsed
+            );
+            points.push(BuildPoint {
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                tree_nodes: tree.num_nodes(),
+                memory_bytes: tree.memory_bytes(),
+                build_seconds: elapsed,
+            });
+        }
+        points
+    }
+
+    /// Renders the tracking JSON for `BENCH_gtree_build.json`.
+    pub fn render_json(points: &[BuildPoint]) -> String {
+        let mut json = String::from(
+            "{\n  \"bench\": \"gtree_build\",\n  \"unit\": \"seconds\",\n  \"points\": [\n",
+        );
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"vertices\": {}, \"edges\": {}, \"tree_nodes\": {}, \"memory_bytes\": {}, \"build_seconds\": {:.3}}}{}\n",
+                p.vertices,
+                p.edges,
+                p.tree_nodes,
+                p.memory_bytes,
+                p.build_seconds,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Path of the tracking file (workspace root).
+    pub fn tracking_file() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gtree_build.json")
+    }
+
+    /// Measures the standard 20k/50k/100k trajectory and writes the tracking file.
+    pub fn run_and_track() -> Vec<BuildPoint> {
+        let points = measure(&[20_000, 50_000, 100_000], None, 3);
+        let path = tracking_file();
+        std::fs::write(path, render_json(&points)).expect("write BENCH_gtree_build.json");
+        println!("wrote {path}");
+        points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

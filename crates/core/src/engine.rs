@@ -7,7 +7,7 @@
 //! answers the same queries.
 //!
 //! Queries go through [`Engine::query`], which returns a `Result` carrying the
-//! kNN result plus unified [`QueryStats`], and dispatches through the
+//! kNN result plus unified [`crate::QueryStats`], and dispatches through the
 //! [`crate::methods`] registry of [`crate::KnnAlgorithm`] implementors. The
 //! engine is [`Sync`]: [`Engine::knn_batch`] fans a query workload across
 //! scoped threads over one shared engine.
@@ -92,6 +92,11 @@ pub struct EngineConfig {
     pub build_tnr: bool,
     /// Override the G-tree leaf capacity (defaults to the paper's size-based rule).
     pub gtree_leaf_capacity: Option<usize>,
+    /// G-tree construction knobs (matrix oracle, worker threads, fanout, matrix
+    /// layout; see [`rnknn_gtree::GtreeConfig`]). The leaf capacity inside this value
+    /// is ignored — it is controlled by `gtree_leaf_capacity` above, falling back to
+    /// the paper's size-based rule.
+    pub gtree_config: GtreeConfig,
     /// Override the ROAD level count (defaults to the paper's size-based rule).
     pub road_levels: Option<usize>,
     /// SILC size limit (vertices).
@@ -111,6 +116,7 @@ impl Default for EngineConfig {
             build_phl: true,
             build_tnr: false,
             gtree_leaf_capacity: None,
+            gtree_config: GtreeConfig::default(),
             road_levels: None,
             silc_max_vertices: SilcConfig::default().max_vertices,
             ch_config: rnknn_ch::ChConfig::default(),
@@ -138,11 +144,17 @@ impl EngineConfig {
 /// Figure 26(a)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BuildTimes {
+    /// G-tree construction time.
     pub gtree_micros: u128,
+    /// ROAD construction time.
     pub road_micros: u128,
+    /// SILC construction time.
     pub silc_micros: u128,
+    /// Contraction-hierarchy preprocessing time.
     pub ch_micros: u128,
+    /// Hub-label construction time.
     pub phl_micros: u128,
+    /// Transit-node-routing construction time (excluding the CH it reuses).
     pub tnr_micros: u128,
 }
 
@@ -177,7 +189,7 @@ impl Engine {
                 leaf_capacity: config
                     .gtree_leaf_capacity
                     .unwrap_or_else(|| GtreeConfig::paper_leaf_capacity(graph.num_vertices())),
-                ..Default::default()
+                ..config.gtree_config.clone()
             };
             let t = Gtree::build_with_config(&graph, gconfig);
             build_times.gtree_micros = start.elapsed().as_micros();
@@ -320,10 +332,7 @@ impl Engine {
         let algorithm = methods::algorithm(method);
         for &kind in algorithm.required_indexes() {
             if !self.has_index(kind) {
-                return Err(EngineError::MissingIndex {
-                    method: algorithm.name(),
-                    index: kind.name(),
-                });
+                return Err(EngineError::MissingIndex { method, index: kind });
             }
         }
         if self.objects.is_none() {
@@ -351,6 +360,28 @@ impl Engine {
     /// index, a missing object set, an out-of-range vertex or `k == 0` come
     /// back as an [`EngineError`]. The engine is borrowed immutably, so any
     /// number of queries may run concurrently (see [`Engine::knn_batch`]).
+    ///
+    /// ```
+    /// use rnknn::{Engine, EngineConfig, EngineError, Method};
+    /// use rnknn_graph::{generator::{GeneratorConfig, RoadNetwork}, EdgeWeightKind};
+    /// use rnknn_objects::uniform;
+    ///
+    /// let graph = RoadNetwork::generate(&GeneratorConfig::new(500, 7))
+    ///     .graph(EdgeWeightKind::Distance);
+    /// let objects = uniform(&graph, 0.05, 1);
+    /// let mut engine = Engine::build(graph, &EngineConfig::minimal());
+    ///
+    /// // Querying before objects are injected is an error, not a panic.
+    /// assert_eq!(engine.query(Method::Gtree, 17, 5).unwrap_err(), EngineError::NoObjects);
+    ///
+    /// engine.set_objects(objects);
+    /// let output = engine.query(Method::Gtree, 17, 5)?;
+    /// assert_eq!(output.result.len(), 5);
+    /// // Distances are non-decreasing and the stats are populated.
+    /// assert!(output.result.windows(2).all(|w| w[0].1 <= w[1].1));
+    /// assert!(output.stats.nodes_expanded > 0);
+    /// # Ok::<(), rnknn::EngineError>(())
+    /// ```
     pub fn query(
         &self,
         method: Method,
@@ -391,6 +422,26 @@ impl Engine {
     /// measurement loops, parallelized). Uses one worker per available core;
     /// results are returned in input order and are identical to running
     /// [`Engine::query`] sequentially.
+    ///
+    /// ```
+    /// use rnknn::{Engine, EngineConfig, Method};
+    /// use rnknn_graph::{generator::{GeneratorConfig, RoadNetwork}, EdgeWeightKind, NodeId};
+    /// use rnknn_objects::uniform;
+    ///
+    /// let graph = RoadNetwork::generate(&GeneratorConfig::new(400, 3))
+    ///     .graph(EdgeWeightKind::Distance);
+    /// let mut engine = Engine::build(graph, &EngineConfig::minimal());
+    /// engine.set_objects(uniform(engine.graph(), 0.05, 2));
+    ///
+    /// let n = engine.graph().num_vertices() as NodeId;
+    /// let queries: Vec<NodeId> = (0..16).map(|i| i * 17 % n).collect();
+    /// let batch = engine.knn_batch(Method::Ine, &queries, 3)?;
+    /// assert_eq!(batch.len(), queries.len());
+    /// // Order-preserving: batch[i] answers queries[i].
+    /// let sequential = engine.query(Method::Ine, queries[4], 3)?;
+    /// assert_eq!(batch[4].result, sequential.result);
+    /// # Ok::<(), rnknn::EngineError>(())
+    /// ```
     pub fn knn_batch(
         &self,
         method: Method,
@@ -536,11 +587,17 @@ mod tests {
         // minimal() builds neither PHL nor SILC: MissingIndex, even without objects.
         assert_eq!(
             engine.query(Method::IerPhl, 0, 3).unwrap_err(),
-            crate::EngineError::MissingIndex { method: "IER-PHL", index: "PHL" }
+            crate::EngineError::MissingIndex {
+                method: Method::IerPhl,
+                index: crate::IndexKind::Phl
+            }
         );
         assert_eq!(
             engine.query(Method::DisBrw, 0, 3).unwrap_err(),
-            crate::EngineError::MissingIndex { method: "DisBrw", index: "SILC" }
+            crate::EngineError::MissingIndex {
+                method: Method::DisBrw,
+                index: crate::IndexKind::Silc
+            }
         );
 
         let objects = uniform(engine.graph(), 0.05, 9);
@@ -555,6 +612,68 @@ mod tests {
             crate::EngineError::InvalidK { k: 0 }
         );
         assert!(engine.query(Method::Ine, 0, 3).is_ok());
+    }
+
+    /// The drift guard for `Engine::supports` vs what `KnnAlgorithm::knn`
+    /// implementations actually dereference: for every registry entry and every
+    /// index kind, an engine built without that index must (a) report
+    /// `supports == false` exactly when the method requires it, and (b) surface a
+    /// structured `MissingIndex` naming the method and the first missing index —
+    /// never panic inside the algorithm because it grabbed an index it did not
+    /// declare in `required_indexes`.
+    #[test]
+    fn missing_index_is_structured_and_consistent_with_supports_for_every_method() {
+        use crate::IndexKind;
+
+        let kinds = [
+            IndexKind::Gtree,
+            IndexKind::Road,
+            IndexKind::Silc,
+            IndexKind::Ch,
+            IndexKind::Phl,
+            IndexKind::Tnr,
+        ];
+        for &removed in &kinds {
+            let config = EngineConfig {
+                build_gtree: removed != IndexKind::Gtree,
+                build_road: removed != IndexKind::Road,
+                build_silc: removed != IndexKind::Silc,
+                // `build_tnr` implies a CH build, so removing CH removes TNR too.
+                build_ch: removed != IndexKind::Ch,
+                build_phl: removed != IndexKind::Phl,
+                build_tnr: removed != IndexKind::Tnr && removed != IndexKind::Ch,
+                ..Default::default()
+            };
+            let net = RoadNetwork::generate(&GeneratorConfig::new(300, 5));
+            let mut engine = Engine::build(net.graph(EdgeWeightKind::Distance), &config);
+            engine.set_objects(uniform(engine.graph(), 0.05, 7));
+            for algorithm in methods::registry() {
+                let method = algorithm.method();
+                let missing: Vec<IndexKind> = algorithm
+                    .required_indexes()
+                    .iter()
+                    .copied()
+                    .filter(|&kind| !engine.has_index(kind))
+                    .collect();
+                assert_eq!(
+                    engine.supports(method),
+                    missing.is_empty(),
+                    "{} supports() disagrees with required_indexes when {} is absent",
+                    method.name(),
+                    removed.name()
+                );
+                match engine.query(method, 3, 2) {
+                    Ok(_) => {
+                        assert!(missing.is_empty(), "{} answered without its index", method.name())
+                    }
+                    Err(EngineError::MissingIndex { method: m, index }) => {
+                        assert_eq!(m, method, "error names the wrong method");
+                        assert_eq!(index, missing[0], "error names the wrong index");
+                    }
+                    Err(other) => panic!("{} returned unexpected error {other}", method.name()),
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,16 +9,28 @@ use std::fmt;
 
 use rnknn_graph::NodeId;
 
+use crate::engine::Method;
+use crate::query::IndexKind;
+
 /// Why the engine could not answer a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineError {
     /// The method needs a road-network index that was not built by the current
     /// [`crate::EngineConfig`] (check [`crate::Engine::supports`] first).
+    ///
+    /// Both fields are the typed values (not display strings), so callers can match
+    /// on them, rebuild the engine with the right [`crate::EngineConfig`] flag, or
+    /// map them to their own error vocabulary. [`Engine::supports`] and this error
+    /// derive from the same registry declaration ([`required_indexes`]), so the two
+    /// can never drift apart.
+    ///
+    /// [`Engine::supports`]: crate::Engine::supports
+    /// [`required_indexes`]: crate::KnnAlgorithm::required_indexes
     MissingIndex {
-        /// Display name of the requested method (e.g. `"IER-PHL"`).
-        method: &'static str,
-        /// Display name of the absent index (e.g. `"PHL"`).
-        index: &'static str,
+        /// The requested method.
+        method: Method,
+        /// The absent index.
+        index: IndexKind,
     },
     /// No object set was injected; call [`crate::Engine::set_objects`] first.
     NoObjects,
@@ -40,7 +52,12 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::MissingIndex { method, index } => {
-                write!(f, "method {method} requires the {index} index, which was not built")
+                write!(
+                    f,
+                    "method {} requires the {} index, which was not built",
+                    method.name(),
+                    index.name()
+                )
             }
             EngineError::NoObjects => {
                 write!(f, "no object set injected (call Engine::set_objects before querying)")
@@ -64,7 +81,7 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_missing_pieces() {
-        let e = EngineError::MissingIndex { method: "IER-PHL", index: "PHL" };
+        let e = EngineError::MissingIndex { method: Method::IerPhl, index: IndexKind::Phl };
         assert!(e.to_string().contains("IER-PHL"));
         assert!(e.to_string().contains("PHL"));
         assert!(EngineError::NoObjects.to_string().contains("set_objects"));

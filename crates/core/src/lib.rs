@@ -47,6 +47,8 @@
 //! assert_eq!(batch[0].result, engine.query(Method::Gtree, queries[0], 5).unwrap().result);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod disbrw;
 pub mod engine;
 pub mod error;

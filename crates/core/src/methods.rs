@@ -38,6 +38,29 @@ static REGISTRY: &[&dyn KnnAlgorithm] = &[
     &GtreeKnn,
 ];
 
+/// Renders the method-vs-required-index table embedded in `docs/ARCHITECTURE.md`,
+/// generated from the registry so the documentation can never drift from the code
+/// (a unit test asserts the file contains exactly this output).
+pub fn method_index_table() -> String {
+    let mut out = String::from(
+        "| `Method` | display name | required road-network indexes |\n|---|---|---|\n",
+    );
+    for algorithm in registry() {
+        let required = if algorithm.required_indexes().is_empty() {
+            "*(none — works on the raw graph)*".to_string()
+        } else {
+            algorithm.required_indexes().iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
+        };
+        out.push_str(&format!(
+            "| `{:?}` | {} | {} |\n",
+            algorithm.method(),
+            algorithm.name(),
+            required
+        ));
+    }
+    out
+}
+
 /// The implementor registered for `method`.
 pub fn algorithm(method: Method) -> &'static dyn KnnAlgorithm {
     REGISTRY
@@ -157,7 +180,7 @@ impl KnnAlgorithm for IerCh {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let ch = ctx.require_ch(self.name())?;
+        let ch = ctx.require_ch(self.method())?;
         Ok(ier_knn(ctx, ChOracle::new(ch), query, k))
     }
 }
@@ -181,7 +204,7 @@ impl KnnAlgorithm for IerPhl {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let phl = ctx.require_phl(self.name())?;
+        let phl = ctx.require_phl(self.method())?;
         Ok(ier_knn(ctx, PhlOracle::new(phl), query, k))
     }
 }
@@ -205,7 +228,7 @@ impl KnnAlgorithm for IerTnr {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let tnr = ctx.require_tnr(self.name())?;
+        let tnr = ctx.require_tnr(self.method())?;
         Ok(ier_knn(ctx, TnrOracle::new(tnr), query, k))
     }
 }
@@ -229,7 +252,7 @@ impl KnnAlgorithm for IerGtree {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let gtree = ctx.require_gtree(self.name())?;
+        let gtree = ctx.require_gtree(self.method())?;
         Ok(ier_knn(ctx, GtreeOracle::new(gtree, ctx.graph), query, k))
     }
 }
@@ -238,7 +261,7 @@ impl KnnAlgorithm for IerGtree {
 fn disbrw_knn(
     ctx: &QueryContext<'_>,
     variant: DisBrwVariant,
-    method: &'static str,
+    method: Method,
     query: NodeId,
     k: usize,
 ) -> Result<QueryOutput, EngineError> {
@@ -275,7 +298,7 @@ impl KnnAlgorithm for DisBrw {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        disbrw_knn(ctx, DisBrwVariant::DbEnn, self.name(), query, k)
+        disbrw_knn(ctx, DisBrwVariant::DbEnn, self.method(), query, k)
     }
 }
 
@@ -298,7 +321,7 @@ impl KnnAlgorithm for DisBrwObjectHierarchy {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        disbrw_knn(ctx, DisBrwVariant::ObjectHierarchy, self.name(), query, k)
+        disbrw_knn(ctx, DisBrwVariant::ObjectHierarchy, self.method(), query, k)
     }
 }
 
@@ -321,8 +344,8 @@ impl KnnAlgorithm for Road {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let road = ctx.require_road(self.name())?;
-        let directory = ctx.require_association(self.name())?;
+        let road = ctx.require_road(self.method())?;
+        let directory = ctx.require_association(self.method())?;
         let (result, stats) = RoadKnn::new(ctx.graph, road).knn_with_stats(query, k, directory);
         Ok(QueryOutput::new(
             result,
@@ -355,8 +378,8 @@ impl KnnAlgorithm for GtreeKnn {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
-        let gtree = ctx.require_gtree(self.name())?;
-        let occurrence = ctx.require_occurrence(self.name())?;
+        let gtree = ctx.require_gtree(self.method())?;
+        let occurrence = ctx.require_occurrence(self.method())?;
         let mut search = rnknn_gtree::GtreeSearch::new(gtree, ctx.graph, query);
         let result = search.knn(k, occurrence, LeafSearchMode::Improved);
         let stats = search.stats;
@@ -386,6 +409,19 @@ mod tests {
             assert_eq!(algorithm(m).method(), m);
             assert!(!algorithm(m).name().is_empty());
         }
+    }
+
+    /// docs/ARCHITECTURE.md embeds the registry-generated method table verbatim; if
+    /// this fails, re-paste the output of [`method_index_table`] into the doc.
+    #[test]
+    fn architecture_doc_embeds_the_generated_method_table() {
+        let doc = include_str!("../../../docs/ARCHITECTURE.md");
+        let table = method_index_table();
+        assert!(
+            doc.contains(&table),
+            "docs/ARCHITECTURE.md is out of sync with the method registry.\n\
+             Replace its method table with:\n\n{table}"
+        );
     }
 
     #[test]

@@ -148,61 +148,55 @@ impl<'a> QueryContext<'a> {
         }
     }
 
-    fn missing(method: &'static str, kind: IndexKind) -> EngineError {
-        EngineError::MissingIndex { method, index: kind.name() }
+    fn missing(method: Method, kind: IndexKind) -> EngineError {
+        EngineError::MissingIndex { method, index: kind }
     }
 
     /// The G-tree, or [`EngineError::MissingIndex`] attributed to `method`.
-    pub fn require_gtree(&self, method: &'static str) -> Result<&'a Gtree, EngineError> {
+    pub fn require_gtree(&self, method: Method) -> Result<&'a Gtree, EngineError> {
         self.gtree.ok_or(Self::missing(method, IndexKind::Gtree))
     }
 
     /// The ROAD index, or [`EngineError::MissingIndex`].
-    pub fn require_road(&self, method: &'static str) -> Result<&'a RoadIndex, EngineError> {
+    pub fn require_road(&self, method: Method) -> Result<&'a RoadIndex, EngineError> {
         self.road.ok_or(Self::missing(method, IndexKind::Road))
     }
 
     /// The SILC index, or [`EngineError::MissingIndex`].
-    pub fn require_silc(&self, method: &'static str) -> Result<&'a SilcIndex, EngineError> {
+    pub fn require_silc(&self, method: Method) -> Result<&'a SilcIndex, EngineError> {
         self.silc.ok_or(Self::missing(method, IndexKind::Silc))
     }
 
     /// The contraction hierarchy, or [`EngineError::MissingIndex`].
     pub fn require_ch(
         &self,
-        method: &'static str,
+        method: Method,
     ) -> Result<&'a rnknn_ch::ContractionHierarchy, EngineError> {
         self.ch.ok_or(Self::missing(method, IndexKind::Ch))
     }
 
     /// The hub labels, or [`EngineError::MissingIndex`].
-    pub fn require_phl(
-        &self,
-        method: &'static str,
-    ) -> Result<&'a rnknn_phl::HubLabels, EngineError> {
+    pub fn require_phl(&self, method: Method) -> Result<&'a rnknn_phl::HubLabels, EngineError> {
         self.phl.ok_or(Self::missing(method, IndexKind::Phl))
     }
 
     /// The TNR index, or [`EngineError::MissingIndex`].
     pub fn require_tnr(
         &self,
-        method: &'static str,
+        method: Method,
     ) -> Result<&'a rnknn_tnr::TransitNodeRouting, EngineError> {
         self.tnr.ok_or(Self::missing(method, IndexKind::Tnr))
     }
 
     /// The occurrence list, or [`EngineError::MissingIndex`] (absent iff the G-tree is).
-    pub fn require_occurrence(
-        &self,
-        method: &'static str,
-    ) -> Result<&'a OccurrenceList, EngineError> {
+    pub fn require_occurrence(&self, method: Method) -> Result<&'a OccurrenceList, EngineError> {
         self.occurrence.ok_or(Self::missing(method, IndexKind::Gtree))
     }
 
     /// The association directory, or [`EngineError::MissingIndex`] (absent iff ROAD is).
     pub fn require_association(
         &self,
-        method: &'static str,
+        method: Method,
     ) -> Result<&'a AssociationDirectory, EngineError> {
         self.association.ok_or(Self::missing(method, IndexKind::Road))
     }

@@ -1,4 +1,4 @@
-//! Incremental construction of [`Graph`](crate::Graph) instances from edge lists.
+//! Incremental construction of [`crate::Graph`] instances from edge lists.
 
 use crate::graph::Graph;
 use crate::point::Point;

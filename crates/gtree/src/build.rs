@@ -1,14 +1,51 @@
 //! G-tree construction: recursive partitioning, border extraction, bottom-up distance
 //! matrices and the top-down exactness refinement.
+//!
+//! Matrix assembly is the scaling-critical phase and is organised level by level:
+//!
+//! * **leaves** — one multi-target Dijkstra per border, confined to the leaf's induced
+//!   subgraph; independent leaves are fanned across scoped worker threads (the
+//!   `knn_batch` pattern from `rnknn-core`);
+//! * **internal nodes** — composed bottom-up from the children's already-computed
+//!   matrices (border cliques + original cross edges), never re-running searches on the
+//!   full graph; the per-row Dijkstras over the reduced border graph run on scoped
+//!   worker threads because upper levels hold few nodes but many rows;
+//! * **upper levels, optionally** — with [`MatrixOracle::Ch`] a contraction hierarchy
+//!   is built once and wide internal nodes (at least
+//!   [`GtreeConfig::oracle_min_borders`] child borders) read exact global
+//!   border-to-border distances from cached CH upward search spaces instead of running
+//!   reduced-graph Dijkstras; those matrices need no refinement pass.
+//!
+//! The top-down refinement pass (on by default) upgrades every remaining matrix from
+//! subgraph-restricted to exact global distances using the parent's already-exact
+//! matrix as external shortcut edges (DESIGN.md §4).
 
+use rnknn_ch::{ChConfig, ContractionHierarchy};
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_partition::Partitioner;
-use rnknn_pathfinding::dijkstra;
+use rnknn_pathfinding::heap::MinHeap;
 
 use crate::distmatrix::{DistanceMatrix, MatrixKind};
 use crate::tree::{Gtree, GtreeNode, NodeIndex};
 
 use std::collections::HashMap;
+
+/// How inter-border distance matrices are computed during construction.
+#[derive(Debug, Clone)]
+pub enum MatrixOracle {
+    /// Compose child matrices bottom-up and refine top-down (the default; needs no
+    /// auxiliary index).
+    Composed,
+    /// Build a contraction hierarchy once (with the given preprocessing knobs) and
+    /// fill the matrices of wide internal nodes — at least
+    /// [`GtreeConfig::oracle_min_borders`] child borders — with exact global distances
+    /// read from cached CH upward search spaces. Narrow nodes still compose. Under
+    /// the default [`GtreeConfig::exact_refinement`] the final matrices are identical
+    /// either way, only the build-time trade-off changes; with refinement disabled,
+    /// oracle matrices are exact while composed ones stay subgraph-restricted, so the
+    /// two strategies genuinely differ.
+    Ch(ChConfig),
+}
 
 /// Configuration of G-tree construction.
 #[derive(Debug, Clone)]
@@ -24,6 +61,17 @@ pub struct GtreeConfig {
     /// When true (default) a top-down refinement pass upgrades every distance-matrix
     /// entry from subgraph-restricted to exact global network distance (DESIGN.md §4).
     pub exact_refinement: bool,
+    /// How inter-border matrices are computed (composition by default, optionally
+    /// CH-backed at the upper levels). Matrices produced by the CH oracle are exact
+    /// regardless of [`GtreeConfig::exact_refinement`].
+    pub matrix_oracle: MatrixOracle,
+    /// Minimum child-border count for an internal node to use the CH oracle (ignored
+    /// under [`MatrixOracle::Composed`]). Narrow nodes compose faster than they can
+    /// query, so the oracle only pays off on the wide upper-level matrices.
+    pub oracle_min_borders: usize,
+    /// Worker threads for matrix assembly (`0` = one per available core). Construction
+    /// is deterministic regardless of the thread count.
+    pub build_threads: usize,
 }
 
 impl Default for GtreeConfig {
@@ -33,6 +81,9 @@ impl Default for GtreeConfig {
             leaf_capacity: 128,
             matrix_kind: MatrixKind::Array,
             exact_refinement: true,
+            matrix_oracle: MatrixOracle::Composed,
+            oracle_min_borders: 64,
+            build_threads: 0,
         }
     }
 }
@@ -53,6 +104,15 @@ impl GtreeConfig {
     pub fn for_network(num_vertices: usize) -> Self {
         GtreeConfig { leaf_capacity: Self::paper_leaf_capacity(num_vertices), ..Default::default() }
     }
+
+    /// Worker-thread count after resolving `0` to the available parallelism.
+    fn resolved_threads(&self) -> usize {
+        if self.build_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.build_threads
+        }
+    }
 }
 
 impl Gtree {
@@ -70,6 +130,7 @@ impl Gtree {
             config: config.clone(),
             partitioner: Partitioner::new(),
             nodes: Vec::new(),
+            exact: Vec::new(),
             leaf_of_vertex: vec![0; graph.num_vertices()],
             vertex_position: vec![0; graph.num_vertices()],
             next_leaf_index: 0,
@@ -77,7 +138,14 @@ impl Gtree {
         let all: Vec<NodeId> = graph.vertices().collect();
         let root = builder.build_node(None, all, 0);
         builder.compute_borders();
-        builder.compute_matrices();
+        builder.exact = vec![false; builder.nodes.len()];
+        let ch = match &config.matrix_oracle {
+            MatrixOracle::Ch(ch_config) if builder.any_oracle_node() => {
+                Some(ContractionHierarchy::build_with_config(graph, ch_config))
+            }
+            _ => None,
+        };
+        builder.compute_matrices(ch.as_ref());
         if config.exact_refinement {
             builder.refine_matrices();
         }
@@ -91,11 +159,99 @@ impl Gtree {
     }
 }
 
+/// Minimum per-row work (in min-plus/relax operations, roughly) below which fanning a
+/// matrix computation across threads costs more in spawn/join overhead than it saves;
+/// callers drop to a single worker under this bound.
+const MIN_PARALLEL_WORK: usize = 1 << 20;
+
+/// Runs `f` over `items` on up to `threads` scoped worker threads, returning results
+/// in item order (the `Engine::knn_batch` fan-out pattern). Falls back to a plain loop
+/// for a single worker or a single item.
+fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Copy + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(|&i| f(i)).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads.min(items.len()));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(|&i| f(i)).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("G-tree build worker panicked")).collect()
+    })
+}
+
+/// A compact adjacency (CSR) over a reduced local graph, built once per matrix and
+/// shared read-only by all row searches.
+struct LocalGraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+impl LocalGraph {
+    /// Builds the CSR from an undirected-edge-agnostic edge list (every `(a, b, w)` is
+    /// one directed edge; callers push both directions where needed).
+    fn from_edges(n: usize, edges: &[(u32, u32, Weight)]) -> LocalGraph {
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, _, _) in edges {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut weights = vec![0 as Weight; edges.len()];
+        for &(a, b, w) in edges {
+            let slot = cursor[a as usize] as usize;
+            targets[slot] = b;
+            weights[slot] = w;
+            cursor[a as usize] += 1;
+        }
+        LocalGraph { offsets, targets, weights }
+    }
+
+    /// Single-source distances from `source` to every local vertex.
+    fn sssp(&self, source: u32) -> Vec<Weight> {
+        let n = self.offsets.len() - 1;
+        let mut dist = vec![INFINITY; n];
+        let mut heap: MinHeap<u32> = MinHeap::new();
+        dist[source as usize] = 0;
+        heap.push(0, source);
+        while let Some((d, v)) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            let lo = self.offsets[v as usize] as usize;
+            let hi = self.offsets[v as usize + 1] as usize;
+            for e in lo..hi {
+                let t = self.targets[e];
+                let nd = d + self.weights[e];
+                if nd < dist[t as usize] {
+                    dist[t as usize] = nd;
+                    heap.push(nd, t);
+                }
+            }
+        }
+        dist
+    }
+}
+
 struct Builder<'a> {
     graph: &'a Graph,
     config: GtreeConfig,
     partitioner: Partitioner,
     nodes: Vec<GtreeNode>,
+    /// Per node: matrix already holds exact global distances (set by the CH oracle in
+    /// the bottom-up pass), so the refinement pass can skip it.
+    exact: Vec<bool>,
     leaf_of_vertex: Vec<NodeIndex>,
     vertex_position: Vec<u32>,
     next_leaf_index: u32,
@@ -234,16 +390,53 @@ impl<'a> Builder<'a> {
         }
     }
 
-    /// Bottom-up computation of all distance matrices (subgraph-restricted distances).
-    fn compute_matrices(&mut self) {
-        // Process nodes deepest-first so children are ready before their parents.
-        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
-        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.nodes[i].depth));
-        for i in order {
-            if self.nodes[i].is_leaf() {
-                self.compute_leaf_matrix(i, None);
-            } else {
-                self.compute_internal_matrix(i, None);
+    /// Node indexes grouped by depth (index 0 = root level).
+    fn levels(&self) -> Vec<Vec<usize>> {
+        let height = self.nodes.iter().map(|n| n.depth as usize).max().unwrap_or(0) + 1;
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); height];
+        for (i, node) in self.nodes.iter().enumerate() {
+            levels[node.depth as usize].push(i);
+        }
+        levels
+    }
+
+    /// True when the CH oracle would apply to at least one internal node (so the
+    /// hierarchy is only built when it will be used).
+    fn any_oracle_node(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| !n.is_leaf() && n.child_borders.len() >= self.config.oracle_min_borders)
+    }
+
+    /// True when internal node `i` reads its matrix from the CH oracle.
+    fn uses_oracle(&self, ch: Option<&ContractionHierarchy>, i: usize) -> bool {
+        ch.is_some() && self.nodes[i].child_borders.len() >= self.config.oracle_min_borders
+    }
+
+    /// Bottom-up computation of all distance matrices, level-parallel: leaves run one
+    /// multi-target Dijkstra per border confined to the leaf subgraph (leaves fanned
+    /// across worker threads); internal nodes compose their children's matrices (rows
+    /// fanned across worker threads), or read the CH oracle when enabled and wide
+    /// enough (those matrices are exact immediately).
+    fn compute_matrices(&mut self, ch: Option<&ContractionHierarchy>) {
+        let threads = self.config.resolved_threads();
+        for level in self.levels().iter().rev() {
+            let leaves: Vec<usize> =
+                level.iter().copied().filter(|&i| self.nodes[i].is_leaf()).collect();
+            let this = &*self;
+            let matrices = parallel_map(&leaves, threads, |i| this.leaf_matrix(i));
+            for (&i, m) in leaves.iter().zip(matrices) {
+                self.nodes[i].matrix = m;
+            }
+            let internals: Vec<usize> =
+                level.iter().copied().filter(|&i| !self.nodes[i].is_leaf()).collect();
+            for i in internals {
+                if self.uses_oracle(ch, i) {
+                    self.nodes[i].matrix = self.oracle_matrix(ch.expect("oracle in use"), i);
+                    self.exact[i] = true;
+                } else {
+                    self.nodes[i].matrix = self.internal_matrix(i);
+                }
             }
         }
     }
@@ -251,112 +444,186 @@ impl<'a> Builder<'a> {
     /// Top-down refinement: upgrade matrices to exact global distances using the
     /// parent's already-exact matrix as "external shortcut" edges between this node's
     /// borders (DESIGN.md §4). The root is already exact (its restriction is the whole
-    /// graph).
+    /// graph), as is every matrix the CH oracle produced.
+    ///
+    /// Refinement never re-runs a search: a node's pass-1 matrix `M` is already the
+    /// all-pairs closure of its restricted graph, and the external matrix `ext` holds
+    /// *exact global* distances between the node's own borders, so a globally-shortest
+    /// path between two matrix endpoints decomposes as inside-segment + one external
+    /// hop + inside-segment (the hop from first-exit border `a` to last-entry border
+    /// `d` is bounded below by `ext[a][d]`, whatever the excursion does in between).
+    /// One min-plus sweep therefore yields exactness:
+    /// `refined[x][y] = min(M[x][y], min_{a,d} M[x][a] + ext[a][d] + M[d][y])`.
     fn refine_matrices(&mut self) {
-        let mut order: Vec<usize> = (0..self.nodes.len()).collect();
-        order.sort_unstable_by_key(|&i| self.nodes[i].depth);
-        for i in order {
-            if self.nodes[i].parent.is_none() {
-                continue;
-            }
-            let external = self.external_border_edges(i);
-            if self.nodes[i].is_leaf() {
-                self.compute_leaf_matrix(i, Some(&external));
-            } else {
-                self.compute_internal_matrix(i, Some(&external));
+        for level in self.levels().iter() {
+            let pending: Vec<usize> = level
+                .iter()
+                .copied()
+                .filter(|&i| self.nodes[i].parent.is_some() && !self.exact[i])
+                .collect();
+            for i in pending {
+                let node = &self.nodes[i];
+                let ext = self.external_matrix(i);
+                let refined = if node.is_leaf() {
+                    // Border `a`'s matrix column is its leaf position; border `d`'s
+                    // matrix row is its border index.
+                    let rows: Vec<u32> = (0..node.borders.len() as u32).collect();
+                    self.apply_external(&node.matrix, &node.own_border_positions, &rows, &ext)
+                } else {
+                    let pos = &node.own_border_positions;
+                    self.apply_external(&node.matrix, pos, pos, &ext)
+                };
+                self.nodes[i].matrix = refined;
             }
         }
     }
 
-    /// Exact distances between every pair of this node's own borders, read from the
-    /// parent's (already refined) matrix. Returned as `(border_index_i, border_index_j,
-    /// distance)` triples.
-    fn external_border_edges(&self, i: usize) -> Vec<(usize, usize, Weight)> {
+    /// Exact distances between every ordered pair of node `i`'s own borders, read from
+    /// the parent's (already refined) matrix as a flat `nb × nb` row-major array.
+    fn external_matrix(&self, i: usize) -> Vec<Weight> {
         let parent = self.nodes[i].parent.expect("non-root") as usize;
         let pnode = &self.nodes[parent];
         let child_pos =
             pnode.children.iter().position(|&c| c as usize == i).expect("child of parent");
         let base = pnode.child_border_offsets[child_pos] as usize;
         let nb = self.nodes[i].borders.len();
-        let mut edges = Vec::new();
+        let mut ext = Vec::with_capacity(nb * nb);
         for a in 0..nb {
-            for b in (a + 1)..nb {
-                let d = pnode.matrix.get(base + a, base + b);
-                if d < INFINITY {
-                    edges.push((a, b, d));
-                }
+            for d in 0..nb {
+                ext.push(pnode.matrix.get(base + a, base + d));
             }
         }
-        edges
+        ext
     }
 
-    /// Computes a leaf's border-to-vertex matrix. When `external` edges are provided
-    /// (refinement pass) they are added between the leaf's borders, making the result
-    /// exact global distances.
-    fn compute_leaf_matrix(&mut self, i: usize, external: Option<&[(usize, usize, Weight)]>) {
-        let leaf_vertices = self.nodes[i].leaf_vertices.clone();
-        let borders = self.nodes[i].borders.clone();
-        let n_local = leaf_vertices.len();
-        let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(n_local);
-        for (pos, &v) in leaf_vertices.iter().enumerate() {
-            local_of.insert(v, pos as u32);
+    /// One min-plus refinement sweep (see [`Builder::refine_matrices`]): returns
+    /// `refined[x][y] = min(m[x][y], min_{a,d} m[x][border_cols[a]] + ext[a*nb+d] +
+    /// m[border_rows[d]][y])`. Rows are fanned across worker threads; all arithmetic
+    /// stays below `2 * INFINITY`, which `Weight` accommodates without overflow.
+    fn apply_external(
+        &self,
+        m: &DistanceMatrix,
+        border_cols: &[u32],
+        border_rows: &[u32],
+        ext: &[Weight],
+    ) -> DistanceMatrix {
+        let rows = m.rows();
+        let cols = m.cols();
+        let nb = border_cols.len();
+        // Flatten the matrix once (and the border rows contiguously) so the sweep runs
+        // on plain slices whatever the storage layout.
+        let mut mflat: Vec<Weight> = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            mflat.extend(m.row(r));
         }
-        // Local adjacency: edges of the induced subgraph plus optional external border
-        // shortcut edges.
-        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n_local];
-        for (pos, &v) in leaf_vertices.iter().enumerate() {
-            for (t, w) in self.graph.neighbors(v) {
-                if let Some(&lt) = local_of.get(&t) {
-                    adjacency[pos].push((lt, w));
+        let border_row_flat: Vec<Weight> = border_rows
+            .iter()
+            .flat_map(|&d| {
+                let start = d as usize * cols;
+                mflat[start..start + cols].iter().copied()
+            })
+            .collect();
+        let row_indexes: Vec<usize> = (0..rows).collect();
+        let mflat = &mflat;
+        let border_row_flat = &border_row_flat;
+        let threads = if rows * cols * nb.max(1) >= MIN_PARALLEL_WORK {
+            self.config.resolved_threads()
+        } else {
+            1
+        };
+        let refined_rows = parallel_map(&row_indexes, threads, |x| {
+            let mx = &mflat[x * cols..(x + 1) * cols];
+            // best_via[d] = min_a mx[border_cols[a]] + ext[a][d].
+            let mut best_via = vec![INFINITY; nb];
+            for (a, &ca) in border_cols.iter().enumerate() {
+                let base = mx[ca as usize];
+                if base >= INFINITY {
+                    continue;
+                }
+                for (d, &e) in ext[a * nb..(a + 1) * nb].iter().enumerate() {
+                    let v = base + e;
+                    if v < best_via[d] {
+                        best_via[d] = v;
+                    }
                 }
             }
-        }
-        if let Some(external) = external {
-            let border_pos = self.nodes[i].own_border_positions.clone();
-            for &(a, b, w) in external {
-                let la = border_pos[a];
-                let lb = border_pos[b];
-                adjacency[la as usize].push((lb, w));
-                adjacency[lb as usize].push((la, w));
+            let mut out = mx.to_vec();
+            for (d, &s) in best_via.iter().enumerate() {
+                if s >= INFINITY {
+                    continue;
+                }
+                let mrow = &border_row_flat[d * cols..(d + 1) * cols];
+                for (o, &md) in out.iter_mut().zip(mrow) {
+                    let v = s + md;
+                    if v < *o {
+                        *o = v;
+                    }
+                }
             }
+            out
+        });
+        let mut refined = DistanceMatrix::new(self.config.matrix_kind, rows, cols, INFINITY);
+        for (r, values) in refined_rows.iter().enumerate() {
+            refined.set_row(r, values);
         }
-        let mut matrix =
-            DistanceMatrix::new(self.config.matrix_kind, borders.len(), n_local, INFINITY);
-        for (row, &b) in borders.iter().enumerate() {
-            let source = local_of[&b];
-            let dist = dijkstra::dijkstra_adjacency(n_local, source, |v, out| {
-                out.extend_from_slice(&adjacency[v as usize]);
-            });
-            for (col, &d) in dist.iter().enumerate() {
-                matrix.set(row, col, d);
-            }
-        }
-        self.nodes[i].matrix = matrix;
+        refined
     }
 
-    /// Computes an internal node's child-border-to-child-border matrix over the reduced
-    /// graph (children's border cliques + original cross edges + optional external
-    /// border shortcuts).
-    fn compute_internal_matrix(&mut self, i: usize, external: Option<&[(usize, usize, Weight)]>) {
+    /// Computes a leaf's (subgraph-restricted) border-to-vertex matrix: one
+    /// multi-target Dijkstra per border, confined to the leaf's induced subgraph.
+    fn leaf_matrix(&self, i: usize) -> DistanceMatrix {
         let node = &self.nodes[i];
-        let child_borders = node.child_borders.clone();
-        let children = node.children.clone();
-        let offsets = node.child_border_offsets.clone();
-        let leaf_range = node.leaf_range;
-        let n_local = child_borders.len();
+        let n_local = node.leaf_vertices.len();
+        // The induced subgraph, straight from the global vertex→leaf/position arrays
+        // (no per-leaf hash map needed).
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+        for (pos, &v) in node.leaf_vertices.iter().enumerate() {
+            for (t, w) in self.graph.neighbors(v) {
+                if self.leaf_of_vertex[t as usize] == i as NodeIndex {
+                    edges.push((pos as u32, self.vertex_position[t as usize], w));
+                }
+            }
+        }
+        let local = LocalGraph::from_edges(n_local, &edges);
+        let mut matrix =
+            DistanceMatrix::new(self.config.matrix_kind, node.borders.len(), n_local, INFINITY);
+        for (row, &pos) in node.own_border_positions.iter().enumerate() {
+            matrix.set_row(row, &local.sssp(pos));
+        }
+        matrix
+    }
+
+    /// Composes an internal node's (subgraph-restricted) child-border-to-child-border
+    /// matrix over the reduced graph: child matrices contribute intra-child border
+    /// edges, plus the original cross edges between different children. Row Dijkstras
+    /// are fanned across worker threads.
+    ///
+    /// Child border "cliques" are sparsified before the searches: a clique edge
+    /// `(a, b)` is dropped whenever some third border `t` of the same child satisfies
+    /// `M[a][t] + M[t][b] == M[a][b]` — the two shorter edges (strictly, since weights
+    /// are positive) carry the same distance, so the reduced graph's metric is
+    /// unchanged while its edge count falls from Θ(borders²) to near-linear on road
+    /// networks. This is what keeps the upper-level compositions from dominating the
+    /// build.
+    fn internal_matrix(&self, i: usize) -> DistanceMatrix {
+        let node = &self.nodes[i];
+        let n_local = node.child_borders.len();
         let mut local_of: HashMap<NodeId, u32> = HashMap::with_capacity(n_local);
-        for (pos, &v) in child_borders.iter().enumerate() {
+        for (pos, &v) in node.child_borders.iter().enumerate() {
             local_of.entry(v).or_insert(pos as u32);
         }
 
-        let mut adjacency: Vec<Vec<(u32, Weight)>> = vec![Vec::new(); n_local];
-        // (a) Intra-child cliques from the children's matrices.
-        for (ci, &c) in children.iter().enumerate() {
+        let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+        // (a) Sparsified intra-child cliques from the children's matrices.
+        for (ci, &c) in node.children.iter().enumerate() {
             let child = &self.nodes[c as usize];
-            let base = offsets[ci] as usize;
+            let base = node.child_border_offsets[ci] as usize;
             let nb = child.borders.len();
+            // Flat border-to-border submatrix of the child (symmetric: the network is
+            // undirected), so the redundancy scan below runs on contiguous rows.
+            let mut sub: Vec<Weight> = Vec::with_capacity(nb * nb);
             for a in 0..nb {
-                for b in (a + 1)..nb {
+                for b in 0..nb {
                     let d = if child.is_leaf() {
                         child.matrix.get(a, child.own_border_positions[b] as usize)
                     } else {
@@ -365,48 +632,88 @@ impl<'a> Builder<'a> {
                             child.own_border_positions[b] as usize,
                         )
                     };
-                    if d < INFINITY {
-                        adjacency[base + a].push(((base + b) as u32, d));
-                        adjacency[base + b].push(((base + a) as u32, d));
+                    sub.push(d);
+                }
+            }
+            for a in 0..nb {
+                let row_a = &sub[a * nb..(a + 1) * nb];
+                for b in (a + 1)..nb {
+                    let d = row_a[b];
+                    if d >= INFINITY {
+                        continue;
+                    }
+                    let row_b = &sub[b * nb..(b + 1) * nb];
+                    let redundant = (0..nb).any(|t| t != a && t != b && row_a[t] + row_b[t] == d);
+                    if !redundant {
+                        edges.push(((base + a) as u32, (base + b) as u32, d));
+                        edges.push(((base + b) as u32, (base + a) as u32, d));
                     }
                 }
             }
         }
         // (b) Original cross edges between different children of this node.
-        for (pos, &v) in child_borders.iter().enumerate() {
+        let leaf_range = node.leaf_range;
+        for (pos, &v) in node.child_borders.iter().enumerate() {
             for (t, w) in self.graph.neighbors(v) {
                 let t_leaf = self.nodes[self.leaf_of_vertex[t as usize] as usize].leaf_range.0;
                 if t_leaf < leaf_range.0 || t_leaf >= leaf_range.1 {
                     continue; // edge leaves this node entirely
                 }
                 if let Some(&lt) = local_of.get(&t) {
-                    // Skip edges within the same child: already covered by the clique
-                    // (and keeping them is harmless but redundant).
-                    adjacency[pos].push((lt, w));
+                    // Edges within the same child are already covered by the clique
+                    // (keeping them is harmless but redundant).
+                    edges.push((pos as u32, lt, w));
                 }
             }
         }
-        // (c) External shortcut edges between this node's own borders (refinement pass).
-        if let Some(external) = external {
-            let own_positions = self.nodes[i].own_border_positions.clone();
-            for &(a, b, w) in external {
-                let la = own_positions[a];
-                let lb = own_positions[b];
-                adjacency[la as usize].push((lb, w));
-                adjacency[lb as usize].push((la, w));
-            }
-        }
 
+        let local = LocalGraph::from_edges(n_local, &edges);
+        let rows: Vec<u32> = (0..n_local as u32).collect();
+        let threads = if n_local * edges.len().max(n_local) >= MIN_PARALLEL_WORK {
+            self.config.resolved_threads()
+        } else {
+            1
+        };
+        let dists = parallel_map(&rows, threads, |row| local.sssp(row));
         let mut matrix = DistanceMatrix::new(self.config.matrix_kind, n_local, n_local, INFINITY);
-        for row in 0..n_local {
-            let dist = dijkstra::dijkstra_adjacency(n_local, row as u32, |v, out| {
-                out.extend_from_slice(&adjacency[v as usize]);
-            });
-            for (col, &d) in dist.iter().enumerate() {
-                matrix.set(row, col, d);
+        for (row, dist) in dists.iter().enumerate() {
+            matrix.set_row(row, dist);
+        }
+        matrix
+    }
+
+    /// Fills internal node `i`'s matrix with exact global child-border-to-child-border
+    /// distances from the CH: one cached upward search space per border, then one
+    /// sorted-merge "meet" per pair. Both stages fan across worker threads; only the
+    /// upper triangle is computed (the graph is undirected).
+    fn oracle_matrix(&self, ch: &ContractionHierarchy, i: usize) -> DistanceMatrix {
+        let borders = &self.nodes[i].child_borders;
+        let n_local = borders.len();
+        let threads = self.config.resolved_threads();
+        let spaces = parallel_map(borders, threads, |b| ch.upward_search_space(b));
+        // Row r computes columns r+1.. — later rows are cheaper, so interleave row
+        // order front/back to balance the worker chunks.
+        let order: Vec<u32> = (0..n_local as u32)
+            .map(|i| if i % 2 == 0 { i / 2 } else { n_local as u32 - 1 - i / 2 })
+            .collect();
+        let spaces = &spaces;
+        let triangles = parallel_map(&order, threads, |r| {
+            let r = r as usize;
+            (r + 1..n_local).map(|c| spaces[r].meet(&spaces[c])).collect::<Vec<Weight>>()
+        });
+        let mut matrix = DistanceMatrix::new(self.config.matrix_kind, n_local, n_local, INFINITY);
+        for r in 0..n_local {
+            matrix.set(r, r, 0);
+        }
+        for (&r, triangle) in order.iter().zip(triangles) {
+            let r = r as usize;
+            for (offset, d) in triangle.into_iter().enumerate() {
+                let c = r + 1 + offset;
+                matrix.set(r, c, d);
+                matrix.set(c, r, d);
             }
         }
-        self.nodes[i].matrix = matrix;
+        matrix
     }
 }
 
@@ -415,6 +722,7 @@ mod tests {
     use super::*;
     use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
     use rnknn_graph::EdgeWeightKind;
+    use rnknn_pathfinding::dijkstra;
 
     fn build_test_tree(n: usize, seed: u64, tau: usize) -> (Graph, Gtree) {
         let net = RoadNetwork::generate(&GeneratorConfig::new(n, seed));
@@ -535,5 +843,79 @@ mod tests {
         assert_eq!(GtreeConfig::paper_leaf_capacity(24_000), 256);
         assert_eq!(GtreeConfig::paper_leaf_capacity(200_000), 512);
         assert_eq!(GtreeConfig::for_network(24_000).leaf_capacity, 256);
+    }
+
+    /// Every (matrix_oracle, build_threads) combination must produce cell-for-cell
+    /// identical matrices — construction strategy is a performance knob, not a
+    /// semantics knob.
+    #[test]
+    fn build_strategies_agree_cell_for_cell() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(700, 21));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let reference = Gtree::build_with_config(
+            &g,
+            GtreeConfig { leaf_capacity: 40, build_threads: 1, ..Default::default() },
+        );
+        let variants = [
+            GtreeConfig { leaf_capacity: 40, build_threads: 4, ..Default::default() },
+            GtreeConfig {
+                leaf_capacity: 40,
+                build_threads: 2,
+                matrix_oracle: MatrixOracle::Ch(ChConfig::default()),
+                oracle_min_borders: 1,
+                ..Default::default()
+            },
+            GtreeConfig {
+                leaf_capacity: 40,
+                matrix_oracle: MatrixOracle::Ch(ChConfig::default()),
+                oracle_min_borders: 24,
+                ..Default::default()
+            },
+        ];
+        for config in variants {
+            let tree = Gtree::build_with_config(&g, config.clone());
+            assert_eq!(tree.num_nodes(), reference.num_nodes());
+            for (a, b) in tree.nodes().iter().zip(reference.nodes()) {
+                assert_eq!(a.borders, b.borders);
+                assert_eq!(a.matrix.rows(), b.matrix.rows());
+                assert_eq!(a.matrix.cols(), b.matrix.cols());
+                for r in 0..a.matrix.rows() {
+                    for c in 0..a.matrix.cols() {
+                        assert_eq!(
+                            a.matrix.get(r, c),
+                            b.matrix.get(r, c),
+                            "cell ({r},{c}) under {config:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The composed/refined matrices must equal a naive per-pair global-Dijkstra build
+    /// — the composition never substitutes for a search it shouldn't.
+    #[test]
+    fn composition_matches_naive_per_pair_build() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(350, 17));
+        let g = net.graph(EdgeWeightKind::Time);
+        let tree =
+            Gtree::build_with_config(&g, GtreeConfig { leaf_capacity: 32, ..Default::default() });
+        for node in tree.nodes() {
+            if node.is_leaf() {
+                for (row, &b) in node.borders.iter().enumerate() {
+                    let truth = dijkstra::single_source(&g, b);
+                    for (col, &v) in node.leaf_vertices.iter().enumerate() {
+                        assert_eq!(node.matrix.get(row, col), truth[v as usize], "{b}->{v}");
+                    }
+                }
+            } else {
+                for (row, &a) in node.child_borders.iter().enumerate() {
+                    let truth = dijkstra::single_source(&g, a);
+                    for (col, &b) in node.child_borders.iter().enumerate() {
+                        assert_eq!(node.matrix.get(row, col), truth[b as usize], "{a}->{b}");
+                    }
+                }
+            }
+        }
     }
 }

@@ -204,6 +204,23 @@ impl DistanceMatrix {
         }
     }
 
+    /// Writes a full row (`values.len()` must equal the column count). For the array
+    /// layout this is a single slice copy, which is what makes bulk assembly of large
+    /// matrices cheap during construction.
+    pub fn set_row(&mut self, row: usize, values: &[Weight]) {
+        debug_assert!(row < self.rows && values.len() == self.cols);
+        match self.kind {
+            MatrixKind::Array => {
+                self.array[row * self.cols..(row + 1) * self.cols].copy_from_slice(values);
+            }
+            _ => {
+                for (col, &v) in values.iter().enumerate() {
+                    self.set(row, col, v);
+                }
+            }
+        }
+    }
+
     /// Reads a cell.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Weight {

@@ -18,13 +18,15 @@
 //! usual bottom-up computation (see DESIGN.md §4), so every distance returned by this
 //! crate equals the Dijkstra distance.
 
+#![deny(missing_docs)]
+
 mod build;
 mod distmatrix;
 mod occurrence;
 mod search;
 mod tree;
 
-pub use build::GtreeConfig;
+pub use build::{GtreeConfig, MatrixOracle};
 pub use distmatrix::{DistanceMatrix, MatrixKind, MatrixStats};
 pub use occurrence::OccurrenceList;
 pub use search::{GtreeDistanceOracle, GtreeSearch, GtreeSearchStats, LeafSearchMode};

@@ -1,11 +1,123 @@
 //! G-tree queries: materialized distance assembly, the kNN algorithm (with both leaf
 //! searches) and the MGtree point-to-point oracle.
+//!
+//! Leaf-confined Dijkstras (the per-query hot path) run on a thread-local,
+//! epoch-tagged scratch — distance/settled arrays and the heap are reused across
+//! queries, so "clearing" between queries is one integer increment instead of an
+//! O(τ) wipe and repeated kNN queries allocate nothing per leaf search. This mirrors
+//! the CH query scratch in `rnknn-ch`.
+
+use std::cell::RefCell;
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;
 
 use crate::occurrence::OccurrenceList;
 use crate::tree::{Gtree, NodeIndex};
+
+/// Reusable per-thread state for leaf-confined Dijkstras. Distance and settled
+/// entries are validated by an epoch tag, so starting a new search is one integer
+/// increment; the arrays grow to the largest leaf seen by this thread and are then
+/// reused by every query on it.
+struct LeafScratch {
+    /// Tentative distances per leaf position.
+    dist: Vec<Weight>,
+    /// Epoch that wrote each `dist` entry; a mismatch means "unvisited this search".
+    dist_epoch: Vec<u32>,
+    /// Epoch that settled each leaf position.
+    settled_epoch: Vec<u32>,
+    /// Border row of each leaf position (improved leaf search only).
+    border_row: Vec<u32>,
+    /// Epoch that wrote each `border_row` entry.
+    border_row_epoch: Vec<u32>,
+    heap: MinHeap<u32>,
+    epoch: u32,
+}
+
+impl LeafScratch {
+    fn new() -> Self {
+        LeafScratch {
+            dist: Vec::new(),
+            dist_epoch: Vec::new(),
+            settled_epoch: Vec::new(),
+            border_row: Vec::new(),
+            border_row_epoch: Vec::new(),
+            heap: MinHeap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new search over a leaf of `n` vertices: grows the arrays if this
+    /// thread has only seen smaller leaves, clears the heap, and advances the epoch
+    /// (resetting the tags on the rare u32 wrap-around).
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+            self.dist_epoch.resize(n, 0);
+            self.settled_epoch.resize(n, 0);
+            self.border_row.resize(n, u32::MAX);
+            self.border_row_epoch.resize(n, 0);
+        }
+        self.heap.clear();
+        if self.epoch == u32::MAX {
+            self.dist_epoch.iter_mut().for_each(|e| *e = 0);
+            self.settled_epoch.iter_mut().for_each(|e| *e = 0);
+            self.border_row_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    #[inline]
+    fn get(&self, p: u32) -> Weight {
+        if self.dist_epoch[p as usize] == self.epoch {
+            self.dist[p as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, p: u32, d: Weight) {
+        self.dist[p as usize] = d;
+        self.dist_epoch[p as usize] = self.epoch;
+    }
+
+    /// Marks `p` settled, returning false when it already was this search.
+    #[inline]
+    fn settle(&mut self, p: u32) -> bool {
+        if self.settled_epoch[p as usize] == self.epoch {
+            return false;
+        }
+        self.settled_epoch[p as usize] = self.epoch;
+        true
+    }
+
+    #[inline]
+    fn is_settled(&self, p: u32) -> bool {
+        self.settled_epoch[p as usize] == self.epoch
+    }
+
+    #[inline]
+    fn set_border_row(&mut self, p: u32, row: u32) {
+        self.border_row[p as usize] = row;
+        self.border_row_epoch[p as usize] = self.epoch;
+    }
+
+    /// The border row recorded for leaf position `p` this search, if any.
+    #[inline]
+    fn border_row_of(&self, p: u32) -> Option<u32> {
+        if self.border_row_epoch[p as usize] == self.epoch {
+            Some(self.border_row[p as usize])
+        } else {
+            None
+        }
+    }
+}
+
+thread_local! {
+    static LEAF_SCRATCH: RefCell<LeafScratch> = RefCell::new(LeafScratch::new());
+}
 
 /// Operation counters for one G-tree search. `border_computations` is the "path cost"
 /// series of Figure 9(b); `materialized_nodes` counts how many node border-distance
@@ -124,30 +236,31 @@ impl<'a> GtreeSearch<'a> {
             let gtree = self.gtree;
             let node = gtree.node(self.source_leaf);
             let nv = node.leaf_vertices.len();
-            let mut dist = vec![INFINITY; nv];
-            let mut visited = vec![false; nv];
-            let mut heap: MinHeap<u32> = MinHeap::new();
-            let qpos = gtree.position_in_leaf(self.source);
-            dist[qpos as usize] = 0;
-            heap.push(0, qpos);
-            while let Some((d, p)) = heap.pop() {
-                if visited[p as usize] {
-                    continue;
-                }
-                visited[p as usize] = true;
-                let v = node.leaf_vertices[p as usize];
-                for (t, w) in self.graph.neighbors(v) {
-                    if gtree.leaf_of(t) != self.source_leaf {
+            let dist = LEAF_SCRATCH.with(|scratch| {
+                let scratch = &mut *scratch.borrow_mut();
+                scratch.begin(nv);
+                let qpos = gtree.position_in_leaf(self.source);
+                scratch.set(qpos, 0);
+                scratch.heap.push(0, qpos);
+                while let Some((d, p)) = scratch.heap.pop() {
+                    if !scratch.settle(p) {
                         continue;
                     }
-                    let tp = gtree.position_in_leaf(t);
-                    let nd = d + w;
-                    if nd < dist[tp as usize] {
-                        dist[tp as usize] = nd;
-                        heap.push(nd, tp);
+                    let v = node.leaf_vertices[p as usize];
+                    for (t, w) in self.graph.neighbors(v) {
+                        if gtree.leaf_of(t) != self.source_leaf {
+                            continue;
+                        }
+                        let tp = gtree.position_in_leaf(t);
+                        let nd = d + w;
+                        if nd < scratch.get(tp) {
+                            scratch.set(tp, nd);
+                            scratch.heap.push(nd, tp);
+                        }
                     }
                 }
-            }
+                (0..nv as u32).map(|p| scratch.get(p)).collect::<Vec<Weight>>()
+            });
             self.same_leaf_dists = Some(dist);
         }
         let pos = self.gtree.position_in_leaf(target) as usize;
@@ -181,10 +294,11 @@ impl<'a> GtreeSearch<'a> {
             (0..node.borders.len()).map(|row| node.matrix.get(row, col)).collect()
         } else if gtree.is_ancestor_of(t, self.source_leaf) {
             // Climb: combine the child-on-the-path's border distances with this node's
-            // matrix to reach this node's own borders.
+            // matrix to reach this node's own borders. The child's distances are taken
+            // out of the memo (and restored below) rather than cloned.
             let c = gtree.child_towards(t, self.source_leaf);
             self.ensure_border_distances(c);
-            let src = self.border_dists[c as usize].as_ref().expect("materialized").clone();
+            let src = self.border_dists[c as usize].take().expect("materialized");
             let child_pos = node.children.iter().position(|&x| x == c).expect("child of t");
             let base = node.child_border_offsets[child_pos] as usize;
             let mut out = Vec::with_capacity(node.borders.len());
@@ -203,6 +317,7 @@ impl<'a> GtreeSearch<'a> {
                 }
                 out.push(best);
             }
+            self.border_dists[c as usize] = Some(src);
             out
         } else {
             // Descend: this node hangs off the path; go through its parent's matrix.
@@ -213,22 +328,22 @@ impl<'a> GtreeSearch<'a> {
             let t_base = pnode.child_border_offsets[t_child_pos] as usize;
             // Source side within the parent: either the sibling subtree containing the
             // source (when the parent is an ancestor of the source leaf) or the parent's
-            // own borders.
-            let (src_positions, src_dists): (Vec<usize>, Vec<Weight>) = if gtree
-                .is_ancestor_of(p, self.source_leaf)
-            {
-                let s = gtree.child_towards(p, self.source_leaf);
-                self.ensure_border_distances(s);
-                let s_child_pos =
-                    pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
-                let s_base = pnode.child_border_offsets[s_child_pos] as usize;
-                let dists = self.border_dists[s as usize].as_ref().expect("materialized");
-                ((0..dists.len()).map(|i| s_base + i).collect(), dists.clone())
-            } else {
-                self.ensure_border_distances(p);
-                let dists = self.border_dists[p as usize].as_ref().expect("materialized");
-                (pnode.own_border_positions.iter().map(|&x| x as usize).collect(), dists.clone())
-            };
+            // own borders. The source distances are taken out of the memo (and restored
+            // below) rather than cloned.
+            let (src_node, src_positions): (NodeIndex, Vec<usize>) =
+                if gtree.is_ancestor_of(p, self.source_leaf) {
+                    let s = gtree.child_towards(p, self.source_leaf);
+                    self.ensure_border_distances(s);
+                    let s_child_pos =
+                        pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
+                    let s_base = pnode.child_border_offsets[s_child_pos] as usize;
+                    let len = gtree.node(s).borders.len();
+                    (s, (0..len).map(|i| s_base + i).collect())
+                } else {
+                    self.ensure_border_distances(p);
+                    (p, pnode.own_border_positions.iter().map(|&x| x as usize).collect())
+                };
+            let src_dists = self.border_dists[src_node as usize].take().expect("materialized");
             let mut out = Vec::with_capacity(node.borders.len());
             for yi in 0..node.borders.len() {
                 let py = t_base + yi;
@@ -245,6 +360,7 @@ impl<'a> GtreeSearch<'a> {
                 }
                 out.push(best);
             }
+            self.border_dists[src_node as usize] = Some(src_dists);
             out
         };
         self.stats.materialized_nodes += 1;
@@ -368,74 +484,72 @@ impl<'a> GtreeSearch<'a> {
         let leaf = self.source_leaf;
         let node = gtree.node(leaf);
         let nv = node.leaf_vertices.len();
-        // border_row[pos] = row of the border located at leaf position `pos`.
-        let mut border_row = vec![u32::MAX; nv];
-        for (row, &pos) in node.own_border_positions.iter().enumerate() {
-            border_row[pos as usize] = row as u32;
-        }
-        let mut dist = vec![INFINITY; nv];
-        let mut visited = vec![false; nv];
-        let mut heap: MinHeap<u32> = MinHeap::new();
-        let qpos = gtree.position_in_leaf(self.source);
-        dist[qpos as usize] = 0;
-        heap.push(0, qpos);
-        let mut targets_found = 0usize;
-        let mut border_found = false;
-        while let Some((d, p)) = heap.pop() {
-            if result.len() >= k || targets_found >= k {
-                break;
+        LEAF_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.begin(nv);
+            // border_row[pos] = row of the border located at leaf position `pos`.
+            for (row, &pos) in node.own_border_positions.iter().enumerate() {
+                scratch.set_border_row(pos, row as u32);
             }
-            if visited[p as usize] {
-                continue;
-            }
-            visited[p as usize] = true;
-            self.stats.leaf_vertices_settled += 1;
-            let v = node.leaf_vertices[p as usize];
-            if occurrence.is_object_in_leaf(leaf, v) {
-                targets_found += 1;
-                if !border_found {
-                    result.push((v, d));
-                } else {
-                    queue.push(d, Element::Object(v));
-                    self.stats.heap_pushes += 1;
+            let qpos = gtree.position_in_leaf(self.source);
+            scratch.set(qpos, 0);
+            scratch.heap.push(0, qpos);
+            let mut targets_found = 0usize;
+            let mut border_found = false;
+            while let Some((d, p)) = scratch.heap.pop() {
+                if result.len() >= k || targets_found >= k {
+                    break;
                 }
-            }
-            // Relax ordinary leaf edges.
-            for (t, w) in self.graph.neighbors(v) {
-                if gtree.leaf_of(t) != leaf {
+                if !scratch.settle(p) {
                     continue;
                 }
-                let tp = gtree.position_in_leaf(t);
-                if visited[tp as usize] {
-                    continue;
+                self.stats.leaf_vertices_settled += 1;
+                let v = node.leaf_vertices[p as usize];
+                if occurrence.is_object_in_leaf(leaf, v) {
+                    targets_found += 1;
+                    if !border_found {
+                        result.push((v, d));
+                    } else {
+                        queue.push(d, Element::Object(v));
+                        self.stats.heap_pushes += 1;
+                    }
                 }
-                let nd = d + w;
-                if nd < dist[tp as usize] {
-                    dist[tp as usize] = nd;
-                    heap.push(nd, tp);
-                }
-            }
-            // Relax border-to-border shortcuts when standing on a border.
-            let row = border_row[p as usize];
-            if row != u32::MAX {
-                border_found = true;
-                for (orow, &opos) in node.own_border_positions.iter().enumerate() {
-                    if orow as u32 == row || visited[opos as usize] {
+                // Relax ordinary leaf edges.
+                for (t, w) in self.graph.neighbors(v) {
+                    if gtree.leaf_of(t) != leaf {
                         continue;
                     }
-                    let w = node.matrix.get(row as usize, opos as usize);
-                    self.stats.border_computations += 1;
-                    if w == INFINITY {
+                    let tp = gtree.position_in_leaf(t);
+                    if scratch.is_settled(tp) {
                         continue;
                     }
                     let nd = d + w;
-                    if nd < dist[opos as usize] {
-                        dist[opos as usize] = nd;
-                        heap.push(nd, opos);
+                    if nd < scratch.get(tp) {
+                        scratch.set(tp, nd);
+                        scratch.heap.push(nd, tp);
+                    }
+                }
+                // Relax border-to-border shortcuts when standing on a border.
+                if let Some(row) = scratch.border_row_of(p) {
+                    border_found = true;
+                    for (orow, &opos) in node.own_border_positions.iter().enumerate() {
+                        if orow as u32 == row || scratch.is_settled(opos) {
+                            continue;
+                        }
+                        let w = node.matrix.get(row as usize, opos as usize);
+                        self.stats.border_computations += 1;
+                        if w == INFINITY {
+                            continue;
+                        }
+                        let nd = d + w;
+                        if nd < scratch.get(opos) {
+                            scratch.set(opos, nd);
+                            scratch.heap.push(nd, opos);
+                        }
                     }
                 }
             }
-        }
+        });
     }
 
     /// The original G-tree leaf search: settle every leaf object with a Dijkstra
@@ -447,43 +561,43 @@ impl<'a> GtreeSearch<'a> {
         let node = gtree.node(leaf);
         let objects = occurrence.leaf_objects(leaf).to_vec();
         let nv = node.leaf_vertices.len();
-        let mut dist = vec![INFINITY; nv];
-        let mut visited = vec![false; nv];
-        let mut heap: MinHeap<u32> = MinHeap::new();
-        let qpos = gtree.position_in_leaf(self.source);
-        dist[qpos as usize] = 0;
-        heap.push(0, qpos);
-        let mut remaining = objects.len();
-        while let Some((d, p)) = heap.pop() {
-            if remaining == 0 {
-                break;
-            }
-            if visited[p as usize] {
-                continue;
-            }
-            visited[p as usize] = true;
-            self.stats.leaf_vertices_settled += 1;
-            let v = node.leaf_vertices[p as usize];
-            if occurrence.is_object_in_leaf(leaf, v) {
-                remaining -= 1;
-            }
-            for (t, w) in self.graph.neighbors(v) {
-                if gtree.leaf_of(t) != leaf {
+        let inside_dists: Vec<Weight> = LEAF_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.begin(nv);
+            let qpos = gtree.position_in_leaf(self.source);
+            scratch.set(qpos, 0);
+            scratch.heap.push(0, qpos);
+            let mut remaining = objects.len();
+            while let Some((d, p)) = scratch.heap.pop() {
+                if remaining == 0 {
+                    break;
+                }
+                if !scratch.settle(p) {
                     continue;
                 }
-                let tp = gtree.position_in_leaf(t);
-                if visited[tp as usize] {
-                    continue;
+                self.stats.leaf_vertices_settled += 1;
+                let v = node.leaf_vertices[p as usize];
+                if occurrence.is_object_in_leaf(leaf, v) {
+                    remaining -= 1;
                 }
-                let nd = d + w;
-                if nd < dist[tp as usize] {
-                    dist[tp as usize] = nd;
-                    heap.push(nd, tp);
+                for (t, w) in self.graph.neighbors(v) {
+                    if gtree.leaf_of(t) != leaf {
+                        continue;
+                    }
+                    let tp = gtree.position_in_leaf(t);
+                    if scratch.is_settled(tp) {
+                        continue;
+                    }
+                    let nd = d + w;
+                    if nd < scratch.get(tp) {
+                        scratch.set(tp, nd);
+                        scratch.heap.push(nd, tp);
+                    }
                 }
             }
-        }
-        for &o in &objects {
-            let inside = dist[gtree.position_in_leaf(o) as usize];
+            objects.iter().map(|&o| scratch.get(gtree.position_in_leaf(o))).collect()
+        });
+        for (&o, &inside) in objects.iter().zip(&inside_dists) {
             let via = self.via_border_distance(leaf, o);
             queue.push(inside.min(via), Element::Object(o));
             self.stats.heap_pushes += 1;
@@ -644,6 +758,39 @@ mod tests {
         }
         // The second pass must not materialize any additional nodes.
         assert_eq!(oracle.stats().materialized_nodes, first_pass);
+    }
+
+    #[test]
+    fn leaf_scratch_is_reusable_across_trees_and_leaves() {
+        // The thread-local leaf scratch grows monotonically; interleaving queries
+        // against a large and a small tree (and many different leaves) on one thread
+        // must not leak state between searches.
+        let (gb, tb) = setup(900, 31, 64);
+        let (gs, ts) = setup(200, 32, 24);
+        let nb = gb.num_vertices() as NodeId;
+        let ns = gs.num_vertices() as NodeId;
+        let objects_b: Vec<NodeId> = (0..nb).filter(|v| v % 11 == 2).collect();
+        let objects_s: Vec<NodeId> = (0..ns).filter(|v| v % 7 == 1).collect();
+        let occ_b = OccurrenceList::build(&tb, &objects_b);
+        let occ_s = OccurrenceList::build(&ts, &objects_s);
+        for i in 0..12u32 {
+            let qb = (i * 131) % nb;
+            let qs = (i * 17) % ns;
+            let want_b = brute_knn(&gb, qb, 5, &objects_b);
+            let got_b: Vec<Weight> = GtreeSearch::new(&tb, &gb, qb)
+                .knn(5, &occ_b, LeafSearchMode::Improved)
+                .iter()
+                .map(|&(_, d)| d)
+                .collect();
+            assert_eq!(got_b, want_b, "big tree q={qb}");
+            let want_s = brute_knn(&gs, qs, 5, &objects_s);
+            let got_s: Vec<Weight> = GtreeSearch::new(&ts, &gs, qs)
+                .knn(5, &occ_s, LeafSearchMode::Original)
+                .iter()
+                .map(|&(_, d)| d)
+                .collect();
+            assert_eq!(got_s, want_s, "small tree q={qs}");
+        }
     }
 
     #[test]

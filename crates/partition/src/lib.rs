@@ -2,7 +2,8 @@
 //!
 //! Both G-tree and ROAD recursively partition the road network into `f ≥ 2` balanced
 //! parts with small edge cut (Section 3.4 / 3.5). The paper uses the multilevel scheme
-//! of Karypis & Kumar [18] via the G-tree authors' code; since the road-network
+//! of Karypis & Kumar (the paper's reference \[18\]) via the G-tree authors' code;
+//! since the road-network
 //! partitioning problem is NP-complete, any balanced small-cut heuristic preserves the
 //! experimental trends (DESIGN.md §5). This crate implements a self-contained multilevel
 //! partitioner:

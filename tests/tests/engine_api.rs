@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rnknn::{Engine, EngineConfig, EngineError, Method, QueryOutput};
+use rnknn::{Engine, EngineConfig, EngineError, IndexKind, Method, QueryOutput};
 use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
 use rnknn_graph::{EdgeWeightKind, NodeId};
 use rnknn_objects::uniform;
@@ -26,25 +26,25 @@ fn minimal_config_reports_missing_index_not_panic() {
 
     assert_eq!(
         engine.query(Method::IerPhl, 5, 3).unwrap_err(),
-        EngineError::MissingIndex { method: "IER-PHL", index: "PHL" }
+        EngineError::MissingIndex { method: Method::IerPhl, index: IndexKind::Phl }
     );
     assert_eq!(
         engine.query(Method::IerCh, 5, 3).unwrap_err(),
-        EngineError::MissingIndex { method: "IER-CH", index: "CH" }
+        EngineError::MissingIndex { method: Method::IerCh, index: IndexKind::Ch }
     );
     assert_eq!(
         engine.query(Method::IerTnr, 5, 3).unwrap_err(),
-        EngineError::MissingIndex { method: "IER-TNR", index: "TNR" }
+        EngineError::MissingIndex { method: Method::IerTnr, index: IndexKind::Tnr }
     );
     assert_eq!(
         engine.query(Method::DisBrw, 5, 3).unwrap_err(),
-        EngineError::MissingIndex { method: "DisBrw", index: "SILC" }
+        EngineError::MissingIndex { method: Method::DisBrw, index: IndexKind::Silc }
     );
     // Even an empty batch surfaces configuration errors (warm-up batches are a
     // reliable configuration check).
     assert_eq!(
         engine.knn_batch(Method::IerPhl, &[], 3).unwrap_err(),
-        EngineError::MissingIndex { method: "IER-PHL", index: "PHL" }
+        EngineError::MissingIndex { method: Method::IerPhl, index: IndexKind::Phl }
     );
     // The registry keeps supports() and query() in agreement.
     for method in Method::all() {
