@@ -1,10 +1,12 @@
 //! Figures 8 / 26: road-network index construction.
 //!
 //! Besides the small cross-index comparison, this bench runs the CH and G-tree
-//! construction scaling experiments (up to 100k requested vertices) and writes the
-//! measured trajectories to `BENCH_ch_build.json` / `BENCH_gtree_build.json` via
-//! [`rnknn_bench::ch_build`] / [`rnknn_bench::gtree_build`] — CI runs this bench as a
-//! smoke test so both build-time trends are tracked across PRs.
+//! construction scaling experiments (the 20k/100k/250k smoke tier; the
+//! `ch_build_bench` / `gtree_build_bench` binaries extend the same trajectory to
+//! 500k) and writes the measured trajectories to `BENCH_ch_build.json` /
+//! `BENCH_gtree_build.json` via [`rnknn_bench::ch_build`] /
+//! [`rnknn_bench::gtree_build`] — CI runs this bench as a smoke test so both
+//! build-time trends are tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rnknn::ch::{ChConfig, ContractionHierarchy};
@@ -30,10 +32,10 @@ fn bench_construction(c: &mut Criterion) {
 }
 
 fn bench_ch_scaling(c: &mut Criterion) {
-    // Past-the-dense-core scaling. The 10k/20k/50k points come from run_and_track()
-    // below (which also verifies exactness and persists BENCH_ch_build.json), so the
-    // criterion group only adds the 100k ceiling — one build is the measurement, not
-    // a sample mean.
+    // Past-the-dense-core scaling. The 20k/100k/250k points come from
+    // run_and_track() below (which also verifies exactness and persists
+    // BENCH_ch_build.json), so the criterion group only times the 100k point as a
+    // stable series — one build is the measurement, not a sample mean.
     let mut group = c.benchmark_group("fig8_ch_scaling");
     group.sample_size(1).measurement_time(Duration::ZERO).warm_up_time(Duration::ZERO);
     let size = 100_000usize;
@@ -46,16 +48,16 @@ fn bench_ch_scaling(c: &mut Criterion) {
     });
     group.finish();
 
-    // Persist the standard 10k/20k/50k trajectory (with exactness verification).
+    // Persist the 20k/100k/250k smoke trajectory (with exactness verification).
     ch_build::run_and_track();
 }
 
 fn bench_gtree_scaling(c: &mut Criterion) {
     // Figure 9-style construction scaling for the paper's primary index. The
-    // 20k/50k/100k points come from run_and_track() below (which also verifies kNN
+    // 20k/100k/250k points come from run_and_track() below (which also verifies kNN
     // agreement against Dijkstra and persists BENCH_gtree_build.json), so the
-    // criterion group only times the 100k ceiling — one build is the measurement,
-    // not a sample mean.
+    // criterion group only times the 100k point as a stable series — one build is
+    // the measurement, not a sample mean.
     let mut group = c.benchmark_group("fig9_gtree_scaling");
     group.sample_size(1).measurement_time(Duration::ZERO).warm_up_time(Duration::ZERO);
     let size = 100_000usize;
@@ -64,7 +66,7 @@ fn bench_gtree_scaling(c: &mut Criterion) {
     group.bench_function(format!("gtree_{size}"), |b| b.iter(|| Gtree::build(&graph).num_nodes()));
     group.finish();
 
-    // Persist the standard 20k/50k/100k trajectory (with kNN verification).
+    // Persist the 20k/100k/250k smoke trajectory (with kNN verification).
     gtree_build::run_and_track();
 }
 

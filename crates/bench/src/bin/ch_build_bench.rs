@@ -5,14 +5,15 @@
 //! `BENCH_ch_build.json` in the workspace root so CI can track the perf trajectory
 //! across PRs. The knob flags mirror [`rnknn::ch::ChConfig`] for tuning experiments.
 //!
-//! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench [--sizes 10000,20000,50000]`
+//! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench [--sizes 20000,100000,250000,500000]`
 
 use rnknn::ch::ChConfig;
 use rnknn_bench::ch_build;
 
 fn main() {
-    let mut sizes: Vec<usize> = vec![10_000, 20_000, 50_000];
+    let mut sizes: Vec<usize> = vec![20_000, 100_000, 250_000, 500_000];
     let mut verify_pairs = 20u32;
+    let mut query_probe = 0u32;
     let mut config = ChConfig::default();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -38,11 +39,32 @@ fn main() {
                 i += 1;
                 config.core_degree_threshold = args[i].parse().expect("core degree threshold");
             }
+            "--search-space-weight" => {
+                i += 1;
+                config.search_space_weight = args[i].parse().expect("search space weight");
+            }
+            "--separator-cell" => {
+                i += 1;
+                config.separator_cell_target = args[i].parse().expect("separator cell target");
+            }
+            "--no-stall" => {
+                config.stall_on_demand = false;
+            }
+            "--query-probe" => {
+                i += 1;
+                query_probe = args[i].parse().expect("query count");
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
+    if query_probe > 0 {
+        for &size in &sizes {
+            ch_build::query_probe(size, &config, query_probe);
+        }
+        return;
+    }
     let points = ch_build::measure(&sizes, &config, verify_pairs);
     let path = ch_build::tracking_file();
     std::fs::write(path, ch_build::render_json(&points)).expect("write BENCH_ch_build.json");

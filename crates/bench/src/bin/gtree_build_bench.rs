@@ -6,17 +6,21 @@
 //! across PRs. The knob flags mirror [`rnknn::gtree::GtreeConfig`]; unless
 //! `--leaf-capacity` is given, the paper's size-based leaf capacity applies per size.
 //!
-//! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench [--sizes 20000,50000,100000]`
+//! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench [--sizes 20000,100000,250000,500000]`
 
 use rnknn::gtree::{GtreeConfig, MatrixOracle};
 use rnknn_bench::gtree_build;
 
 fn main() {
-    let mut sizes: Vec<usize> = vec![20_000, 50_000, 100_000];
+    let mut sizes: Vec<usize> = vec![20_000, 100_000, 250_000, 500_000];
     let mut verify_queries = 5u32;
     let mut leaf_capacity: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut fanout: Option<usize> = None;
     let mut ch_oracle = false;
+    let mut no_oracle = false;
+    let mut oracle_min_borders: Option<usize> = None;
+    let mut oracle_core_degree: Option<f64> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -37,7 +41,20 @@ fn main() {
                 i += 1;
                 threads = Some(args[i].parse().expect("thread count"));
             }
+            "--fanout" => {
+                i += 1;
+                fanout = Some(args[i].parse().expect("fanout"));
+            }
             "--ch-oracle" => ch_oracle = true,
+            "--no-oracle" => no_oracle = true,
+            "--oracle-min-borders" => {
+                i += 1;
+                oracle_min_borders = Some(args[i].parse().expect("border count"));
+            }
+            "--oracle-core-degree" => {
+                i += 1;
+                oracle_core_degree = Some(args[i].parse().expect("core degree threshold"));
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
@@ -47,7 +64,14 @@ fn main() {
     // even when other knobs are overridden.
     let mut points = Vec::new();
     for &size in &sizes {
-        let config = if leaf_capacity.is_none() && threads.is_none() && !ch_oracle {
+        let defaults = leaf_capacity.is_none()
+            && fanout.is_none()
+            && threads.is_none()
+            && !ch_oracle
+            && !no_oracle
+            && oracle_min_borders.is_none()
+            && oracle_core_degree.is_none();
+        let config = if defaults {
             None
         } else {
             let mut config = GtreeConfig {
@@ -58,8 +82,22 @@ fn main() {
             if let Some(t) = threads {
                 config.build_threads = t;
             }
+            if let Some(f) = fanout {
+                config.fanout = f;
+            }
             if ch_oracle {
                 config.matrix_oracle = MatrixOracle::Ch(rnknn::ch::ChConfig::default());
+            }
+            if no_oracle {
+                config.matrix_oracle = MatrixOracle::Composed;
+            }
+            if let Some(b) = oracle_min_borders {
+                config.oracle_min_borders = b;
+            }
+            if let Some(d) = oracle_core_degree {
+                if let MatrixOracle::Ch(ref mut ch_config) = config.matrix_oracle {
+                    ch_config.core_degree_threshold = d;
+                }
             }
             Some(config)
         };

@@ -302,9 +302,43 @@ pub mod ch_build {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ch_build.json")
     }
 
-    /// Measures the standard 10k/20k/50k trajectory and writes the tracking file.
+    /// Builds one hierarchy and reports average per-query search effort (settled
+    /// vertices, heap pushes, stall-on-demand prunes) plus the average query time
+    /// over `queries` random vertex pairs. This is the measurement behind the
+    /// "CH search spaces on grid-like networks" ROADMAP item.
+    pub fn query_probe(size: usize, config: &ChConfig, queries: u32) {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build_with_config(&g, config);
+        let n = g.num_vertices() as NodeId;
+        let mut totals = rnknn::ch::ChSearchCounters::default();
+        let mut checksum = 0u64;
+        let start = Instant::now();
+        for i in 0..queries as u64 {
+            let s = ((i * 7919) % n as u64) as NodeId;
+            let t = ((i * 104_729 + 31) % n as u64) as NodeId;
+            let (d, counters) = ch.distance_with_counters(s, t);
+            checksum = checksum.wrapping_add(d);
+            totals.accumulate(counters);
+        }
+        let elapsed = start.elapsed().as_micros() as f64 / queries.max(1) as f64;
+        std::hint::black_box(checksum);
+        println!(
+            "ch query probe n={:>7} vertices={:>7} shortcuts={:>8} stall={} avg: settled={:.0} heap_pushes={:.0} stalled={:.0} time={elapsed:.1}µs",
+            size,
+            g.num_vertices(),
+            ch.num_shortcuts(),
+            ch.stall_on_demand(),
+            totals.settled as f64 / queries.max(1) as f64,
+            totals.heap_pushes as f64 / queries.max(1) as f64,
+            totals.stalled as f64 / queries.max(1) as f64,
+        );
+    }
+
+    /// Measures the standard 20k/100k/250k trajectory (the CI smoke tier; the
+    /// `ch_build_bench` binary extends it to 500k) and writes the tracking file.
     pub fn run_and_track() -> Vec<BuildPoint> {
-        let points = measure(&[10_000, 20_000, 50_000], &ChConfig::default(), 10);
+        let points = measure(&[20_000, 100_000, 250_000], &ChConfig::default(), 5);
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_ch_build.json");
         println!("wrote {path}");
@@ -421,9 +455,10 @@ pub mod gtree_build {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gtree_build.json")
     }
 
-    /// Measures the standard 20k/50k/100k trajectory and writes the tracking file.
+    /// Measures the standard 20k/100k/250k trajectory (the CI smoke tier; the
+    /// `gtree_build_bench` binary extends it to 500k) and writes the tracking file.
     pub fn run_and_track() -> Vec<BuildPoint> {
-        let points = measure(&[20_000, 50_000, 100_000], None, 3);
+        let points = measure(&[20_000, 100_000, 250_000], None, 2);
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_gtree_build.json");
         println!("wrote {path}");

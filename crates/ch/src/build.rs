@@ -13,9 +13,25 @@
 //!   bounded 2-hop neighbour scan, and only for still-unresolved pairs a hop- and
 //!   settle-limited multi-target Dijkstra (one search per *source* neighbour, not one
 //!   per pair);
-//! * **contract-rest-by-rank** — once the average live degree crosses
-//!   [`ChConfig::core_degree_threshold`], the remaining dense-core vertices are
-//!   contracted in their current priority order with no further recomputation.
+//! * **cheap priority estimates** — under lazy updates a priority is recomputed ~2-3×
+//!   per vertex; estimates plan with shallow witness budgets
+//!   ([`ESTIMATE_SETTLE_LIMIT`], degree-scaled) while the one thorough staged plan per
+//!   vertex runs at contraction time (this alone took a 290k build from ~35s to ~19s);
+//! * **degree-scaled witness budgets** — each witness-Dijkstra settle scans an
+//!   adjacency list, so budgets shrink as the live degree grows: full strength on the
+//!   planar bulk, `1/d`-scaled inside the densifying core, where long searches rarely
+//!   find witnesses anyway;
+//! * **min-degree hash-map endgame** — once the average live degree crosses
+//!   [`ChConfig::core_degree_threshold`], the remaining near-clique core is eliminated
+//!   in minimum-live-degree order on hash-map adjacency with 1-hop witness checks
+//!   (linear-scan upserts plus futile witness searches previously made the last ~2k
+//!   vertices of a 290k build cost more than the first 288k);
+//! * **separator-guided priorities (experimental, off by default)** — a
+//!   nested-dissection sweep labels each vertex with its separator depth as an upward
+//!   search-space estimate ([`ChConfig::search_space_weight`]). On the generated
+//!   grid-like networks this ordering *loses* to greedy on both axes (ND fill-in makes
+//!   witness-based contraction slower and queries scan more), so the default weight is
+//!   `0`; the knob remains for separator-structured inputs where it may pay off.
 //!
 //! Witness-search invariant: a *witness* for the pair `(u, t)` around `v` is a path
 //! avoiding `v` (and all contracted vertices) of weight **at most** `w(u,v) + w(v,t)`;
@@ -24,7 +40,9 @@
 //! which adds redundant shortcuts but never breaks correctness.
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_partition::Partitioner;
 use rnknn_pathfinding::heap::MinHeap;
+use std::collections::HashMap;
 
 /// Tuning parameters for CH preprocessing.
 #[derive(Debug, Clone)]
@@ -48,15 +66,43 @@ pub struct ChConfig {
     /// (1-hop), bounded neighbour scan (2-hop), then this hop-limited Dijkstra — so
     /// the O(deg²) sweep over the dense core stops dominating preprocessing.
     pub hop_limit: usize,
-    /// Average live degree at which the build switches to contract-rest-by-rank:
-    /// the remaining (dense-core) vertices are contracted in their current cached
-    /// priority order without further recomputation. `0.0` disables the fallback.
+    /// Average live degree at which the build switches to the dense-core endgame:
+    /// the remaining near-clique core is eliminated in minimum-live-degree order on
+    /// hash-map adjacency with 1-hop witness checks only (see
+    /// `Contractor::contract_rest_by_degree`). `0.0` disables the endgame.
     ///
-    /// With the staged witness passes the measured builds never benefit from firing
-    /// this early (a frozen order produces more shortcuts, which is its own
-    /// slowdown), so the default is a safety net against pathological cores rather
-    /// than a knob that triggers on ordinary road networks.
+    /// Grid-like networks (no real highway hierarchy) always densify into such a
+    /// core, so on them this fires near the end of every sizeable build; firing
+    /// earlier (lower threshold) trades query-time search-space size for build
+    /// time. Measured at 69k vertices: threshold 20 ≈ 2× faster build but ≈ 2×
+    /// slower queries than threshold 40.
     pub core_degree_threshold: f64,
+    /// Weighting of the *search-space estimate* term in the node priority: the
+    /// nested-dissection separator depth of a vertex (see
+    /// [`ChConfig::separator_cell_target`]) estimates how large its upward search
+    /// space will be, so penalising deep separator vertices contracts cell interiors
+    /// first and top separators last — the customizable-CH ordering, as a soft
+    /// priority term. `0` (the default) disables the term and skips the
+    /// nested-dissection sweep entirely.
+    ///
+    /// Experimental: on the generated grid-like networks this ordering measurably
+    /// *loses* to pure greedy (at 69k vertices, weight 32: ~2.5× slower build, ~2×
+    /// more shortcuts, ~2× slower queries — nested-dissection fill-in is exactly
+    /// what witness-based contraction is worst at). It is kept for
+    /// separator-structured inputs and ablation studies.
+    pub search_space_weight: i64,
+    /// Cell size at which the guidance nested-dissection sweep stops bisecting
+    /// (only read when [`ChConfig::search_space_weight`] is non-zero). Smaller cells
+    /// give finer guidance at slightly higher preprocessing cost; the sweep is
+    /// near-linear per depth level, so the total cost is `O(n log(n / cell))`.
+    pub separator_cell_target: usize,
+    /// Enable stall-on-demand in the pruned bidirectional query searches: a settled
+    /// vertex whose tentative distance is dominated via an edge from a
+    /// higher-ranked vertex cannot lie on a shortest up-down path, so its edges are
+    /// not relaxed. Shrinks grid search spaces measurably; exactness is unaffected
+    /// (see `ch_scaling.rs`'s stall on/off test). Stored on the built hierarchy and
+    /// togglable afterwards with `ContractionHierarchy::set_stall_on_demand`.
+    pub stall_on_demand: bool,
 }
 
 impl Default for ChConfig {
@@ -67,14 +113,12 @@ impl Default for ChConfig {
             level_weight: 2,
             hop_limit: 8,
             core_degree_threshold: 40.0,
+            search_space_weight: 0,
+            separator_cell_target: 64,
+            stall_on_demand: true,
         }
     }
 }
-
-/// How many contractions happen between checks of the average live degree (the
-/// trigger for contract-rest-by-rank). Each check is O(live vertices), so the total
-/// checking overhead stays O(n²/interval) even in the worst case.
-const DEGREE_CHECK_INTERVAL: usize = 256;
 
 /// A preprocessed contraction hierarchy over an undirected road network.
 #[derive(Debug, Clone)]
@@ -88,6 +132,10 @@ pub struct ContractionHierarchy {
     up_weights: Vec<Weight>,
     /// Total number of shortcuts added during preprocessing (reported by experiments).
     num_shortcuts: usize,
+    /// Whether the pruned query searches apply stall-on-demand (from
+    /// [`ChConfig::stall_on_demand`]; togglable via
+    /// [`ContractionHierarchy::set_stall_on_demand`]).
+    pub(crate) stall_on_demand: bool,
 }
 
 impl ContractionHierarchy {
@@ -99,6 +147,8 @@ impl ContractionHierarchy {
     /// Builds the hierarchy with explicit parameters.
     pub fn build_with_config(graph: &Graph, config: &ChConfig) -> Self {
         let n = graph.num_vertices();
+        let trace = std::env::var_os("RNKNN_CH_TRACE").is_some();
+        let start = std::time::Instant::now();
         let mut c = Contractor::new(graph, config);
 
         // Initial priorities, computed once; afterwards a priority is only recomputed
@@ -110,7 +160,6 @@ impl ContractionHierarchy {
             queue.push(p, v);
         }
 
-        let mut until_degree_check = DEGREE_CHECK_INTERVAL;
         while let Some((key, v)) = queue.pop() {
             if c.contracted[v as usize] {
                 continue;
@@ -120,7 +169,6 @@ impl ContractionHierarchy {
             if key != c.priority[v as usize] {
                 continue;
             }
-            let mut plan_is_fresh = false;
             if c.dirty[v as usize] {
                 c.dirty[v as usize] = false;
                 let p = c.compute_priority(v);
@@ -132,29 +180,40 @@ impl ContractionHierarchy {
                     queue.push(p, v);
                     continue;
                 }
-                // The plan compute_priority just produced is exactly the contraction
-                // plan for v (nothing was contracted in between), so contract() can
-                // reuse it instead of re-running the witness passes.
-                plan_is_fresh = true;
             }
-            c.contract(v, plan_is_fresh);
+            c.contract(v);
+            if trace && c.next_rank.is_multiple_of(10_000) {
+                eprintln!(
+                    "ch trace: contracted={} remaining={} avg_live_degree={:.2} shortcuts={} elapsed={:.2}s effort={:?}",
+                    c.next_rank,
+                    c.remaining,
+                    c.average_live_degree(),
+                    c.num_shortcuts,
+                    start.elapsed().as_secs_f64(),
+                    c.scratch.effort
+                );
+            }
 
-            // Periodically check whether the dense core has been reached; if so,
+            // Check whether the dense core has been reached (the live-degree sum is
+            // maintained incrementally, so this is O(1) per contraction); if so,
             // freeze the current cached priorities as the contraction order and
             // contract the rest without further recomputation.
-            until_degree_check -= 1;
-            if until_degree_check == 0 {
-                until_degree_check = DEGREE_CHECK_INTERVAL;
-                if config.core_degree_threshold > 0.0
-                    && c.average_live_degree() > config.core_degree_threshold
-                {
-                    c.contract_rest_by_rank();
-                    break;
+            if config.core_degree_threshold > 0.0
+                && c.average_live_degree() > config.core_degree_threshold
+            {
+                if trace {
+                    eprintln!(
+                        "ch trace: dense-core fallback fired with remaining={} elapsed={:.2}s",
+                        c.remaining,
+                        start.elapsed().as_secs_f64()
+                    );
                 }
+                c.contract_rest_by_degree();
+                break;
             }
         }
 
-        c.into_hierarchy()
+        c.into_hierarchy(config.stall_on_demand)
     }
 
     /// Number of vertices in the hierarchy.
@@ -178,6 +237,18 @@ impl ContractionHierarchy {
     /// Number of shortcut edges added during preprocessing.
     pub fn num_shortcuts(&self) -> usize {
         self.num_shortcuts
+    }
+
+    /// Whether the pruned query searches apply stall-on-demand.
+    pub fn stall_on_demand(&self) -> bool {
+        self.stall_on_demand
+    }
+
+    /// Toggles stall-on-demand on the pruned query searches (for ablations and the
+    /// stall on/off exactness tests; results are identical either way, only the
+    /// searched space changes).
+    pub fn set_stall_on_demand(&mut self, enabled: bool) {
+        self.stall_on_demand = enabled;
     }
 
     /// Upward edges (towards higher-ranked vertices) of `v`.
@@ -230,10 +301,17 @@ struct Contractor<'a> {
     /// Set for the surviving neighbours of every contracted vertex; cleared when the
     /// priority is lazily recomputed.
     dirty: Vec<bool>,
+    /// Separator-depth search-space estimate per vertex (empty when
+    /// [`ChConfig::search_space_weight`] is `0`): larger values mean shallower
+    /// separators, which must contract later.
+    guidance: Vec<i64>,
     rank: Vec<u32>,
     next_rank: u32,
     num_shortcuts: usize,
     remaining: usize,
+    /// Σ over live vertices of their live adjacency-list lengths, maintained
+    /// incrementally so [`Contractor::average_live_degree`] is O(1).
+    live_edge_halves: usize,
     scratch: WitnessScratch,
     plan: Vec<PlannedShortcut>,
 }
@@ -241,18 +319,28 @@ struct Contractor<'a> {
 impl<'a> Contractor<'a> {
     fn new(graph: &Graph, config: &'a ChConfig) -> Self {
         let n = graph.num_vertices();
+        let adjacency: Vec<Vec<(NodeId, Weight)>> =
+            (0..n).map(|v| graph.neighbors(v as NodeId).collect()).collect();
+        let live_edge_halves = adjacency.iter().map(|edges| edges.len()).sum();
+        let guidance = if config.search_space_weight != 0 {
+            separator_depths(graph, config.separator_cell_target.max(2))
+        } else {
+            Vec::new()
+        };
         Contractor {
             config,
-            adjacency: (0..n).map(|v| graph.neighbors(v as NodeId).collect()).collect(),
+            adjacency,
             contracted: vec![false; n],
             deleted_neighbours: vec![0i64; n],
             level: vec![0i64; n],
             priority: vec![0i64; n],
             dirty: vec![false; n],
+            guidance,
             rank: vec![0u32; n],
             next_rank: 0,
             num_shortcuts: 0,
             remaining: n,
+            live_edge_halves,
             scratch: WitnessScratch::new(n),
             plan: Vec::new(),
         }
@@ -270,40 +358,48 @@ impl<'a> Contractor<'a> {
     /// difference uses the same "would a new edge actually be inserted" rule as
     /// [`Contractor::contract`], so the estimate never systematically overcounts
     /// pairs whose shortcut merely lowers an existing parallel edge.
+    ///
+    /// The estimate plans with a shallow, degree-scaled witness-Dijkstra budget
+    /// (from [`ESTIMATE_SETTLE_LIMIT`]): priorities are recomputed ~2-3× per vertex
+    /// under lazy updates, and running the full staged search each time made
+    /// ordering — not contraction — the dominant build cost at 250k+ vertices.
+    /// Witnesses missed by the shallow budget are missed uniformly across
+    /// candidates, so the *ranking* barely moves; the thorough passes still run
+    /// exactly once per vertex, inside [`Contractor::contract`].
     fn compute_priority(&mut self, v: NodeId) -> i64 {
         let neighbours = self.live_neighbours(v);
+        let estimate_settle = (ESTIMATE_SETTLE_LIMIT * 24 / neighbours.len().max(24)).max(8);
         plan_contraction(
             v,
             &neighbours,
             &self.adjacency,
             &self.contracted,
             self.config,
+            estimate_settle,
             &mut self.scratch,
             &mut self.plan,
         );
         let new_edges = self.plan.iter().filter(|s| s.is_new).count();
         let edge_difference = new_edges as i64 - neighbours.len() as i64;
+        let guidance =
+            self.guidance.get(v as usize).map_or(0, |&g| g * self.config.search_space_weight);
         edge_difference * 4
             + self.deleted_neighbours[v as usize] * self.config.deleted_neighbour_weight
             + self.level[v as usize] * self.config.level_weight
+            + guidance
     }
 
     /// Contracts `v`: assigns its rank, prunes and dirties its surviving neighbours,
-    /// and inserts the planned shortcuts.
-    ///
-    /// When `plan_is_fresh` is set, `self.plan` was produced by a
-    /// [`Contractor::compute_priority`] call for `v` on this very queue pop (nothing
-    /// contracted in between) and is reused as-is — witness planning is the dominant
-    /// build cost, and on the hot path (dirty pop → recompute → contract) this halves
-    /// it. The plan is position-stable: both paths see the same live-neighbour list,
-    /// all witness passes already exclude `v` and contracted vertices, and the
-    /// pruning below only removes edges those passes ignore anyway.
-    fn contract(&mut self, v: NodeId, plan_is_fresh: bool) {
+    /// plans the shortcuts with the full staged witness passes (the one thorough
+    /// plan each vertex gets), and inserts them.
+    fn contract(&mut self, v: NodeId) {
         self.rank[v as usize] = self.next_rank;
         self.next_rank += 1;
         self.contracted[v as usize] = true;
         self.remaining -= 1;
         let neighbours = self.live_neighbours(v);
+        // v's own (all-live, by the adjacency invariant) list leaves the live set.
+        self.live_edge_halves -= self.adjacency[v as usize].len();
         let child_level = self.level[v as usize] + 1;
         for &(t, _) in &neighbours {
             self.deleted_neighbours[t as usize] += 1;
@@ -315,63 +411,127 @@ impl<'a> Contractor<'a> {
             // of late-contracted hubs grow without bound and preprocessing
             // degenerates from seconds to hours on ~10k-vertex networks.
             let contracted = &self.contracted;
+            let before = self.adjacency[t as usize].len();
             self.adjacency[t as usize].retain(|&(x, _)| !contracted[x as usize]);
+            self.live_edge_halves -= before - self.adjacency[t as usize].len();
         }
-        if !plan_is_fresh {
-            plan_contraction(
-                v,
-                &neighbours,
-                &self.adjacency,
-                &self.contracted,
-                self.config,
-                &mut self.scratch,
-                &mut self.plan,
-            );
-        }
+        // Each settle of the witness Dijkstra scans an adjacency list, so its
+        // budget is scaled down as the live degree grows — full strength at planar
+        // degrees, 1/d-scaled inside the densifying core, where long searches
+        // rarely find witnesses anyway (weaker searches only add shortcuts).
+        let settle_limit = if self.config.witness_settle_limit == 0 {
+            0
+        } else {
+            (self.config.witness_settle_limit * 24 / neighbours.len().max(24)).max(16)
+        };
+        plan_contraction(
+            v,
+            &neighbours,
+            &self.adjacency,
+            &self.contracted,
+            self.config,
+            settle_limit,
+            &mut self.scratch,
+            &mut self.plan,
+        );
         for i in 0..self.plan.len() {
             let s = self.plan[i];
             let (u, _) = neighbours[s.from];
             let (t, _) = neighbours[s.to];
             if upsert_edge(&mut self.adjacency[u as usize], t, s.weight) {
                 self.num_shortcuts += 1;
+                self.live_edge_halves += 1;
                 debug_assert!(s.is_new);
             } else {
                 debug_assert!(!s.is_new);
             }
-            upsert_edge(&mut self.adjacency[t as usize], u, s.weight);
+            if upsert_edge(&mut self.adjacency[t as usize], u, s.weight) {
+                self.live_edge_halves += 1;
+            }
         }
     }
 
-    /// Average degree over the not-yet-contracted vertices. Exact, because live
-    /// adjacency lists are pruned eagerly (see the invariant on `adjacency`).
+    /// Average degree over the not-yet-contracted vertices, from the incrementally
+    /// maintained live-edge sum (exact, because live adjacency lists are pruned
+    /// eagerly — see the invariant on `adjacency`).
     fn average_live_degree(&self) -> f64 {
         if self.remaining == 0 {
             return 0.0;
         }
-        let total: usize = (0..self.adjacency.len())
-            .filter(|&v| !self.contracted[v])
-            .map(|v| self.adjacency[v].len())
-            .sum();
-        total as f64 / self.remaining as f64
+        self.live_edge_halves as f64 / self.remaining as f64
     }
 
-    /// Contract-rest-by-rank fallback for the dense core: the remaining vertices are
-    /// contracted in their current cached priority order, with witness searches still
-    /// limiting shortcut growth but no further priority recomputation.
-    fn contract_rest_by_rank(&mut self) {
-        let mut rest: Vec<NodeId> = (0..self.contracted.len() as NodeId)
-            .filter(|&v| !self.contracted[v as usize])
-            .collect();
-        rest.sort_unstable_by_key(|&v| (self.priority[v as usize], v));
-        for v in rest {
-            self.contract(v, false);
+    /// Dense-core endgame: contracts the remaining vertices in (lazily updated)
+    /// minimum-live-degree order — the classic fill-reducing elimination rule — with
+    /// the 1-hop direct-edge pass as the only witness check, on hash-map adjacency.
+    ///
+    /// Two cost cliffs motivate the switch. Long witness searches almost never find
+    /// a witness inside a near-clique core but still cost `O(budget · degree)` per
+    /// source (measured: the last ~1.1k vertices of a 69k build took 41 of 56
+    /// seconds under full witness planning). And the linear-scan `upsert_edge` turns
+    /// clique fill-in into an `O(degree³)` memory sweep per contraction once degrees
+    /// reach the hundreds (measured: ~16 of 50 seconds at 290k). Hash-map adjacency
+    /// makes every pair test and insertion O(1), and witness misses only ever add
+    /// shortcuts — exactness is untouched (`core_contraction_fallback_stays_exact`).
+    fn contract_rest_by_degree(&mut self) {
+        let n = self.contracted.len();
+        // Move the live core onto hash-map adjacency (weights keyed by neighbour).
+        let mut maps: Vec<CoreMap> = vec![CoreMap::default(); n];
+        let mut queue: MinHeap<NodeId, i64> = MinHeap::with_capacity(self.remaining);
+        for (v, map) in maps.iter_mut().enumerate() {
+            if self.contracted[v] {
+                continue;
+            }
+            map.extend(self.adjacency[v].iter().copied());
+            queue.push(map.len() as i64, v as NodeId);
+        }
+        while let Some((key, v)) = queue.pop() {
+            if self.contracted[v as usize] {
+                continue;
+            }
+            // Lazy update: degrees drift as the core contracts; requeue on mismatch
+            // so the pop order tracks the live minimum degree.
+            let degree = maps[v as usize].len() as i64;
+            if key != degree {
+                queue.push(degree, v);
+                continue;
+            }
+            self.rank[v as usize] = self.next_rank;
+            self.next_rank += 1;
+            self.contracted[v as usize] = true;
+            self.remaining -= 1;
+            let neighbours: Vec<(NodeId, Weight)> = maps[v as usize].drain().collect();
+            // v's surviving edges all point at later-contracted (higher-ranked)
+            // vertices — exactly the upward list `into_hierarchy` reads.
+            self.adjacency[v as usize] = neighbours.clone();
+            for &(t, _) in &neighbours {
+                maps[t as usize].remove(&v);
+            }
+            for (i, &(u, wu)) in neighbours.iter().enumerate() {
+                for &(t, wt) in neighbours.iter().skip(i + 1) {
+                    let via = wu + wt;
+                    // 1-hop witness: an existing u–t edge at most as heavy as the
+                    // via-v path; otherwise insert or lower the shortcut (counted as
+                    // a shortcut only when the edge is new, as in `upsert_edge`).
+                    let entry = maps[u as usize].entry(t);
+                    let is_new = matches!(entry, std::collections::hash_map::Entry::Vacant(_));
+                    let slot = entry.or_insert(Weight::MAX);
+                    if via < *slot {
+                        *slot = via;
+                        maps[t as usize].insert(u, via);
+                    }
+                    if is_new {
+                        self.num_shortcuts += 1;
+                    }
+                }
+            }
         }
     }
 
     /// Assembles the upward graph: for each vertex keep only edges towards
     /// higher-ranked vertices (original edges plus every shortcut accumulated in the
     /// working adjacency).
-    fn into_hierarchy(self) -> ContractionHierarchy {
+    fn into_hierarchy(self, stall_on_demand: bool) -> ContractionHierarchy {
         let n = self.rank.len();
         let mut up_offsets = vec![0u32; n + 1];
         let mut up_targets = Vec::new();
@@ -398,8 +558,109 @@ impl<'a> Contractor<'a> {
             up_targets,
             up_weights,
             num_shortcuts: self.num_shortcuts,
+            stall_on_demand,
         }
     }
+}
+
+/// Separator-depth ("search-space estimate") labels for every vertex: recursive
+/// balanced bisection down to cells of at most `cell_target` vertices, recording for
+/// each vertex the shallowest depth at which it lay on a bisection cut. The returned
+/// guidance value is `max_depth + 1 - cut_depth` for cut vertices (top-level
+/// separators largest) and `0` for cell interiors, so it slots directly into the
+/// priority as a term that delays separator contraction.
+///
+/// On a separator-structured graph the upward search space of a vertex is (up to
+/// constants) the total size of the separators enclosing it, which is what this depth
+/// measures — hence "search-space estimate". The sweep is near-linear per depth level
+/// and there are `O(log(n / cell_target))` levels.
+fn separator_depths(graph: &Graph, cell_target: usize) -> Vec<i64> {
+    let n = graph.num_vertices();
+    let mut cut_depth = vec![u32::MAX; n];
+    // Which side of the bisection currently being scanned each vertex is on
+    // (`u8::MAX` = not in the current vertex set); reset after every bisection.
+    let mut side = vec![u8::MAX; n];
+    let partitioner = Partitioner::new();
+    let all: Vec<NodeId> = graph.vertices().collect();
+    let mut stack: Vec<(Vec<NodeId>, u32)> = vec![(all, 0)];
+    let mut max_depth = 0u32;
+    while let Some((vertices, depth)) = stack.pop() {
+        if vertices.len() <= cell_target {
+            continue;
+        }
+        max_depth = max_depth.max(depth);
+        let assignment = partitioner.partition(graph, &vertices, 2);
+        for (i, &v) in vertices.iter().enumerate() {
+            side[v as usize] = assignment[i] as u8;
+        }
+        let mut parts: [Vec<NodeId>; 2] = [Vec::new(), Vec::new()];
+        for (i, &v) in vertices.iter().enumerate() {
+            let s = assignment[i] as u8;
+            // DFS order guarantees shallower bisections are scanned first, so the
+            // first recorded depth is the shallowest cut containing the vertex.
+            if cut_depth[v as usize] == u32::MAX
+                && graph
+                    .neighbor_ids(v)
+                    .iter()
+                    .any(|&t| side[t as usize] != u8::MAX && side[t as usize] != s)
+            {
+                cut_depth[v as usize] = depth;
+            }
+            parts[s as usize].push(v);
+        }
+        for &v in &vertices {
+            side[v as usize] = u8::MAX;
+        }
+        for part in parts {
+            if part.len() > cell_target {
+                stack.push((part, depth + 1));
+            }
+        }
+    }
+    cut_depth
+        .into_iter()
+        .map(|d| if d == u32::MAX { 0 } else { (max_depth + 1 - d) as i64 })
+        .collect()
+}
+
+/// The dense-core endgame performs hundreds of millions of single-`u32`-key map
+/// operations; SipHash (std's default, DoS-resistant) is wasted on internal vertex
+/// ids, so the core maps use a Fibonacci multiplicative hasher instead (~5 ns →
+/// sub-ns per probe).
+#[derive(Default, Clone)]
+struct FibonacciHasher(u64);
+
+impl std::hash::Hasher for FibonacciHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type CoreMap = HashMap<NodeId, Weight, std::hash::BuildHasherDefault<FibonacciHasher>>;
+
+/// Settle budget of the witness Dijkstras inside priority *estimates*: deep enough
+/// that the edge-difference ranking stays close to the thorough plan's, small enough
+/// that the ~2-3 estimates per vertex stop dominating the build (estimates with the
+/// full budget made ordering cost 3× contraction cost at 250k+ vertices).
+const ESTIMATE_SETTLE_LIMIT: usize = 32;
+
+/// Coarse witness-work counters behind the `RNKNN_CH_TRACE` diagnostics.
+#[derive(Debug, Default, Clone, Copy)]
+struct BuildEffort {
+    plans: u64,
+    two_hop_scans: u64,
+    dijkstras: u64,
+    dijkstra_settles: u64,
 }
 
 /// Decides, for every unordered pair of live neighbours of `v`, whether contracting
@@ -414,16 +675,24 @@ impl<'a> Contractor<'a> {
 /// 3. **bounded Dijkstra**: multi-target, hop-limited ([`ChConfig::hop_limit`]) and
 ///    settle-limited, run once per *source* neighbour for all still-unresolved
 ///    targets.
+///
+/// `dijkstra_settle_limit` is the pass-3 settle budget; `0` skips the Dijkstras
+/// entirely, and priority estimates pass a shallow budget derived from
+/// [`ESTIMATE_SETTLE_LIMIT`]. A [`ChConfig::witness_settle_limit`] of `0` also
+/// disables pass 2 (its budget scales with the limit).
+#[allow(clippy::too_many_arguments)]
 fn plan_contraction(
     v: NodeId,
     neighbours: &[(NodeId, Weight)],
     adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
+    dijkstra_settle_limit: usize,
     scratch: &mut WitnessScratch,
     plan: &mut Vec<PlannedShortcut>,
 ) {
     plan.clear();
+    scratch.effort.plans += 1;
     if neighbours.len() < 2 {
         return;
     }
@@ -449,7 +718,7 @@ fn plan_contraction(
 
         // Pass 2 (2-hop): scan u's neighbours' lists, bounded so a dense core cannot
         // turn this into a quadratic sweep.
-        if unresolved > 0 {
+        if unresolved > 0 && config.witness_settle_limit > 0 {
             let mut budget = config.witness_settle_limit * 16;
             'two_hop: for &(x, wx) in &adjacency[u as usize] {
                 if x == v || contracted[x as usize] {
@@ -460,6 +729,7 @@ fn plan_contraction(
                         break 'two_hop;
                     }
                     budget -= 1;
+                    scratch.effort.two_hop_scans += 1;
                     if let Some(via) = scratch.target_cutoff(y) {
                         if wx + wxy <= via && scratch.mark_witnessed(y) {
                             unresolved -= 1;
@@ -472,9 +742,19 @@ fn plan_contraction(
             }
         }
 
-        // Pass 3: bounded multi-target Dijkstra for the remaining pairs.
-        if unresolved > 0 {
-            witness_search(u, v, unresolved, adjacency, contracted, config, scratch);
+        // Pass 3: bounded multi-target Dijkstra for the remaining pairs (skipped in
+        // the cheap estimation mode).
+        if unresolved > 0 && dijkstra_settle_limit > 0 {
+            witness_search(
+                u,
+                v,
+                unresolved,
+                adjacency,
+                contracted,
+                config,
+                dijkstra_settle_limit,
+                scratch,
+            );
         }
 
         for (j, &(t, wt)) in neighbours.iter().enumerate().skip(i + 1) {
@@ -526,6 +806,8 @@ struct WitnessScratch {
     target_touched: Vec<NodeId>,
     /// Largest via cutoff among the current targets (global search bound).
     max_cutoff: Weight,
+    /// Coarse witness-work counters behind the `RNKNN_CH_TRACE` diagnostics.
+    effort: BuildEffort,
 }
 
 impl WitnessScratch {
@@ -540,6 +822,7 @@ impl WitnessScratch {
             witnessed: vec![false; n],
             target_touched: Vec::new(),
             max_cutoff: 0,
+            effort: BuildEffort::default(),
         }
     }
 
@@ -604,6 +887,7 @@ impl WitnessScratch {
 /// once the frontier passes the largest via cutoff, no remaining target can have a
 /// witness, and the search stops. A target settled within the bound is a witness iff
 /// its distance is `<= ` its own via cutoff (same `<=` rule as the 1-/2-hop passes).
+#[allow(clippy::too_many_arguments)]
 fn witness_search(
     source: NodeId,
     skip: NodeId,
@@ -611,9 +895,11 @@ fn witness_search(
     adjacency: &[Vec<(NodeId, Weight)>],
     contracted: &[bool],
     config: &ChConfig,
+    settle_limit: usize,
     scratch: &mut WitnessScratch,
 ) {
     scratch.reset_search();
+    scratch.effort.dijkstras += 1;
     scratch.dist[source as usize] = 0;
     scratch.hops[source as usize] = 0;
     scratch.touched.push(source);
@@ -636,7 +922,8 @@ fn witness_search(
             }
         }
         settled += 1;
-        if settled > config.witness_settle_limit {
+        scratch.effort.dijkstra_settles += 1;
+        if settled > settle_limit {
             break;
         }
         if config.hop_limit > 0 && scratch.hops[x as usize] >= config.hop_limit as u32 {

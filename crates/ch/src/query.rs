@@ -22,6 +22,10 @@ pub struct ChSearchCounters {
     pub settled: u64,
     /// Heap pushes across both directions.
     pub heap_pushes: u64,
+    /// Settled vertices whose expansion was skipped by stall-on-demand (their label
+    /// was dominated via a higher-ranked neighbour, so no shortest up-down path runs
+    /// through them at that distance).
+    pub stalled: u64,
 }
 
 impl ChSearchCounters {
@@ -29,6 +33,7 @@ impl ChSearchCounters {
     pub fn accumulate(&mut self, other: ChSearchCounters) {
         self.settled += other.settled;
         self.heap_pushes += other.heap_pushes;
+        self.stalled += other.stalled;
     }
 }
 
@@ -97,6 +102,20 @@ const FORWARD: usize = 0;
 const BACKWARD: usize = 1;
 
 impl ContractionHierarchy {
+    /// Stall-on-demand test for a vertex just popped at distance `d`: when some
+    /// upward neighbour `y` already carries a (tentative, hence valid upper-bound)
+    /// label with `dist(y) + w(x, y) <= d`, every up-down path through `x` at
+    /// distance `d` is dominated by one through `y`, so `x`'s edges need not be
+    /// relaxed. Tentative labels suffice for safety — they only ever overestimate,
+    /// and the `<=` comparison errs on stalling exactly dominated labels.
+    #[inline]
+    fn is_stalled(&self, scratch: &QueryScratch, side: usize, x: NodeId, d: Weight) -> bool {
+        self.stall_on_demand
+            && self.upward_edges(x).any(|(y, w)| {
+                let dy = scratch.get(side, y);
+                dy != INFINITY && dy + w <= d
+            })
+    }
     /// Exact network distance between `s` and `t`.
     pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
         self.distance_with_counters(s, t).0
@@ -161,6 +180,13 @@ impl ContractionHierarchy {
                 if other != INFINITY {
                     best = best.min(d + other);
                 }
+                // Stall-on-demand: a dominated label cannot start a shortest
+                // up-segment, so its edges are never relaxed (the meet update above
+                // is still safe — the label is a valid upper bound).
+                if self.is_stalled(scratch, side, x, d) {
+                    counters.stalled += 1;
+                    continue;
+                }
                 for (y, w) in self.upward_edges(x) {
                     let nd = d + w;
                     // A label at distance >= best can never improve the meet (both
@@ -212,6 +238,10 @@ impl ContractionHierarchy {
                 if let Some(df) = forward.distance_to(x) {
                     best = best.min(df + d);
                 }
+                if self.is_stalled(scratch, BACKWARD, x, d) {
+                    counters.stalled += 1;
+                    continue;
+                }
                 for (y, w) in self.upward_edges(x) {
                     let nd = d + w;
                     // A backward label at distance >= best cannot improve the meet.
@@ -259,6 +289,81 @@ impl ContractionHierarchy {
         stop: impl Fn(NodeId) -> bool,
     ) -> ChSearchSpace {
         self.search_space_impl(v, |x| x != v && stop(x)).0
+    }
+
+    /// [`ContractionHierarchy::upward_search_space_stopping_at`] plus search-effort
+    /// counters, so TNR's per-query local searches feed the engine's unified
+    /// `QueryStats` like every other CH consumer.
+    pub fn upward_search_space_stopping_at_with_counters(
+        &self,
+        v: NodeId,
+        stop: impl Fn(NodeId) -> bool,
+    ) -> (ChSearchSpace, ChSearchCounters) {
+        self.search_space_impl(v, |x| x != v && stop(x))
+    }
+
+    /// All-pairs network distances among `vertices` (row-major `len × len` matrix),
+    /// via the classic bucket-join many-to-many CH algorithm: materialise every
+    /// upward search space once, bucket the entries per graph vertex, and join each
+    /// space against the buckets. Cost is `Σ_x fwd(x) · bucket(x)` instead of the
+    /// `len²/2 · |space|` of pairwise sorted meets — at thousands of sources
+    /// (G-tree's upper-level border matrices) that is orders of magnitude less work.
+    ///
+    /// The network is undirected, so one space per vertex serves as both the forward
+    /// and the backward side and the result is symmetric.
+    pub fn many_to_many(&self, vertices: &[NodeId]) -> Vec<Weight> {
+        let s = vertices.len();
+        let mut out = vec![INFINITY; s * s];
+        if s == 0 {
+            return out;
+        }
+        for (i, row) in out.chunks_mut(s).enumerate() {
+            row[i] = 0;
+        }
+        if s < 2 {
+            return out;
+        }
+        let spaces: Vec<ChSearchSpace> =
+            vertices.iter().map(|&v| self.upward_search_space(v)).collect();
+        // Per-graph-vertex buckets of (source index, upward distance), CSR-packed
+        // via a counting pass.
+        let n = self.num_vertices();
+        let mut counts = vec![0u32; n + 1];
+        for space in &spaces {
+            for &(x, _) in space.entries() {
+                counts[x as usize + 1] += 1;
+            }
+        }
+        for x in 0..n {
+            counts[x + 1] += counts[x];
+        }
+        let total = counts[n] as usize;
+        let mut bucket_src = vec![0u32; total];
+        let mut bucket_dist = vec![0 as Weight; total];
+        let mut cursor = counts.clone();
+        for (i, space) in spaces.iter().enumerate() {
+            for &(x, d) in space.entries() {
+                let slot = cursor[x as usize] as usize;
+                bucket_src[slot] = i as u32;
+                bucket_dist[slot] = d;
+                cursor[x as usize] += 1;
+            }
+        }
+        for (i, space) in spaces.iter().enumerate() {
+            let row = i * s;
+            for &(x, df) in space.entries() {
+                let lo = counts[x as usize] as usize;
+                let hi = counts[x as usize + 1] as usize;
+                for (slot, &j) in bucket_src[lo..hi].iter().enumerate() {
+                    let d = df + bucket_dist[lo + slot];
+                    let cell = &mut out[row + j as usize];
+                    if d < *cell {
+                        *cell = d;
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn search_space_impl(
@@ -396,6 +501,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn many_to_many_matches_pairwise_meets() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 8));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let ch = ContractionHierarchy::build(&g);
+        let vertices: Vec<NodeId> = (0..g.num_vertices() as NodeId).step_by(29).collect();
+        let s = vertices.len();
+        let matrix = ch.many_to_many(&vertices);
+        for (i, &a) in vertices.iter().enumerate() {
+            for (j, &b) in vertices.iter().enumerate() {
+                assert_eq!(matrix[i * s + j], dijkstra::distance(&g, a, b), "{a}->{b}");
+            }
+        }
+        // Degenerate inputs return the trivial matrices instead of panicking.
+        assert!(ch.many_to_many(&[]).is_empty());
+        assert_eq!(ch.many_to_many(&[7]), vec![0]);
     }
 
     #[test]

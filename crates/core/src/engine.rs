@@ -101,8 +101,9 @@ pub struct EngineConfig {
     pub road_levels: Option<usize>,
     /// SILC size limit (vertices).
     pub silc_max_vertices: usize,
-    /// CH preprocessing knobs (witness settle/hop limits, dense-core fallback). The
-    /// defaults preprocess ~100k-vertex networks in seconds; see [`rnknn_ch::ChConfig`].
+    /// CH preprocessing knobs (witness settle/hop limits, dense-core endgame,
+    /// stall-on-demand). The defaults preprocess ~250k-vertex networks in ~13s and
+    /// ~580k in ~43s on one core; see [`rnknn_ch::ChConfig`].
     pub ch_config: rnknn_ch::ChConfig,
 }
 

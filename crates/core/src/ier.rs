@@ -159,12 +159,13 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
 #[derive(Debug)]
 pub struct DijkstraOracle<'a> {
     graph: &'a Graph,
+    stats: OracleSearchStats,
 }
 
 impl<'a> DijkstraOracle<'a> {
     /// Creates the oracle.
     pub fn new(graph: &'a Graph) -> Self {
-        DijkstraOracle { graph }
+        DijkstraOracle { graph, stats: OracleSearchStats::default() }
     }
 }
 
@@ -173,7 +174,14 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
         "Dijk"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        rnknn_pathfinding::dijkstra::distance(self.graph, source, target)
+        let (d, stats) =
+            rnknn_pathfinding::dijkstra::distance_with_stats(self.graph, source, target);
+        self.stats.nodes_expanded += stats.settled as u64;
+        self.stats.heap_operations += stats.pushes as u64;
+        d
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        self.stats
     }
 }
 
@@ -182,12 +190,13 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
 pub struct AStarOracle<'a> {
     graph: &'a Graph,
     bound: EuclideanBound,
+    stats: OracleSearchStats,
 }
 
 impl<'a> AStarOracle<'a> {
     /// Creates the oracle.
     pub fn new(graph: &'a Graph) -> Self {
-        AStarOracle { graph, bound: graph.euclidean_bound() }
+        AStarOracle { graph, bound: graph.euclidean_bound(), stats: OracleSearchStats::default() }
     }
 }
 
@@ -196,7 +205,18 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
         "A*"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        rnknn_pathfinding::astar::astar_distance(self.graph, &self.bound, source, target)
+        let (d, stats) = rnknn_pathfinding::astar::astar_distance_with_stats(
+            self.graph,
+            &self.bound,
+            source,
+            target,
+        );
+        self.stats.nodes_expanded += stats.settled as u64;
+        self.stats.heap_operations += stats.pushes as u64;
+        d
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        self.stats
     }
 }
 
@@ -255,12 +275,13 @@ impl<'a> DistanceOracle for ChOracle<'a> {
 #[derive(Debug)]
 pub struct PhlOracle<'a> {
     labels: &'a rnknn_phl::HubLabels,
+    stats: OracleSearchStats,
 }
 
 impl<'a> PhlOracle<'a> {
     /// Creates the oracle over prebuilt labels.
     pub fn new(labels: &'a rnknn_phl::HubLabels) -> Self {
-        PhlOracle { labels }
+        PhlOracle { labels, stats: OracleSearchStats::default() }
     }
 }
 
@@ -269,7 +290,14 @@ impl<'a> DistanceOracle for PhlOracle<'a> {
         "PHL"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        self.labels.distance(source, target)
+        let (d, entries) = self.labels.distance_with_stats(source, target);
+        // Label intersection has no heap or settled set; the hub entries examined
+        // are its comparable notion of "nodes expanded".
+        self.stats.nodes_expanded += entries;
+        d
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        self.stats
     }
 }
 
@@ -277,12 +305,13 @@ impl<'a> DistanceOracle for PhlOracle<'a> {
 #[derive(Debug)]
 pub struct TnrOracle<'a> {
     tnr: &'a rnknn_tnr::TransitNodeRouting,
+    counters: rnknn_ch::ChSearchCounters,
 }
 
 impl<'a> TnrOracle<'a> {
     /// Creates the oracle over a prebuilt TNR index.
     pub fn new(tnr: &'a rnknn_tnr::TransitNodeRouting) -> Self {
-        TnrOracle { tnr }
+        TnrOracle { tnr, counters: rnknn_ch::ChSearchCounters::default() }
     }
 }
 
@@ -291,7 +320,15 @@ impl<'a> DistanceOracle for TnrOracle<'a> {
         "TNR"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        self.tnr.distance(source, target)
+        let (d, counters) = self.tnr.distance_with_counters(source, target);
+        self.counters.accumulate(counters);
+        d
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        OracleSearchStats {
+            nodes_expanded: self.counters.settled,
+            heap_operations: self.counters.heap_pushes,
+        }
     }
 }
 
@@ -333,6 +370,12 @@ impl<'a> DistanceOracle for GtreeOracle<'a> {
             self.begin_query(source);
         }
         self.search.as_mut().expect("initialised").distance_to(target)
+    }
+    fn search_stats(&self) -> OracleSearchStats {
+        self.search.as_ref().map_or_else(OracleSearchStats::default, |s| OracleSearchStats {
+            nodes_expanded: s.stats.materialized_nodes + s.stats.leaf_vertices_settled,
+            heap_operations: s.stats.heap_pushes,
+        })
     }
 }
 

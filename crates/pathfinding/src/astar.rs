@@ -6,6 +6,7 @@
 
 use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
 
+use crate::dijkstra::SearchStats;
 use crate::heap::MinHeap;
 use crate::settled::{BitSettled, SettledContainer};
 
@@ -19,8 +20,21 @@ pub fn astar_distance(
     source: NodeId,
     target: NodeId,
 ) -> Weight {
+    astar_distance_with_stats(graph, bound, source, target).0
+}
+
+/// Same as [`astar_distance`] but also returns operation counters (the same
+/// [`SearchStats`] vocabulary as the Dijkstra searches, so the IER oracles report
+/// comparable effort).
+pub fn astar_distance_with_stats(
+    graph: &Graph,
+    bound: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+) -> (Weight, SearchStats) {
+    let mut stats = SearchStats::default();
     if source == target {
-        return 0;
+        return (0, stats);
     }
     let n = graph.num_vertices();
     let target_point = graph.coord(target);
@@ -30,27 +44,31 @@ pub fn astar_distance(
     dist[source as usize] = 0;
     let h0 = bound.lower_bound(graph.coord(source), target_point);
     heap.push(h0, source);
+    stats.pushes += 1;
     while let Some((_, v)) = heap.pop() {
         if !settled.settle(v) {
             continue;
         }
+        stats.settled += 1;
         if v == target {
-            return dist[v as usize];
+            return (dist[v as usize], stats);
         }
         let dv = dist[v as usize];
         for (t, w) in graph.neighbors(v) {
             if settled.is_settled(t) {
                 continue;
             }
+            stats.relaxed += 1;
             let nd = dv + w;
             if nd < dist[t as usize] {
                 dist[t as usize] = nd;
                 let h = bound.lower_bound(graph.coord(t), target_point);
                 heap.push(nd + h, t);
+                stats.pushes += 1;
             }
         }
     }
-    INFINITY
+    (INFINITY, stats)
 }
 
 #[cfg(test)]

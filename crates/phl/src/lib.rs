@@ -146,8 +146,16 @@ impl HubLabels {
     /// Exact network distance between `s` and `t`.
     #[inline]
     pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
+        self.distance_with_stats(s, t).0
+    }
+
+    /// Same as [`HubLabels::distance`], also reporting how many label entries the
+    /// sorted intersection examined (the "search effort" of a label query — hub
+    /// labelling has no heap or settled set, so this is the comparable counter the
+    /// engine's unified `QueryStats` reports as `nodes_expanded`).
+    pub fn distance_with_stats(&self, s: NodeId, t: NodeId) -> (Weight, u64) {
         if s == t {
-            return 0;
+            return (0, 0);
         }
         let (sh, sd) = self.label(s);
         let (th, td) = self.label(t);
@@ -168,7 +176,7 @@ impl HubLabels {
                 }
             }
         }
-        best
+        (best, (i + j) as u64)
     }
 
     #[inline]

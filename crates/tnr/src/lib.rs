@@ -236,14 +236,28 @@ impl TransitNodeRouting {
 
     /// Exact network distance between `s` and `t`.
     pub fn distance(&self, s: NodeId, t: NodeId) -> Weight {
+        self.distance_with_counters(s, t).0
+    }
+
+    /// [`TransitNodeRouting::distance`] plus the CH search-effort counters of the
+    /// underlying local searches (feeds the engine's unified `QueryStats`; the table
+    /// lookups themselves are constant-time per access-node pair).
+    pub fn distance_with_counters(
+        &self,
+        s: NodeId,
+        t: NodeId,
+    ) -> (Weight, rnknn_ch::ChSearchCounters) {
+        let mut effort = rnknn_ch::ChSearchCounters::default();
         if s == t {
-            return 0;
+            return (0, effort);
         }
         // Local search: CH query that never expands transit nodes. Exact whenever the
         // contracted shortest path's peak is not a transit node.
         let is_transit = |v: NodeId| self.transit_nodes.binary_search(&v).is_ok();
-        let forward = self.ch.upward_search_space_stopping_at(s, is_transit);
-        let backward = self.ch.upward_search_space_stopping_at(t, is_transit);
+        let (forward, fc) = self.ch.upward_search_space_stopping_at_with_counters(s, is_transit);
+        let (backward, bc) = self.ch.upward_search_space_stopping_at_with_counters(t, is_transit);
+        effort.accumulate(fc);
+        effort.accumulate(bc);
         let local = forward.meet(&backward);
 
         if self.is_local(s, t) {
@@ -251,10 +265,12 @@ impl TransitNodeRouting {
             // For local pairs the full CH query is used directly (the paper's "CH
             // answers local queries"); since the CH query is a pruned bidirectional
             // search it settles far fewer vertices than the two stopped spaces above.
-            return local.min(self.table_estimate(s, t)).min(self.ch.distance(s, t));
+            let (ch_distance, cc) = self.ch.distance_with_counters(s, t);
+            effort.accumulate(cc);
+            return (local.min(self.table_estimate(s, t)).min(ch_distance), effort);
         }
         self.counters.table_queries.fetch_add(1, Ordering::Relaxed);
-        local.min(self.table_estimate(s, t))
+        (local.min(self.table_estimate(s, t)), effort)
     }
 
     /// Distance estimate through the access-node table (exact for non-local pairs whose

@@ -57,3 +57,52 @@ fn ch_matches_dijkstra_at_20k_within_wall_clock_budget() {
         assert!(elapsed < Duration::from_secs(10), "20k {kind:?} build took {elapsed:?}");
     }
 }
+
+// 250k guard for the second scaling wall (the one fixed by cheap priority
+// estimates, degree-scaled witness budgets and the min-degree hash-map endgame):
+// pre-fix this build took ~390s, post-fix ~19s. One weight kind keeps the release
+// suite's wall-clock reasonable; the exactness spread across kinds is covered at
+// 5k/20k above.
+#[cfg(not(debug_assertions))]
+#[test]
+fn ch_matches_dijkstra_at_250k_within_wall_clock_budget() {
+    let elapsed = build_and_verify(250_000, EdgeWeightKind::Distance, 5);
+    assert!(elapsed < Duration::from_secs(60), "250k build took {elapsed:?}");
+}
+
+/// Stall-on-demand is a pure search-space optimisation: with it on or off, the
+/// pruned bidirectional distance must equal the meet of the two fully materialised
+/// upward search spaces (which is the exact network distance), while the stalled
+/// search provably settles no more vertices than the unstalled one.
+#[test]
+fn stall_on_demand_toggle_preserves_exactness_and_prunes() {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(2_000, 9));
+    for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+        let g = net.graph(kind);
+        let mut ch = ContractionHierarchy::build_with_config(&g, &ChConfig::default());
+        assert!(ch.stall_on_demand(), "stalling should be on by default");
+        let n = g.num_vertices() as NodeId;
+        let mut stalled_total = 0u64;
+        let mut settled_on = 0u64;
+        let mut settled_off = 0u64;
+        for i in 0..60u32 {
+            let s = (i * 611) % n;
+            let t = (i * 7001 + 17) % n;
+            let materialized = ch.upward_search_space(s).meet(&ch.upward_search_space(t));
+            ch.set_stall_on_demand(true);
+            let (with_stall, counters_on) = ch.distance_with_counters(s, t);
+            ch.set_stall_on_demand(false);
+            let (without_stall, counters_off) = ch.distance_with_counters(s, t);
+            assert_eq!(with_stall, materialized, "stalling broke {s}->{t} {kind:?}");
+            assert_eq!(without_stall, materialized, "stall-off broke {s}->{t} {kind:?}");
+            assert_eq!(counters_off.stalled, 0, "stall-off still counted stalls");
+            stalled_total += counters_on.stalled;
+            settled_on += counters_on.settled;
+            settled_off += counters_off.settled;
+        }
+        // Across a workload this size stalling must actually fire and must not
+        // enlarge the searched space.
+        assert!(stalled_total > 0, "stall-on-demand never pruned anything ({kind:?})");
+        assert!(settled_on <= settled_off, "stalling enlarged the search ({kind:?})");
+    }
+}

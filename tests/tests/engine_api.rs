@@ -166,17 +166,38 @@ fn every_method_reports_non_trivial_query_stats() {
         Method::IerTnr,
         Method::IerGtree,
     ];
+    // Methods whose search machinery runs a priority queue. The label-intersection
+    // oracle (IER-PHL), SILC's interval refinement (DisBrw*), and MGtree's
+    // matrix-assembly materialization (IER-Gt) legitimately report zero heap
+    // operations on oracle-only work.
+    let heap_driven = [
+        Method::Ine,
+        Method::IerDijkstra,
+        Method::IerAStar,
+        Method::IerCh,
+        Method::IerTnr,
+        Method::Road,
+        Method::Gtree,
+    ];
     for method in Method::all() {
         let output: QueryOutput = engine.query(method, q, 8).expect("supported method");
         assert_eq!(output.result.len(), 8, "{}", method.name());
         let s = output.stats;
-        assert!(
-            s.nodes_expanded + s.heap_operations + s.oracle_calls + s.candidates_examined > 0,
-            "{} reported all-zero counters",
-            method.name()
-        );
-        if method == Method::Ine {
-            assert!(s.nodes_expanded > 0, "INE must report nodes expanded");
+        // Every method runs a real search on a non-trivial query, so the unified
+        // "vertices settled / hierarchy nodes expanded / hub entries examined"
+        // counter must be populated — an all-zero report means an oracle forgot to
+        // plumb its counters (the bug this test pins down). One documented
+        // exception: DB-ENN expands no object-hierarchy nodes (its effort is the
+        // refinement count, mapped to oracle_calls and asserted below).
+        if method != Method::DisBrw {
+            assert!(s.nodes_expanded > 0, "{} reported zero nodes_expanded", method.name());
+        }
+        if matches!(method, Method::DisBrw | Method::DisBrwObjectHierarchy) {
+            assert!(s.oracle_calls > 0, "{} must report refinements", method.name());
+            assert!(s.candidates_examined > 0, "{} must report candidates", method.name());
+        }
+        if heap_driven.contains(&method) {
+            assert!(s.heap_operations > 0, "{} reported zero heap_operations", method.name());
         }
         if ier_variants.contains(&method) {
             assert!(s.oracle_calls > 0, "{} must report oracle calls", method.name());

@@ -68,3 +68,14 @@ fn gtree_knn_matches_dijkstra_at_20k_within_wall_clock_budget() {
         assert!(elapsed < Duration::from_secs(8), "20k {kind:?} build took {elapsed:?}");
     }
 }
+
+// 250k guard for the refinement/composition wall (fixed by the tiled triangle-only
+// min-plus sweep with the explicit SIMD kernel and the nearest-first clique
+// sparsification): measured ~20s single-core post-fix, ~30s pre-fix and climbing
+// superlinearly. One weight kind keeps the release suite's wall-clock reasonable.
+#[cfg(not(debug_assertions))]
+#[test]
+fn gtree_knn_matches_dijkstra_at_250k_within_wall_clock_budget() {
+    let elapsed = build_and_verify(250_000, EdgeWeightKind::Distance, 2);
+    assert!(elapsed < Duration::from_secs(60), "250k build took {elapsed:?}");
+}
