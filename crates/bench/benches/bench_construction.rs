@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rnknn::ch::{ChConfig, ContractionHierarchy};
-use rnknn_bench::{ch_build, gtree_build};
+use rnknn_bench::{ch_build, gtree_build, knn_query};
 use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
 use rnknn_graph::EdgeWeightKind;
 use rnknn_gtree::Gtree;
@@ -70,5 +70,18 @@ fn bench_gtree_scaling(c: &mut Criterion) {
     gtree_build::run_and_track();
 }
 
-criterion_group!(benches, bench_construction, bench_ch_scaling, bench_gtree_scaling);
+fn bench_knn_query_scaling(_c: &mut Criterion) {
+    // Query-side trajectory (ISSUE 5): persist the 23k/116k smoke tier of
+    // BENCH_knn_query.json (fresh vs pooled per-method p50 + q/s, Dijkstra-verified;
+    // the `knn_query_bench` binary extends the same trajectory to 290k/580k).
+    knn_query::run_and_track();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_ch_scaling,
+    bench_gtree_scaling,
+    bench_knn_query_scaling
+);
 criterion_main!(benches);

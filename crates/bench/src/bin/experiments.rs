@@ -305,7 +305,9 @@ fn distance_matrix_study(ctx: &mut Ctx) {
     let time_workload = |gtree: &Gtree, occ: &OccurrenceList, k: usize| -> f64 {
         let start = Instant::now();
         for &q in &queries {
-            std::hint::black_box(GtreeSearch::new(gtree, &graph, q).knn(
+            // The instrumented (tracked) search keeps the Table 3 probe counters
+            // meaningful; the pooled production path bypasses them.
+            std::hint::black_box(GtreeSearch::new_unpooled(gtree, &graph, q).knn(
                 k,
                 occ,
                 LeafSearchMode::Improved,

@@ -466,6 +466,251 @@ pub mod gtree_build {
     }
 }
 
+/// kNN query-latency scaling measurement shared by the `bench_construction` bench
+/// (CI smoke run) and the `knn_query_bench` binary: build the query-side indexes on
+/// generated networks of increasing size, verify every method against the Dijkstra
+/// ground truth, then measure per-method p50 latency and queries/sec on both the
+/// **fresh** (pre-pooling, allocate-per-query) and the **pooled**
+/// (`Engine::query_into` on the per-thread scratch pool) paths. The trajectory is
+/// persisted to `BENCH_knn_query.json` so query performance is tracked across PRs
+/// the same way the two construction trajectories are.
+pub mod knn_query {
+    use std::time::Instant;
+
+    use rnknn::engine::{Engine, EngineConfig, Method};
+    use rnknn::verify::matches_ground_truth;
+    use rnknn::QueryOutput;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, NodeId};
+    use rnknn_objects::uniform;
+
+    /// The methods the trajectory tracks: the acceptance trio (G-tree, INE, IER-CH)
+    /// plus IER-Gt, which shares the G-tree materialization pool. The heavier
+    /// index builds (SILC, PHL, TNR, ROAD) are excluded so the 580k tier stays
+    /// buildable in minutes.
+    pub const METHODS: [Method; 4] = [Method::Ine, Method::Gtree, Method::IerGtree, Method::IerCh];
+
+    /// One method's measurement at one network size.
+    #[derive(Debug, Clone)]
+    pub struct MethodPoint {
+        /// Display name (paper legend).
+        pub method: &'static str,
+        /// Median per-query latency of the fresh-allocation path, in microseconds.
+        pub fresh_p50_us: f64,
+        /// Median per-query latency of the pooled path, in microseconds.
+        pub pooled_p50_us: f64,
+        /// Sustained throughput of the fresh path, queries per second.
+        pub fresh_qps: f64,
+        /// Sustained throughput of the pooled path, queries per second.
+        pub pooled_qps: f64,
+    }
+
+    /// All measurements at one network size.
+    #[derive(Debug, Clone)]
+    pub struct QueryPoint {
+        /// Vertices of the generated network.
+        pub vertices: usize,
+        /// Objects in the injected uniform set.
+        pub objects: usize,
+        /// k used for every query.
+        pub k: usize,
+        /// Number of measured queries per method and path.
+        pub queries: usize,
+        /// Per-method results.
+        pub methods: Vec<MethodPoint>,
+    }
+
+    fn median(mut times: Vec<u64>) -> f64 {
+        times.sort_unstable();
+        times[times.len() / 2] as f64
+    }
+
+    /// Builds the engine + object set for one size tier (G-tree and CH only — the
+    /// indexes the tracked methods need).
+    fn build_engine(size: usize) -> Engine {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let config = EngineConfig {
+            build_gtree: true,
+            build_road: false,
+            build_silc: false,
+            build_ch: true,
+            build_phl: false,
+            build_tnr: false,
+            ..Default::default()
+        };
+        Engine::build(graph, &config)
+    }
+
+    /// Measures one point per requested size. Every method is first verified
+    /// against the Dijkstra ground truth on `verify_queries` query vertices (both
+    /// paths), so a fast-but-wrong query path never lands in the tracking file.
+    pub fn measure(
+        sizes: &[usize],
+        queries_per_size: usize,
+        k: usize,
+        density: f64,
+        verify_queries: usize,
+    ) -> Vec<QueryPoint> {
+        let mut points = Vec::new();
+        for &size in sizes {
+            let build_start = Instant::now();
+            let mut engine = build_engine(size);
+            let objects = uniform(engine.graph(), density, 1);
+            engine.set_objects(objects.clone());
+            let n = engine.graph().num_vertices() as NodeId;
+            println!(
+                "knn query bench n={:>7} vertices={:>7} objects={:>6} (indexes built in {:.1}s)",
+                size,
+                engine.graph().num_vertices(),
+                objects.len(),
+                build_start.elapsed().as_secs_f64()
+            );
+            let queries: Vec<NodeId> = (0..queries_per_size as u64)
+                .map(|i| ((i * 2_654_435_769) % n as u64) as NodeId)
+                .collect();
+
+            let mut methods = Vec::new();
+            for method in METHODS {
+                // Exactness gate on both paths.
+                for &q in queries.iter().take(verify_queries) {
+                    let pooled = engine.query(method, q, k).expect("query");
+                    assert!(
+                        matches_ground_truth(engine.graph(), q, k, &objects, &pooled.result),
+                        "{} wrong at q={q} size={size}",
+                        method.name()
+                    );
+                    let fresh = engine.query_fresh(method, q, k).expect("fresh query");
+                    assert_eq!(
+                        fresh.result,
+                        pooled.result,
+                        "{} fresh/pooled disagree at q={q} size={size}",
+                        method.name()
+                    );
+                }
+                // Fresh path: every query allocates all of its state (the pre-ISSUE-5
+                // behaviour).
+                let mut fresh_times = Vec::with_capacity(queries.len());
+                let fresh_start = Instant::now();
+                for &q in &queries {
+                    let start = Instant::now();
+                    let output = engine.query_fresh(method, q, k).expect("fresh query");
+                    fresh_times.push(start.elapsed().as_micros() as u64);
+                    std::hint::black_box(output.result.len());
+                }
+                let fresh_total = fresh_start.elapsed().as_secs_f64();
+                // Pooled path: one warm-up pass, then `query_into` on a reused output.
+                let mut out = QueryOutput::default();
+                for &q in &queries {
+                    engine.query_into(method, q, k, &mut out).expect("warm-up query");
+                }
+                let mut pooled_times = Vec::with_capacity(queries.len());
+                let pooled_start = Instant::now();
+                for &q in &queries {
+                    let start = Instant::now();
+                    engine.query_into(method, q, k, &mut out).expect("pooled query");
+                    pooled_times.push(start.elapsed().as_micros() as u64);
+                    std::hint::black_box(out.result.len());
+                }
+                let pooled_total = pooled_start.elapsed().as_secs_f64();
+
+                let point = MethodPoint {
+                    method: method.name(),
+                    fresh_p50_us: median(fresh_times),
+                    pooled_p50_us: median(pooled_times),
+                    fresh_qps: queries.len() as f64 / fresh_total.max(1e-9),
+                    pooled_qps: queries.len() as f64 / pooled_total.max(1e-9),
+                };
+                println!(
+                    "  {:<8} fresh p50={:>8.1}µs ({:>9.0} q/s)   pooled p50={:>8.1}µs ({:>9.0} q/s)   speedup={:.2}x",
+                    point.method,
+                    point.fresh_p50_us,
+                    point.fresh_qps,
+                    point.pooled_p50_us,
+                    point.pooled_qps,
+                    point.fresh_p50_us / point.pooled_p50_us.max(1e-9),
+                );
+                methods.push(point);
+            }
+            points.push(QueryPoint {
+                vertices: engine.graph().num_vertices(),
+                objects: objects.len(),
+                k,
+                queries: queries.len(),
+                methods,
+            });
+        }
+        report_geomean(&points);
+        points
+    }
+
+    /// Prints the geometric-mean pooled-path p50 improvement across sizes for the
+    /// acceptance methods (G-tree, INE, IER-CH).
+    pub fn report_geomean(points: &[QueryPoint]) {
+        for name in ["Gtree", "INE", "IER-CH"] {
+            let ratios: Vec<f64> = points
+                .iter()
+                .flat_map(|p| p.methods.iter())
+                .filter(|m| m.method == name)
+                .map(|m| m.fresh_p50_us.max(1.0) / m.pooled_p50_us.max(1.0))
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            println!(
+                "geomean p50 speedup {name}: {geomean:.2}x ({:.0}% latency reduction)",
+                (1.0 - 1.0 / geomean) * 100.0
+            );
+        }
+    }
+
+    /// Renders the tracking JSON for `BENCH_knn_query.json`. `fresh_*` columns are
+    /// the pre-pooling ("before") numbers, `pooled_*` the steady-state serving path.
+    pub fn render_json(points: &[QueryPoint]) -> String {
+        let mut json = String::from(
+            "{\n  \"bench\": \"knn_query\",\n  \"unit\": \"microseconds (p50) / queries-per-second\",\n  \"points\": [\n",
+        );
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"vertices\": {}, \"objects\": {}, \"k\": {}, \"queries\": {}, \"methods\": [\n",
+                p.vertices, p.objects, p.k, p.queries
+            ));
+            for (j, m) in p.methods.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"method\": \"{}\", \"fresh_p50_us\": {:.1}, \"pooled_p50_us\": {:.1}, \"fresh_qps\": {:.0}, \"pooled_qps\": {:.0}}}{}\n",
+                    m.method,
+                    m.fresh_p50_us,
+                    m.pooled_p50_us,
+                    m.fresh_qps,
+                    m.pooled_qps,
+                    if j + 1 < p.methods.len() { "," } else { "" }
+                ));
+            }
+            json.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Path of the tracking file (workspace root).
+    pub fn tracking_file() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_knn_query.json")
+    }
+
+    /// Measures the 23k/116k smoke tier (the CI run; the `knn_query_bench` binary
+    /// extends the same trajectory to 290k/580k) and writes the tracking file.
+    /// Workload parameters (k=10, d=0.01) must match the binary's defaults so the
+    /// smoke tier and the committed full trajectory stay comparable.
+    pub fn run_and_track() -> Vec<QueryPoint> {
+        let points = measure(&[20_000, 100_000], 400, 10, 0.01, 3);
+        let path = tracking_file();
+        std::fs::write(path, render_json(&points)).expect("write BENCH_knn_query.json");
+        println!("wrote {path}");
+        points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

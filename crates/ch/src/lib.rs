@@ -21,4 +21,4 @@ mod build;
 mod query;
 
 pub use build::{ChConfig, ContractionHierarchy};
-pub use query::{ChSearchCounters, ChSearchSpace};
+pub use query::{ChSearchCounters, ChSearchSpace, ChSpaceProjection};

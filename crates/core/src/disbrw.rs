@@ -14,11 +14,27 @@
 //! supplied.
 
 use rnknn_graph::{ChainIndex, Graph, NodeId, Point, Rect, Weight, INFINITY};
-use rnknn_objects::{ObjectRTree, ObjectSet};
+use rnknn_objects::{BrowserScratch, ObjectRTree, ObjectSet};
 use rnknn_pathfinding::heap::MinHeap;
 use rnknn_silc::{IntervalRefiner, SilcIndex};
 
 use crate::KnnResult;
+
+/// Reusable per-thread buffers for Distance Browsing: the candidate pool, the
+/// lower-bound refinement queues of both variants and the best-k storage. All
+/// buffers keep their capacity across queries (the engine's scratch pool owns one
+/// per thread).
+#[derive(Debug, Default)]
+pub struct DisBrwScratch {
+    /// DB-ENN refinement queue (candidate indexes keyed by interval lower bound).
+    queue: MinHeap<u32>,
+    /// Object-hierarchy mixed queue (nodes + candidates).
+    hierarchy_queue: MinHeap<HierarchyElement>,
+    /// Candidate pool.
+    pool: Vec<Candidate>,
+    /// Best-k upper-bound storage.
+    best: Vec<(NodeId, Weight)>,
+}
 
 /// Which candidate generator Distance Browsing uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +106,9 @@ impl<'a> DisBrwSearch<'a> {
         self.knn_with_stats(query, k, rtree, objects).0
     }
 
-    /// Same as [`DisBrwSearch::knn`] but also returns operation counters.
+    /// Same as [`DisBrwSearch::knn`] but also returns operation counters (allocating
+    /// all per-query state fresh; the production path is
+    /// [`DisBrwSearch::knn_with_stats_in`]).
     pub fn knn_with_stats(
         &self,
         query: NodeId,
@@ -98,9 +116,41 @@ impl<'a> DisBrwSearch<'a> {
         rtree: &ObjectRTree,
         objects: &ObjectSet,
     ) -> (KnnResult, DisBrwStats) {
+        let mut browser = BrowserScratch::new();
+        let mut scratch = DisBrwScratch::default();
+        let mut result = KnnResult::new();
+        let stats = self.knn_with_stats_in(
+            query,
+            k,
+            rtree,
+            objects,
+            &mut browser,
+            &mut scratch,
+            &mut result,
+        );
+        (result, stats)
+    }
+
+    /// [`DisBrwSearch::knn_with_stats`] running on reusable buffers and writing into
+    /// a caller-owned result vector (cleared first). The candidate pool, refinement
+    /// queues, best-k storage and the R-tree browse heap are all reused across
+    /// queries; only SILC refinement internals may still allocate.
+    #[allow(clippy::too_many_arguments)] // one reusable buffer per kind of state
+    pub fn knn_with_stats_in(
+        &self,
+        query: NodeId,
+        k: usize,
+        rtree: &ObjectRTree,
+        objects: &ObjectSet,
+        browser: &mut BrowserScratch,
+        scratch: &mut DisBrwScratch,
+        result: &mut KnnResult,
+    ) -> DisBrwStats {
         match self.variant {
-            DisBrwVariant::DbEnn => self.knn_db_enn(query, k, rtree, objects),
-            DisBrwVariant::ObjectHierarchy => self.knn_object_hierarchy(query, k, objects),
+            DisBrwVariant::DbEnn => self.knn_db_enn(query, k, rtree, browser, scratch, result),
+            DisBrwVariant::ObjectHierarchy => {
+                self.knn_object_hierarchy(query, k, objects, scratch, result)
+            }
         }
     }
 
@@ -111,24 +161,29 @@ impl<'a> DisBrwSearch<'a> {
         query: NodeId,
         k: usize,
         rtree: &ObjectRTree,
-        _objects: &ObjectSet,
-    ) -> (KnnResult, DisBrwStats) {
+        browser_scratch: &mut BrowserScratch,
+        scratch: &mut DisBrwScratch,
+        result: &mut KnnResult,
+    ) -> DisBrwStats {
         let mut stats = DisBrwStats::default();
+        result.clear();
         if k == 0 || rtree.is_empty() {
-            return (Vec::new(), stats);
+            return stats;
         }
         let query_point = self.graph.coord(query);
-        let mut browser = rtree.browse(query_point);
+        let mut browser = rtree.browse_in(query_point, browser_scratch);
         // Q: candidates keyed by interval lower bound; L: best-k upper bounds.
-        let mut queue: MinHeap<u32> = MinHeap::new();
-        let mut pool: Vec<Candidate> = Vec::new();
-        let mut best: BestK = BestK::new(k);
+        let DisBrwScratch { queue, pool, best, .. } = scratch;
+        queue.clear();
+        pool.clear();
+        let mut best: BestK = BestK::new(k, best);
 
         // Seed with the Euclidean kNNs, then keep the browser suspended.
         for _ in 0..k {
             match browser.next() {
-                Some((_, object)) => self
-                    .process_candidate(query, object, &mut pool, &mut queue, &mut best, &mut stats),
+                Some((_, object)) => {
+                    self.process_candidate(query, object, pool, queue, &mut best, &mut stats)
+                }
                 None => break,
             }
         }
@@ -145,9 +200,7 @@ impl<'a> DisBrwSearch<'a> {
             if next_euclid_lb < next_queue_lb {
                 // A closer Euclidean candidate may exist: pull it in.
                 if let Some((_, object)) = browser.next() {
-                    self.process_candidate(
-                        query, object, &mut pool, &mut queue, &mut best, &mut stats,
-                    );
+                    self.process_candidate(query, object, pool, queue, &mut best, &mut stats);
                 }
                 continue;
             }
@@ -172,27 +225,34 @@ impl<'a> DisBrwSearch<'a> {
             }
         }
 
-        (self.finalize(query, best), stats)
+        self.finalize_into(query, &best, result);
+        stats
     }
 
     /// The original object-hierarchy variant: a quadtree over the objects is traversed
-    /// in lower-bound order; leaf objects enter the same refinement machinery.
+    /// in lower-bound order; leaf objects enter the same refinement machinery. (The
+    /// quadtree itself is rebuilt per query — it depends on the object set, not the
+    /// engine — so this variant is not allocation-free.)
     fn knn_object_hierarchy(
         &self,
         query: NodeId,
         k: usize,
         objects: &ObjectSet,
-    ) -> (KnnResult, DisBrwStats) {
+        scratch: &mut DisBrwScratch,
+        result: &mut KnnResult,
+    ) -> DisBrwStats {
         let mut stats = DisBrwStats::default();
+        result.clear();
         if k == 0 || objects.is_empty() {
-            return (Vec::new(), stats);
+            return stats;
         }
         let query_point = self.graph.coord(query);
         let hierarchy = ObjectHierarchy::build(self.graph, objects);
         // Mixed queue: hierarchy nodes and candidate objects, keyed by lower bound.
-        let mut queue: MinHeap<HierarchyElement> = MinHeap::new();
-        let mut pool: Vec<Candidate> = Vec::new();
-        let mut best = BestK::new(k);
+        let DisBrwScratch { hierarchy_queue: queue, pool, best, .. } = scratch;
+        queue.clear();
+        pool.clear();
+        let mut best = BestK::new(k, best);
         queue.push(0, HierarchyElement::Node(0));
 
         while let Some((lower, element)) = queue.pop() {
@@ -212,7 +272,7 @@ impl<'a> DisBrwSearch<'a> {
                                 continue;
                             }
                             self.process_candidate_into(
-                                query, object, &mut pool, &mut queue, &mut best, &mut stats,
+                                query, object, pool, queue, &mut best, &mut stats,
                             );
                         }
                     } else {
@@ -243,7 +303,8 @@ impl<'a> DisBrwSearch<'a> {
                 }
             }
         }
-        (self.finalize(query, best), stats)
+        self.finalize_into(query, &best, result);
+        stats
     }
 
     fn process_candidate(
@@ -285,32 +346,29 @@ impl<'a> DisBrwSearch<'a> {
     }
 
     /// Converts the best-k upper-bound list into exact results (the bounds of the
-    /// winning candidates are fully refined, which costs at most one path walk each).
-    fn finalize(&self, query: NodeId, best: BestK) -> KnnResult {
-        let mut result: Vec<(NodeId, Weight)> = best
-            .entries()
-            .iter()
-            .map(|&(object, _)| {
-                (object, self.silc.distance(self.graph, query, object, self.chains))
-            })
-            .collect();
+    /// winning candidates are fully refined, which costs at most one path walk each),
+    /// writing into the caller's (already cleared) result vector.
+    fn finalize_into(&self, query: NodeId, best: &BestK<'_>, result: &mut KnnResult) {
+        result.extend(best.entries().iter().map(|&(object, _)| {
+            (object, self.silc.distance(self.graph, query, object, self.chains))
+        }));
         result.sort_unstable_by_key(|&(_, d)| d);
         result.truncate(best.k);
-        result
     }
 }
 
 /// The `L` structure of Algorithm 1/2: the k smallest upper bounds seen so far, one per
-/// object, with `Dk` = the k-th smallest.
+/// object, with `Dk` = the k-th smallest. Operates on borrowed (pooled) storage.
 #[derive(Debug)]
-struct BestK {
+struct BestK<'a> {
     k: usize,
-    entries: Vec<(NodeId, Weight)>,
+    entries: &'a mut Vec<(NodeId, Weight)>,
 }
 
-impl BestK {
-    fn new(k: usize) -> Self {
-        BestK { k, entries: Vec::with_capacity(k + 1) }
+impl<'a> BestK<'a> {
+    fn new(k: usize, entries: &'a mut Vec<(NodeId, Weight)>) -> Self {
+        entries.clear();
+        BestK { k, entries }
     }
 
     fn len(&self) -> usize {
@@ -318,7 +376,7 @@ impl BestK {
     }
 
     fn entries(&self) -> &[(NodeId, Weight)] {
-        &self.entries
+        self.entries
     }
 
     /// Current upper bound on the k-th nearest neighbor's distance.

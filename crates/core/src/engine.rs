@@ -12,6 +12,7 @@
 //! engine is [`Sync`]: [`Engine::knn_batch`] fans a query workload across
 //! scoped threads over one shared engine.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use rnknn_graph::{ChainIndex, Graph, NodeId};
@@ -23,7 +24,18 @@ use rnknn_silc::{SilcConfig, SilcIndex};
 use crate::error::EngineError;
 use crate::methods;
 use crate::query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput};
+use crate::scratch::EngineScratch;
 use crate::KnnResult;
+
+thread_local! {
+    /// The engine scratch pool: one [`EngineScratch`] per thread, created lazily on
+    /// the first query and reused by every subsequent query on that thread (across
+    /// engines — epoch tags keep differently-sized graphs from interfering). This is
+    /// what lets `Engine::query` on `&self` reuse heaps, distance arrays, G-tree
+    /// border storage, IER candidate buffers and oracle search spaces while keeping
+    /// `Engine: Sync`.
+    static ENGINE_SCRATCH: RefCell<EngineScratch> = RefCell::new(EngineScratch::new());
+}
 
 /// The kNN methods the engine can dispatch to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -389,6 +401,63 @@ impl Engine {
         query: NodeId,
         k: usize,
     ) -> Result<QueryOutput, EngineError> {
+        let mut out = QueryOutput::default();
+        self.query_into(method, query, k, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::query`] writing into a caller-owned [`QueryOutput`] (the result
+    /// vector is cleared, keeping its capacity, and refilled).
+    ///
+    /// This is the steady-state serving path: together with the engine's per-thread
+    /// scratch pool it performs **zero heap allocations** after a warm-up query for
+    /// the pooled methods (G-tree, INE, IER-CH and the other IER oracles; proven by
+    /// the allocation-guard test). [`Engine::query`] itself delegates here and only
+    /// additionally allocates the returned result vector.
+    ///
+    /// On error, `out` is left cleared. The reuse contract of the underlying pool is
+    /// documented on [`crate::scratch::EngineScratch`].
+    pub fn query_into(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        ENGINE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            self.query_with_scratch(method, query, k, scratch, out)
+        })
+    }
+
+    /// [`Engine::query`] with every piece of per-query state allocated fresh — the
+    /// pre-pooling behaviour. Kept as the baseline the query benchmarks and the
+    /// allocation tests compare the pooled path against; there is no reason to use
+    /// it for serving.
+    pub fn query_fresh(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+    ) -> Result<QueryOutput, EngineError> {
+        let mut scratch = EngineScratch::unpooled();
+        let mut out = QueryOutput::default();
+        self.query_with_scratch(method, query, k, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Shared body of the query entry points: validate, build the context, dispatch
+    /// through the registry with `scratch`, and stamp the elapsed time.
+    fn query_with_scratch(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        out.result.clear();
+        out.stats = Default::default();
         let algorithm = self.validate(method, k)?;
         let num_vertices = self.graph.num_vertices();
         if query as usize >= num_vertices {
@@ -413,9 +482,9 @@ impl Engine {
             association: self.association.as_ref(),
         };
         let start = Instant::now();
-        let mut output = algorithm.knn(&ctx, query, k)?;
-        output.stats.elapsed_micros = start.elapsed().as_micros() as u64;
-        Ok(output)
+        algorithm.knn_into(&ctx, query, k, scratch, out)?;
+        out.stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        Ok(())
     }
 
     /// Answers a whole query workload in parallel, fanning the queries across

@@ -10,7 +10,8 @@
 //! baseline it dethroned (Figure 4).
 
 use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
-use rnknn_objects::{ObjectRTree, ObjectSet};
+use rnknn_objects::{BrowserScratch, ObjectRTree, ObjectSet};
+use rnknn_pathfinding::scratch::SearchScratch;
 
 use crate::KnnResult;
 
@@ -26,6 +27,14 @@ pub trait DistanceOracle {
     fn begin_query(&mut self, _source: NodeId) {}
     /// Exact network distance from `source` to `target` ([`INFINITY`] when unreachable).
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight;
+    /// Bounded network distance: exact when it is `< bound`, any value `>= bound`
+    /// otherwise (IER discards such candidates without reading the value). Search
+    /// oracles override this to prune against the caller's current k-th candidate;
+    /// the default ignores the bound.
+    fn network_distance_within(&mut self, source: NodeId, target: NodeId, bound: Weight) -> Weight {
+        let _ = bound;
+        self.network_distance(source, target)
+    }
     /// Search-effort counters accumulated since construction. Oracles that run real
     /// searches per candidate (CH) report settles and heap work here so IER's unified
     /// [`crate::QueryStats`] reflects oracle effort; table-lookup oracles keep the
@@ -85,6 +94,13 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
         &self.oracle
     }
 
+    /// Consumes the search, returning the oracle (so callers can recover pooled
+    /// state the oracle borrowed-by-value from a scratch, e.g. the IER-CH forward
+    /// search space).
+    pub fn into_oracle(self) -> O {
+        self.oracle
+    }
+
     /// The `k` objects nearest to `query` by network distance.
     pub fn knn(
         &mut self,
@@ -96,7 +112,9 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
         self.knn_with_stats(query, k, rtree, objects).0
     }
 
-    /// Same as [`IerSearch::knn`] but also returns operation counters.
+    /// Same as [`IerSearch::knn`] but also returns operation counters. Allocates the
+    /// browse heap and result fresh per call; the production query path is
+    /// [`IerSearch::knn_with_stats_into`].
     pub fn knn_with_stats(
         &mut self,
         query: NodeId,
@@ -104,14 +122,35 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
         rtree: &ObjectRTree,
         _objects: &ObjectSet,
     ) -> (KnnResult, IerStats) {
+        let mut browser = BrowserScratch::new();
+        let mut candidates: Vec<(NodeId, Weight)> = Vec::new();
+        let stats = self.knn_with_stats_into(query, k, rtree, &mut browser, &mut candidates);
+        (candidates, stats)
+    }
+
+    /// [`IerSearch::knn_with_stats`] running on a reusable R-tree browse heap and
+    /// writing the candidates into a caller-owned vector (cleared first). The
+    /// candidate list is kept sorted by binary-search insertion — `O(log k)` to
+    /// locate plus a shift, instead of re-sorting the whole list on every improving
+    /// insert. With warmed buffers (and an oracle whose own state is pooled) a query
+    /// allocates nothing.
+    pub fn knn_with_stats_into(
+        &mut self,
+        query: NodeId,
+        k: usize,
+        rtree: &ObjectRTree,
+        browser_scratch: &mut BrowserScratch,
+        candidates: &mut KnnResult,
+    ) -> IerStats {
         let mut stats = IerStats::default();
-        let mut candidates: Vec<(NodeId, Weight)> = Vec::with_capacity(k + 1);
+        candidates.clear();
         if k == 0 || rtree.is_empty() {
-            return (candidates, stats);
+            return stats;
         }
+        candidates.reserve(k + 1);
         self.oracle.begin_query(query);
         let query_point = self.graph.coord(query);
-        let mut browser = rtree.browse(query_point);
+        let mut browser = rtree.browse_in(query_point, browser_scratch);
 
         // Dk = network distance of the current k-th candidate (upper bound on the k-th
         // nearest neighbor's distance once we hold k candidates).
@@ -125,28 +164,30 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
             }
             let Some((_, object)) = browser.next() else { break };
             stats.euclidean_candidates += 1;
-            let d = self.oracle.network_distance(query, object);
+            // Candidates at distance >= dk are discarded below, so the oracle may
+            // stop searching at dk (exactness of kept candidates is unaffected).
+            let d = self.oracle.network_distance_within(query, object, dk);
             stats.network_distance_computations += 1;
             if d == INFINITY {
                 continue;
             }
             if candidates.len() < k {
-                candidates.push((object, d));
-                candidates.sort_unstable_by_key(|&(_, d)| d);
+                let pos = candidates.partition_point(|&(_, e)| e <= d);
+                candidates.insert(pos, (object, d));
                 if candidates.len() == k {
                     dk = candidates[k - 1].1;
                 }
             } else if d < dk {
                 candidates.pop();
-                candidates.push((object, d));
-                candidates.sort_unstable_by_key(|&(_, d)| d);
+                let pos = candidates.partition_point(|&(_, e)| e <= d);
+                candidates.insert(pos, (object, d));
                 dk = candidates[k - 1].1;
                 stats.false_hits += 1; // the displaced candidate was a false hit
             } else {
                 stats.false_hits += 1;
             }
         }
-        (candidates, stats)
+        stats
     }
 }
 
@@ -154,18 +195,40 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
 // Oracles
 // ---------------------------------------------------------------------------
 
-/// The original IER oracle: a fresh Dijkstra per candidate (the configuration every
-/// previous study used, and the slowest line of Figure 4).
+/// The original IER oracle: a Dijkstra per candidate (the configuration every
+/// previous study used, and the slowest line of Figure 4). The search state lives in
+/// an owned [`SearchScratch`], so candidates after the first reuse the distance
+/// arrays and heap; construct it via [`DijkstraOracle::with_scratch`] to reuse a
+/// pooled scratch across whole queries as well.
 #[derive(Debug)]
 pub struct DijkstraOracle<'a> {
     graph: &'a Graph,
+    scratch: SearchScratch,
+    /// Pre-pooling query semantics: every candidate search runs to completion
+    /// (no pruning against IER's k-th candidate).
+    legacy: bool,
     stats: OracleSearchStats,
 }
 
 impl<'a> DijkstraOracle<'a> {
-    /// Creates the oracle.
+    /// Creates the one-shot oracle with the pre-pooling semantics (fresh scratch,
+    /// unbounded candidate searches) — the "before" baseline.
     pub fn new(graph: &'a Graph) -> Self {
-        DijkstraOracle { graph, stats: OracleSearchStats::default() }
+        let mut oracle = Self::with_scratch(graph, SearchScratch::new());
+        oracle.legacy = true;
+        oracle
+    }
+
+    /// Creates the pooled oracle over a caller-provided scratch (candidate searches
+    /// are bounded by IER's current k-th candidate); recover the scratch with
+    /// [`DijkstraOracle::into_scratch`].
+    pub fn with_scratch(graph: &'a Graph, scratch: SearchScratch) -> Self {
+        DijkstraOracle { graph, scratch, legacy: false, stats: OracleSearchStats::default() }
+    }
+
+    /// Consumes the oracle, returning its search scratch to the caller's pool.
+    pub fn into_scratch(self) -> SearchScratch {
+        self.scratch
     }
 }
 
@@ -174,8 +237,27 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
         "Dijk"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        let (d, stats) =
-            rnknn_pathfinding::dijkstra::distance_with_stats(self.graph, source, target);
+        let (d, stats) = rnknn_pathfinding::dijkstra::distance_with_stats_in(
+            self.graph,
+            source,
+            target,
+            &mut self.scratch,
+        );
+        self.stats.nodes_expanded += stats.settled as u64;
+        self.stats.heap_operations += stats.pushes as u64;
+        d
+    }
+    fn network_distance_within(&mut self, source: NodeId, target: NodeId, bound: Weight) -> Weight {
+        if self.legacy {
+            return self.network_distance(source, target);
+        }
+        let (d, stats) = rnknn_pathfinding::dijkstra::distance_within_with_stats_in(
+            self.graph,
+            source,
+            target,
+            bound,
+            &mut self.scratch,
+        );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
         d
@@ -185,18 +267,44 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
     }
 }
 
-/// A* with the Euclidean lower bound — the natural strengthening of the Dijkstra oracle.
+/// A* with the Euclidean lower bound — the natural strengthening of the Dijkstra
+/// oracle. Search state is reused across candidates exactly like
+/// [`DijkstraOracle`]'s.
 #[derive(Debug)]
 pub struct AStarOracle<'a> {
     graph: &'a Graph,
     bound: EuclideanBound,
+    scratch: SearchScratch,
+    /// Pre-pooling query semantics: every candidate search runs to completion.
+    legacy: bool,
     stats: OracleSearchStats,
 }
 
 impl<'a> AStarOracle<'a> {
-    /// Creates the oracle.
+    /// Creates the one-shot oracle with the pre-pooling semantics (fresh scratch,
+    /// unbounded candidate searches) — the "before" baseline.
     pub fn new(graph: &'a Graph) -> Self {
-        AStarOracle { graph, bound: graph.euclidean_bound(), stats: OracleSearchStats::default() }
+        let mut oracle = Self::with_scratch(graph, SearchScratch::new());
+        oracle.legacy = true;
+        oracle
+    }
+
+    /// Creates the pooled oracle over a caller-provided scratch (candidate searches
+    /// are bounded by IER's current k-th candidate); recover the scratch with
+    /// [`AStarOracle::into_scratch`].
+    pub fn with_scratch(graph: &'a Graph, scratch: SearchScratch) -> Self {
+        AStarOracle {
+            graph,
+            bound: graph.euclidean_bound(),
+            scratch,
+            legacy: false,
+            stats: OracleSearchStats::default(),
+        }
+    }
+
+    /// Consumes the oracle, returning its search scratch to the caller's pool.
+    pub fn into_scratch(self) -> SearchScratch {
+        self.scratch
     }
 }
 
@@ -205,11 +313,28 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
         "A*"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        let (d, stats) = rnknn_pathfinding::astar::astar_distance_with_stats(
+        let (d, stats) = rnknn_pathfinding::astar::astar_distance_with_stats_in(
             self.graph,
             &self.bound,
             source,
             target,
+            &mut self.scratch,
+        );
+        self.stats.nodes_expanded += stats.settled as u64;
+        self.stats.heap_operations += stats.pushes as u64;
+        d
+    }
+    fn network_distance_within(&mut self, source: NodeId, target: NodeId, bound: Weight) -> Weight {
+        if self.legacy {
+            return self.network_distance(source, target);
+        }
+        let (d, stats) = rnknn_pathfinding::astar::astar_distance_within_with_stats_in(
+            self.graph,
+            &self.bound,
+            source,
+            target,
+            bound,
+            &mut self.scratch,
         );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
@@ -224,18 +349,58 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
 /// computed once per kNN query and reused for every candidate; each candidate then
 /// runs only a pruned backward upward search
 /// ([`rnknn_ch::ContractionHierarchy::distance_from_space`]) instead of materialising
-/// its full search space.
+/// its full search space. The forward space's entry buffer is owned by value (take it
+/// from a pool with [`ChOracle::with_space`], recover it with
+/// [`ChOracle::into_parts`]), so re-materialising for a new source allocates nothing
+/// once the buffer has grown.
 #[derive(Debug)]
 pub struct ChOracle<'a> {
     ch: &'a rnknn_ch::ContractionHierarchy,
-    forward: Option<(NodeId, rnknn_ch::ChSearchSpace)>,
+    source: Option<NodeId>,
+    space: rnknn_ch::ChSearchSpace,
+    projection: rnknn_ch::ChSpaceProjection,
+    /// Pre-pooling query semantics: unbounded candidate searches whose meet tests
+    /// binary-search the sorted space (no dense projection).
+    legacy: bool,
     counters: rnknn_ch::ChSearchCounters,
 }
 
 impl<'a> ChOracle<'a> {
-    /// Creates the oracle over a prebuilt hierarchy.
+    /// Creates the one-shot oracle with the pre-pooling query semantics: fresh
+    /// buffers, unbounded per-candidate searches, binary-search meet tests. Kept as
+    /// the "before" baseline for benchmarks and tests.
     pub fn new(ch: &'a rnknn_ch::ContractionHierarchy) -> Self {
-        ChOracle { ch, forward: None, counters: rnknn_ch::ChSearchCounters::default() }
+        let mut oracle = Self::with_space(
+            ch,
+            rnknn_ch::ChSearchSpace::new(),
+            rnknn_ch::ChSpaceProjection::new(),
+        );
+        oracle.legacy = true;
+        oracle
+    }
+
+    /// Creates the pooled oracle, reusing a caller-provided forward-space buffer and
+    /// dense projection: per-candidate searches are bounded by IER's current k-th
+    /// candidate and meet tests are one array load.
+    pub fn with_space(
+        ch: &'a rnknn_ch::ContractionHierarchy,
+        space: rnknn_ch::ChSearchSpace,
+        projection: rnknn_ch::ChSpaceProjection,
+    ) -> Self {
+        ChOracle {
+            ch,
+            source: None,
+            space,
+            projection,
+            legacy: false,
+            counters: rnknn_ch::ChSearchCounters::default(),
+        }
+    }
+
+    /// Consumes the oracle, returning the forward-space buffer and projection to the
+    /// caller's pool.
+    pub fn into_parts(self) -> (rnknn_ch::ChSearchSpace, rnknn_ch::ChSpaceProjection) {
+        (self.space, self.projection)
     }
 }
 
@@ -244,22 +409,35 @@ impl<'a> DistanceOracle for ChOracle<'a> {
         "CH"
     }
     fn begin_query(&mut self, source: NodeId) {
-        let (space, counters) = self.ch.upward_search_space_with_counters(source);
+        let counters = if self.legacy {
+            self.ch.upward_search_space_into(source, &mut self.space)
+        } else {
+            // Stall-pruned forward space: dominated labels are recorded but not
+            // expanded, shrinking the space (and the projection fill) while meets
+            // stay exact.
+            self.ch.upward_search_space_stalled_into(source, &mut self.space)
+        };
         self.counters.accumulate(counters);
-        self.forward = Some((source, space));
+        if !self.legacy {
+            self.projection.set_from(self.ch.num_vertices(), &self.space);
+        }
+        self.source = Some(source);
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
+        self.network_distance_within(source, target, rnknn_graph::INFINITY)
+    }
+    fn network_distance_within(&mut self, source: NodeId, target: NodeId, bound: Weight) -> Weight {
         if source == target {
             return 0;
         }
-        let forward = match &self.forward {
-            Some((s, space)) if *s == source => space,
-            _ => {
-                self.begin_query(source);
-                &self.forward.as_ref().expect("just set").1
-            }
+        if self.source != Some(source) {
+            self.begin_query(source);
+        }
+        let (d, counters) = if self.legacy {
+            self.ch.distance_from_space_with_counters(&self.space, target)
+        } else {
+            self.ch.distance_from_projection_within_with_counters(&self.projection, target, bound)
         };
-        let (d, counters) = self.ch.distance_from_space_with_counters(forward, target);
         self.counters.accumulate(counters);
         d
     }
@@ -301,17 +479,42 @@ impl<'a> DistanceOracle for PhlOracle<'a> {
     }
 }
 
-/// Transit Node Routing oracle.
+/// Transit Node Routing oracle. Per source, the stopped forward search space and the
+/// source side of the access-node table are computed once
+/// ([`rnknn_tnr::TransitNodeRouting::begin_source`]) and every candidate pays only a
+/// stopped backward search plus an `O(|access(t)|)` table fold — the TNR analogue of
+/// the IER-CH `distance_from_space` path.
 #[derive(Debug)]
 pub struct TnrOracle<'a> {
     tnr: &'a rnknn_tnr::TransitNodeRouting,
+    state: rnknn_tnr::TnrSourceState,
+    /// Pre-pooling query semantics: one full `distance_with_counters` per
+    /// candidate, no shared per-source state.
+    legacy: bool,
     counters: rnknn_ch::ChSearchCounters,
 }
 
 impl<'a> TnrOracle<'a> {
-    /// Creates the oracle over a prebuilt TNR index.
+    /// Creates the one-shot oracle with the pre-pooling semantics (a full TNR
+    /// query per candidate) — the "before" baseline.
     pub fn new(tnr: &'a rnknn_tnr::TransitNodeRouting) -> Self {
-        TnrOracle { tnr, counters: rnknn_ch::ChSearchCounters::default() }
+        let mut oracle = Self::with_state(tnr, rnknn_tnr::TnrSourceState::new());
+        oracle.legacy = true;
+        oracle
+    }
+
+    /// Creates the pooled oracle reusing a caller-provided source state (forward
+    /// stopped space + folded table row computed once per source).
+    pub fn with_state(
+        tnr: &'a rnknn_tnr::TransitNodeRouting,
+        state: rnknn_tnr::TnrSourceState,
+    ) -> Self {
+        TnrOracle { tnr, state, legacy: false, counters: rnknn_ch::ChSearchCounters::default() }
+    }
+
+    /// Consumes the oracle, returning the source state to the caller's pool.
+    pub fn into_state(self) -> rnknn_tnr::TnrSourceState {
+        self.state
     }
 }
 
@@ -319,8 +522,23 @@ impl<'a> DistanceOracle for TnrOracle<'a> {
     fn name(&self) -> &'static str {
         "TNR"
     }
+    fn begin_query(&mut self, source: NodeId) {
+        if self.legacy {
+            return;
+        }
+        let counters = self.tnr.begin_source(source, &mut self.state);
+        self.counters.accumulate(counters);
+    }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        let (d, counters) = self.tnr.distance_with_counters(source, target);
+        if self.legacy {
+            let (d, counters) = self.tnr.distance_with_counters(source, target);
+            self.counters.accumulate(counters);
+            return d;
+        }
+        if self.state.source() != Some(source) {
+            self.begin_query(source);
+        }
+        let (d, counters) = self.tnr.distance_from_source_with_counters(&mut self.state, target);
         self.counters.accumulate(counters);
         d
     }
@@ -333,18 +551,27 @@ impl<'a> DistanceOracle for TnrOracle<'a> {
 }
 
 /// MGtree oracle: G-tree distance assembly with per-source materialization (Section 5).
-/// The materialization cache is rebuilt whenever the query source changes.
+/// The materialization cache is epoch-reset (not rebuilt) whenever the query source
+/// changes, so hopping between sources reuses all of the search's pooled buffers.
 #[derive(Debug)]
 pub struct GtreeOracle<'a> {
     gtree: &'a rnknn_gtree::Gtree,
     graph: &'a Graph,
     search: Option<rnknn_gtree::GtreeSearch<'a>>,
+    pooled: bool,
 }
 
 impl<'a> GtreeOracle<'a> {
-    /// Creates the oracle over a prebuilt G-tree.
+    /// Creates the oracle over a prebuilt G-tree (materialization storage comes from
+    /// the G-tree crate's thread-local pool).
     pub fn new(gtree: &'a rnknn_gtree::Gtree, graph: &'a Graph) -> Self {
-        GtreeOracle { gtree, graph, search: None }
+        GtreeOracle { gtree, graph, search: None, pooled: true }
+    }
+
+    /// Creates the oracle with fresh, unpooled materialization storage — the
+    /// pre-pooling behaviour, used as the benchmarks' baseline.
+    pub fn new_unpooled(gtree: &'a rnknn_gtree::Gtree, graph: &'a Graph) -> Self {
+        GtreeOracle { gtree, graph, search: None, pooled: false }
     }
 
     /// Border-to-border computation count accumulated by the current materialization
@@ -359,7 +586,16 @@ impl<'a> DistanceOracle for GtreeOracle<'a> {
         "MGtree"
     }
     fn begin_query(&mut self, source: NodeId) {
-        self.search = Some(rnknn_gtree::GtreeSearch::new(self.gtree, self.graph, source));
+        match &mut self.search {
+            Some(search) => search.reset(source),
+            None => {
+                self.search = Some(if self.pooled {
+                    rnknn_gtree::GtreeSearch::new(self.gtree, self.graph, source)
+                } else {
+                    rnknn_gtree::GtreeSearch::new_unpooled(self.gtree, self.graph, source)
+                });
+            }
+        }
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
         let rebuild = match &self.search {

@@ -10,6 +10,7 @@
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_objects::ObjectSet;
 use rnknn_pathfinding::heap::{IndexedMinHeap, MinHeap};
+use rnknn_pathfinding::scratch::SearchScratch;
 use rnknn_pathfinding::settled::{BitSettled, HashSettled, SettledContainer};
 
 use crate::KnnResult;
@@ -93,6 +94,9 @@ impl<'a> IneSearch<'a> {
     }
 
     /// Same as [`IneSearch::knn`] but also returns operation counters.
+    ///
+    /// This path allocates its search state fresh per call (the Figure 7 ablation
+    /// semantics); the production query path is [`IneSearch::knn_with_stats_in`].
     pub fn knn_with_stats(
         &self,
         query: NodeId,
@@ -105,6 +109,58 @@ impl<'a> IneSearch<'a> {
             IneVariant::Settled => self.knn_generic::<BitSettled>(query, k, objects, true),
             IneVariant::Graph => self.knn_generic::<BitSettled>(query, k, objects, false),
         }
+    }
+
+    /// The production ("Graph" variant) INE search running on a reusable
+    /// [`SearchScratch`] and writing into a caller-owned result vector (cleared
+    /// first). Epoch tags replace the per-query `O(n)` distance-array allocation and
+    /// wipe, so with warmed buffers a query allocates nothing. Ablation variants
+    /// fall back to the allocating path — their measured cost *is* their allocation
+    /// behaviour.
+    pub fn knn_with_stats_in(
+        &self,
+        query: NodeId,
+        k: usize,
+        objects: &ObjectSet,
+        scratch: &mut SearchScratch,
+        result: &mut KnnResult,
+    ) -> IneStats {
+        if self.variant != IneVariant::Graph {
+            let (r, stats) = self.knn_with_stats(query, k, objects);
+            result.clear();
+            result.extend_from_slice(&r);
+            return stats;
+        }
+        let mut stats = IneStats::default();
+        result.clear();
+        if k == 0 || objects.is_empty() {
+            return stats;
+        }
+        scratch.begin(self.graph.num_vertices());
+        scratch.visited.set_dist(query, 0);
+        scratch.heap.push(0, query);
+        stats.heap_operations += 1;
+        while let Some((d, v)) = scratch.heap.pop() {
+            if !scratch.visited.settle(v) {
+                continue;
+            }
+            stats.settled += 1;
+            if objects.contains(v) {
+                result.push((v, d));
+                if result.len() >= k {
+                    break;
+                }
+            }
+            for (t, w) in self.graph.neighbors(v) {
+                let nd = d + w;
+                if nd < scratch.visited.dist(t) {
+                    scratch.visited.set_dist(t, nd);
+                    scratch.heap.push(nd, t);
+                    stats.heap_operations += 1;
+                }
+            }
+        }
+        stats
     }
 
     /// Decrease-key + hash-settled + boxed adjacency: the paper's "first cut".
@@ -232,6 +288,24 @@ mod tests {
                 assert!(stats.heap_operations >= stats.settled);
                 assert_eq!(search.variant(), variant);
             }
+        }
+    }
+
+    #[test]
+    fn pooled_path_matches_allocating_path() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 5));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let objects = uniform(&g, 0.03, 4);
+        let search = IneSearch::new(&g);
+        let mut scratch = SearchScratch::new();
+        let mut result = KnnResult::new();
+        let n = g.num_vertices() as NodeId;
+        for q in (0..n).step_by(53) {
+            let (want, want_stats) = search.knn_with_stats(q, 6, &objects);
+            let stats = search.knn_with_stats_in(q, 6, &objects, &mut scratch, &mut result);
+            assert_eq!(result, want, "q={q}");
+            assert_eq!(stats.settled, want_stats.settled, "q={q}");
+            assert_eq!(stats.heap_operations, want_stats.heap_operations, "q={q}");
         }
     }
 

@@ -21,6 +21,11 @@
 //! the paper's figures). The engine is [`Sync`], and [`Engine::knn_batch`] fans a
 //! query workload across threads.
 //!
+//! Queries run on a per-thread [`scratch::EngineScratch`] pool: heaps, epoch-tagged
+//! distance arrays, materialization stores and oracle search spaces are reused across
+//! queries, so the steady-state serving path ([`Engine::query_into`]) performs zero
+//! heap allocations for the pooled methods — see [`scratch`] for the reuse contract.
+//!
 //! ```
 //! use rnknn::{Engine, EngineConfig, EngineError, Method};
 //! use rnknn_graph::{generator::GeneratorConfig, EdgeWeightKind, generator::RoadNetwork};
@@ -56,11 +61,13 @@ pub mod ier;
 pub mod ine;
 pub mod methods;
 pub mod query;
+pub mod scratch;
 pub mod verify;
 
 pub use engine::{BuildTimes, Engine, EngineConfig, Method};
 pub use error::EngineError;
 pub use query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
+pub use scratch::EngineScratch;
 
 // Re-export the substrate crates so downstream users need a single dependency.
 pub use rnknn_ch as ch;

@@ -18,6 +18,7 @@ use crate::ier::{
 };
 use crate::ine::IneSearch;
 use crate::query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
+use crate::scratch::EngineScratch;
 
 /// Every registered method, in the order the paper introduces them.
 pub fn registry() -> &'static [&'static dyn KnnAlgorithm] {
@@ -70,27 +71,31 @@ pub fn algorithm(method: Method) -> &'static dyn KnnAlgorithm {
         .expect("every Method variant has a registered KnnAlgorithm")
 }
 
-/// Shared body of the seven IER variants: run IER with `oracle` and translate
-/// [`crate::ier::IerStats`] into the unified vocabulary.
+/// Shared body of the seven IER variants: run IER with `oracle` (reusing the
+/// scratch pool's browse heap and writing into `out`), translate
+/// [`crate::ier::IerStats`] into the unified vocabulary, and hand the oracle back so
+/// callers can recover pooled state it carried (forward search spaces, Dijkstra
+/// scratches).
 fn ier_knn<O: DistanceOracle>(
     ctx: &QueryContext<'_>,
     oracle: O,
     query: NodeId,
     k: usize,
-) -> QueryOutput {
+    browser: &mut rnknn_objects::BrowserScratch,
+    out: &mut QueryOutput,
+) -> O {
     let mut search = IerSearch::new(ctx.graph, oracle);
-    let (result, stats) = search.knn_with_stats(query, k, ctx.rtree, ctx.objects);
-    let oracle_stats = search.oracle().search_stats();
-    QueryOutput::new(
-        result,
-        QueryStats {
-            oracle_calls: stats.network_distance_computations as u64,
-            candidates_examined: stats.euclidean_candidates as u64,
-            nodes_expanded: oracle_stats.nodes_expanded,
-            heap_operations: oracle_stats.heap_operations,
-            ..Default::default()
-        },
-    )
+    let stats = search.knn_with_stats_into(query, k, ctx.rtree, browser, &mut out.result);
+    let oracle = search.into_oracle();
+    let oracle_stats = oracle.search_stats();
+    out.stats = QueryStats {
+        oracle_calls: stats.network_distance_computations as u64,
+        candidates_examined: stats.euclidean_candidates as u64,
+        nodes_expanded: oracle_stats.nodes_expanded,
+        heap_operations: oracle_stats.heap_operations,
+        ..Default::default()
+    };
+    oracle
 }
 
 /// Incremental Network Expansion (the expansion-based baseline).
@@ -103,21 +108,27 @@ impl KnnAlgorithm for Ine {
     fn name(&self) -> &'static str {
         "INE"
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
-        let (result, stats) = IneSearch::new(ctx.graph).knn_with_stats(query, k, ctx.objects);
-        Ok(QueryOutput::new(
-            result,
-            QueryStats {
-                nodes_expanded: stats.settled as u64,
-                heap_operations: stats.heap_operations as u64,
-                ..Default::default()
-            },
-        ))
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        let stats = IneSearch::new(ctx.graph).knn_with_stats_in(
+            query,
+            k,
+            ctx.objects,
+            &mut scratch.expansion,
+            &mut out.result,
+        );
+        out.stats = QueryStats {
+            nodes_expanded: stats.settled as u64,
+            heap_operations: stats.heap_operations as u64,
+            ..Default::default()
+        };
+        Ok(())
     }
 }
 
@@ -131,13 +142,23 @@ impl KnnAlgorithm for IerDijkstra {
     fn name(&self) -> &'static str {
         "IER-Dijk"
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
-        Ok(ier_knn(ctx, DijkstraOracle::new(ctx.graph), query, k))
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        let oracle = if scratch.reuse_pools {
+            let expansion = std::mem::take(&mut scratch.expansion);
+            DijkstraOracle::with_scratch(ctx.graph, expansion)
+        } else {
+            DijkstraOracle::new(ctx.graph)
+        };
+        let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
+        scratch.expansion = oracle.into_scratch();
+        Ok(())
     }
 }
 
@@ -151,13 +172,23 @@ impl KnnAlgorithm for IerAStar {
     fn name(&self) -> &'static str {
         "IER-A*"
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
-        Ok(ier_knn(ctx, AStarOracle::new(ctx.graph), query, k))
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        let oracle = if scratch.reuse_pools {
+            let expansion = std::mem::take(&mut scratch.expansion);
+            AStarOracle::with_scratch(ctx.graph, expansion)
+        } else {
+            AStarOracle::new(ctx.graph)
+        };
+        let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
+        scratch.expansion = oracle.into_scratch();
+        Ok(())
     }
 }
 
@@ -174,14 +205,27 @@ impl KnnAlgorithm for IerCh {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Ch]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let ch = ctx.require_ch(self.method())?;
-        Ok(ier_knn(ctx, ChOracle::new(ch), query, k))
+        let oracle = if scratch.reuse_pools {
+            let space = std::mem::take(&mut scratch.ch_forward);
+            let projection = std::mem::take(&mut scratch.ch_projection);
+            ChOracle::with_space(ch, space, projection)
+        } else {
+            ChOracle::new(ch)
+        };
+        let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
+        let (space, projection) = oracle.into_parts();
+        scratch.ch_forward = space;
+        scratch.ch_projection = projection;
+        Ok(())
     }
 }
 
@@ -198,14 +242,17 @@ impl KnnAlgorithm for IerPhl {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Phl]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let phl = ctx.require_phl(self.method())?;
-        Ok(ier_knn(ctx, PhlOracle::new(phl), query, k))
+        ier_knn(ctx, PhlOracle::new(phl), query, k, &mut scratch.browser, out);
+        Ok(())
     }
 }
 
@@ -222,14 +269,23 @@ impl KnnAlgorithm for IerTnr {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Tnr]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let tnr = ctx.require_tnr(self.method())?;
-        Ok(ier_knn(ctx, TnrOracle::new(tnr), query, k))
+        let oracle = if scratch.reuse_pools {
+            TnrOracle::with_state(tnr, std::mem::take(&mut scratch.tnr))
+        } else {
+            TnrOracle::new(tnr)
+        };
+        let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
+        scratch.tnr = oracle.into_state();
+        Ok(())
     }
 }
 
@@ -246,14 +302,22 @@ impl KnnAlgorithm for IerGtree {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Gtree]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let gtree = ctx.require_gtree(self.method())?;
-        Ok(ier_knn(ctx, GtreeOracle::new(gtree, ctx.graph), query, k))
+        let oracle = if scratch.reuse_pools {
+            GtreeOracle::new(gtree, ctx.graph)
+        } else {
+            GtreeOracle::new_unpooled(gtree, ctx.graph)
+        };
+        ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
+        Ok(())
     }
 }
 
@@ -264,19 +328,27 @@ fn disbrw_knn(
     method: Method,
     query: NodeId,
     k: usize,
-) -> Result<QueryOutput, EngineError> {
+    scratch: &mut EngineScratch,
+    out: &mut QueryOutput,
+) -> Result<(), EngineError> {
     let silc = ctx.require_silc(method)?;
     let search = DisBrwSearch::with_variant(ctx.graph, silc, Some(ctx.chains), variant);
-    let (result, stats) = search.knn_with_stats(query, k, ctx.rtree, ctx.objects);
-    Ok(QueryOutput::new(
-        result,
-        QueryStats {
-            nodes_expanded: stats.hierarchy_nodes as u64,
-            oracle_calls: stats.refinements as u64,
-            candidates_examined: stats.candidates as u64,
-            ..Default::default()
-        },
-    ))
+    let stats = search.knn_with_stats_in(
+        query,
+        k,
+        ctx.rtree,
+        ctx.objects,
+        &mut scratch.browser,
+        &mut scratch.disbrw,
+        &mut out.result,
+    );
+    out.stats = QueryStats {
+        nodes_expanded: stats.hierarchy_nodes as u64,
+        oracle_calls: stats.refinements as u64,
+        candidates_examined: stats.candidates as u64,
+        ..Default::default()
+    };
+    Ok(())
 }
 
 /// Distance Browsing with Euclidean-NN candidates (DB-ENN).
@@ -292,13 +364,15 @@ impl KnnAlgorithm for DisBrw {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Silc]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
-        disbrw_knn(ctx, DisBrwVariant::DbEnn, self.method(), query, k)
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        disbrw_knn(ctx, DisBrwVariant::DbEnn, self.method(), query, k, scratch, out)
     }
 }
 
@@ -315,13 +389,15 @@ impl KnnAlgorithm for DisBrwObjectHierarchy {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Silc]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
-        disbrw_knn(ctx, DisBrwVariant::ObjectHierarchy, self.method(), query, k)
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        disbrw_knn(ctx, DisBrwVariant::ObjectHierarchy, self.method(), query, k, scratch, out)
     }
 }
 
@@ -338,24 +414,30 @@ impl KnnAlgorithm for Road {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Road]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let road = ctx.require_road(self.method())?;
         let directory = ctx.require_association(self.method())?;
-        let (result, stats) = RoadKnn::new(ctx.graph, road).knn_with_stats(query, k, directory);
-        Ok(QueryOutput::new(
-            result,
-            QueryStats {
-                nodes_expanded: stats.settled as u64,
-                heap_operations: stats.heap_pushes as u64,
-                oracle_calls: stats.shortcuts_relaxed as u64,
-                ..Default::default()
-            },
-        ))
+        let stats = RoadKnn::new(ctx.graph, road).knn_with_stats_in(
+            query,
+            k,
+            directory,
+            &mut scratch.expansion,
+            &mut out.result,
+        );
+        out.stats = QueryStats {
+            nodes_expanded: stats.settled as u64,
+            heap_operations: stats.heap_pushes as u64,
+            oracle_calls: stats.shortcuts_relaxed as u64,
+            ..Default::default()
+        };
+        Ok(())
     }
 }
 
@@ -372,26 +454,30 @@ impl KnnAlgorithm for GtreeKnn {
     fn required_indexes(&self) -> &'static [IndexKind] {
         &[IndexKind::Gtree]
     }
-    fn knn(
+    fn knn_into(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError> {
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let gtree = ctx.require_gtree(self.method())?;
         let occurrence = ctx.require_occurrence(self.method())?;
-        let mut search = rnknn_gtree::GtreeSearch::new(gtree, ctx.graph, query);
-        let result = search.knn(k, occurrence, LeafSearchMode::Improved);
+        let mut search = if scratch.reuse_pools {
+            rnknn_gtree::GtreeSearch::new(gtree, ctx.graph, query)
+        } else {
+            rnknn_gtree::GtreeSearch::new_unpooled(gtree, ctx.graph, query)
+        };
+        search.knn_into(k, occurrence, LeafSearchMode::Improved, &mut out.result);
         let stats = search.stats;
-        Ok(QueryOutput::new(
-            result,
-            QueryStats {
-                nodes_expanded: stats.materialized_nodes + stats.leaf_vertices_settled,
-                heap_operations: stats.heap_pushes,
-                oracle_calls: stats.border_computations,
-                ..Default::default()
-            },
-        ))
+        out.stats = QueryStats {
+            nodes_expanded: stats.materialized_nodes + stats.leaf_vertices_settled,
+            heap_operations: stats.heap_pushes,
+            oracle_calls: stats.border_computations,
+            ..Default::default()
+        };
+        Ok(())
     }
 }
 

@@ -17,6 +17,7 @@ use rnknn_silc::SilcIndex;
 
 use crate::engine::Method;
 use crate::error::EngineError;
+use crate::scratch::EngineScratch;
 use crate::KnnResult;
 
 /// Unified per-query operation counters, comparable across methods (the paper's
@@ -52,7 +53,11 @@ impl QueryStats {
 /// Deliberately not `PartialEq`: `stats.elapsed_micros` is wall-clock time, so
 /// whole-output equality would be nondeterministic. Compare `result` (or
 /// [`QueryOutput::distances`]) instead.
-#[derive(Debug, Clone)]
+///
+/// An output can be reused across queries with `Engine::query_into` — the result
+/// vector is cleared (keeping its capacity) and refilled, which is what makes the
+/// steady-state query path allocation-free.
+#[derive(Debug, Clone, Default)]
 pub struct QueryOutput {
     /// Object vertices with their network distances, in non-decreasing order.
     pub result: KnnResult,
@@ -205,10 +210,11 @@ impl<'a> QueryContext<'a> {
 /// One kNN method, as the engine's dispatch sees it.
 ///
 /// Implementors are stateless unit structs registered in [`crate::methods`]; all
-/// per-query state lives on the stack of [`KnnAlgorithm::knn`], which is what
-/// makes the engine shareable across threads. `Engine::supports`,
-/// `Method::name` and dispatch all derive from this trait via the registry, so
-/// a new method plugs in by adding one implementor — the facade is untouched.
+/// per-query state lives either on the stack of [`KnnAlgorithm::knn_into`] or in
+/// the [`EngineScratch`] the engine hands it (one per thread), which is what makes
+/// the engine shareable across threads. `Engine::supports`, `Method::name` and
+/// dispatch all derive from this trait via the registry, so a new method plugs in
+/// by adding one implementor — the facade is untouched.
 pub trait KnnAlgorithm: Sync {
     /// The [`Method`] this algorithm implements.
     fn method(&self) -> Method;
@@ -222,13 +228,32 @@ pub trait KnnAlgorithm: Sync {
         &[]
     }
 
-    /// Answers a kNN query against `ctx`. `query` and `k` are validated by the
-    /// engine before this is called; `stats.elapsed_micros` is filled in by the
-    /// engine afterwards.
+    /// Answers a kNN query against `ctx`, writing the result into `out` (cleared
+    /// first) and reusing whatever pieces of `scratch` the method needs — the
+    /// pooled-context hook every registered method implements. `query` and `k` are
+    /// validated by the engine before this is called; `out.stats.elapsed_micros` is
+    /// filled in by the engine afterwards.
+    fn knn_into(
+        &self,
+        ctx: &QueryContext<'_>,
+        query: NodeId,
+        k: usize,
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError>;
+
+    /// One-shot convenience over [`KnnAlgorithm::knn_into`]: allocates a fresh
+    /// unpooled scratch and output per call. This is the pre-pooling behaviour,
+    /// kept for tests and as the baseline the query benchmarks compare against.
     fn knn(
         &self,
         ctx: &QueryContext<'_>,
         query: NodeId,
         k: usize,
-    ) -> Result<QueryOutput, EngineError>;
+    ) -> Result<QueryOutput, EngineError> {
+        let mut scratch = EngineScratch::unpooled();
+        let mut out = QueryOutput::default();
+        self.knn_into(ctx, query, k, &mut scratch, &mut out)?;
+        Ok(out)
+    }
 }

@@ -1,0 +1,86 @@
+//! The engine's per-thread query scratch pool.
+//!
+//! Every kNN method needs per-query working state — heaps, distance/settled arrays,
+//! candidate buffers, oracle search spaces. Allocating it per query dominates the
+//! cost of short queries on large graphs, so [`EngineScratch`] keeps one instance of
+//! everything alive per thread: `Engine::query` (on `&self`) borrows the calling
+//! thread's scratch from a `thread_local` pool and hands it to the dispatched
+//! [`crate::KnnAlgorithm`], which reuses whichever pieces it needs. Stale state is
+//! invalidated by epoch tags (one integer bump per query) rather than wiped, the
+//! buffers grow to the largest workload seen on the thread and are then reused
+//! forever, and the steady-state query path performs **zero heap allocations** for
+//! the pooled methods (proven by the allocation-guard test for G-tree, INE and
+//! IER-CH).
+//!
+//! ## Reuse contract
+//!
+//! * **Thread-local lifecycle** — one scratch per OS thread, created lazily on the
+//!   first query and kept until the thread exits. Scratches are never shared, so the
+//!   engine stays [`Sync`] and `knn_batch`'s worker threads each warm their own.
+//! * **Epoch invalidation** — nothing in the scratch carries meaning across queries;
+//!   each query re-arms what it uses (epoch bump or `clear()` that keeps capacity).
+//!   A scratch serves engines of different sizes interleaved on one thread: arrays
+//!   size to the largest graph seen, epoch tags keep smaller queries correct.
+//! * **`set_objects` interaction** — the scratch caches no object-set-derived state
+//!   (candidate buffers are refilled per query), so swapping object sets requires no
+//!   scratch invalidation.
+
+use rnknn_objects::BrowserScratch;
+use rnknn_pathfinding::scratch::SearchScratch;
+
+use crate::disbrw::DisBrwScratch;
+
+/// Reusable per-thread working state for one query at a time (see the module docs
+/// for the reuse contract). Obtain one with [`EngineScratch::new`] — or not at all:
+/// `Engine::query` manages a thread-local instance automatically.
+#[derive(Debug)]
+pub struct EngineScratch {
+    /// Expansion-search state (epoch-tagged distances/settled + heap), shared by
+    /// INE, ROAD and the Dijkstra/A* IER oracles.
+    pub(crate) expansion: SearchScratch,
+    /// R-tree browse heap, shared by every IER variant and DB-ENN.
+    pub(crate) browser: BrowserScratch,
+    /// IER-CH forward upward search space, re-materialised per query into the same
+    /// entry buffer.
+    pub(crate) ch_forward: rnknn_ch::ChSearchSpace,
+    /// Dense epoch-tagged projection of `ch_forward` (O(1) meet tests in the
+    /// candidate loop — affordable only because it is pooled).
+    pub(crate) ch_projection: rnknn_ch::ChSpaceProjection,
+    /// IER-TNR per-source state (stopped forward space, folded table row, backward
+    /// space buffer).
+    pub(crate) tnr: rnknn_tnr::TnrSourceState,
+    /// Distance Browsing candidate pool, refinement queues and best-k storage.
+    pub(crate) disbrw: DisBrwScratch,
+    /// Whether algorithms may additionally use their crates' internal thread-local
+    /// pools (the G-tree materialization store). False only for the fresh-allocation
+    /// baseline, so `Engine::query_fresh` measures the true pre-pooling cost.
+    pub(crate) reuse_pools: bool,
+}
+
+impl Default for EngineScratch {
+    fn default() -> Self {
+        EngineScratch {
+            expansion: SearchScratch::default(),
+            browser: BrowserScratch::default(),
+            ch_forward: rnknn_ch::ChSearchSpace::default(),
+            ch_projection: rnknn_ch::ChSpaceProjection::default(),
+            tnr: rnknn_tnr::TnrSourceState::default(),
+            disbrw: DisBrwScratch::default(),
+            reuse_pools: true,
+        }
+    }
+}
+
+impl EngineScratch {
+    /// Creates an empty scratch: nothing is allocated until a query uses a piece.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch that also opts out of crate-internal thread-local pools, so every
+    /// query allocates all of its state fresh — the pre-pooling behaviour, used as
+    /// the baseline by `Engine::query_fresh` and the query benchmarks.
+    pub fn unpooled() -> Self {
+        EngineScratch { reuse_pools: false, ..Self::default() }
+    }
+}

@@ -24,13 +24,30 @@ pub enum EdgeWeightKind {
 /// `weights` arrays, with `offsets[v]..offsets[v+1]` delimiting vertex `v`'s list.
 /// This is the cache-friendly layout the paper's Section 6.2 ("Graph Representation")
 /// recommends over per-vertex allocations.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Graph {
     offsets: Vec<u32>,
     targets: Vec<NodeId>,
     weights: Vec<Weight>,
     coords: Vec<Point>,
     kind: EdgeWeightKind,
+    /// Lazily computed [`EuclideanBound`] (an `O(edges)` scan — recomputing it per
+    /// query was the hidden dominant cost of every IER/DisBrw query on large
+    /// graphs, so it is cached on first use).
+    bound_cache: std::sync::OnceLock<EuclideanBound>,
+}
+
+impl Clone for Graph {
+    fn clone(&self) -> Self {
+        Graph {
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights: self.weights.clone(),
+            coords: self.coords.clone(),
+            kind: self.kind,
+            bound_cache: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl Graph {
@@ -45,12 +62,21 @@ impl Graph {
         debug_assert_eq!(offsets.len(), coords.len() + 1);
         debug_assert_eq!(targets.len(), weights.len());
         debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, targets.len());
-        Graph { offsets, targets, weights, coords, kind: EdgeWeightKind::Distance }
+        Graph {
+            offsets,
+            targets,
+            weights,
+            coords,
+            kind: EdgeWeightKind::Distance,
+            bound_cache: std::sync::OnceLock::new(),
+        }
     }
 
-    /// Tags the graph with the physical meaning of its edge weights.
+    /// Tags the graph with the physical meaning of its edge weights (and drops any
+    /// cached Euclidean bound, which depends on the kind).
     pub fn with_kind(mut self, kind: EdgeWeightKind) -> Self {
         self.kind = kind;
+        self.bound_cache = std::sync::OnceLock::new();
         self
     }
 
@@ -148,8 +174,14 @@ impl Graph {
     }
 
     /// Builds the Euclidean lower-bound helper appropriate for this graph's weight kind
-    /// (Section 7.5, "Extending IER").
+    /// (Section 7.5, "Extending IER"). The underlying `O(edges)` scan runs once per
+    /// graph; subsequent calls return the cached value, so per-query construction of
+    /// IER searches and oracles is cheap.
     pub fn euclidean_bound(&self) -> EuclideanBound {
+        *self.bound_cache.get_or_init(|| self.compute_euclidean_bound())
+    }
+
+    fn compute_euclidean_bound(&self) -> EuclideanBound {
         match self.kind {
             EdgeWeightKind::Distance => {
                 // Edge weights are proportional to physical length; find the scale that

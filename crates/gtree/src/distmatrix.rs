@@ -254,6 +254,42 @@ impl DistanceMatrix {
         }
     }
 
+    /// Reads a cell without touching the probe counters. This is the query hot
+    /// path's accessor: the software counters exist for the Table 3 layout ablation
+    /// (driven through instrumented searches), and per-read atomic increments cost
+    /// more than the array read itself — ~680k cells per kNN query at 116k vertices
+    /// made the counters the dominant query cost before this split.
+    #[inline]
+    pub fn get_untracked(&self, row: usize, col: usize) -> Weight {
+        debug_assert!(row < self.rows && col < self.cols);
+        match self.kind {
+            MatrixKind::Array => self.array[row * self.cols + col],
+            MatrixKind::ChainedHashing => {
+                *self.chained.get(&pack(row, col)).expect("cell initialised")
+            }
+            MatrixKind::QuadraticProbing => {
+                let mut probes = 0;
+                self.quadratic
+                    .as_ref()
+                    .expect("initialised")
+                    .get(pack(row, col), &mut probes)
+                    .expect("cell initialised")
+            }
+        }
+    }
+
+    /// A full row as a contiguous slice — `Some` only for the array layout. The
+    /// G-tree assembly sweeps rows through this (cache-friendly, no per-cell
+    /// bookkeeping), falling back to [`DistanceMatrix::get_untracked`] for the
+    /// hash-table ablation layouts.
+    #[inline]
+    pub fn row_slice(&self, row: usize) -> Option<&[Weight]> {
+        match self.kind {
+            MatrixKind::Array => Some(&self.array[row * self.cols..(row + 1) * self.cols]),
+            _ => None,
+        }
+    }
+
     /// A full row as a vector (used when refining matrices).
     pub fn row(&self, row: usize) -> Vec<Weight> {
         (0..self.cols).map(|c| self.get(row, c)).collect()

@@ -1,13 +1,20 @@
 //! G-tree queries: materialized distance assembly, the kNN algorithm (with both leaf
 //! searches) and the MGtree point-to-point oracle.
 //!
-//! Leaf-confined Dijkstras (the per-query hot path) run on a thread-local,
+//! All per-query state is pooled. Leaf-confined Dijkstras run on a thread-local,
 //! epoch-tagged scratch — distance/settled arrays and the heap are reused across
 //! queries, so "clearing" between queries is one integer increment instead of an
-//! O(τ) wipe and repeated kNN queries allocate nothing per leaf search. This mirrors
-//! the CH query scratch in `rnknn-ch`.
+//! O(τ) wipe (mirroring the CH query scratch in `rnknn-ch`). The materialization
+//! store itself (per-node border-distance rows, the within-leaf distance cache and
+//! the kNN traversal queue) lives in a thread-local [`SearchStore`] pool:
+//! [`GtreeSearch::new`] takes the store from the pool and `Drop` returns it, so the
+//! steady-state kNN query performs **zero heap allocations** — materializing a node
+//! reuses that node's row buffer from earlier queries, keyed by a query epoch
+//! instead of freshly zeroed vectors. [`GtreeSearch::reset`] re-arms an existing
+//! search for a new source (one epoch bump), which is how the IER-Gt oracle hops
+//! between sources without touching the allocator.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;
@@ -119,6 +126,58 @@ thread_local! {
     static LEAF_SCRATCH: RefCell<LeafScratch> = RefCell::new(LeafScratch::new());
 }
 
+/// Reusable per-search materialization state, pooled per thread. Border-distance
+/// rows are validated by an epoch tag: a row whose `row_epoch` does not match the
+/// current epoch is "not materialized this search", so starting a new search (or
+/// [`GtreeSearch::reset`]) is one integer increment — the row buffers keep their
+/// capacity and are refilled in place when their node is next materialized.
+#[derive(Debug, Default)]
+struct SearchStore {
+    /// Per G-tree node: distances from the source to the node's borders.
+    rows: Vec<Vec<Weight>>,
+    /// Epoch that materialized each row; a mismatch means "stale".
+    row_epoch: Vec<u32>,
+    /// Within-leaf distances from the source to every vertex of its own leaf.
+    same_leaf: Vec<Weight>,
+    /// Epoch that filled `same_leaf` (valid iff it equals `epoch`).
+    same_leaf_epoch: u32,
+    /// The kNN traversal queue.
+    queue: MinHeap<Element>,
+    epoch: u32,
+}
+
+impl SearchStore {
+    /// Starts a new search over a tree of `n` nodes: grows the per-node arrays if
+    /// this store has only seen smaller trees, clears the queue, and advances the
+    /// epoch (resetting the tags on the rare u32 wrap-around).
+    fn begin(&mut self, n: usize) {
+        if self.rows.len() < n {
+            self.rows.resize_with(n, Vec::new);
+            self.row_epoch.resize(n, 0);
+        }
+        self.queue.clear();
+        if self.epoch == u32::MAX {
+            self.row_epoch.iter_mut().for_each(|e| *e = 0);
+            self.same_leaf_epoch = 0;
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// True when `node`'s border distances were materialized this search.
+    #[inline]
+    fn is_materialized(&self, node: NodeIndex) -> bool {
+        self.row_epoch[node as usize] == self.epoch
+    }
+}
+
+thread_local! {
+    /// One pooled [`SearchStore`] per thread: `GtreeSearch::new` takes it,
+    /// `Drop` puts it back (keeping the larger of the two on collisions), so
+    /// back-to-back searches on a thread reuse all materialization buffers.
+    static STORE_POOL: Cell<Option<SearchStore>> = const { Cell::new(None) };
+}
+
 /// Operation counters for one G-tree search. `border_computations` is the "path cost"
 /// series of Figure 9(b); `materialized_nodes` counts how many node border-distance
 /// vectors were computed (and therefore reused by later traversals).
@@ -158,34 +217,95 @@ enum Element {
 /// The context memoizes, for every visited G-tree node, the distances from the source to
 /// that node's borders — the paper's "materialization" property. Reusing one context for
 /// many distance queries from the same source (as IER-Gt does) amortises the assembly
-/// work; the kNN algorithm uses the same cache internally.
+/// work; the kNN algorithm uses the same cache internally. The memo's storage comes
+/// from a thread-local pool (see the module docs), so constructing a search per query
+/// allocates nothing in steady state; [`GtreeSearch::reset`] re-arms the same search
+/// for a new source.
 #[derive(Debug)]
 pub struct GtreeSearch<'a> {
     gtree: &'a Gtree,
     graph: &'a Graph,
     source: NodeId,
     source_leaf: NodeIndex,
-    /// Per node: distances from the source to the node's borders, if materialized.
-    border_dists: Vec<Option<Vec<Weight>>>,
-    /// Cached within-leaf distances from the source to every vertex of its own leaf
-    /// (restricted to the leaf subgraph), used for same-leaf point-to-point queries.
-    same_leaf_dists: Option<Vec<Weight>>,
+    /// Pooled materialization state (border rows, same-leaf cache, kNN queue).
+    store: SearchStore,
+    /// Whether `store` returns to the thread pool on drop (false for the
+    /// fresh-allocation baseline used by benchmarks).
+    pooled: bool,
+    /// Whether matrix reads go through the instrumented `DistanceMatrix::get`
+    /// (probe counters for the Table 3 layout ablation — the pre-pooling
+    /// behaviour) instead of the untracked row sweeps of the production path.
+    tracked: bool,
     /// Operation counters.
     pub stats: GtreeSearchStats,
 }
 
+impl<'a> Drop for GtreeSearch<'a> {
+    fn drop(&mut self) {
+        if !self.pooled {
+            return;
+        }
+        let store = std::mem::take(&mut self.store);
+        STORE_POOL.with(|pool| {
+            let keep = match pool.take() {
+                Some(existing) if existing.rows.len() >= store.rows.len() => existing,
+                _ => store,
+            };
+            pool.set(Some(keep));
+        });
+    }
+}
+
 impl<'a> GtreeSearch<'a> {
-    /// Creates a search context for queries originating at `source`.
+    /// Creates a search context for queries originating at `source`, taking its
+    /// materialization store from the thread-local pool (zero allocations when a
+    /// previous search on this thread has warmed the pool).
     pub fn new(gtree: &'a Gtree, graph: &'a Graph, source: NodeId) -> Self {
+        let store = STORE_POOL.with(|pool| pool.take()).unwrap_or_default();
+        Self::with_store(gtree, graph, source, store, true, false)
+    }
+
+    /// Creates a search context with the pre-pooling behaviour: all per-query state
+    /// is allocated fresh (the thread-local pool is never touched) and every matrix
+    /// read goes through the instrumented [`crate::DistanceMatrix::get`], updating
+    /// the probe counters of the Table 3 layout ablation. Kept as the "before"
+    /// baseline for the query benchmarks, for allocation-behaviour tests, and for
+    /// the probe-counter experiments.
+    pub fn new_unpooled(gtree: &'a Gtree, graph: &'a Graph, source: NodeId) -> Self {
+        Self::with_store(gtree, graph, source, SearchStore::default(), false, true)
+    }
+
+    fn with_store(
+        gtree: &'a Gtree,
+        graph: &'a Graph,
+        source: NodeId,
+        mut store: SearchStore,
+        pooled: bool,
+        tracked: bool,
+    ) -> Self {
+        store.begin(gtree.num_nodes());
         GtreeSearch {
             gtree,
             graph,
             source,
             source_leaf: gtree.leaf_of(source),
-            border_dists: vec![None; gtree.num_nodes()],
-            same_leaf_dists: None,
+            store,
+            pooled,
+            tracked,
             stats: GtreeSearchStats::default(),
         }
+    }
+
+    /// Re-arms this search for a new source: one epoch bump invalidates every
+    /// materialized row (their buffers are kept and refilled lazily) and the
+    /// counters restart. Equivalent to — but much cheaper than — constructing a
+    /// fresh search, and the way long-lived consumers (the IER-Gt oracle) hop
+    /// between sources.
+    pub fn reset(&mut self, source: NodeId) {
+        self.store.begin(self.gtree.num_nodes());
+        self.source = source;
+        self.source_leaf = self.gtree.leaf_of(source);
+        self.stats = GtreeSearchStats::default();
     }
 
     /// The source vertex of this context.
@@ -215,31 +335,40 @@ impl<'a> GtreeSearch<'a> {
         let gtree = self.gtree;
         let node = gtree.node(leaf);
         let col = gtree.position_in_leaf(target) as usize;
-        let dists = self.border_dists[leaf as usize].as_ref().expect("materialized");
+        let tracked = self.tracked;
+        let dists = &self.store.rows[leaf as usize];
         let mut best = INFINITY;
+        let mut combinations = 0u64;
         for (bi, &d) in dists.iter().enumerate() {
             if d == INFINITY {
                 continue;
             }
-            let m = node.matrix.get(bi, col);
-            self.stats.border_computations += 1;
+            let m =
+                if tracked { node.matrix.get(bi, col) } else { node.matrix.get_untracked(bi, col) };
+            combinations += 1;
             if m != INFINITY && d + m < best {
                 best = d + m;
             }
         }
+        self.stats.border_computations += combinations;
         best
     }
 
     /// Distance from the source to `target` using only vertices of the source's leaf.
     fn same_leaf_distance(&mut self, target: NodeId) -> Weight {
-        if self.same_leaf_dists.is_none() {
+        if self.store.same_leaf_epoch != self.store.epoch {
             let gtree = self.gtree;
-            let node = gtree.node(self.source_leaf);
+            let graph = self.graph;
+            let source = self.source;
+            let source_leaf = self.source_leaf;
+            let node = gtree.node(source_leaf);
             let nv = node.leaf_vertices.len();
-            let dist = LEAF_SCRATCH.with(|scratch| {
+            let store = &mut self.store;
+            store.same_leaf.clear();
+            LEAF_SCRATCH.with(|scratch| {
                 let scratch = &mut *scratch.borrow_mut();
                 scratch.begin(nv);
-                let qpos = gtree.position_in_leaf(self.source);
+                let qpos = gtree.position_in_leaf(source);
                 scratch.set(qpos, 0);
                 scratch.heap.push(0, qpos);
                 while let Some((d, p)) = scratch.heap.pop() {
@@ -247,8 +376,8 @@ impl<'a> GtreeSearch<'a> {
                         continue;
                     }
                     let v = node.leaf_vertices[p as usize];
-                    for (t, w) in self.graph.neighbors(v) {
-                        if gtree.leaf_of(t) != self.source_leaf {
+                    for (t, w) in graph.neighbors(v) {
+                        if gtree.leaf_of(t) != source_leaf {
                             continue;
                         }
                         let tp = gtree.position_in_leaf(t);
@@ -259,66 +388,106 @@ impl<'a> GtreeSearch<'a> {
                         }
                     }
                 }
-                (0..nv as u32).map(|p| scratch.get(p)).collect::<Vec<Weight>>()
+                store.same_leaf.extend((0..nv as u32).map(|p| scratch.get(p)));
             });
-            self.same_leaf_dists = Some(dist);
+            store.same_leaf_epoch = store.epoch;
         }
         let pos = self.gtree.position_in_leaf(target) as usize;
-        self.same_leaf_dists.as_ref().expect("just computed")[pos]
+        self.store.same_leaf[pos]
     }
 
     /// Minimum distance from the source to any border of `node` (the priority-queue key
     /// for G-tree nodes).
     pub fn min_border_distance(&mut self, node: NodeIndex) -> Weight {
         self.ensure_border_distances(node);
-        self.border_dists[node as usize]
-            .as_ref()
-            .expect("materialized")
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(INFINITY)
+        self.store.rows[node as usize].iter().copied().min().unwrap_or(INFINITY)
     }
 
     /// Materializes the distances from the source to the borders of `t` (assembly along
-    /// the tree path, reusing previously materialized nodes).
+    /// the tree path, reusing previously materialized nodes). The row buffer of `t` is
+    /// reused from earlier queries — epoch tags mark it stale, and it is refilled in
+    /// place, so steady-state materialization performs no allocation.
     fn ensure_border_distances(&mut self, t: NodeIndex) {
-        if self.border_dists[t as usize].is_some() {
+        if self.store.is_materialized(t) {
             return;
         }
         let gtree = self.gtree;
         let node = gtree.node(t);
-        let result: Vec<Weight> = if t == self.source_leaf {
+        let tracked = self.tracked;
+        if t == self.source_leaf {
             // Column of the source vertex in its own leaf matrix.
             let col = gtree.position_in_leaf(self.source) as usize;
-            (0..node.borders.len()).map(|row| node.matrix.get(row, col)).collect()
+            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            out.clear();
+            out.extend((0..node.borders.len()).map(|row| {
+                if tracked {
+                    node.matrix.get(row, col)
+                } else {
+                    node.matrix.get_untracked(row, col)
+                }
+            }));
+            self.store.rows[t as usize] = out;
         } else if gtree.is_ancestor_of(t, self.source_leaf) {
             // Climb: combine the child-on-the-path's border distances with this node's
             // matrix to reach this node's own borders. The child's distances are taken
             // out of the memo (and restored below) rather than cloned.
             let c = gtree.child_towards(t, self.source_leaf);
             self.ensure_border_distances(c);
-            let src = self.border_dists[c as usize].take().expect("materialized");
+            let src = std::mem::take(&mut self.store.rows[c as usize]);
             let child_pos = node.children.iter().position(|&x| x == c).expect("child of t");
             let base = node.child_border_offsets[child_pos] as usize;
-            let mut out = Vec::with_capacity(node.borders.len());
-            for xi in 0..node.borders.len() {
-                let px = node.own_border_positions[xi] as usize;
-                let mut best = INFINITY;
+            let nb = node.borders.len();
+            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            out.clear();
+            if tracked {
+                for xi in 0..nb {
+                    let px = node.own_border_positions[xi] as usize;
+                    let mut best = INFINITY;
+                    for (bi, &d) in src.iter().enumerate() {
+                        if d == INFINITY {
+                            continue;
+                        }
+                        let m = node.matrix.get(base + bi, px);
+                        self.stats.border_computations += 1;
+                        if m != INFINITY && d + m < best {
+                            best = d + m;
+                        }
+                    }
+                    out.push(best);
+                }
+            } else {
+                // Row-major min-plus sweep: one contiguous matrix row per reachable
+                // source border (instead of a strided column walk per output border).
+                out.resize(nb, INFINITY);
+                let mut active = 0u64;
                 for (bi, &d) in src.iter().enumerate() {
                     if d == INFINITY {
                         continue;
                     }
-                    let m = node.matrix.get(base + bi, px);
-                    self.stats.border_computations += 1;
-                    if m != INFINITY && d + m < best {
-                        best = d + m;
+                    active += 1;
+                    match node.matrix.row_slice(base + bi) {
+                        Some(row) => {
+                            for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
+                                let m = row[px as usize];
+                                if m != INFINITY && d + m < *out_x {
+                                    *out_x = d + m;
+                                }
+                            }
+                        }
+                        None => {
+                            for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
+                                let m = node.matrix.get_untracked(base + bi, px as usize);
+                                if m != INFINITY && d + m < *out_x {
+                                    *out_x = d + m;
+                                }
+                            }
+                        }
                     }
                 }
-                out.push(best);
+                self.stats.border_computations += active * nb as u64;
             }
-            self.border_dists[c as usize] = Some(src);
-            out
+            self.store.rows[c as usize] = src;
+            self.store.rows[t as usize] = out;
         } else {
             // Descend: this node hangs off the path; go through its parent's matrix.
             let p = node.parent.expect("non-root because the root is an ancestor of every leaf");
@@ -329,42 +498,83 @@ impl<'a> GtreeSearch<'a> {
             // Source side within the parent: either the sibling subtree containing the
             // source (when the parent is an ancestor of the source leaf) or the parent's
             // own borders. The source distances are taken out of the memo (and restored
-            // below) rather than cloned.
-            let (src_node, src_positions): (NodeIndex, Vec<usize>) =
-                if gtree.is_ancestor_of(p, self.source_leaf) {
-                    let s = gtree.child_towards(p, self.source_leaf);
-                    self.ensure_border_distances(s);
-                    let s_child_pos =
-                        pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
-                    let s_base = pnode.child_border_offsets[s_child_pos] as usize;
-                    let len = gtree.node(s).borders.len();
-                    (s, (0..len).map(|i| s_base + i).collect())
-                } else {
-                    self.ensure_border_distances(p);
-                    (p, pnode.own_border_positions.iter().map(|&x| x as usize).collect())
-                };
-            let src_dists = self.border_dists[src_node as usize].take().expect("materialized");
-            let mut out = Vec::with_capacity(node.borders.len());
-            for yi in 0..node.borders.len() {
-                let py = t_base + yi;
-                let mut best = INFINITY;
+            // below) rather than cloned. `s_base` maps source index `si` to its
+            // parent-matrix position: `s_base + si` for a sibling subtree, or the
+            // parent's own border positions otherwise.
+            let (src_node, s_base) = if gtree.is_ancestor_of(p, self.source_leaf) {
+                let s = gtree.child_towards(p, self.source_leaf);
+                self.ensure_border_distances(s);
+                let s_child_pos =
+                    pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
+                (s, Some(pnode.child_border_offsets[s_child_pos] as usize))
+            } else {
+                self.ensure_border_distances(p);
+                (p, None)
+            };
+            let src_dists = std::mem::take(&mut self.store.rows[src_node as usize]);
+            let nb = node.borders.len();
+            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            out.clear();
+            if tracked {
+                for yi in 0..nb {
+                    let py = t_base + yi;
+                    let mut best = INFINITY;
+                    for (si, &d) in src_dists.iter().enumerate() {
+                        if d == INFINITY {
+                            continue;
+                        }
+                        let pos = match s_base {
+                            Some(base) => base + si,
+                            None => pnode.own_border_positions[si] as usize,
+                        };
+                        let m = pnode.matrix.get(pos, py);
+                        self.stats.border_computations += 1;
+                        if m != INFINITY && d + m < best {
+                            best = d + m;
+                        }
+                    }
+                    out.push(best);
+                }
+            } else {
+                // The target's borders occupy the contiguous parent-matrix columns
+                // `t_base..t_base+nb`, so each reachable source border contributes
+                // one contiguous row segment — a pure min-plus row sweep.
+                out.resize(nb, INFINITY);
+                let mut active = 0u64;
                 for (si, &d) in src_dists.iter().enumerate() {
                     if d == INFINITY {
                         continue;
                     }
-                    let m = pnode.matrix.get(src_positions[si], py);
-                    self.stats.border_computations += 1;
-                    if m != INFINITY && d + m < best {
-                        best = d + m;
+                    active += 1;
+                    let pos = match s_base {
+                        Some(base) => base + si,
+                        None => pnode.own_border_positions[si] as usize,
+                    };
+                    match pnode.matrix.row_slice(pos) {
+                        Some(row) => {
+                            for (out_y, &m) in out.iter_mut().zip(&row[t_base..t_base + nb]) {
+                                if m != INFINITY && d + m < *out_y {
+                                    *out_y = d + m;
+                                }
+                            }
+                        }
+                        None => {
+                            for (yi, out_y) in out.iter_mut().enumerate() {
+                                let m = pnode.matrix.get_untracked(pos, t_base + yi);
+                                if m != INFINITY && d + m < *out_y {
+                                    *out_y = d + m;
+                                }
+                            }
+                        }
                     }
                 }
-                out.push(best);
+                self.stats.border_computations += active * nb as u64;
             }
-            self.border_dists[src_node as usize] = Some(src_dists);
-            out
-        };
+            self.store.rows[src_node as usize] = src_dists;
+            self.store.rows[t as usize] = out;
+        }
         self.stats.materialized_nodes += 1;
-        self.border_dists[t as usize] = Some(result);
+        self.store.row_epoch[t as usize] = self.store.epoch;
     }
 
     /// k-nearest-neighbor query: the `k` objects of `occurrence` closest to the source
@@ -376,17 +586,38 @@ impl<'a> GtreeSearch<'a> {
         mode: LeafSearchMode,
     ) -> Vec<(NodeId, Weight)> {
         let mut result: Vec<(NodeId, Weight)> = Vec::new();
+        self.knn_into(k, occurrence, mode, &mut result);
+        result
+    }
+
+    /// [`GtreeSearch::knn`] writing into a caller-owned result vector (cleared first).
+    /// With a warmed pool and a reused result buffer, this performs no allocation.
+    ///
+    /// Unreachable candidates (`dist == INFINITY`) are skipped at enqueue time —
+    /// nothing unreachable ever enters the queue, so a disconnected workload simply
+    /// yields fewer than `k` results once the queue drains.
+    pub fn knn_into(
+        &mut self,
+        k: usize,
+        occurrence: &OccurrenceList,
+        mode: LeafSearchMode,
+        result: &mut Vec<(NodeId, Weight)>,
+    ) {
+        result.clear();
         if k == 0 || occurrence.num_objects() == 0 {
-            return result;
+            return;
         }
         let gtree = self.gtree;
         let root = gtree.root();
-        let mut queue: MinHeap<Element> = MinHeap::new();
+        // The pooled traversal queue is taken out of the store for the duration of
+        // the query (the materialization calls below need `&mut self`).
+        let mut queue = std::mem::take(&mut self.store.queue);
+        queue.clear();
 
         if !occurrence.leaf_objects(self.source_leaf).is_empty() {
             match mode {
                 LeafSearchMode::Improved => {
-                    self.improved_leaf_search(k, occurrence, &mut queue, &mut result)
+                    self.improved_leaf_search(k, occurrence, &mut queue, result)
                 }
                 LeafSearchMode::Original => self.original_leaf_search(occurrence, &mut queue),
             }
@@ -413,9 +644,6 @@ impl<'a> GtreeSearch<'a> {
             }
             match element {
                 Element::Object(v) => {
-                    if d == INFINITY {
-                        break; // remaining candidates are unreachable
-                    }
                     result.push((v, d));
                 }
                 Element::Node(x) => {
@@ -424,6 +652,9 @@ impl<'a> GtreeSearch<'a> {
                         self.ensure_border_distances(x);
                         for &o in occurrence.leaf_objects(x) {
                             let dist = self.via_border_distance(x, o);
+                            if dist == INFINITY {
+                                continue; // unreachable object: never enqueued
+                            }
                             queue.push(dist, Element::Object(o));
                             self.stats.heap_pushes += 1;
                         }
@@ -431,6 +662,9 @@ impl<'a> GtreeSearch<'a> {
                         for &ci in occurrence.children_with_objects(x) {
                             let c = xnode.children[ci as usize];
                             let dist = self.min_border_distance(c);
+                            if dist == INFINITY {
+                                continue; // unreachable subtree: never enqueued
+                            }
                             queue.push(dist, Element::Node(c));
                             self.stats.heap_pushes += 1;
                         }
@@ -438,7 +672,7 @@ impl<'a> GtreeSearch<'a> {
                 }
             }
         }
-        result
+        self.store.queue = queue;
     }
 
     /// Moves the traversal frontier one level up: enqueues the object-bearing siblings
@@ -462,6 +696,9 @@ impl<'a> GtreeSearch<'a> {
                 continue;
             }
             let dist = self.min_border_distance(c);
+            if dist == INFINITY {
+                continue; // unreachable subtree: never enqueued
+            }
             queue.push(dist, Element::Node(c));
             self.stats.heap_pushes += 1;
         }
@@ -536,7 +773,11 @@ impl<'a> GtreeSearch<'a> {
                         if orow as u32 == row || scratch.is_settled(opos) {
                             continue;
                         }
-                        let w = node.matrix.get(row as usize, opos as usize);
+                        let w = if self.tracked {
+                            node.matrix.get(row as usize, opos as usize)
+                        } else {
+                            node.matrix.get_untracked(row as usize, opos as usize)
+                        };
                         self.stats.border_computations += 1;
                         if w == INFINITY {
                             continue;
@@ -599,7 +840,11 @@ impl<'a> GtreeSearch<'a> {
         });
         for (&o, &inside) in objects.iter().zip(&inside_dists) {
             let via = self.via_border_distance(leaf, o);
-            queue.push(inside.min(via), Element::Object(o));
+            let dist = inside.min(via);
+            if dist == INFINITY {
+                continue; // unreachable object: never enqueued
+            }
+            queue.push(dist, Element::Object(o));
             self.stats.heap_pushes += 1;
         }
     }
@@ -790,6 +1035,51 @@ mod tests {
                 .map(|&(_, d)| d)
                 .collect();
             assert_eq!(got_s, want_s, "small tree q={qs}");
+        }
+    }
+
+    #[test]
+    fn reset_matches_fresh_searches_and_unpooled_baseline() {
+        let (g, tree) = setup(700, 19, 48);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 9 == 4).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut reused = GtreeSearch::new(&tree, &g, 0);
+        let mut result = Vec::new();
+        for i in 0..10u32 {
+            let q = (i * 157 + 3) % n;
+            reused.reset(q);
+            assert_eq!(reused.source(), q);
+            reused.knn_into(6, &occ, LeafSearchMode::Improved, &mut result);
+            let mut fresh = GtreeSearch::new_unpooled(&tree, &g, q);
+            let want = fresh.knn(6, &occ, LeafSearchMode::Improved);
+            assert_eq!(result, want, "q={q}");
+            // The reused search also answers point-to-point queries correctly
+            // after the reset (the IER-Gt oracle pattern).
+            let truth = dijkstra::single_source(&g, q);
+            for t in (0..n).step_by(97) {
+                assert_eq!(reused.distance_to(t), truth[t as usize], "{q}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_searches_reuse_the_pooled_store() {
+        // Two consecutive (construct, query, drop) cycles on one thread must agree
+        // with brute force — the second takes the first's store from the pool with
+        // all rows stale-by-epoch, which is exactly the engine's steady state.
+        let (g, tree) = setup(500, 23, 40);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 7 == 2).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        for q in [5u32, 250, 5, 499 % n] {
+            let want = brute_knn(&g, q, 8, &objects);
+            let got: Vec<Weight> = GtreeSearch::new(&tree, &g, q)
+                .knn(8, &occ, LeafSearchMode::Improved)
+                .iter()
+                .map(|&(_, d)| d)
+                .collect();
+            assert_eq!(got, want, "q={q}");
         }
     }
 

@@ -22,4 +22,5 @@ pub use builders::{
 };
 pub use generators::{clustered, min_object_distance, uniform, MinDistanceSets};
 pub use poi::{PoiCategory, PoiSets};
+pub use rnknn_spatial::rtree::BrowserScratch;
 pub use set::{ObjectRTree, ObjectSet};

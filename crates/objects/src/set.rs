@@ -1,7 +1,7 @@
 //! Object sets and the R-tree object index.
 
 use rnknn_graph::{Graph, NodeId, Point};
-use rnknn_spatial::rtree::{EuclideanBrowser, RTree};
+use rnknn_spatial::rtree::{BrowserScratch, EuclideanBrowser, RTree, ScratchBrowser};
 
 /// A set of object (POI) vertices on a road network.
 #[derive(Debug, Clone)]
@@ -102,6 +102,16 @@ impl ObjectRTree {
     /// Incremental Euclidean nearest-neighbor browser starting at `query`.
     pub fn browse(&self, query: Point) -> EuclideanBrowser<'_> {
         self.rtree.browse(query)
+    }
+
+    /// [`ObjectRTree::browse`] on a reusable [`BrowserScratch`] (no per-browse
+    /// allocation; the engine's query scratch pool owns one per thread).
+    pub fn browse_in<'t, 's>(
+        &'t self,
+        query: Point,
+        scratch: &'s mut BrowserScratch,
+    ) -> ScratchBrowser<'t, 's> {
+        self.rtree.browse_in(query, scratch)
     }
 
     /// Resident size in bytes (Figure 18(a)).

@@ -7,8 +7,7 @@
 use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
 
 use crate::dijkstra::SearchStats;
-use crate::heap::MinHeap;
-use crate::settled::{BitSettled, SettledContainer};
+use crate::scratch::SearchScratch;
 
 /// Network distance from `source` to `target` using A* guided by `bound`.
 ///
@@ -32,43 +31,119 @@ pub fn astar_distance_with_stats(
     source: NodeId,
     target: NodeId,
 ) -> (Weight, SearchStats) {
+    let mut scratch = SearchScratch::new();
+    astar_distance_with_stats_in(graph, bound, source, target, &mut scratch)
+}
+
+/// [`astar_distance_with_stats`] running on a reusable [`SearchScratch`]: after a
+/// warm-up search, repeated point-to-point queries allocate nothing (the IER
+/// A*-oracle hot path). The scratch's distance array stores g-scores; the heap is
+/// keyed by f-score.
+pub fn astar_distance_with_stats_in(
+    graph: &Graph,
+    bound: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+    scratch: &mut SearchScratch,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if source == target {
         return (0, stats);
     }
-    let n = graph.num_vertices();
     let target_point = graph.coord(target);
-    let mut dist = vec![INFINITY; n];
-    let mut settled = BitSettled::new(n);
-    let mut heap: MinHeap<NodeId> = MinHeap::new();
-    dist[source as usize] = 0;
+    scratch.begin(graph.num_vertices());
+    scratch.visited.set_dist(source, 0);
     let h0 = bound.lower_bound(graph.coord(source), target_point);
-    heap.push(h0, source);
+    scratch.heap.push(h0, source);
     stats.pushes += 1;
-    while let Some((_, v)) = heap.pop() {
-        if !settled.settle(v) {
+    while let Some((_, v)) = scratch.heap.pop() {
+        if !scratch.visited.settle(v) {
             continue;
         }
         stats.settled += 1;
         if v == target {
-            return (dist[v as usize], stats);
+            return (scratch.visited.dist(v), stats);
         }
-        let dv = dist[v as usize];
+        let dv = scratch.visited.dist(v);
         for (t, w) in graph.neighbors(v) {
-            if settled.is_settled(t) {
+            if scratch.visited.is_settled(t) {
                 continue;
             }
             stats.relaxed += 1;
             let nd = dv + w;
-            if nd < dist[t as usize] {
-                dist[t as usize] = nd;
+            if nd < scratch.visited.dist(t) {
+                scratch.visited.set_dist(t, nd);
                 let h = bound.lower_bound(graph.coord(t), target_point);
-                heap.push(nd + h, t);
+                scratch.heap.push(nd + h, t);
                 stats.pushes += 1;
             }
         }
     }
     (INFINITY, stats)
+}
+
+/// Bounded A* distance: the exact distance when it is `< bound`, otherwise `bound`
+/// itself (or [`INFINITY`] when `bound == INFINITY` and `target` is unreachable).
+/// Admissibility makes the cut safe: every remaining label's f-score lower-bounds
+/// the true distance through it, so once the frontier's f-minimum reaches `bound`
+/// no path `< bound` remains.
+pub fn astar_distance_within_with_stats_in(
+    graph: &Graph,
+    bound_fn: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+    bound: Weight,
+    scratch: &mut SearchScratch,
+) -> (Weight, SearchStats) {
+    let mut stats = SearchStats::default();
+    if bound == INFINITY {
+        return astar_distance_with_stats_in(graph, bound_fn, source, target, scratch);
+    }
+    if bound == 0 {
+        return (bound, stats);
+    }
+    if source == target {
+        return (0, stats);
+    }
+    let target_point = graph.coord(target);
+    scratch.begin(graph.num_vertices());
+    scratch.visited.set_dist(source, 0);
+    let h0 = bound_fn.lower_bound(graph.coord(source), target_point);
+    if h0 >= bound {
+        return (bound, stats);
+    }
+    scratch.heap.push(h0, source);
+    stats.pushes += 1;
+    while let Some((f, v)) = scratch.heap.pop() {
+        if f >= bound {
+            return (bound, stats);
+        }
+        if !scratch.visited.settle(v) {
+            continue;
+        }
+        stats.settled += 1;
+        if v == target {
+            return (scratch.visited.dist(v), stats);
+        }
+        let dv = scratch.visited.dist(v);
+        for (t, w) in graph.neighbors(v) {
+            if scratch.visited.is_settled(t) {
+                continue;
+            }
+            stats.relaxed += 1;
+            let nd = dv + w;
+            if nd < scratch.visited.dist(t) {
+                let h = bound_fn.lower_bound(graph.coord(t), target_point);
+                if nd + h >= bound {
+                    continue;
+                }
+                scratch.visited.set_dist(t, nd);
+                scratch.heap.push(nd + h, t);
+                stats.pushes += 1;
+            }
+        }
+    }
+    (bound, stats)
 }
 
 #[cfg(test)]

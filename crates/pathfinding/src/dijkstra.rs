@@ -7,6 +7,7 @@
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 
 use crate::heap::MinHeap;
+use crate::scratch::SearchScratch;
 use crate::settled::{BitSettled, SettledContainer};
 
 /// Operation counters reported by the instrumented searches; used by the experiment
@@ -29,19 +30,29 @@ pub fn distance(graph: &Graph, source: NodeId, target: NodeId) -> Weight {
 
 /// Same as [`distance`] but also returns operation counters.
 pub fn distance_with_stats(graph: &Graph, source: NodeId, target: NodeId) -> (Weight, SearchStats) {
+    let mut scratch = SearchScratch::new();
+    distance_with_stats_in(graph, source, target, &mut scratch)
+}
+
+/// [`distance_with_stats`] running on a reusable [`SearchScratch`]: after a warm-up
+/// search, repeated point-to-point queries allocate nothing (the IER Dijkstra-oracle
+/// hot path).
+pub fn distance_with_stats_in(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    scratch: &mut SearchScratch,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if source == target {
         return (0, stats);
     }
-    let n = graph.num_vertices();
-    let mut dist = vec![INFINITY; n];
-    let mut settled = BitSettled::new(n);
-    let mut heap: MinHeap<NodeId> = MinHeap::new();
-    dist[source as usize] = 0;
-    heap.push(0, source);
+    scratch.begin(graph.num_vertices());
+    scratch.visited.set_dist(source, 0);
+    scratch.heap.push(0, source);
     stats.pushes += 1;
-    while let Some((d, v)) = heap.pop() {
-        if !settled.settle(v) {
+    while let Some((d, v)) = scratch.heap.pop() {
+        if !scratch.visited.settle(v) {
             continue;
         }
         stats.settled += 1;
@@ -51,14 +62,67 @@ pub fn distance_with_stats(graph: &Graph, source: NodeId, target: NodeId) -> (We
         for (t, w) in graph.neighbors(v) {
             stats.relaxed += 1;
             let nd = d + w;
-            if nd < dist[t as usize] {
-                dist[t as usize] = nd;
-                heap.push(nd, t);
+            if nd < scratch.visited.dist(t) {
+                scratch.visited.set_dist(t, nd);
+                scratch.heap.push(nd, t);
                 stats.pushes += 1;
             }
         }
     }
     (INFINITY, stats)
+}
+
+/// Bounded point-to-point distance: the exact distance when it is `< bound`,
+/// otherwise `bound` itself (or [`INFINITY`] when `bound == INFINITY` and `target`
+/// is unreachable). The search stops as soon as the frontier minimum reaches
+/// `bound` and never pushes labels `>= bound`, so a caller that only needs to know
+/// whether a vertex is closer than its current k-th candidate (IER's candidate
+/// loop) pays a fraction of the full search.
+pub fn distance_within_with_stats_in(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    bound: Weight,
+    scratch: &mut SearchScratch,
+) -> (Weight, SearchStats) {
+    let mut stats = SearchStats::default();
+    if bound == INFINITY {
+        return distance_with_stats_in(graph, source, target, scratch);
+    }
+    if bound == 0 {
+        return (bound, stats);
+    }
+    if source == target {
+        return (0, stats);
+    }
+    scratch.begin(graph.num_vertices());
+    scratch.visited.set_dist(source, 0);
+    scratch.heap.push(0, source);
+    stats.pushes += 1;
+    while let Some((d, v)) = scratch.heap.pop() {
+        if d >= bound {
+            return (bound, stats);
+        }
+        if !scratch.visited.settle(v) {
+            continue;
+        }
+        stats.settled += 1;
+        if v == target {
+            return (d, stats);
+        }
+        for (t, w) in graph.neighbors(v) {
+            stats.relaxed += 1;
+            let nd = d + w;
+            if nd < bound && nd < scratch.visited.dist(t) {
+                scratch.visited.set_dist(t, nd);
+                scratch.heap.push(nd, t);
+                stats.pushes += 1;
+            }
+        }
+    }
+    // Labels >= bound were pruned, so an exhausted queue only proves the distance
+    // is not < bound.
+    (bound, stats)
 }
 
 /// Full single-source shortest-path distances from `source` to every vertex.
@@ -261,6 +325,41 @@ mod tests {
         assert!(stats.settled >= 3);
         assert!(stats.pushes >= stats.settled);
         assert!(stats.relaxed >= stats.settled);
+    }
+
+    #[test]
+    fn bounded_distance_is_exact_below_the_bound_and_saturated_above() {
+        let g = small_graph();
+        let mut scratch = SearchScratch::new();
+        for (s, t) in [(0u32, 4u32), (3, 1), (0, 3), (0, 2)] {
+            let exact = distance(&g, s, t);
+            for bound in [0, 1, exact, exact + 1, exact + 100, INFINITY] {
+                let (got, _) = distance_within_with_stats_in(&g, s, t, bound, &mut scratch);
+                if exact < bound {
+                    assert_eq!(got, exact, "{s}->{t} bound={bound}");
+                } else {
+                    assert!(got >= bound, "{s}->{t} bound={bound} got={got}");
+                }
+            }
+        }
+        // Unreachable stays INFINITY when the bound is INFINITY.
+        let mut b = GraphBuilder::with_vertices(3);
+        b.add_edge(0, 1, 1);
+        let g2 = b.build();
+        assert_eq!(distance_within_with_stats_in(&g2, 0, 2, INFINITY, &mut scratch).0, INFINITY);
+        assert_eq!(distance_within_with_stats_in(&g2, 0, 2, 10, &mut scratch).0, 10);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_searches() {
+        let g = small_graph();
+        let mut scratch = SearchScratch::new();
+        for (s, t) in [(0u32, 4u32), (3, 1), (0, 3), (4, 0), (2, 2)] {
+            let (fresh, fresh_stats) = distance_with_stats(&g, s, t);
+            let (reused, reused_stats) = distance_with_stats_in(&g, s, t, &mut scratch);
+            assert_eq!(fresh, reused, "{s}->{t}");
+            assert_eq!(fresh_stats, reused_stats, "{s}->{t}");
+        }
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //!   reduced graphs used while building G-tree and ROAD.
 //! * [`astar`] — A* point-to-point search with a Euclidean lower-bound heuristic.
 //! * [`bidirectional`] — bidirectional Dijkstra point-to-point search.
+//! * [`scratch`] — reusable, epoch-tagged per-search state ([`SearchScratch`]), so the
+//!   point-to-point searches above can run allocation-free in steady state.
 
 pub mod astar;
 pub mod bidirectional;
 pub mod dijkstra;
 pub mod heap;
+pub mod scratch;
 pub mod settled;
 
 pub use astar::astar_distance;
@@ -29,4 +32,5 @@ pub use dijkstra::{
     single_source_to_targets, sssp_tree, SearchStats,
 };
 pub use heap::{IndexedMinHeap, MinHeap};
+pub use scratch::{SearchScratch, VisitedScratch};
 pub use settled::{BitSettled, HashSettled, SettledContainer};

@@ -1,0 +1,147 @@
+//! Reusable, epoch-tagged per-search state.
+//!
+//! Every expansion-style search in the workspace needs the same three pieces of
+//! state: a tentative-distance array, a settled set and a priority queue. Allocating
+//! them per query costs an `O(n)` allocation + wipe on every call — the dominant
+//! cost of a short search on a large graph. [`SearchScratch`] keeps all three alive
+//! across searches: distance and settled entries are validated by an epoch tag, so
+//! "clearing" between searches is a single integer increment, and the arrays and
+//! heap grow to the largest graph seen and are then reused forever. This is the
+//! same pattern the CH query scratch and the G-tree leaf scratch use; hoisting it
+//! here lets INE, ROAD and the Dijkstra/A* IER oracles share one implementation
+//! (and one pooled instance per thread, via the engine's scratch pool).
+
+use rnknn_graph::{NodeId, Weight, INFINITY};
+
+use crate::heap::MinHeap;
+
+/// Epoch-tagged tentative distances + settled set, reusable across searches.
+///
+/// Split from the heap so a search can hold `&mut heap` and call the visited-set
+/// methods at the same time (disjoint-field borrows).
+#[derive(Debug, Default)]
+pub struct VisitedScratch {
+    /// Tentative distances; only valid where `dist_epoch` matches `epoch`.
+    dist: Vec<Weight>,
+    /// Epoch that wrote each `dist` entry; a mismatch means "unvisited this search".
+    dist_epoch: Vec<u32>,
+    /// Epoch that settled each vertex.
+    settled_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedScratch {
+    /// Starts a new search over `n` vertices: grows the arrays if this scratch has
+    /// only seen smaller graphs, and advances the epoch (resetting the tags on the
+    /// rare u32 wrap-around).
+    pub fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+            self.dist_epoch.resize(n, 0);
+            self.settled_epoch.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.dist_epoch.iter_mut().for_each(|e| *e = 0);
+            self.settled_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Tentative distance of `v` this search ([`INFINITY`] when unvisited).
+    #[inline]
+    pub fn dist(&self, v: NodeId) -> Weight {
+        if self.dist_epoch[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Sets the tentative distance of `v`.
+    #[inline]
+    pub fn set_dist(&mut self, v: NodeId, d: Weight) {
+        self.dist[v as usize] = d;
+        self.dist_epoch[v as usize] = self.epoch;
+    }
+
+    /// Marks `v` settled, returning false when it already was this search.
+    #[inline]
+    pub fn settle(&mut self, v: NodeId) -> bool {
+        if self.settled_epoch[v as usize] == self.epoch {
+            return false;
+        }
+        self.settled_epoch[v as usize] = self.epoch;
+        true
+    }
+
+    /// True when `v` was settled this search.
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled_epoch[v as usize] == self.epoch
+    }
+}
+
+/// A complete reusable search state: epoch-tagged visited set plus a priority queue.
+///
+/// [`SearchScratch::begin`] prepares both for a new search; after a warm-up search
+/// of comparable size, running another search allocates nothing.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// The priority queue (kept public so searches can split-borrow it against
+    /// [`SearchScratch::visited`]).
+    pub heap: MinHeap<NodeId>,
+    /// The epoch-tagged distance/settled arrays.
+    pub visited: VisitedScratch,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch (no allocation until the first search).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new search over `n` vertices: clears the heap and advances the
+    /// visited epoch.
+    pub fn begin(&mut self, n: usize) {
+        self.heap.clear();
+        self.visited.begin(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_isolate_consecutive_searches() {
+        let mut s = SearchScratch::new();
+        s.begin(10);
+        s.visited.set_dist(3, 7);
+        assert!(s.visited.settle(3));
+        assert!(!s.visited.settle(3));
+        assert_eq!(s.visited.dist(3), 7);
+        assert_eq!(s.visited.dist(4), INFINITY);
+        s.heap.push(7, 3);
+
+        // A new search sees none of the previous one's state.
+        s.begin(10);
+        assert_eq!(s.visited.dist(3), INFINITY);
+        assert!(!s.visited.is_settled(3));
+        assert!(s.heap.is_empty());
+    }
+
+    #[test]
+    fn grows_to_the_largest_graph_seen() {
+        let mut s = SearchScratch::new();
+        s.begin(4);
+        s.visited.set_dist(2, 5);
+        s.begin(100);
+        assert_eq!(s.visited.dist(2), INFINITY);
+        s.visited.set_dist(99, 1);
+        assert_eq!(s.visited.dist(99), 1);
+        // Shrinking back is a no-op; old large entries stay invalid by epoch.
+        s.begin(4);
+        assert_eq!(s.visited.dist(2), INFINITY);
+    }
+}

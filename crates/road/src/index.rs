@@ -75,6 +75,11 @@ pub struct RoadIndex {
     highest_border_level: Vec<u32>,
     /// Global flat shortcut array (Section 6.2: a single array with per-Rnet offsets).
     shortcuts: Vec<Weight>,
+    /// Per-Rnet containment chains (root's child down to the Rnet itself),
+    /// CSR-packed so [`RoadIndex::chain_of`] is an allocation-free slice lookup on
+    /// the query hot path.
+    chain_entries: Vec<RnetIndex>,
+    chain_offsets: Vec<u32>,
     config: RoadConfig,
 }
 
@@ -104,12 +109,32 @@ impl RoadIndex {
             builder.rnets[i].shortcut_offset = off;
         }
         let highest_border_level = builder.compute_highest_border_levels();
+        // CSR-pack every Rnet's containment chain (top-down, root omitted) so the
+        // kNN search reads it as a slice instead of rebuilding a Vec per vertex.
+        let num_rnets = builder.rnets.len();
+        let mut chain_offsets = vec![0u32; num_rnets + 1];
+        let mut chain_entries: Vec<RnetIndex> = Vec::new();
+        for i in 0..num_rnets {
+            let start = chain_entries.len();
+            let mut cur = i as RnetIndex;
+            loop {
+                chain_entries.push(cur);
+                match builder.rnets[cur as usize].parent {
+                    Some(p) if p != root => cur = p,
+                    _ => break,
+                }
+            }
+            chain_entries[start..].reverse();
+            chain_offsets[i + 1] = chain_entries.len() as u32;
+        }
         RoadIndex {
             rnets: builder.rnets,
             root,
             leaf_of_vertex: builder.leaf_of_vertex,
             highest_border_level,
             shortcuts,
+            chain_entries,
+            chain_offsets,
             config,
         }
     }
@@ -145,19 +170,13 @@ impl RoadIndex {
     }
 
     /// The chain of Rnets containing `v`, from the root's children down to its leaf
-    /// Rnet (the root itself is omitted since it can never be bypassed).
-    pub fn chain_of(&self, v: NodeId) -> Vec<RnetIndex> {
-        let mut chain = Vec::new();
-        let mut cur = self.leaf_of_vertex[v as usize];
-        loop {
-            chain.push(cur);
-            match self.rnets[cur as usize].parent {
-                Some(p) if p != self.root => cur = p,
-                _ => break,
-            }
-        }
-        chain.reverse();
-        chain
+    /// Rnet (the root itself is omitted since it can never be bypassed). Served from
+    /// the precomputed CSR chains — no allocation on the query hot path.
+    pub fn chain_of(&self, v: NodeId) -> &[RnetIndex] {
+        let leaf = self.leaf_of_vertex[v as usize] as usize;
+        let lo = self.chain_offsets[leaf] as usize;
+        let hi = self.chain_offsets[leaf + 1] as usize;
+        &self.chain_entries[lo..hi]
     }
 
     /// True when `v` is a border of Rnet `r`.
@@ -525,7 +544,7 @@ mod tests {
         for v in g.vertices() {
             let level = idx.highest_border_level(v);
             if level == u32::MAX {
-                for r in idx.chain_of(v) {
+                for &r in idx.chain_of(v) {
                     assert!(!idx.is_border_of(r, v));
                 }
             } else {

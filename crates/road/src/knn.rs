@@ -8,7 +8,7 @@
 
 use rnknn_graph::{Graph, NodeId, Weight};
 use rnknn_pathfinding::heap::MinHeap;
-use rnknn_pathfinding::settled::{BitSettled, SettledContainer};
+use rnknn_pathfinding::scratch::{SearchScratch, VisitedScratch};
 
 use crate::association::AssociationDirectory;
 use crate::index::RoadIndex;
@@ -59,19 +59,34 @@ impl<'a> RoadKnn<'a> {
         k: usize,
         directory: &AssociationDirectory,
     ) -> (Vec<(NodeId, Weight)>, RoadSearchStats) {
-        let mut stats = RoadSearchStats::default();
+        let mut scratch = SearchScratch::new();
         let mut result = Vec::new();
+        let stats = self.knn_with_stats_in(query, k, directory, &mut scratch, &mut result);
+        (result, stats)
+    }
+
+    /// [`RoadKnn::knn_with_stats`] running on a reusable [`SearchScratch`] and writing
+    /// into a caller-owned result vector (cleared first). With warmed buffers this
+    /// allocates nothing — the engine's per-thread scratch pool calls it this way.
+    pub fn knn_with_stats_in(
+        &self,
+        query: NodeId,
+        k: usize,
+        directory: &AssociationDirectory,
+        scratch: &mut SearchScratch,
+        result: &mut Vec<(NodeId, Weight)>,
+    ) -> RoadSearchStats {
+        let mut stats = RoadSearchStats::default();
+        result.clear();
         if k == 0 || directory.num_objects() == 0 {
-            return (result, stats);
+            return stats;
         }
-        let n = self.graph.num_vertices();
-        let mut settled = BitSettled::new(n);
-        let mut heap: MinHeap<NodeId> = MinHeap::new();
-        heap.push(0, query);
+        scratch.begin(self.graph.num_vertices());
+        scratch.heap.push(0, query);
         stats.heap_pushes += 1;
 
-        while let Some((d, v)) = heap.pop() {
-            if !settled.settle(v) {
+        while let Some((d, v)) = scratch.heap.pop() {
+            if !scratch.visited.settle(v) {
                 continue;
             }
             stats.settled += 1;
@@ -81,9 +96,9 @@ impl<'a> RoadKnn<'a> {
                     break;
                 }
             }
-            self.relax(v, d, directory, &settled, &mut heap, &mut stats);
+            self.relax(v, d, directory, &scratch.visited, &mut scratch.heap, &mut stats);
         }
-        (result, stats)
+        stats
     }
 
     /// Relaxation step at vertex `v` with distance `d` (the shortcut-tree traversal of
@@ -94,7 +109,7 @@ impl<'a> RoadKnn<'a> {
         v: NodeId,
         d: Weight,
         directory: &AssociationDirectory,
-        settled: &BitSettled,
+        settled: &VisitedScratch,
         heap: &mut MinHeap<NodeId>,
         stats: &mut RoadSearchStats,
     ) {
@@ -102,7 +117,7 @@ impl<'a> RoadKnn<'a> {
         // Find the highest-level (largest) object-free Rnet of which v is a border.
         let border_level = road.highest_border_level(v);
         if border_level != u32::MAX {
-            for r in road.chain_of(v) {
+            for &r in road.chain_of(v) {
                 let rnet = road.rnet(r);
                 if rnet.level < border_level {
                     continue; // v is interior to this Rnet, cannot bypass from it

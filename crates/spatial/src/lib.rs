@@ -14,4 +14,4 @@ pub mod rtree;
 
 pub use morton::{morton_decode, morton_encode, CoordinateNormalizer};
 pub use quadtree::{QuadBlock, RegionQuadtree};
-pub use rtree::{EuclideanBrowser, RTree};
+pub use rtree::{BrowserScratch, EuclideanBrowser, RTree, ScratchBrowser};

@@ -159,6 +159,25 @@ impl RTree {
         EuclideanBrowser { tree: self, query, heap }
     }
 
+    /// [`RTree::browse`] running on a reusable [`BrowserScratch`]: the traversal heap
+    /// is borrowed from `scratch` instead of freshly allocated, so repeated browses
+    /// (one per kNN query) allocate nothing once the heap has grown to the workload's
+    /// frontier size.
+    pub fn browse_in<'t, 's>(
+        &'t self,
+        query: Point,
+        scratch: &'s mut BrowserScratch,
+    ) -> ScratchBrowser<'t, 's> {
+        scratch.heap.clear();
+        if !self.is_empty() {
+            scratch.heap.push(HeapEntry {
+                distance: self.nodes[self.root as usize].rect.min_distance(query),
+                kind: EntryKind::Node(self.root),
+            });
+        }
+        ScratchBrowser { tree: self, query, heap: &mut scratch.heap }
+    }
+
     /// All entries within `radius` of `query` (used by tests and the object generators).
     pub fn within_radius(&self, query: Point, radius: f64) -> Vec<(f64, u32)> {
         let mut out = Vec::new();
@@ -234,30 +253,75 @@ impl<'a> Iterator for EuclideanBrowser<'a> {
     type Item = (f64, u32);
 
     fn next(&mut self) -> Option<Self::Item> {
-        while let Some(HeapEntry { distance, kind }) = self.heap.pop() {
-            match kind {
-                EntryKind::Entry(e) => {
-                    return Some((distance, self.tree.payloads[e as usize]));
+        browse_step(self.tree, self.query, &mut self.heap)
+    }
+}
+
+/// Reusable storage for a [`ScratchBrowser`]: the best-first traversal heap, kept
+/// alive across browses so the per-query browse allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct BrowserScratch {
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl BrowserScratch {
+    /// Creates an empty scratch (no allocation until the first browse).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`EuclideanBrowser`] over a borrowed [`BrowserScratch`] heap: identical traversal,
+/// no per-browse allocation.
+#[derive(Debug)]
+pub struct ScratchBrowser<'t, 's> {
+    tree: &'t RTree,
+    query: Point,
+    heap: &'s mut BinaryHeap<HeapEntry>,
+}
+
+impl<'t, 's> ScratchBrowser<'t, 's> {
+    /// Lower bound on the Euclidean distance of the *next* entry this browser will
+    /// yield, or `None` when exhausted (see [`EuclideanBrowser::peek_distance`]).
+    pub fn peek_distance(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.distance)
+    }
+}
+
+impl<'t, 's> Iterator for ScratchBrowser<'t, 's> {
+    type Item = (f64, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        browse_step(self.tree, self.query, self.heap)
+    }
+}
+
+/// One step of the shared best-first traversal: pops until an entry surfaces,
+/// expanding nodes into the heap along the way.
+fn browse_step(tree: &RTree, query: Point, heap: &mut BinaryHeap<HeapEntry>) -> Option<(f64, u32)> {
+    while let Some(HeapEntry { distance, kind }) = heap.pop() {
+        match kind {
+            EntryKind::Entry(e) => {
+                return Some((distance, tree.payloads[e as usize]));
+            }
+            EntryKind::Node(n) => {
+                let node = &tree.nodes[n as usize];
+                for &c in &node.children {
+                    heap.push(HeapEntry {
+                        distance: tree.nodes[c as usize].rect.min_distance(query),
+                        kind: EntryKind::Node(c),
+                    });
                 }
-                EntryKind::Node(n) => {
-                    let node = &self.tree.nodes[n as usize];
-                    for &c in &node.children {
-                        self.heap.push(HeapEntry {
-                            distance: self.tree.nodes[c as usize].rect.min_distance(self.query),
-                            kind: EntryKind::Node(c),
-                        });
-                    }
-                    for &e in &node.entries {
-                        self.heap.push(HeapEntry {
-                            distance: self.tree.points[e as usize].distance(&self.query),
-                            kind: EntryKind::Entry(e),
-                        });
-                    }
+                for &e in &node.entries {
+                    heap.push(HeapEntry {
+                        distance: tree.points[e as usize].distance(&query),
+                        kind: EntryKind::Entry(e),
+                    });
                 }
             }
         }
-        None
     }
+    None
 }
 
 #[cfg(test)]
@@ -327,6 +391,26 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.knn(Point::new(0.0, 0.0), 5), vec![]);
         assert_eq!(tree.browse(Point::new(0.0, 0.0)).next(), None);
+        let mut scratch = BrowserScratch::new();
+        assert_eq!(tree.browse_in(Point::new(0.0, 0.0), &mut scratch).next(), None);
+    }
+
+    #[test]
+    fn scratch_browser_matches_owning_browser_across_reuses() {
+        let entries = scattered_points(300);
+        let tree = RTree::bulk_load(&entries);
+        let mut scratch = BrowserScratch::new();
+        for q in [Point::new(123.0, 456.0), Point::new(0.0, 999.0), Point::new(500.0, 1.0)] {
+            let owning: Vec<(f64, u32)> = tree.browse(q).collect();
+            let mut reused = tree.browse_in(q, &mut scratch);
+            let peek = reused.peek_distance();
+            let pooled: Vec<(f64, u32)> = reused.by_ref().collect();
+            assert_eq!(pooled.len(), owning.len());
+            for (a, b) in pooled.iter().zip(owning.iter()) {
+                assert!((a.0 - b.0).abs() < 1e-12);
+            }
+            assert!(peek.unwrap() <= pooled[0].0 + 1e-12);
+        }
     }
 
     #[test]

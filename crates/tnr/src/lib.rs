@@ -21,7 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rnknn_ch::{ChConfig, ContractionHierarchy};
+use rnknn_ch::{ChConfig, ChSearchSpace, ContractionHierarchy};
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 
 /// Configuration for Transit Node Routing.
@@ -273,6 +273,75 @@ impl TransitNodeRouting {
         (local.min(self.table_estimate(s, t)), effort)
     }
 
+    /// Prepares `state` for a sequence of distance queries from `s` (the IER-TNR hot
+    /// path): materialises the source's stopped forward search space once, and folds
+    /// the source side of the access-node table into a per-transit-node vector
+    /// `through[b] = min_a (d(s, a) + table[a][b])`, so each candidate pays
+    /// `O(|access(t)|)` for the table part instead of `O(|access(s)| · |access(t)|)`.
+    /// All buffers inside `state` are reused across calls; returns the search-effort
+    /// counters of the forward space materialisation.
+    pub fn begin_source(
+        &self,
+        s: NodeId,
+        state: &mut TnrSourceState,
+    ) -> rnknn_ch::ChSearchCounters {
+        let is_transit = |v: NodeId| self.transit_nodes.binary_search(&v).is_ok();
+        let counters =
+            self.ch.upward_search_space_stopping_at_into(s, is_transit, &mut state.space);
+        let t_count = self.transit_nodes.len();
+        state.through.clear();
+        state.through.resize(t_count, INFINITY);
+        for &(a, da) in self.access(s) {
+            let row = &self.table[a as usize * t_count..(a as usize + 1) * t_count];
+            for (b, &through) in row.iter().enumerate() {
+                if through != INFINITY && da + through < state.through[b] {
+                    state.through[b] = da + through;
+                }
+            }
+        }
+        state.source = Some(s);
+        counters
+    }
+
+    /// Exact network distance from the source prepared by
+    /// [`TransitNodeRouting::begin_source`] to `t`, reusing every buffer in `state`.
+    /// Equivalent to [`TransitNodeRouting::distance_with_counters`] from that source
+    /// (the same local-search / table-estimate minimum), but the forward side is paid
+    /// once per source instead of once per candidate.
+    pub fn distance_from_source_with_counters(
+        &self,
+        state: &mut TnrSourceState,
+        t: NodeId,
+    ) -> (Weight, rnknn_ch::ChSearchCounters) {
+        let s = state.source.expect("begin_source must be called before distance_from_source");
+        let mut effort = rnknn_ch::ChSearchCounters::default();
+        if s == t {
+            return (0, effort);
+        }
+        let is_transit = |v: NodeId| self.transit_nodes.binary_search(&v).is_ok();
+        effort.accumulate(self.ch.upward_search_space_stopping_at_into(
+            t,
+            is_transit,
+            &mut state.backward,
+        ));
+        let local = state.space.meet(&state.backward);
+        let mut table = INFINITY;
+        for &(b, db) in self.access(t) {
+            let through = state.through[b as usize];
+            if through != INFINITY && through + db < table {
+                table = through + db;
+            }
+        }
+        if self.is_local(s, t) {
+            self.counters.local_only.fetch_add(1, Ordering::Relaxed);
+            let (ch_distance, cc) = self.ch.distance_with_counters(s, t);
+            effort.accumulate(cc);
+            return (local.min(table).min(ch_distance), effort);
+        }
+        self.counters.table_queries.fetch_add(1, Ordering::Relaxed);
+        (local.min(table), effort)
+    }
+
     /// Distance estimate through the access-node table (exact for non-local pairs whose
     /// contracted shortest path peaks at a transit node; an upper bound otherwise).
     pub fn table_estimate(&self, s: NodeId, t: NodeId) -> Weight {
@@ -293,12 +362,58 @@ impl TransitNodeRouting {
     }
 }
 
+/// Reusable per-source query state for [`TransitNodeRouting::begin_source`] /
+/// [`TransitNodeRouting::distance_from_source_with_counters`]: the source's stopped
+/// forward search space, the folded source side of the access-node table, and a
+/// scratch buffer for the per-candidate backward searches. All buffers persist across
+/// sources, so re-beginning from a new source allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct TnrSourceState {
+    source: Option<NodeId>,
+    space: ChSearchSpace,
+    through: Vec<Weight>,
+    backward: ChSearchSpace,
+}
+
+impl TnrSourceState {
+    /// Creates an empty state (no allocation until the first `begin_source`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The source the state was last prepared for, if any.
+    pub fn source(&self) -> Option<NodeId> {
+        self.source
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
     use rnknn_graph::EdgeWeightKind;
     use rnknn_pathfinding::dijkstra;
+
+    #[test]
+    fn source_state_reuse_matches_pairwise_distances() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(800, 27));
+        for kind in [EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let g = net.graph(kind);
+            let tnr = TransitNodeRouting::build(&g);
+            let n = g.num_vertices() as NodeId;
+            let mut state = TnrSourceState::new();
+            for s in [3u32, n / 2, n - 5] {
+                let counters = tnr.begin_source(s, &mut state);
+                assert!(counters.settled > 0);
+                assert_eq!(state.source(), Some(s));
+                for t in (0..n).step_by(43) {
+                    let (got, _) = tnr.distance_from_source_with_counters(&mut state, t);
+                    assert_eq!(got, tnr.distance(s, t), "{s}->{t} {kind:?}");
+                    assert_eq!(got, dijkstra::distance(&g, s, t), "{s}->{t} {kind:?}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn distances_match_dijkstra() {

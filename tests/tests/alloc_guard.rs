@@ -1,0 +1,160 @@
+//! Steady-state allocation guard for the pooled query path.
+//!
+//! The engine's contract (ISSUE 5 tentpole) is that `Engine::query_into` on a warm
+//! per-thread scratch pool performs **zero heap allocations** for the pooled
+//! methods. This binary installs a counting global allocator and proves it for
+//! G-tree, INE and IER-CH (and, as a bonus, the remaining IER oracle methods),
+//! and pins `Engine::query`'s overhead to exactly the returned result vector.
+//!
+//! The counter is process-global but the test binary runs these assertions from a
+//! single thread; `cargo test` parallelism across *binaries* does not share the
+//! allocator static.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn::QueryOutput;
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, NodeId};
+use rnknn_objects::uniform;
+
+/// Counts `alloc`/`realloc` calls (deallocations are free to the steady-state
+/// argument and are not counted).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Builds an engine with the indexes the pooled methods need (no SILC/PHL — the
+/// DisBrw OH hierarchy and SILC refinement are documented as not allocation-free).
+fn pooled_engine() -> (Engine, Vec<NodeId>) {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(2_000, 77));
+    let graph = net.graph(EdgeWeightKind::Distance);
+    let config = EngineConfig {
+        build_gtree: true,
+        build_road: true,
+        build_silc: false,
+        build_ch: true,
+        build_phl: false,
+        build_tnr: true,
+        ..Default::default()
+    };
+    let mut engine = Engine::build(graph, &config);
+    engine.set_objects(uniform(engine.graph(), 0.02, 9));
+    let n = engine.graph().num_vertices() as NodeId;
+    let queries: Vec<NodeId> = (0..12u32).map(|i| (i * 157 + 11) % n).collect();
+    (engine, queries)
+}
+
+#[test]
+fn steady_state_queries_allocate_nothing_for_pooled_methods() {
+    let (engine, queries) = pooled_engine();
+    let k = 8;
+    // Methods whose pooled path must be allocation-free. G-tree, INE and IER-CH are
+    // the acceptance set; the IER oracle variants share the same pooled machinery.
+    let methods = [
+        Method::Gtree,
+        Method::Ine,
+        Method::IerCh,
+        Method::IerDijkstra,
+        Method::IerAStar,
+        Method::IerTnr,
+        Method::IerGtree,
+        Method::Road,
+    ];
+    let mut out = QueryOutput::default();
+    for &method in &methods {
+        // Warm-up: two full passes over the query set grow every pooled buffer
+        // (heaps, distance arrays, border rows, candidate lists) to this workload's
+        // high-water mark.
+        for _ in 0..2 {
+            for &q in &queries {
+                engine.query_into(method, q, k, &mut out).expect("warm-up query");
+            }
+        }
+        // Steady state: the exact same queries must not touch the allocator.
+        for &q in &queries {
+            let before = allocations();
+            engine.query_into(method, q, k, &mut out).expect("steady-state query");
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{} allocated {} time(s) on a warm scratch pool at q={q}",
+                method.name(),
+                after - before
+            );
+            assert!(!out.result.is_empty(), "{} returned nothing at q={q}", method.name());
+        }
+    }
+}
+
+#[test]
+fn query_overhead_over_query_into_is_exactly_the_result_vector() {
+    let (engine, queries) = pooled_engine();
+    let k = 8;
+    let mut out = QueryOutput::default();
+    for _ in 0..2 {
+        for &q in &queries {
+            engine.query_into(Method::Gtree, q, k, &mut out).expect("warm-up");
+            let _ = engine.query(Method::Gtree, q, k).expect("warm-up");
+        }
+    }
+    for &q in &queries {
+        let before = allocations();
+        let output = engine.query(Method::Gtree, q, k).expect("query");
+        let after = allocations();
+        // A returned `Vec` must be heap-allocated (ownership passes to the caller),
+        // so `query` can never be zero-allocation — but it must be exactly that one
+        // allocation (possibly grown once while filling: ≤ 2 allocator calls).
+        assert!(
+            (1..=2).contains(&(after - before)),
+            "Engine::query made {} allocator calls at q={q}; expected just the result vector",
+            after - before
+        );
+        drop(output);
+    }
+}
+
+#[test]
+fn fresh_baseline_allocates_and_pooled_path_agrees_with_it() {
+    let (engine, queries) = pooled_engine();
+    let k = 8;
+    let mut out = QueryOutput::default();
+    for &method in &[Method::Gtree, Method::Ine, Method::IerCh] {
+        for &q in &queries {
+            engine.query_into(method, q, k, &mut out).expect("pooled query");
+            let before = allocations();
+            let fresh = engine.query_fresh(method, q, k).expect("fresh query");
+            let after = allocations();
+            assert!(
+                after - before > 0,
+                "{} fresh baseline made no allocations — it no longer measures the \
+                 pre-pooling cost",
+                method.name()
+            );
+            assert_eq!(fresh.result, out.result, "{} pooled != fresh at q={q}", method.name());
+        }
+    }
+}

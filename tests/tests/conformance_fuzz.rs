@@ -52,7 +52,11 @@ struct Config {
 }
 
 /// Asserts every supported method against INE and the ground truth on `queries`.
-/// Returns how many (method × query) checks ran.
+/// Every method runs **twice back-to-back** from the same engine — the first call
+/// may warm the per-thread scratch pool, the second must reuse it bit-for-bit —
+/// and on the first query additionally against the fresh-allocation baseline
+/// (`Engine::query_fresh`), closing the class of stale-scratch bugs the pooled
+/// query path could introduce. Returns how many (method × query) checks ran.
 fn check_conformance(
     engine: &Engine,
     objects: &ObjectSet,
@@ -60,7 +64,7 @@ fn check_conformance(
     config: Config,
 ) -> usize {
     let mut checks = 0;
-    for &q in queries {
+    for (qi, &q) in queries.iter().enumerate() {
         let ine = engine
             .query(Method::Ine, q, config.k)
             .unwrap_or_else(|e| panic!("INE failed under {config:?}: {e}"));
@@ -91,6 +95,30 @@ fn check_conformance(
                 "{} returned an invalid result (bad vertex or unsorted) at q={q} under {config:?}",
                 method.name()
             );
+            // Second pass from the now-warm scratch pool: fresh and reused scratch
+            // must agree exactly (including vertex identity, not just distances).
+            let reused = engine
+                .query(method, q, config.k)
+                .unwrap_or_else(|e| panic!("{} rerun failed under {config:?}: {e}", method.name()));
+            assert_eq!(
+                reused.result,
+                output.result,
+                "{} diverged on scratch reuse at q={q} under {config:?}",
+                method.name()
+            );
+            // The fresh-allocation baseline is the pre-pooling code path; spot-check
+            // it on the first query of each configuration.
+            if qi == 0 {
+                let fresh = engine.query_fresh(method, q, config.k).unwrap_or_else(|e| {
+                    panic!("{} query_fresh failed under {config:?}: {e}", method.name())
+                });
+                assert_eq!(
+                    fresh.result,
+                    output.result,
+                    "{} pooled path disagrees with the fresh baseline at q={q} under {config:?}",
+                    method.name()
+                );
+            }
             checks += 1;
         }
     }

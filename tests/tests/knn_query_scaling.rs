@@ -1,0 +1,88 @@
+//! Release-only per-method query-latency regression guard (the query-side analogue
+//! of `ch_scaling.rs` / `gtree_scaling.rs`).
+//!
+//! ISSUE 5 established the committed kNN query-latency trajectory
+//! (`BENCH_knn_query.json`); this guard keeps future PRs honest at the 116k tier.
+//! Budgets are ~10x the single-core medians measured when the trajectory was
+//! committed (G-tree ~1.4ms, INE ~110µs, IER-CH ~630µs, IER-Gt ~660µs at k=10,
+//! d=0.01) — if one trips, either the pooled query path regressed or an index
+//! build changed query-relevant structure.
+
+#![cfg(not(debug_assertions))]
+
+use std::time::{Duration, Instant};
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn::verify::matches_ground_truth;
+use rnknn::QueryOutput;
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, NodeId};
+use rnknn_objects::uniform;
+
+/// Median of per-query wall-clock times for `method` over `queries`.
+fn p50_micros(engine: &Engine, method: Method, queries: &[NodeId], k: usize) -> f64 {
+    let mut out = QueryOutput::default();
+    // Warm-up pass: grow every pooled buffer to the workload's high-water mark.
+    for &q in queries {
+        engine.query_into(method, q, k, &mut out).expect("warm-up query");
+    }
+    let mut times: Vec<u64> = Vec::with_capacity(queries.len());
+    for &q in queries {
+        let start = Instant::now();
+        engine.query_into(method, q, k, &mut out).expect("measured query");
+        times.push(start.elapsed().as_micros() as u64);
+    }
+    times.sort_unstable();
+    times[times.len() / 2] as f64
+}
+
+#[test]
+fn per_method_query_p50_stays_within_budget_at_116k() {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(100_000, 42));
+    let graph = net.graph(EdgeWeightKind::Distance);
+    let config = EngineConfig {
+        build_gtree: true,
+        build_road: false,
+        build_silc: false,
+        build_ch: true,
+        build_phl: false,
+        build_tnr: false,
+        ..Default::default()
+    };
+    let mut engine = Engine::build(graph, &config);
+    let objects = uniform(engine.graph(), 0.01, 1);
+    engine.set_objects(objects.clone());
+
+    let n = engine.graph().num_vertices() as NodeId;
+    let queries: Vec<NodeId> =
+        (0..200u64).map(|i| ((i * 2_654_435_769) % n as u64) as NodeId).collect();
+    let k = 10;
+
+    // Exactness first: a fast-but-wrong query path must never pass the guard.
+    for &q in queries.iter().take(3) {
+        for method in [Method::Gtree, Method::Ine, Method::IerCh, Method::IerGtree] {
+            let output = engine.query(method, q, k).expect("query");
+            assert!(
+                matches_ground_truth(engine.graph(), q, k, &objects, &output.result),
+                "{} wrong at q={q}",
+                method.name()
+            );
+        }
+    }
+
+    let budgets = [
+        (Method::Gtree, Duration::from_micros(14_000)),
+        (Method::Ine, Duration::from_micros(1_500)),
+        (Method::IerCh, Duration::from_micros(6_500)),
+        (Method::IerGtree, Duration::from_micros(7_000)),
+    ];
+    for (method, budget) in budgets {
+        let p50 = p50_micros(&engine, method, &queries, k);
+        assert!(
+            Duration::from_micros(p50 as u64) < budget,
+            "{} p50 {}µs exceeds the {budget:?} budget at 116k",
+            method.name(),
+            p50
+        );
+    }
+}
