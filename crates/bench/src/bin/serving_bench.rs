@@ -1,0 +1,58 @@
+//! Live-traffic serving bench (the serving-layer counterpart of `knn_query_bench`).
+//!
+//! Builds the serving stack — G-tree engine, epoch-snapshotted `ObjectStore`,
+//! sharded batching `ServeFront` — on generated networks of increasing size,
+//! Dijkstra-verifies interleaved update/query rounds, then measures sustained
+//! queries/sec while object updates stream through at 0%, 1% and 10% of |O| per
+//! second. Writes the trajectory to `BENCH_serving.json` in the workspace root so
+//! CI can track serving throughput across PRs.
+//!
+//! Usage: `cargo run --release -p rnknn-bench --bin serving_bench
+//!         [--sizes 100000,500000] [--k 10] [--density 0.01]
+//!         [--seconds 3.0] [--smoke]`
+
+use std::time::Duration;
+
+use rnknn_bench::serving;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![100_000, 500_000];
+    let mut k = 10usize;
+    // Serving regime: ~1 object per 100 vertices, matching BENCH_knn_query.json.
+    let mut density = 0.01f64;
+    let mut seconds = 3.0f64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i].split(',').map(|s| s.trim().parse().expect("size")).collect();
+            }
+            "--k" => {
+                i += 1;
+                k = args[i].parse().expect("k");
+            }
+            "--density" => {
+                i += 1;
+                density = args[i].parse().expect("density");
+            }
+            "--seconds" => {
+                i += 1;
+                seconds = args[i].parse().expect("seconds per cell");
+            }
+            "--smoke" => {
+                // The CI tier: identical to what CI smoke-runs.
+                serving::run_and_track();
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let points = serving::measure(&sizes, k, density, Duration::from_secs_f64(seconds));
+    let path = serving::tracking_file();
+    std::fs::write(path, serving::render_json(&points)).expect("write BENCH_serving.json");
+    println!("wrote {path}");
+}

@@ -711,6 +711,320 @@ pub mod knn_query {
     }
 }
 
+/// Mixed-workload serving benchmark (ISSUE 6), shared by `serving::run_and_track`
+/// (CI smoke run) and the `serving_bench` binary: spin up the live-traffic stack —
+/// [`rnknn_serve::ObjectStore`] epochs plus the [`rnknn_serve::ServeFront`]
+/// sharded batching pool — on generated networks of increasing size and measure
+/// **sustained queries/sec** while object updates stream through at a configured
+/// rate (0%, 1% and 10% of |O| per second). Correctness is gated before any
+/// timing: interleaved update/query rounds are verified against the Dijkstra
+/// ground truth of their exact epoch. The trajectory is persisted to
+/// `BENCH_serving.json` so serving throughput is tracked across PRs like the
+/// construction and query trajectories.
+pub mod serving {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use rnknn::engine::{Engine, EngineConfig, Method};
+    use rnknn::verify::ground_truth;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_graph::NodeId;
+    use rnknn_objects::{churn_stream, uniform, ChurnConfig, ObjectSet, UpdateEvent};
+    use rnknn_serve::{KnnRequest, ObjectStore, ServeConfig, ServeFront, SubmitError};
+
+    /// The update rates the trajectory tracks, as a fraction of |O| per second.
+    pub const UPDATE_RATES: [f64; 3] = [0.0, 0.01, 0.10];
+
+    /// The serving method: G-tree is the paper's serving-grade pick (fastest of
+    /// the always-buildable methods at every size — Figure 9).
+    pub const METHOD: Method = Method::Gtree;
+
+    /// One update-rate cell at one network size.
+    #[derive(Debug, Clone)]
+    pub struct RateCell {
+        /// Target update rate as a fraction of |O| per second.
+        pub rate: f64,
+        /// Target update events per second implied by `rate`.
+        pub updates_per_sec: f64,
+        /// Update events actually applied (no-ops excluded).
+        pub updates_applied: u64,
+        /// Epochs published during the run.
+        pub epochs: u64,
+        /// Requests answered.
+        pub served: u64,
+        /// Wall-clock seconds of the measured window.
+        pub seconds: f64,
+        /// Sustained throughput: `served / seconds`.
+        pub qps: f64,
+    }
+
+    /// All cells at one network size.
+    #[derive(Debug, Clone)]
+    pub struct ServingPoint {
+        /// Vertices of the generated network.
+        pub vertices: usize,
+        /// Objects in the initial uniform set.
+        pub objects: usize,
+        /// k used for every query.
+        pub k: usize,
+        /// Worker (shard) count of the front.
+        pub workers: usize,
+        /// One cell per tracked update rate.
+        pub cells: Vec<RateCell>,
+    }
+
+    /// Builds the serving engine for one tier (G-tree only: the single method the
+    /// workload dispatches plus INE for verification, which needs no index).
+    fn build_engine(size: usize) -> Engine {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let config = EngineConfig {
+            build_gtree: true,
+            build_road: false,
+            build_silc: false,
+            build_ch: false,
+            build_phl: false,
+            build_tnr: false,
+            ..Default::default()
+        };
+        Engine::build(graph, &config)
+    }
+
+    /// The correctness gate: paced update/query rounds against the live store,
+    /// each response checked against the Dijkstra ground truth of the exact epoch
+    /// it was served from. Panics on any divergence, so a fast-but-wrong serving
+    /// stack never lands in the tracking file.
+    fn verify_interleaved(
+        engine: &Arc<Engine>,
+        store: &Arc<ObjectStore>,
+        feeder: &mut ObjectSet,
+        k: usize,
+        rounds: u64,
+        queries_per_round: u64,
+    ) {
+        let n = store.engine().graph().num_vertices();
+        for round in 0..rounds {
+            let batch = churn_stream(
+                n,
+                feeder,
+                &ChurnConfig { events: 8, seed: 5_000 + round, ..Default::default() },
+            );
+            for event in batch {
+                event.apply_to(feeder);
+                store.stage(event);
+            }
+            let snap = store.publish();
+            assert_eq!(snap.objects().vertices(), feeder.vertices(), "round {round}");
+            for probe in 0..queries_per_round {
+                let q = ((round * 7919 + probe * 2_654_435_769) % n as u64) as NodeId;
+                let out = engine.query_snapshot(METHOD, q, k, snap.indexes()).expect("query");
+                let truth: Vec<_> = ground_truth(engine.graph(), q, k, snap.objects())
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect();
+                assert_eq!(
+                    out.distances(),
+                    truth,
+                    "round {round}: {} diverged from its epoch's Dijkstra ground truth at q={q}",
+                    METHOD.name()
+                );
+            }
+        }
+    }
+
+    /// One measured cell: drive the front with a saturating query stream for
+    /// `duration` while pacing updates at `rate * |O|` events per second, then
+    /// drain and report sustained QPS.
+    fn measure_cell(
+        store: &Arc<ObjectStore>,
+        feeder: &mut ObjectSet,
+        workers: usize,
+        k: usize,
+        rate: f64,
+        duration: Duration,
+    ) -> RateCell {
+        let (front, responses) =
+            ServeFront::start(Arc::clone(store), ServeConfig { workers, ..Default::default() });
+        let n = store.engine().graph().num_vertices();
+        let updates_per_sec = rate * feeder.len() as f64;
+
+        // Pre-generate more churn than the pacing can consume; regenerate from the
+        // evolved membership if the run outlasts the batch.
+        let mut churn_seed = 10_000u64;
+        let mut pending: Vec<UpdateEvent> = Vec::new();
+        let mut next_event = 0usize;
+
+        let applied_before = front.updates_applied();
+        let start = Instant::now();
+        let mut submitted = 0u64;
+        let mut drained = 0u64;
+        let mut updates_sent = 0u64;
+        let mut id = 0u64;
+        loop {
+            let elapsed = start.elapsed();
+            if elapsed >= duration {
+                break;
+            }
+            // Pace updates: keep the submitted count at rate * elapsed.
+            let due = (updates_per_sec * elapsed.as_secs_f64()) as u64;
+            while updates_sent < due {
+                if next_event >= pending.len() {
+                    pending = churn_stream(
+                        n,
+                        feeder,
+                        &ChurnConfig { events: 256, seed: churn_seed, ..Default::default() },
+                    );
+                    churn_seed += 1;
+                    next_event = 0;
+                }
+                let event = pending[next_event];
+                next_event += 1;
+                event.apply_to(feeder);
+                front.submit_update(event).expect("updater alive");
+                updates_sent += 1;
+            }
+            // Saturating query stream: push until backpressure, then drain.
+            let q = ((id * 2_654_435_769) % n as u64) as NodeId;
+            match front.try_submit(KnnRequest { id, method: METHOD, query: q, k }) {
+                Ok(()) => {
+                    submitted += 1;
+                    id += 1;
+                }
+                Err(SubmitError::Saturated(_)) => {
+                    // Shard full: let the workers catch up by draining responses.
+                    if responses.recv_timeout(Duration::from_millis(50)).is_ok() {
+                        drained += 1;
+                    }
+                }
+                Err(e) => panic!("submit failed: {e}"),
+            }
+            while let Ok(r) = responses.try_recv() {
+                r.output.as_ref().expect("query failed");
+                drained += 1;
+            }
+        }
+        // Drain the tail (still part of the measured window: the work was real).
+        while drained < submitted {
+            let r = responses.recv_timeout(Duration::from_secs(60)).expect("drain timed out");
+            r.output.as_ref().expect("query failed");
+            drained += 1;
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let mut front = front;
+        let stats = front.shutdown();
+        assert_eq!(stats.served, submitted, "front lost requests");
+        RateCell {
+            rate,
+            updates_per_sec,
+            updates_applied: front.updates_applied() - applied_before,
+            epochs: stats.epochs_published,
+            served: submitted,
+            seconds,
+            qps: submitted as f64 / seconds.max(1e-9),
+        }
+    }
+
+    /// Measures one [`ServingPoint`] per requested size: a Dijkstra-verified
+    /// interleaved warm-up, then one sustained-throughput cell per update rate.
+    pub fn measure(
+        sizes: &[usize],
+        k: usize,
+        density: f64,
+        duration: Duration,
+    ) -> Vec<ServingPoint> {
+        let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
+        let mut points = Vec::new();
+        for &size in sizes {
+            let build_start = Instant::now();
+            let engine = Arc::new(build_engine(size));
+            let initial = uniform(engine.graph(), density, 1);
+            let mut feeder = initial.clone();
+            let num_objects = initial.len();
+            let store = Arc::new(ObjectStore::new(Arc::clone(&engine), initial));
+            println!(
+                "serving bench n={:>7} vertices={:>7} objects={:>6} workers={workers} (built in {:.1}s)",
+                size,
+                engine.graph().num_vertices(),
+                num_objects,
+                build_start.elapsed().as_secs_f64()
+            );
+            verify_interleaved(&engine, &store, &mut feeder, k, 3, 3);
+            println!("  interleaved update/query rounds Dijkstra-verified");
+
+            let mut cells = Vec::new();
+            for rate in UPDATE_RATES {
+                let cell = measure_cell(&store, &mut feeder, workers, k, rate, duration);
+                println!(
+                    "  rate={:>4.0}%/s ({:>6.1} ev/s): {:>8.0} q/s sustained ({} queries, {} updates, {} epochs, {:.2}s)",
+                    rate * 100.0,
+                    cell.updates_per_sec,
+                    cell.qps,
+                    cell.served,
+                    cell.updates_applied,
+                    cell.epochs,
+                    cell.seconds
+                );
+                cells.push(cell);
+            }
+            points.push(ServingPoint {
+                vertices: engine.graph().num_vertices(),
+                objects: num_objects,
+                k,
+                workers,
+                cells,
+            });
+        }
+        points
+    }
+
+    /// Renders the tracking JSON for `BENCH_serving.json`.
+    pub fn render_json(points: &[ServingPoint]) -> String {
+        let mut json = String::from(
+            "{\n  \"bench\": \"serving\",\n  \"unit\": \"sustained queries-per-second under live object updates\",\n  \"method\": \"Gtree\",\n  \"points\": [\n",
+        );
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"vertices\": {}, \"objects\": {}, \"k\": {}, \"workers\": {}, \"cells\": [\n",
+                p.vertices, p.objects, p.k, p.workers
+            ));
+            for (j, c) in p.cells.iter().enumerate() {
+                json.push_str(&format!(
+                    "      {{\"update_rate_per_sec\": {:.2}, \"target_updates_per_sec\": {:.1}, \"updates_applied\": {}, \"epochs\": {}, \"served\": {}, \"seconds\": {:.2}, \"qps\": {:.0}}}{}\n",
+                    c.rate,
+                    c.updates_per_sec,
+                    c.updates_applied,
+                    c.epochs,
+                    c.served,
+                    c.seconds,
+                    c.qps,
+                    if j + 1 < p.cells.len() { "," } else { "" }
+                ));
+            }
+            json.push_str(&format!("    ]}}{}\n", if i + 1 < points.len() { "," } else { "" }));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Path of the tracking file (workspace root).
+    pub fn tracking_file() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json")
+    }
+
+    /// Measures the 23k smoke tier with short windows (the CI run; the
+    /// `serving_bench` binary extends the trajectory to the committed 116k/580k
+    /// tiers) and writes the tracking file. Workload parameters (k=10, d=0.01)
+    /// match the binary's defaults so the tiers stay comparable.
+    pub fn run_and_track() -> Vec<ServingPoint> {
+        let points = measure(&[20_000], 10, 0.01, Duration::from_millis(500));
+        let path = tracking_file();
+        std::fs::write(path, render_json(&points)).expect("write BENCH_serving.json");
+        println!("wrote {path}");
+        points
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,16 +16,16 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use rnknn_graph::{ChainIndex, Graph, NodeId};
-use rnknn_gtree::{Gtree, GtreeConfig, OccurrenceList};
-use rnknn_objects::{ObjectRTree, ObjectSet};
-use rnknn_road::{AssociationDirectory, RoadConfig, RoadIndex};
+use rnknn_gtree::{Gtree, GtreeConfig};
+use rnknn_objects::{ObjectSet, UpdateEvent};
+use rnknn_road::{RoadConfig, RoadIndex};
 use rnknn_silc::{SilcConfig, SilcIndex};
 
 use crate::error::EngineError;
+use crate::live::ObjectIndexes;
 use crate::methods;
 use crate::query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput};
 use crate::scratch::EngineScratch;
-use crate::KnnResult;
 
 thread_local! {
     /// The engine scratch pool: one [`EngineScratch`] per thread, created lazily on
@@ -183,11 +183,8 @@ pub struct Engine {
     phl: Option<rnknn_phl::HubLabels>,
     tnr: Option<rnknn_tnr::TransitNodeRouting>,
     build_times: BuildTimes,
-    // Current object set and derived object indexes.
-    objects: Option<ObjectSet>,
-    rtree: Option<ObjectRTree>,
-    occurrence: Option<OccurrenceList>,
-    association: Option<AssociationDirectory>,
+    /// Current object set with its derived object indexes (see [`ObjectIndexes`]).
+    live: Option<ObjectIndexes>,
 }
 
 impl Engine {
@@ -260,21 +257,7 @@ impl Engine {
             None
         };
 
-        Engine {
-            graph,
-            chains,
-            gtree,
-            road,
-            silc,
-            ch,
-            phl,
-            tnr,
-            build_times,
-            objects: None,
-            rtree: None,
-            occurrence: None,
-            association: None,
-        }
+        Engine { graph, chains, gtree, road, silc, ch, phl, tnr, build_times, live: None }
     }
 
     /// The road network.
@@ -314,7 +297,12 @@ impl Engine {
 
     /// The current object set, if any.
     pub fn objects(&self) -> Option<&ObjectSet> {
-        self.objects.as_ref()
+        self.live.as_ref().map(|l| l.objects())
+    }
+
+    /// The currently-installed object indexes, if any.
+    pub fn object_indexes(&self) -> Option<&ObjectIndexes> {
+        self.live.as_ref()
     }
 
     /// True when `method` can be answered with the indexes that were built
@@ -348,7 +336,7 @@ impl Engine {
                 return Err(EngineError::MissingIndex { method, index: kind });
             }
         }
-        if self.objects.is_none() {
+        if self.live.is_none() {
             return Err(EngineError::NoObjects);
         }
         Ok(algorithm)
@@ -356,23 +344,67 @@ impl Engine {
 
     /// Injects an object set, rebuilding the per-method object indexes (the cheap,
     /// decoupled step of Section 7.4).
+    ///
+    /// Installing a new set also advances the process-wide object generation, so
+    /// per-thread scratches that served the old set invalidate their object-derived
+    /// state on their next query (see [`crate::scratch`]).
     pub fn set_objects(&mut self, objects: ObjectSet) {
-        self.rtree = Some(ObjectRTree::build(&self.graph, &objects));
-        self.occurrence = self.gtree.as_ref().map(|g| OccurrenceList::build(g, objects.vertices()));
-        self.association = self
-            .road
-            .as_ref()
-            .map(|r| AssociationDirectory::build(r, self.graph.num_vertices(), objects.vertices()));
-        self.objects = Some(objects);
+        let live = self.build_object_indexes(objects);
+        self.set_object_indexes(live);
+    }
+
+    /// Installs pre-built object indexes (e.g. an epoch snapshot evolved outside the
+    /// engine via [`Engine::apply_object_update`]).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `live` lacks an index this engine's methods expect
+    /// (occurrence list without a G-tree build is fine; the reverse is not).
+    pub fn set_object_indexes(&mut self, live: ObjectIndexes) {
+        debug_assert!(
+            self.gtree.is_none() || live.occurrence().is_some(),
+            "object indexes lack the occurrence list this engine's G-tree needs"
+        );
+        debug_assert!(
+            self.road.is_none() || live.association().is_some(),
+            "object indexes lack the association directory this engine's ROAD needs"
+        );
+        self.live = Some(live);
+    }
+
+    /// Builds a fresh [`ObjectIndexes`] bundle for `objects` against this engine's
+    /// road-network indexes, without installing it — the full-rebuild baseline, and
+    /// the way the serving layer seeds an epoch before evolving it incrementally.
+    pub fn build_object_indexes(&self, objects: ObjectSet) -> ObjectIndexes {
+        ObjectIndexes::build(&self.graph, self.gtree.as_ref(), self.road.as_ref(), objects)
+    }
+
+    /// Applies one update event to `live` **in place** (no index rebuild; see
+    /// [`ObjectIndexes::apply`] for the per-index strategies and cost). Returns
+    /// whether the event changed anything. `live` must have been built against this
+    /// engine (via [`Engine::build_object_indexes`] or cloned from another such
+    /// bundle).
+    pub fn apply_object_update(&self, live: &mut ObjectIndexes, event: UpdateEvent) -> bool {
+        live.apply(&self.graph, self.gtree.as_ref(), self.road.as_ref(), event)
+    }
+
+    /// Applies one update event to the engine's installed object indexes in place.
+    /// Returns whether the event changed anything; `Err(NoObjects)` if no object set
+    /// was ever installed.
+    pub fn update_objects(&mut self, event: UpdateEvent) -> Result<bool, EngineError> {
+        let mut live = self.live.take().ok_or(EngineError::NoObjects)?;
+        let applied = self.apply_object_update(&mut live, event);
+        self.live = Some(live);
+        Ok(applied)
     }
 
     /// Answers a kNN query with the chosen method, returning the result together
     /// with unified per-query [`crate::QueryStats`].
     ///
-    /// Unlike the deprecated [`Engine::knn`], this never panics: a missing
-    /// index, a missing object set, an out-of-range vertex or `k == 0` come
-    /// back as an [`EngineError`]. The engine is borrowed immutably, so any
-    /// number of queries may run concurrently (see [`Engine::knn_batch`]).
+    /// This never panics: a missing index, a missing object set, an out-of-range
+    /// vertex or `k == 0` come back as an [`EngineError`]. The engine is borrowed
+    /// immutably, so any number of queries may run concurrently (see
+    /// [`Engine::knn_batch`]).
     ///
     /// ```
     /// use rnknn::{Engine, EngineConfig, EngineError, Method};
@@ -459,14 +491,76 @@ impl Engine {
         out.result.clear();
         out.stats = Default::default();
         let algorithm = self.validate(method, k)?;
+        let live = self.live.as_ref().ok_or(EngineError::NoObjects)?;
+        self.dispatch(algorithm, query, k, live, scratch, out)
+    }
+
+    /// Answers a kNN query against **external** object indexes instead of the
+    /// engine's installed set — the serving layer's epoch-snapshot path: the engine
+    /// contributes the (immutable) road-network indexes, the caller the object view
+    /// and the scratch, so many epochs can serve concurrently over one engine.
+    ///
+    /// `live` must have been built against this engine ([`Engine::build_object_indexes`])
+    /// and may have been evolved with [`Engine::apply_object_update`]. The engine's
+    /// own object set, if any, is ignored and need not exist.
+    pub fn query_with_objects(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        live: &ObjectIndexes,
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
+        out.result.clear();
+        out.stats = Default::default();
+        if k == 0 {
+            return Err(EngineError::InvalidK { k });
+        }
+        let algorithm = methods::algorithm(method);
+        for &kind in algorithm.required_indexes() {
+            if !self.has_index(kind) {
+                return Err(EngineError::MissingIndex { method, index: kind });
+            }
+        }
+        self.dispatch(algorithm, query, k, live, scratch, out)
+    }
+
+    /// [`Engine::query_with_objects`] on the calling thread's pooled scratch,
+    /// returning a fresh [`QueryOutput`] (convenience for tests and callers outside
+    /// a serving worker).
+    pub fn query_snapshot(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        live: &ObjectIndexes,
+    ) -> Result<QueryOutput, EngineError> {
+        let mut out = QueryOutput::default();
+        ENGINE_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            self.query_with_objects(method, query, k, live, scratch, &mut out)
+        })?;
+        Ok(out)
+    }
+
+    /// The validated dispatch tail shared by every query path: range-check the
+    /// query vertex, sync the scratch's object generation, build the context over
+    /// `live`'s object view and run the algorithm.
+    fn dispatch(
+        &self,
+        algorithm: &'static dyn KnnAlgorithm,
+        query: NodeId,
+        k: usize,
+        live: &ObjectIndexes,
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         let num_vertices = self.graph.num_vertices();
         if query as usize >= num_vertices {
             return Err(EngineError::InvalidVertex { vertex: query, num_vertices });
         }
-        let (objects, rtree) = match (&self.objects, &self.rtree) {
-            (Some(objects), Some(rtree)) => (objects, rtree),
-            _ => return Err(EngineError::NoObjects),
-        };
+        scratch.sync_object_generation(live.generation());
         let ctx = QueryContext {
             graph: &self.graph,
             chains: &self.chains,
@@ -476,10 +570,10 @@ impl Engine {
             ch: self.ch.as_ref(),
             phl: self.phl.as_ref(),
             tnr: self.tnr.as_ref(),
-            objects,
-            rtree,
-            occurrence: self.occurrence.as_ref(),
-            association: self.association.as_ref(),
+            objects: live.objects(),
+            rtree: live.rtree(),
+            occurrence: live.occurrence(),
+            association: live.association(),
         };
         let start = Instant::now();
         algorithm.knn_into(&ctx, query, k, scratch, out)?;
@@ -559,17 +653,6 @@ impl Engine {
                 .collect::<Vec<_>>()
         });
         chunk_results.into_iter().flatten().collect()
-    }
-
-    /// Answers a kNN query, panicking on any error.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Engine::query, which returns Result and per-query QueryStats"
-    )]
-    pub fn knn(&self, method: Method, query: NodeId, k: usize) -> KnnResult {
-        self.query(method, query, k)
-            .unwrap_or_else(|e| panic!("kNN query failed: {e} (use Engine::query for a Result)"))
-            .result
     }
 }
 
@@ -744,6 +827,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Incremental object updates through `update_objects` must answer exactly like
+    /// an engine whose indexes were rebuilt from the same membership.
+    #[test]
+    fn incremental_updates_answer_like_a_rebuilt_engine() {
+        use rnknn_objects::{churn_stream, ChurnConfig};
+
+        let net = RoadNetwork::generate(&GeneratorConfig::new(700, 21));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let mut engine = Engine::build(graph, &EngineConfig::minimal());
+        let initial = uniform(engine.graph(), 0.03, 11);
+        let mut reference = initial.clone();
+        engine.set_objects(initial);
+
+        let events = churn_stream(
+            engine.graph().num_vertices(),
+            &reference,
+            &ChurnConfig { events: 120, seed: 77, ..Default::default() },
+        );
+        let n = engine.graph().num_vertices() as NodeId;
+        for (i, event) in events.into_iter().enumerate() {
+            assert_eq!(engine.update_objects(event).unwrap(), event.apply_to(&mut reference));
+            if i % 15 == 0 {
+                let q = (i as NodeId * 37) % n;
+                let rebuilt = ObjectIndexes::build(
+                    engine.graph(),
+                    engine.gtree(),
+                    engine.road(),
+                    reference.clone(),
+                );
+                for m in [Method::Ine, Method::Gtree, Method::Road, Method::IerDijkstra] {
+                    let live = engine.query(m, q, 5).unwrap();
+                    let fresh = engine.query_snapshot(m, q, 5, &rebuilt).unwrap();
+                    assert_eq!(
+                        live.distances(),
+                        fresh.distances(),
+                        "event {i}: {} diverged from rebuild",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// External snapshots answer through `query_with_objects` without touching (or
+    /// requiring) the engine's installed set, and generations stay distinct.
+    #[test]
+    fn external_snapshots_serve_queries_independently() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 6));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let engine = Engine::build(graph, &EngineConfig::minimal());
+        // No installed object set at all: query() errors, snapshots still serve.
+        assert_eq!(engine.query(Method::Ine, 3, 2).unwrap_err(), EngineError::NoObjects);
+
+        let a = engine.build_object_indexes(uniform(engine.graph(), 0.02, 1));
+        let mut b = a.clone();
+        assert!(engine.apply_object_update(&mut b, UpdateEvent::Insert(3)));
+        assert!(b.generation() > a.generation(), "updates must advance the generation");
+
+        let from_a = engine.query_snapshot(Method::Gtree, 3, 3, &a).unwrap();
+        let from_b = engine.query_snapshot(Method::Gtree, 3, 3, &b).unwrap();
+        assert_eq!(from_b.result[0], (3, 0), "snapshot b has an object at the query vertex");
+        assert_ne!(from_a.result[0].1, 0, "snapshot a must not see b's insert");
+        // Conformance against INE on the same snapshot.
+        let ine_b = engine.query_snapshot(Method::Ine, 3, 3, &b).unwrap();
+        assert_eq!(from_b.distances(), ine_b.distances());
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //! queries, so the steady-state serving path ([`Engine::query_into`]) performs zero
 //! heap allocations for the pooled methods — see [`scratch`] for the reuse contract.
 //!
+//! Object sets need not be swapped wholesale: [`live::ObjectIndexes`] maintains every
+//! method's object index **incrementally** under insert/remove/move updates
+//! ([`Engine::update_objects`] in place, or [`Engine::apply_object_update`] on
+//! caller-owned epoch snapshots served through [`Engine::query_with_objects`]) — the
+//! substrate of the `rnknn-serve` live-traffic layer.
+//!
 //! ```
 //! use rnknn::{Engine, EngineConfig, EngineError, Method};
 //! use rnknn_graph::{generator::GeneratorConfig, EdgeWeightKind, generator::RoadNetwork};
@@ -59,6 +65,7 @@ pub mod engine;
 pub mod error;
 pub mod ier;
 pub mod ine;
+pub mod live;
 pub mod methods;
 pub mod query;
 pub mod scratch;
@@ -66,6 +73,7 @@ pub mod verify;
 
 pub use engine::{BuildTimes, Engine, EngineConfig, Method};
 pub use error::EngineError;
+pub use live::ObjectIndexes;
 pub use query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
 pub use scratch::EngineScratch;
 

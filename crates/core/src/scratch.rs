@@ -21,9 +21,14 @@
 //!   each query re-arms what it uses (epoch bump or `clear()` that keeps capacity).
 //!   A scratch serves engines of different sizes interleaved on one thread: arrays
 //!   size to the largest graph seen, epoch tags keep smaller queries correct.
-//! * **`set_objects` interaction** — the scratch caches no object-set-derived state
-//!   (candidate buffers are refilled per query), so swapping object sets requires no
-//!   scratch invalidation.
+//! * **Object-generation invalidation** — candidate buffers, browse heaps and
+//!   best-k storage are refilled per query, but as a hard backstop every scratch
+//!   also carries the [object generation](crate::ObjectIndexes::generation) it
+//!   last served. The dispatch path compares it against the queried indexes'
+//!   generation and, on mismatch, clears all object-derived buffers (keeping
+//!   capacity) before stamping the new generation — so `Engine::set_objects`,
+//!   an applied update or an epoch swap can never leak stale candidates into a
+//!   pooled query, even across engines interleaved on one thread.
 
 use rnknn_objects::BrowserScratch;
 use rnknn_pathfinding::scratch::SearchScratch;
@@ -55,6 +60,9 @@ pub struct EngineScratch {
     /// pools (the G-tree materialization store). False only for the fresh-allocation
     /// baseline, so `Engine::query_fresh` measures the true pre-pooling cost.
     pub(crate) reuse_pools: bool,
+    /// The object generation this scratch last served (0 = never). See the module
+    /// docs: a mismatch on dispatch clears all object-derived buffers.
+    pub(crate) objects_generation: u64,
 }
 
 impl Default for EngineScratch {
@@ -67,6 +75,7 @@ impl Default for EngineScratch {
             tnr: rnknn_tnr::TnrSourceState::default(),
             disbrw: DisBrwScratch::default(),
             reuse_pools: true,
+            objects_generation: 0,
         }
     }
 }
@@ -82,5 +91,18 @@ impl EngineScratch {
     /// the baseline by `Engine::query_fresh` and the query benchmarks.
     pub fn unpooled() -> Self {
         EngineScratch { reuse_pools: false, ..Self::default() }
+    }
+
+    /// Ensures this scratch carries no state derived from an object view other than
+    /// `generation`: on mismatch, clears every object-derived buffer (browse heap,
+    /// Distance Browsing candidates/queues/best-k — capacity kept) and stamps the
+    /// new generation. `O(1)` in the steady state where the generation is unchanged.
+    pub(crate) fn sync_object_generation(&mut self, generation: u64) {
+        if self.objects_generation == generation {
+            return;
+        }
+        self.browser.clear();
+        self.disbrw.clear_object_state();
+        self.objects_generation = generation;
     }
 }

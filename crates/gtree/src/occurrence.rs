@@ -65,6 +65,92 @@ impl OccurrenceList {
         self.num_objects
     }
 
+    /// Registers a new object at vertex `v` in place, propagating the presence
+    /// flag along the leaf-to-root path and stopping as soon as an ancestor
+    /// already knows about objects below it — `O(depth)` worst case, usually far
+    /// less. Returns whether `v` was newly indexed.
+    pub fn insert(&mut self, gtree: &Gtree, v: NodeId) -> bool {
+        let leaf = gtree.leaf_of(v);
+        let objects = &mut self.leaf_objects[leaf as usize];
+        let at = objects.partition_point(|&o| o < v);
+        if objects.get(at) == Some(&v) {
+            return false;
+        }
+        let was_occupied = !objects.is_empty();
+        objects.insert(at, v);
+        self.num_objects += 1;
+        if !was_occupied {
+            self.propagate_presence(gtree, leaf);
+        }
+        true
+    }
+
+    /// Removes the object at vertex `v` in place; when its leaf empties, the
+    /// presence flags along the leaf-to-root path are withdrawn until an ancestor
+    /// still holds objects through another child. Returns whether `v` was indexed.
+    pub fn remove(&mut self, gtree: &Gtree, v: NodeId) -> bool {
+        let leaf = gtree.leaf_of(v);
+        let objects = &mut self.leaf_objects[leaf as usize];
+        let at = objects.partition_point(|&o| o < v);
+        if objects.get(at) != Some(&v) {
+            return false;
+        }
+        objects.remove(at);
+        self.num_objects -= 1;
+        if objects.is_empty() {
+            self.withdraw_presence(gtree, leaf);
+        }
+        true
+    }
+
+    /// Walks from newly-occupied `node` towards the root, recording it (and then
+    /// each newly-occupied ancestor) in its parent's `children_with_objects`.
+    fn propagate_presence(&mut self, gtree: &Gtree, mut node: NodeIndex) {
+        while let Some(parent) = gtree.node(node).parent {
+            let position = gtree
+                .node(parent)
+                .children
+                .iter()
+                .position(|&c| c == node)
+                .expect("child missing from its parent") as u32;
+            let list = &mut self.children_with_objects[parent as usize];
+            let at = list.partition_point(|&ci| ci < position);
+            if list.get(at) == Some(&position) {
+                return; // The parent already knew; ancestors do too.
+            }
+            let parent_was_occupied = !list.is_empty();
+            list.insert(at, position);
+            if parent_was_occupied {
+                return;
+            }
+            node = parent;
+        }
+    }
+
+    /// Walks from newly-emptied `node` towards the root, removing it from its
+    /// parent's `children_with_objects`; stops at the first ancestor that still
+    /// has objects through another child.
+    fn withdraw_presence(&mut self, gtree: &Gtree, mut node: NodeIndex) {
+        while let Some(parent) = gtree.node(node).parent {
+            let position = gtree
+                .node(parent)
+                .children
+                .iter()
+                .position(|&c| c == node)
+                .expect("child missing from its parent") as u32;
+            let list = &mut self.children_with_objects[parent as usize];
+            let at = list.partition_point(|&ci| ci < position);
+            if list.get(at) != Some(&position) {
+                return; // Already absent (defensive; flags were consistent).
+            }
+            list.remove(at);
+            if !list.is_empty() {
+                return;
+            }
+            node = parent;
+        }
+    }
+
     /// True when the subtree rooted at `node` contains at least one object.
     pub fn has_objects(&self, gtree: &Gtree, node: NodeIndex) -> bool {
         if gtree.node(node).is_leaf() {
@@ -151,6 +237,55 @@ mod tests {
             for &ci in occ.children_with_objects(i as NodeIndex) {
                 let child = node.children[ci as usize];
                 assert!(occ.has_objects(&tree, child));
+            }
+        }
+    }
+
+    /// Incremental insert/remove must leave the list structurally identical to a
+    /// full rebuild from the same membership, at every step of a random churn.
+    #[test]
+    fn incremental_updates_match_full_rebuild_under_churn() {
+        let (g, tree) = tree();
+        let n = g.num_vertices() as NodeId;
+        let mut members: Vec<NodeId> = g.vertices().filter(|v| v % 13 == 2).collect();
+        let mut occ = OccurrenceList::build(&tree, &members);
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..500 {
+            if rng() % 2 == 0 && members.len() > 1 {
+                let at = (rng() as usize) % members.len();
+                let v = members.swap_remove(at);
+                assert!(occ.remove(&tree, v), "step {step}: remove({v})");
+                assert!(!occ.remove(&tree, v), "step {step}: double remove({v})");
+            } else {
+                let v = (rng() % n as u64) as NodeId;
+                let fresh = !members.contains(&v);
+                assert_eq!(occ.insert(&tree, v), fresh, "step {step}: insert({v})");
+                if fresh {
+                    members.push(v);
+                }
+            }
+            if step % 25 == 0 {
+                let rebuilt = OccurrenceList::build(&tree, &members);
+                assert_eq!(occ.num_objects(), rebuilt.num_objects(), "step {step}");
+                for node in 0..tree.num_nodes() {
+                    let node = node as NodeIndex;
+                    assert_eq!(
+                        occ.children_with_objects(node),
+                        rebuilt.children_with_objects(node),
+                        "step {step}: node {node} children diverged"
+                    );
+                    assert_eq!(
+                        occ.leaf_objects(node),
+                        rebuilt.leaf_objects(node),
+                        "step {step}: node {node} leaf objects diverged"
+                    );
+                }
             }
         }
     }

@@ -68,6 +68,133 @@ pub fn clustered(
     ObjectSet::new(format!("clustered |C|={num_clusters}"), n, objects)
 }
 
+/// One object-set mutation in a live-traffic update stream (a taxi coming online,
+/// going offline, or relocating).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateEvent {
+    /// A new object comes online at the vertex.
+    Insert(NodeId),
+    /// The object at the vertex goes offline.
+    Remove(NodeId),
+    /// The object at `from` relocates to `to`.
+    Move {
+        /// Vertex the object leaves.
+        from: NodeId,
+        /// Vertex the object arrives at.
+        to: NodeId,
+    },
+}
+
+impl UpdateEvent {
+    /// Replays this event onto a plain [`ObjectSet`], returning whether the set
+    /// changed. These are the reference semantics every incremental object index
+    /// must match: `Insert` is a no-op on a member, `Remove` on a non-member, and
+    /// `Move` applies only when `from` is a member and `to` is not.
+    pub fn apply_to(self, set: &mut ObjectSet) -> bool {
+        match self {
+            UpdateEvent::Insert(v) => set.insert(v),
+            UpdateEvent::Remove(v) => set.remove(v),
+            UpdateEvent::Move { from, to } => {
+                if from == to || !set.contains(from) || set.contains(to) {
+                    return false;
+                }
+                set.remove(from);
+                set.insert(to)
+            }
+        }
+    }
+}
+
+/// Knobs for [`churn_stream`].
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Relative weight of `Insert` events.
+    pub insert_weight: u32,
+    /// Relative weight of `Remove` events.
+    pub remove_weight: u32,
+    /// Relative weight of `Move` events.
+    pub move_weight: u32,
+    /// Generator seed (same seed + same initial set = same stream).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    /// Balanced churn: population stays roughly constant (insert ≈ remove), and
+    /// half the traffic is objects relocating — the taxi workload.
+    fn default() -> Self {
+        ChurnConfig { events: 256, insert_weight: 1, remove_weight: 1, move_weight: 2, seed: 1 }
+    }
+}
+
+/// Generates a seeded, internally-consistent update stream against `initial`:
+/// every `Remove`/`Move` names a vertex that is an object at that point of the
+/// stream, every `Insert`/`Move` target is not, and the set never empties. The
+/// same stream drives the interleaved update/query conformance tests and the
+/// mixed-workload serving benchmark.
+pub fn churn_stream(
+    num_vertices: usize,
+    initial: &ObjectSet,
+    config: &ChurnConfig,
+) -> Vec<UpdateEvent> {
+    let mut rng = SplitMix64::new(config.seed ^ 0xC4A2_11FE);
+    let mut working = initial.clone();
+    let mut events = Vec::with_capacity(config.events);
+    let total = (config.insert_weight + config.remove_weight + config.move_weight).max(1);
+    // Rejection-samples a non-member vertex; None when the set is (nearly) full.
+    let pick_free = |rng: &mut SplitMix64, set: &ObjectSet| -> Option<NodeId> {
+        if set.len() >= num_vertices {
+            return None;
+        }
+        for _ in 0..64 {
+            let v = rng.next_below(num_vertices as u64) as NodeId;
+            if !set.contains(v) {
+                return Some(v);
+            }
+        }
+        None
+    };
+    let pick_member = |rng: &mut SplitMix64, set: &ObjectSet| -> Option<NodeId> {
+        if set.is_empty() {
+            return None;
+        }
+        Some(set.vertices()[rng.next_below(set.len() as u64) as usize])
+    };
+    let mut attempts = 0usize;
+    while events.len() < config.events {
+        // Degenerate configurations (a full or single-object set with one-sided
+        // weights) could starve forever; give up after enough failed draws.
+        attempts += 1;
+        if attempts > config.events.saturating_mul(64).max(1024) {
+            break;
+        }
+        let roll = rng.next_below(total as u64) as u32;
+        let event = if roll < config.insert_weight {
+            pick_free(&mut rng, &working).map(UpdateEvent::Insert)
+        } else if roll < config.insert_weight + config.remove_weight {
+            // Never drain the set completely: queries against an empty set answer
+            // trivially and would make the conformance runs vacuous.
+            if working.len() <= 1 {
+                None
+            } else {
+                pick_member(&mut rng, &working).map(UpdateEvent::Remove)
+            }
+        } else {
+            match (pick_member(&mut rng, &working), pick_free(&mut rng, &working)) {
+                (Some(from), Some(to)) if from != to => Some(UpdateEvent::Move { from, to }),
+                _ => None,
+            }
+        };
+        if let Some(event) = event {
+            let changed = event.apply_to(&mut working);
+            debug_assert!(changed, "generator emitted a no-op event {event:?}");
+            events.push(event);
+        }
+    }
+    events
+}
+
 /// The family of minimum-object-distance sets `R_1 … R_m` (Section 4.2): set `R_i`
 /// contains objects whose network distance from the network's centre vertex is at least
 /// `D_max / 2^(m - i + 1)`, so higher `i` means more remote objects.
@@ -202,6 +329,59 @@ mod tests {
             }
         }
         assert!(near * 2 >= set.len(), "only {near} of {} objects near another", set.len());
+    }
+
+    #[test]
+    fn churn_stream_is_seeded_and_internally_consistent() {
+        let g = graph(700, 3);
+        let initial = uniform(&g, 0.02, 5);
+        let config = ChurnConfig { events: 400, ..Default::default() };
+        let stream = churn_stream(g.num_vertices(), &initial, &config);
+        assert_eq!(stream.len(), 400);
+        // Deterministic for a seed, different across seeds.
+        assert_eq!(stream, churn_stream(g.num_vertices(), &initial, &config));
+        let other =
+            churn_stream(g.num_vertices(), &initial, &ChurnConfig { seed: 9, ..config.clone() });
+        assert_ne!(stream, other);
+        // Every event applies cleanly in order, and the set never empties.
+        let mut set = initial.clone();
+        let mut inserts = 0;
+        let mut removes = 0;
+        let mut moves = 0;
+        for &e in &stream {
+            match e {
+                UpdateEvent::Insert(v) => {
+                    assert!(!set.contains(v));
+                    inserts += 1;
+                }
+                UpdateEvent::Remove(v) => {
+                    assert!(set.contains(v));
+                    removes += 1;
+                }
+                UpdateEvent::Move { from, to } => {
+                    assert!(set.contains(from) && !set.contains(to) && from != to);
+                    moves += 1;
+                }
+            }
+            assert!(e.apply_to(&mut set));
+            assert!(!set.is_empty());
+        }
+        // Default weights: all three event kinds occur, moves dominate.
+        assert!(inserts > 0 && removes > 0 && moves > 0);
+        assert!(moves > inserts && moves > removes);
+    }
+
+    #[test]
+    fn update_event_replay_semantics() {
+        let mut set = ObjectSet::new("t", 100, vec![10, 20]);
+        assert!(!UpdateEvent::Insert(10).apply_to(&mut set));
+        assert!(UpdateEvent::Insert(30).apply_to(&mut set));
+        assert!(!UpdateEvent::Remove(99).apply_to(&mut set));
+        assert!(UpdateEvent::Remove(20).apply_to(&mut set));
+        assert!(!UpdateEvent::Move { from: 20, to: 40 }.apply_to(&mut set)); // gone
+        assert!(!UpdateEvent::Move { from: 10, to: 30 }.apply_to(&mut set)); // occupied
+        assert!(UpdateEvent::Move { from: 10, to: 40 }.apply_to(&mut set));
+        assert_eq!(set.vertices(), &[30, 40]);
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod set;
 pub use builders::{
     build_association_directory, build_occurrence_list, build_rtree, ObjectIndexCost,
 };
-pub use generators::{clustered, min_object_distance, uniform, MinDistanceSets};
+pub use generators::{
+    churn_stream, clustered, min_object_distance, uniform, ChurnConfig, MinDistanceSets,
+    UpdateEvent,
+};
 pub use poi::{PoiCategory, PoiSets};
 pub use rnknn_spatial::rtree::BrowserScratch;
 pub use set::{ObjectRTree, ObjectSet};

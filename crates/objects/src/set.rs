@@ -57,6 +57,33 @@ impl ObjectSet {
         self.bitmap.get((v / 64) as usize).is_some_and(|w| w & (1 << (v % 64)) != 0)
     }
 
+    /// Adds `v` to the set, returning whether it was newly inserted. `O(log |O|)`
+    /// membership check plus a sorted-vector insert — the incremental-update
+    /// primitive of the live serving layer.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        let word = (v / 64) as usize;
+        assert!(word < self.bitmap.len(), "object vertex {v} out of range");
+        if self.contains(v) {
+            return false;
+        }
+        self.bitmap[word] |= 1 << (v % 64);
+        let at = self.objects.partition_point(|&o| o < v);
+        self.objects.insert(at, v);
+        true
+    }
+
+    /// Removes `v` from the set, returning whether it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        if !self.contains(v) {
+            return false;
+        }
+        self.bitmap[(v / 64) as usize] &= !(1 << (v % 64));
+        let at = self.objects.partition_point(|&o| o < v);
+        debug_assert_eq!(self.objects[at], v);
+        self.objects.remove(at);
+        true
+    }
+
     /// Size of the raw object list in bytes — the lower bound on object-index storage
     /// that Figure 18(a) labels "INE".
     pub fn memory_bytes(&self) -> usize {
@@ -102,6 +129,17 @@ impl ObjectRTree {
     /// Incremental Euclidean nearest-neighbor browser starting at `query`.
     pub fn browse(&self, query: Point) -> EuclideanBrowser<'_> {
         self.rtree.browse(query)
+    }
+
+    /// Indexes a new object incrementally (coordinates come from `graph`). The
+    /// caller guards membership — inserting a vertex twice would duplicate it.
+    pub fn insert(&mut self, graph: &Graph, v: NodeId) {
+        self.rtree.insert(graph.coord(v), v);
+    }
+
+    /// Removes an object incrementally, returning whether it was indexed.
+    pub fn remove(&mut self, graph: &Graph, v: NodeId) -> bool {
+        self.rtree.remove(graph.coord(v), v)
     }
 
     /// [`ObjectRTree::browse`] on a reusable [`BrowserScratch`] (no per-browse

@@ -10,13 +10,27 @@ use rnknn_graph::NodeId;
 use crate::index::{RnetIndex, RoadIndex};
 
 /// Association directory for one object set over one ROAD index.
+///
+/// Incremental maintenance: [`AssociationDirectory::insert`] sets the Rnet bits
+/// along the leaf-to-root path eagerly, while [`AssociationDirectory::remove`]
+/// only clears the (exact) per-vertex bit and **dirty-marks** the Rnet bits —
+/// clearing them would require proving no other object lives in the Rnet, so
+/// they are left conservatively stale-true instead. Stale bits cost pruning
+/// opportunities, never correctness; [`AssociationDirectory::repair`] rebuilds
+/// them from the current object list once enough removals have accumulated
+/// (the lazy-repair half of the scheme).
 #[derive(Debug, Clone)]
 pub struct AssociationDirectory {
-    /// One bit per Rnet: set when the Rnet contains at least one object.
+    /// One bit per Rnet: set when the Rnet *may* contain an object (exact after
+    /// build/repair, conservatively stale between removals and the next repair).
     rnet_has_object: Vec<u64>,
-    /// One bit per road-network vertex: set when the vertex is an object.
+    /// One bit per road-network vertex: set when the vertex is an object (always
+    /// exact).
     vertex_is_object: Vec<u64>,
     num_objects: usize,
+    /// Removals applied since the Rnet bits were last exact; `0` means the
+    /// directory is clean.
+    dirty_removals: usize,
 }
 
 impl AssociationDirectory {
@@ -48,12 +62,96 @@ impl AssociationDirectory {
                 }
             }
         }
-        AssociationDirectory { rnet_has_object, vertex_is_object, num_objects }
+        AssociationDirectory { rnet_has_object, vertex_is_object, num_objects, dirty_removals: 0 }
     }
 
     /// Number of distinct objects indexed.
     pub fn num_objects(&self) -> usize {
         self.num_objects
+    }
+
+    /// Registers a new object at vertex `v` in place: sets the vertex bit and
+    /// eagerly propagates the Rnet presence bits up the leaf-to-root path
+    /// (stopping at the first ancestor already flagged). Returns whether `v` was
+    /// newly indexed.
+    pub fn insert(&mut self, road: &RoadIndex, v: NodeId) -> bool {
+        let word = (v / 64) as usize;
+        let mask = 1u64 << (v % 64);
+        if self.vertex_is_object[word] & mask != 0 {
+            return false;
+        }
+        self.vertex_is_object[word] |= mask;
+        self.num_objects += 1;
+        let mut r = road.leaf_of(v);
+        loop {
+            let word = (r / 64) as usize;
+            let mask = 1u64 << (r % 64);
+            if self.rnet_has_object[word] & mask != 0 {
+                break;
+            }
+            self.rnet_has_object[word] |= mask;
+            match road.rnet(r).parent {
+                Some(p) => r = p,
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// Removes the object at vertex `v`: the vertex bit is cleared exactly, the
+    /// Rnet bits along its path are left **dirty** (stale-true is safe — ROAD
+    /// merely loses the bypass for that Rnet until the next [`repair`]). Returns
+    /// whether `v` was indexed.
+    ///
+    /// [`repair`]: AssociationDirectory::repair
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        let word = (v / 64) as usize;
+        let mask = 1u64 << (v % 64);
+        if self.vertex_is_object[word] & mask == 0 {
+            return false;
+        }
+        self.vertex_is_object[word] &= !mask;
+        self.num_objects -= 1;
+        self.dirty_removals += 1;
+        true
+    }
+
+    /// Removals applied since the Rnet presence bits were last exact.
+    pub fn dirty_removals(&self) -> usize {
+        self.dirty_removals
+    }
+
+    /// True when enough removals have accumulated that a [`repair`] is worthwhile
+    /// (the lazy-repair policy: more stale bits than a quarter of the live
+    /// objects, with a small absolute floor).
+    ///
+    /// [`repair`]: AssociationDirectory::repair
+    pub fn needs_repair(&self) -> bool {
+        self.dirty_removals > 16.max(self.num_objects / 4)
+    }
+
+    /// Rebuilds the Rnet presence bits exactly from `objects` (the current object
+    /// list), clearing the dirty counter. `O(|O| · depth)` — the propagation half
+    /// of a full build, without touching the vertex bits or any allocation.
+    pub fn repair(&mut self, road: &RoadIndex, objects: &[NodeId]) {
+        self.rnet_has_object.iter_mut().for_each(|w| *w = 0);
+        for &o in objects {
+            debug_assert!(self.is_object(o), "repair list disagrees with vertex bits");
+            let mut r = road.leaf_of(o);
+            loop {
+                let word = (r / 64) as usize;
+                let mask = 1u64 << (r % 64);
+                if self.rnet_has_object[word] & mask != 0 {
+                    break;
+                }
+                self.rnet_has_object[word] |= mask;
+                match road.rnet(r).parent {
+                    Some(p) => r = p,
+                    None => break,
+                }
+            }
+        }
+        self.dirty_removals = 0;
     }
 
     /// True when Rnet `r` contains at least one object.
@@ -114,6 +212,83 @@ mod tests {
             });
             assert_eq!(flagged, contains, "rnet {ri}");
         }
+    }
+
+    /// Under churn the vertex bits stay exact, the Rnet bits stay a superset of a
+    /// fresh build's (stale-true is the allowed direction), and `repair` restores
+    /// exact equality.
+    #[test]
+    fn incremental_updates_stay_conservative_and_repair_restores_exactness() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 6));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let road = RoadIndex::build_with_config(
+            &g,
+            RoadConfig { fanout: 4, levels: 3, min_rnet_vertices: 16 },
+        );
+        let mut members: Vec<NodeId> = g.vertices().filter(|v| v % 19 == 4).collect();
+        let mut dir = AssociationDirectory::build(&road, g.num_vertices(), &members);
+        let mut state = 0xACE1u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let num_rnets = road.num_rnets();
+        for step in 0..400 {
+            if rng() % 2 == 0 && members.len() > 1 {
+                let v = members.swap_remove((rng() as usize) % members.len());
+                assert!(dir.remove(v), "step {step}");
+                assert!(!dir.remove(v), "step {step}: double remove");
+            } else {
+                let v = (rng() % g.num_vertices() as u64) as NodeId;
+                let fresh = !members.contains(&v);
+                assert_eq!(dir.insert(&road, v), fresh, "step {step}");
+                if fresh {
+                    members.push(v);
+                }
+            }
+            assert_eq!(dir.num_objects(), members.len());
+            if step % 20 == 0 {
+                let exact = AssociationDirectory::build(&road, g.num_vertices(), &members);
+                for v in g.vertices() {
+                    assert_eq!(dir.is_object(v), exact.is_object(v), "step {step}: vertex {v}");
+                }
+                for r in 0..num_rnets {
+                    let r = r as RnetIndex;
+                    // Conservative: never a false negative.
+                    assert!(
+                        !exact.rnet_has_object(r) || dir.rnet_has_object(r),
+                        "step {step}: rnet {r} lost its presence bit"
+                    );
+                }
+                dir.repair(&road, &members);
+                assert_eq!(dir.dirty_removals(), 0);
+                for r in 0..num_rnets {
+                    let r = r as RnetIndex;
+                    assert_eq!(
+                        dir.rnet_has_object(r),
+                        exact.rnet_has_object(r),
+                        "step {step}: rnet {r} wrong after repair"
+                    );
+                }
+            }
+        }
+        // The lazy policy fires after enough removals. Grow the membership first so
+        // the drain cannot run out of objects before crossing the threshold.
+        for v in g.vertices().filter(|v| v % 19 == 5) {
+            if dir.insert(&road, v) {
+                members.push(v);
+            }
+        }
+        dir.repair(&road, &members);
+        assert!(!dir.needs_repair());
+        while !dir.needs_repair() {
+            assert!(members.len() > 1, "policy never triggered");
+            let v = members.swap_remove(0);
+            dir.remove(v);
+        }
+        assert!(dir.dirty_removals() > 16);
     }
 
     #[test]

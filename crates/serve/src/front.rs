@@ -1,0 +1,488 @@
+//! The sharded, batching serving front-end.
+//!
+//! [`ServeFront`] owns a pool of long-lived worker threads, each with its own
+//! bounded request queue and its own [`EngineScratch`] (so the zero-allocation
+//! steady-state query path applies per worker). Requests are sharded across the
+//! workers round-robin; each worker admits requests in **batches**: it pins the
+//! current [`EpochSnapshot`](crate::EpochSnapshot) once per batch, answers every query in the batch
+//! against that one consistent object view, then releases the snapshot and
+//! re-pins — which is what lets the update thread publish new epochs *between*
+//! batches without ever blocking a query or being blocked by one.
+//!
+//! Updates go through [`ServeFront::submit_update`] onto a dedicated updater
+//! thread that applies each event incrementally to the [`ObjectStore`] and
+//! publishes an epoch every [`ServeConfig::publish_every`] applied events (or
+//! when its queue momentarily drains, so a trickle of updates still becomes
+//! visible promptly).
+
+use std::num::NonZeroU64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use rnknn::{EngineError, EngineScratch, Method, QueryOutput};
+use rnknn_graph::NodeId;
+use rnknn_objects::UpdateEvent;
+
+use crate::store::ObjectStore;
+
+/// One kNN request: find the `k` objects nearest `query` with `method`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnRequest {
+    /// Caller-chosen correlation id, echoed in the [`KnnResponse`].
+    pub id: u64,
+    /// The kNN method to dispatch.
+    pub method: Method,
+    /// The query vertex.
+    pub query: NodeId,
+    /// How many neighbors.
+    pub k: usize,
+}
+
+/// The answer to one [`KnnRequest`].
+#[derive(Debug)]
+pub struct KnnResponse {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The epoch the query ran against (all requests of one admitted batch share
+    /// an epoch).
+    pub epoch: u64,
+    /// The worker that served the request.
+    pub worker: usize,
+    /// The result (or the engine's structured error).
+    pub output: Result<QueryOutput, EngineError>,
+}
+
+/// Serving knobs. The defaults favour the paper-scale single-machine setup; see
+/// `docs/METHODS.md` for the full knob table.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker (shard) count. Defaults to available parallelism.
+    pub workers: usize,
+    /// Bounded per-worker request-queue capacity; a full shard makes
+    /// [`ServeFront::try_submit`] push back instead of buffering unboundedly.
+    pub queue_capacity: usize,
+    /// Maximum requests a worker admits per epoch pin. Smaller batches observe
+    /// fresh epochs sooner; larger ones amortise the snapshot grab.
+    pub max_batch: usize,
+    /// The updater publishes an epoch after this many applied events (it also
+    /// publishes early whenever its queue momentarily drains).
+    pub publish_every: NonZeroU64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            queue_capacity: 1024,
+            max_batch: 32,
+            publish_every: NonZeroU64::new(64).unwrap(),
+        }
+    }
+}
+
+/// Why a request could not be accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The selected shard's queue is full (backpressure) — retry or shed load.
+    Saturated(KnnRequest),
+    /// The front is shutting down; no further requests are accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated(r) => write!(f, "shard queue full (request {})", r.id),
+            SubmitError::ShuttingDown => write!(f, "serving front is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The sharded batching front-end over one [`ObjectStore`] (see the module docs).
+///
+/// Construction spawns the workers and the updater; [`ServeFront::shutdown`] (or
+/// drop) closes the queues, drains in-flight work and joins every thread.
+/// Responses arrive on the [`Receiver`] returned by [`ServeFront::start`], in
+/// completion order (not submission order — correlate by `id`).
+pub struct ServeFront {
+    store: Arc<ObjectStore>,
+    shards: Vec<SyncSender<KnnRequest>>,
+    updates: Option<Sender<UpdateEvent>>,
+    workers: Vec<JoinHandle<WorkerStats>>,
+    updater: Option<JoinHandle<u64>>,
+    next_shard: AtomicU64,
+    served: Arc<AtomicU64>,
+    updates_applied: Arc<AtomicU64>,
+}
+
+/// Per-worker counters, folded into [`FrontStats`] at shutdown.
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    served: u64,
+    batches: u64,
+}
+
+/// Lifetime totals reported by [`ServeFront::shutdown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontStats {
+    /// Requests answered (across all workers).
+    pub served: u64,
+    /// Epoch pins (admitted batches) across all workers.
+    pub batches: u64,
+    /// Update events applied by the updater (no-op events excluded).
+    pub updates_applied: u64,
+    /// Epochs the updater published.
+    pub epochs_published: u64,
+}
+
+impl ServeFront {
+    /// Spawns the worker pool and updater over `store`, returning the front and
+    /// the response stream.
+    pub fn start(
+        store: Arc<ObjectStore>,
+        config: ServeConfig,
+    ) -> (ServeFront, Receiver<KnnResponse>) {
+        let workers = config.workers.max(1);
+        let (respond, responses) = mpsc::channel::<KnnResponse>();
+        let served = Arc::new(AtomicU64::new(0));
+        let updates_applied = Arc::new(AtomicU64::new(0));
+
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (tx, rx) = sync_channel::<KnnRequest>(config.queue_capacity.max(1));
+            shards.push(tx);
+            let store = Arc::clone(&store);
+            let respond = respond.clone();
+            let served = Arc::clone(&served);
+            let max_batch = config.max_batch.max(1);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rnknn-serve-{worker}"))
+                    .spawn(move || worker_loop(worker, store, rx, respond, served, max_batch))
+                    .expect("failed to spawn serving worker"),
+            );
+        }
+
+        let (update_tx, update_rx) = mpsc::channel::<UpdateEvent>();
+        let updater = {
+            let store = Arc::clone(&store);
+            let applied = Arc::clone(&updates_applied);
+            let publish_every = config.publish_every.get();
+            std::thread::Builder::new()
+                .name("rnknn-serve-updater".into())
+                .spawn(move || updater_loop(store, update_rx, applied, publish_every))
+                .expect("failed to spawn serving updater")
+        };
+
+        let front = ServeFront {
+            store,
+            shards,
+            updates: Some(update_tx),
+            workers: handles,
+            updater: Some(updater),
+            next_shard: AtomicU64::new(0),
+            served,
+            updates_applied,
+        };
+        (front, responses)
+    }
+
+    /// The store this front serves from.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a request, blocking while the selected shard's queue is full.
+    pub fn submit(&self, request: KnnRequest) -> Result<(), SubmitError> {
+        let shard = self.pick_shard();
+        self.shards[shard].send(request).map_err(|_| SubmitError::ShuttingDown)
+    }
+
+    /// Submits a request without blocking: a full shard returns
+    /// [`SubmitError::Saturated`] with the request handed back.
+    pub fn try_submit(&self, request: KnnRequest) -> Result<(), SubmitError> {
+        let shard = self.pick_shard();
+        match self.shards[shard].try_send(request) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(r)) => Err(SubmitError::Saturated(r)),
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Enqueues an object update for the updater thread (applied incrementally,
+    /// visible at its next epoch publish).
+    pub fn submit_update(&self, event: UpdateEvent) -> Result<(), SubmitError> {
+        match &self.updates {
+            Some(tx) => tx.send(event).map_err(|_| SubmitError::ShuttingDown),
+            None => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Requests answered so far (monotonic, readable while serving).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Update events applied so far (no-ops excluded; readable while serving).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied.load(Ordering::Relaxed)
+    }
+
+    /// Round-robin shard choice — uniform under any arrival pattern and cheap
+    /// enough to be irrelevant next to a query.
+    fn pick_shard(&self) -> usize {
+        (self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len() as u64) as usize
+    }
+
+    /// Closes the queues, waits for every in-flight request and queued update to
+    /// finish, joins all threads and returns the lifetime totals. Idempotent
+    /// (drop calls it too).
+    pub fn shutdown(&mut self) -> FrontStats {
+        // Closing the channels makes every loop exit once drained.
+        self.shards.clear();
+        drop(self.updates.take());
+        let mut stats = FrontStats::default();
+        for handle in self.workers.drain(..) {
+            let w = handle.join().expect("serving worker panicked");
+            stats.served += w.served;
+            stats.batches += w.batches;
+        }
+        if let Some(updater) = self.updater.take() {
+            stats.epochs_published = updater.join().expect("serving updater panicked");
+        }
+        stats.updates_applied = self.updates_applied.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+impl Drop for ServeFront {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: admit up to `max_batch` queued requests, pin the epoch once, answer
+/// the whole batch against it, repeat until the queue closes.
+fn worker_loop(
+    worker: usize,
+    store: Arc<ObjectStore>,
+    requests: Receiver<KnnRequest>,
+    respond: mpsc::Sender<KnnResponse>,
+    served: Arc<AtomicU64>,
+    max_batch: usize,
+) -> WorkerStats {
+    let engine = Arc::clone(store.engine());
+    let mut scratch = EngineScratch::new();
+    let mut out = QueryOutput::default();
+    let mut batch: Vec<KnnRequest> = Vec::with_capacity(max_batch);
+    let mut stats = WorkerStats::default();
+    loop {
+        // Block for the first request; then drain without blocking to fill the batch.
+        match requests.recv() {
+            Ok(first) => batch.push(first),
+            Err(_) => return stats, // Queue closed and drained.
+        }
+        while batch.len() < max_batch {
+            match requests.try_recv() {
+                Ok(r) => batch.push(r),
+                Err(_) => break,
+            }
+        }
+        // One epoch pin per batch: every request below sees this exact object view.
+        let snapshot = store.snapshot();
+        stats.batches += 1;
+        for request in batch.drain(..) {
+            let result = engine
+                .query_with_objects(
+                    request.method,
+                    request.query,
+                    request.k,
+                    snapshot.indexes(),
+                    &mut scratch,
+                    &mut out,
+                )
+                .map(|()| std::mem::take(&mut out));
+            stats.served += 1;
+            served.fetch_add(1, Ordering::Relaxed);
+            let response =
+                KnnResponse { id: request.id, epoch: snapshot.epoch(), worker, output: result };
+            if respond.send(response).is_err() {
+                // Response sink dropped: keep draining requests so submitters
+                // blocked on a full shard are not wedged, but stop replying.
+            }
+        }
+        // `snapshot` drops here, releasing the epoch before the next pin so the
+        // store's double buffer can reclaim it.
+        drop(snapshot);
+    }
+}
+
+/// The updater: apply events incrementally as they arrive, publish every
+/// `publish_every` applied events and whenever the queue momentarily drains.
+fn updater_loop(
+    store: Arc<ObjectStore>,
+    updates: Receiver<UpdateEvent>,
+    applied_counter: Arc<AtomicU64>,
+    publish_every: u64,
+) -> u64 {
+    let mut since_publish = 0u64;
+    let mut published = 0u64;
+    loop {
+        match updates.recv() {
+            Ok(event) => {
+                if store.stage(event) {
+                    applied_counter.fetch_add(1, Ordering::Relaxed);
+                    since_publish += 1;
+                }
+                // Opportunistically drain the queue before deciding to publish.
+                while since_publish < publish_every {
+                    match updates.try_recv() {
+                        Ok(event) => {
+                            if store.stage(event) {
+                                applied_counter.fetch_add(1, Ordering::Relaxed);
+                                since_publish += 1;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if since_publish > 0 {
+                    store.publish();
+                    published += 1;
+                    since_publish = 0;
+                }
+            }
+            Err(_) => {
+                // Channel closed: flush anything staged (incl. TTL expirations).
+                if store.pending_updates() > 0 {
+                    store.publish();
+                    published += 1;
+                }
+                return published;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rnknn::{Engine, EngineConfig};
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::EdgeWeightKind;
+    use rnknn_objects::uniform;
+
+    fn store() -> Arc<ObjectStore> {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(500, 47));
+        let engine =
+            Arc::new(Engine::build(net.graph(EdgeWeightKind::Distance), &EngineConfig::minimal()));
+        let objects = uniform(engine.graph(), 0.04, 2);
+        Arc::new(ObjectStore::new(engine, objects))
+    }
+
+    #[test]
+    fn responses_cover_every_request_and_shutdown_reports_totals() {
+        let store = store();
+        let engine = Arc::clone(store.engine());
+        let config = ServeConfig { workers: 3, max_batch: 4, ..Default::default() };
+        let (mut front, responses) = ServeFront::start(Arc::clone(&store), config);
+        assert_eq!(front.workers(), 3);
+        let n = engine.graph().num_vertices() as NodeId;
+        for id in 0..60u64 {
+            let request =
+                KnnRequest { id, method: Method::Ine, query: (id as NodeId * 29) % n, k: 3 };
+            front.submit(request).unwrap();
+        }
+        let mut seen = [false; 60];
+        for _ in 0..60 {
+            let r = responses.recv().unwrap();
+            assert!(!std::mem::replace(&mut seen[r.id as usize], true), "duplicate id {}", r.id);
+            let output = r.output.unwrap();
+            assert_eq!(output.result.len(), 3);
+            // Conformance on the exact epoch the worker pinned (epoch 0 here —
+            // no updates were submitted).
+            assert_eq!(r.epoch, 0);
+            let expect = engine
+                .query_snapshot(
+                    Method::Ine,
+                    (r.id as NodeId * 29) % n,
+                    3,
+                    store.snapshot().indexes(),
+                )
+                .unwrap();
+            assert_eq!(output.result, expect.result, "request {}", r.id);
+        }
+        let stats = front.shutdown();
+        assert_eq!(stats.served, 60);
+        assert!(stats.batches >= 60 / 4, "batching cannot exceed max_batch");
+        assert_eq!(stats.updates_applied, 0);
+        // Idempotent.
+        assert_eq!(front.shutdown().served, 0);
+    }
+
+    #[test]
+    fn updates_become_visible_and_errors_are_structured() {
+        let store = store();
+        let engine = Arc::clone(store.engine());
+        let (front, responses) =
+            ServeFront::start(Arc::clone(&store), ServeConfig { workers: 1, ..Default::default() });
+        let v =
+            engine.graph().vertices().find(|&v| !store.snapshot().objects().contains(v)).unwrap();
+        front.submit_update(UpdateEvent::Insert(v)).unwrap();
+        // Wait until the updater's publish lands, then query the new epoch.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while front.updates_applied() < 1 || store.snapshot().epoch() == 0 {
+            assert!(std::time::Instant::now() < deadline, "update never published");
+            std::thread::yield_now();
+        }
+        front.submit(KnnRequest { id: 1, method: Method::Gtree, query: v, k: 1 }).unwrap();
+        let r = responses.recv().unwrap();
+        assert!(r.epoch >= 1);
+        assert_eq!(r.output.unwrap().result[0], (v, 0));
+
+        // Structured errors come back as responses, not panics.
+        front.submit(KnnRequest { id: 2, method: Method::Ine, query: 0, k: 0 }).unwrap();
+        let r = responses.recv().unwrap();
+        assert_eq!(r.output.unwrap_err(), EngineError::InvalidK { k: 0 });
+        let bad = engine.graph().num_vertices() as NodeId;
+        front.submit(KnnRequest { id: 3, method: Method::Ine, query: bad, k: 1 }).unwrap();
+        let r = responses.recv().unwrap();
+        assert!(matches!(r.output.unwrap_err(), EngineError::InvalidVertex { .. }));
+    }
+
+    #[test]
+    fn try_submit_pushes_back_when_a_shard_saturates() {
+        let store = store();
+        // One worker with a tiny queue; flood it faster than it can drain.
+        let config =
+            ServeConfig { workers: 1, queue_capacity: 1, max_batch: 1, ..Default::default() };
+        let (mut front, responses) = ServeFront::start(store, config);
+        let mut accepted = 0u64;
+        let mut saturated = false;
+        for id in 0..10_000u64 {
+            match front.try_submit(KnnRequest { id, method: Method::Ine, query: 0, k: 2 }) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Saturated(r)) => {
+                    assert_eq!(r.id, id, "saturation must hand the request back");
+                    saturated = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(saturated, "a capacity-1 queue must eventually saturate");
+        let stats = front.shutdown();
+        assert_eq!(stats.served, accepted, "shutdown must drain every accepted request");
+        drop(responses);
+    }
+}

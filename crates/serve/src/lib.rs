@@ -1,0 +1,59 @@
+//! Live-traffic serving layer for road-network kNN.
+//!
+//! The paper's experiments (Section 7) rebuild every object index per object set —
+//! fine for benchmarking decoupled construction, wrong for a live service where
+//! taxis appear, vanish and relocate continuously while queries stream in. This
+//! crate is that serving layer, in two pieces:
+//!
+//! * [`ObjectStore`] — the single-writer store for a live object set. Mutations
+//!   ([`ObjectStore::insert`] (optionally with TTL), [`ObjectStore::remove`],
+//!   [`ObjectStore::move_to`]) are applied **incrementally** to every method's
+//!   object index (R-tree surgery, G-tree occurrence propagation, ROAD
+//!   association dirty-marking — see [`rnknn::live`]) and become visible
+//!   atomically at an epoch [`ObjectStore::publish`]. Readers pin an
+//!   [`EpochSnapshot`] and keep a consistent object view for as long as they
+//!   hold it; double buffering makes a publish `O(batch)`, not `O(|objects|)`.
+//!
+//! * [`ServeFront`] — a sharded pool of long-lived worker threads, each with a
+//!   bounded request queue and its own [`rnknn::EngineScratch`]. Workers admit
+//!   requests in batches, pinning the epoch once per batch, so updates publish
+//!   between batches without blocking queries (and vice versa). A dedicated
+//!   updater thread applies [`rnknn_objects::UpdateEvent`]s and paces epoch
+//!   publishes ([`ServeConfig::publish_every`]).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rnknn::{Engine, EngineConfig, Method};
+//! use rnknn_graph::{generator::{GeneratorConfig, RoadNetwork}, EdgeWeightKind};
+//! use rnknn_objects::{uniform, UpdateEvent};
+//! use rnknn_serve::{KnnRequest, ObjectStore, ServeConfig, ServeFront};
+//!
+//! let graph = RoadNetwork::generate(&GeneratorConfig::new(600, 5))
+//!     .graph(EdgeWeightKind::Distance);
+//! let engine = Arc::new(Engine::build(graph, &EngineConfig::minimal()));
+//! let store = Arc::new(ObjectStore::new(Arc::clone(&engine), uniform(engine.graph(), 0.05, 1)));
+//!
+//! let (front, responses) = ServeFront::start(Arc::clone(&store), ServeConfig::default());
+//! for id in 0..32 {
+//!     front.submit(KnnRequest { id, method: Method::Gtree, query: (id * 13) as u32 % 600, k: 4 })
+//!         .unwrap();
+//! }
+//! // Interleave an update; it becomes visible at the updater's next publish.
+//! front.submit_update(UpdateEvent::Insert(7)).unwrap();
+//!
+//! let mut got = 0;
+//! while got < 32 {
+//!     let response = responses.recv().unwrap();
+//!     assert_eq!(response.output.unwrap().result.len(), 4);
+//!     got += 1;
+//! }
+//! drop(front); // shuts down: drains queues, joins workers and updater
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod front;
+pub mod store;
+
+pub use front::{FrontStats, KnnRequest, KnnResponse, ServeConfig, ServeFront, SubmitError};
+pub use store::{EpochSnapshot, ObjectStore};

@@ -25,7 +25,8 @@ struct Node {
     entries: Vec<u32>,
 }
 
-/// An immutable, bulk-loaded R-tree over `(Point, payload)` entries.
+/// A bulk-loaded R-tree over `(Point, payload)` entries that also supports
+/// incremental [`RTree::insert`] / [`RTree::remove`] for live-object workloads.
 #[derive(Debug, Clone)]
 pub struct RTree {
     nodes: Vec<Node>,
@@ -33,6 +34,10 @@ pub struct RTree {
     points: Vec<Point>,
     payloads: Vec<u32>,
     node_capacity: usize,
+    /// Entry slots freed by `remove`, reused by `insert`.
+    free: Vec<u32>,
+    /// Number of live entries (`points.len()` minus free slots).
+    active: usize,
 }
 
 impl RTree {
@@ -51,7 +56,15 @@ impl RTree {
 
         if entries.is_empty() {
             nodes.push(Node { rect: Rect::empty(), children: Vec::new(), entries: Vec::new() });
-            return RTree { nodes, root: 0, points, payloads, node_capacity };
+            return RTree {
+                nodes,
+                root: 0,
+                points,
+                payloads,
+                node_capacity,
+                free: Vec::new(),
+                active: 0,
+            };
         }
 
         // --- Leaf level via STR tiling ---
@@ -110,17 +123,223 @@ impl RTree {
             level = next_level;
         }
         let root = level[0];
-        RTree { nodes, root, points, payloads, node_capacity }
+        let active = points.len();
+        RTree { nodes, root, points, payloads, node_capacity, free: Vec::new(), active }
     }
 
     /// Number of indexed entries.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.active
     }
 
     /// True when the tree indexes no entries.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.active == 0
+    }
+
+    /// Inserts one entry incrementally (Guttman insert: descend by least area
+    /// enlargement, split overflowing nodes on the way back up). The caller is
+    /// responsible for not inserting a payload twice — the object-set layer
+    /// guards membership.
+    pub fn insert(&mut self, point: Point, payload: u32) {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.points[slot as usize] = point;
+                self.payloads[slot as usize] = payload;
+                slot
+            }
+            None => {
+                self.points.push(point);
+                self.payloads.push(payload);
+                (self.points.len() - 1) as u32
+            }
+        };
+        self.active += 1;
+        if let Some(sibling) = self.insert_rec(self.root, slot) {
+            // The root split: grow the tree by one level.
+            let mut rect = self.nodes[self.root as usize].rect;
+            rect.expand_rect(&self.nodes[sibling as usize].rect);
+            self.nodes.push(Node { rect, children: vec![self.root, sibling], entries: Vec::new() });
+            self.root = self.nodes.len() as u32 - 1;
+        }
+    }
+
+    /// Removes the entry `(point, payload)` incrementally, returning whether it was
+    /// present. Bounding rectangles along the path are recomputed exactly; freed
+    /// entry slots are reused by later inserts, and once more slots are dead than
+    /// alive the tree compacts itself with a fresh bulk load.
+    pub fn remove(&mut self, point: Point, payload: u32) -> bool {
+        if self.active == 0 {
+            return false;
+        }
+        if !self.remove_rec(self.root, point, payload) {
+            return false;
+        }
+        self.active -= 1;
+        // Collapse a root that shrank to a single internal child.
+        loop {
+            let r = &self.nodes[self.root as usize];
+            if r.entries.is_empty() && r.children.len() == 1 {
+                self.root = r.children[0];
+            } else {
+                break;
+            }
+        }
+        // Compact when the dead slots (and the orphaned nodes deletions leave
+        // behind) outnumber the live entries.
+        if self.free.len() > 64 && self.free.len() > self.active {
+            let mut dead = vec![false; self.points.len()];
+            for &f in &self.free {
+                dead[f as usize] = true;
+            }
+            let live: Vec<(Point, u32)> = (0..self.points.len())
+                .filter(|&i| !dead[i])
+                .map(|i| (self.points[i], self.payloads[i]))
+                .collect();
+            *self = RTree::bulk_load_with_capacity(&live, self.node_capacity);
+        }
+        true
+    }
+
+    fn insert_rec(&mut self, node: u32, slot: u32) -> Option<u32> {
+        let point = self.points[slot as usize];
+        if self.nodes[node as usize].children.is_empty() {
+            let n = &mut self.nodes[node as usize];
+            n.rect.expand_point(point);
+            n.entries.push(slot);
+            let overflow = n.entries.len() > self.node_capacity;
+            return overflow.then(|| self.split_leaf(node));
+        }
+        // Choose the child needing the least area enlargement (ties: smaller area).
+        let mut best = 0usize;
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (i, &c) in self.nodes[node as usize].children.iter().enumerate() {
+            let rect = self.nodes[c as usize].rect;
+            let area = rect.area();
+            let mut grown = rect;
+            grown.expand_point(point);
+            let enlargement = grown.area() - area;
+            if enlargement < best_enlargement
+                || (enlargement == best_enlargement && area < best_area)
+            {
+                best = i;
+                best_enlargement = enlargement;
+                best_area = area;
+            }
+        }
+        let child = self.nodes[node as usize].children[best];
+        let split = self.insert_rec(child, slot);
+        match split {
+            Some(sibling) => {
+                self.nodes[node as usize].children.push(sibling);
+                self.refit_internal_rect(node);
+                (self.nodes[node as usize].children.len() > self.node_capacity)
+                    .then(|| self.split_internal(node))
+            }
+            None => {
+                self.nodes[node as usize].rect.expand_point(point);
+                None
+            }
+        }
+    }
+
+    /// Splits an overflowing leaf along the longer rect axis; returns the new sibling.
+    fn split_leaf(&mut self, node: u32) -> u32 {
+        let mut entries = std::mem::take(&mut self.nodes[node as usize].entries);
+        let by_x =
+            self.nodes[node as usize].rect.width() >= self.nodes[node as usize].rect.height();
+        entries.sort_by(|&a, &b| {
+            let (pa, pb) = (self.points[a as usize], self.points[b as usize]);
+            let (ka, kb) = if by_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+        });
+        let right = entries.split_off(entries.len() / 2);
+        let mut left_rect = Rect::empty();
+        for &e in &entries {
+            left_rect.expand_point(self.points[e as usize]);
+        }
+        let mut right_rect = Rect::empty();
+        for &e in &right {
+            right_rect.expand_point(self.points[e as usize]);
+        }
+        let n = &mut self.nodes[node as usize];
+        n.entries = entries;
+        n.rect = left_rect;
+        self.nodes.push(Node { rect: right_rect, children: Vec::new(), entries: right });
+        self.nodes.len() as u32 - 1
+    }
+
+    /// Splits an overflowing internal node along the longer rect axis.
+    fn split_internal(&mut self, node: u32) -> u32 {
+        let mut children = std::mem::take(&mut self.nodes[node as usize].children);
+        let by_x =
+            self.nodes[node as usize].rect.width() >= self.nodes[node as usize].rect.height();
+        children.sort_by(|&a, &b| {
+            let (ra, rb) = (&self.nodes[a as usize].rect, &self.nodes[b as usize].rect);
+            let (ka, kb) =
+                if by_x { (center_x(ra), center_x(rb)) } else { (center_y(ra), center_y(rb)) };
+            ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+        });
+        let right = children.split_off(children.len() / 2);
+        let mut left_rect = Rect::empty();
+        for &c in &children {
+            left_rect.expand_rect(&self.nodes[c as usize].rect);
+        }
+        let mut right_rect = Rect::empty();
+        for &c in &right {
+            right_rect.expand_rect(&self.nodes[c as usize].rect);
+        }
+        let n = &mut self.nodes[node as usize];
+        n.children = children;
+        n.rect = left_rect;
+        self.nodes.push(Node { rect: right_rect, children: right, entries: Vec::new() });
+        self.nodes.len() as u32 - 1
+    }
+
+    fn refit_internal_rect(&mut self, node: u32) {
+        let mut rect = Rect::empty();
+        for i in 0..self.nodes[node as usize].children.len() {
+            let c = self.nodes[node as usize].children[i];
+            rect.expand_rect(&self.nodes[c as usize].rect);
+        }
+        self.nodes[node as usize].rect = rect;
+    }
+
+    fn remove_rec(&mut self, node: u32, point: Point, payload: u32) -> bool {
+        if self.nodes[node as usize].children.is_empty() {
+            let pos = self.nodes[node as usize].entries.iter().position(|&e| {
+                self.payloads[e as usize] == payload
+                    && self.points[e as usize].x == point.x
+                    && self.points[e as usize].y == point.y
+            });
+            let Some(pos) = pos else { return false };
+            let slot = self.nodes[node as usize].entries.swap_remove(pos);
+            self.free.push(slot);
+            let mut rect = Rect::empty();
+            for &e in &self.nodes[node as usize].entries {
+                rect.expand_point(self.points[e as usize]);
+            }
+            self.nodes[node as usize].rect = rect;
+            return true;
+        }
+        for i in 0..self.nodes[node as usize].children.len() {
+            let c = self.nodes[node as usize].children[i];
+            if !self.nodes[c as usize].rect.contains(point) {
+                continue;
+            }
+            if self.remove_rec(c, point, payload) {
+                let child = &self.nodes[c as usize];
+                if child.entries.is_empty() && child.children.is_empty() {
+                    // Drop the emptied child (the node itself is orphaned until the
+                    // next compaction).
+                    self.nodes[node as usize].children.swap_remove(i);
+                }
+                self.refit_internal_rect(node);
+                return true;
+            }
+        }
+        false
     }
 
     /// Node capacity the tree was built with.
@@ -132,7 +351,8 @@ impl RTree {
     /// Figure 18(a)).
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = self.points.len() * std::mem::size_of::<Point>()
-            + self.payloads.len() * std::mem::size_of::<u32>();
+            + self.payloads.len() * std::mem::size_of::<u32>()
+            + self.free.len() * std::mem::size_of::<u32>();
         for n in &self.nodes {
             bytes += std::mem::size_of::<Node>()
                 + n.children.len() * std::mem::size_of::<u32>()
@@ -268,6 +488,13 @@ impl BrowserScratch {
     /// Creates an empty scratch (no allocation until the first browse).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Drops any queued traversal state, keeping the heap's capacity. Browses
+    /// re-arm the heap themselves; this exists so a pool owner can invalidate
+    /// state derived from an R-tree that no longer exists.
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -456,5 +683,74 @@ mod tests {
         let large = RTree::bulk_load(&scattered_points(1000));
         assert!(large.memory_bytes() > small.memory_bytes());
         assert_eq!(large.node_capacity(), DEFAULT_NODE_CAPACITY);
+    }
+
+    /// Randomized churn: interleaved inserts and removes must keep the tree exactly
+    /// equal (in kNN answers and cardinality) to a brute-force live-entry list.
+    #[test]
+    fn incremental_insert_remove_matches_brute_force_under_churn() {
+        let pool = scattered_points(400);
+        for cap in [4usize, 16] {
+            let mut tree = RTree::bulk_load_with_capacity(&pool[..100], cap);
+            let mut live: Vec<(Point, u32)> = pool[..100].to_vec();
+            let mut state = 0x9E3779B97F4A7C15u64;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for step in 0..600 {
+                if (rng() % 2 == 0 && !live.is_empty()) || live.len() >= pool.len() {
+                    let at = (rng() as usize) % live.len();
+                    let (p, id) = live.swap_remove(at);
+                    assert!(tree.remove(p, id), "step {step}: remove of live entry failed");
+                    assert!(!tree.remove(p, id), "step {step}: double remove succeeded");
+                } else {
+                    let candidate = pool[(rng() as usize) % pool.len()];
+                    if live.iter().any(|&(_, id)| id == candidate.1) {
+                        continue;
+                    }
+                    tree.insert(candidate.0, candidate.1);
+                    live.push(candidate);
+                }
+                assert_eq!(tree.len(), live.len());
+                if step % 20 == 0 {
+                    let q = Point::new((rng() % 1000) as f64, (rng() % 1000) as f64);
+                    let got = tree.knn(q, 7.min(live.len()));
+                    let want = brute_force_knn(&live, q, 7);
+                    for (a, b) in got.iter().zip(want.iter()) {
+                        assert!((a.0 - b.0).abs() < 1e-9, "step {step}: knn diverged");
+                    }
+                    // A full browse still yields every live entry exactly once.
+                    let mut seen: Vec<u32> = tree.browse(q).map(|(_, id)| id).collect();
+                    seen.sort_unstable();
+                    let mut expect: Vec<u32> = live.iter().map(|&(_, id)| id).collect();
+                    expect.sort_unstable();
+                    assert_eq!(seen, expect, "step {step}: browse lost entries");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_grows_an_empty_tree_and_remove_drains_it() {
+        let mut tree = RTree::bulk_load(&[]);
+        assert!(tree.is_empty());
+        for (i, (p, id)) in scattered_points(80).into_iter().enumerate() {
+            tree.insert(p, id);
+            assert_eq!(tree.len(), i + 1);
+        }
+        let q = Point::new(1.0, 2.0);
+        assert_eq!(tree.knn(q, 80).len(), 80);
+        for (p, id) in scattered_points(80) {
+            assert!(tree.remove(p, id));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.browse(q).next(), None);
+        // Removing from the drained tree is a no-op, and it can be refilled.
+        assert!(!tree.remove(q, 0));
+        tree.insert(q, 7);
+        assert_eq!(tree.knn(q, 1), vec![(0.0, 7)]);
     }
 }
