@@ -7,6 +7,8 @@
 //!
 //! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench [--sizes 20000,100000,250000,500000]`
 
+#![forbid(unsafe_code)]
+
 use rnknn::ch::ChConfig;
 use rnknn_bench::ch_build;
 

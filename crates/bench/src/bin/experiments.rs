@@ -8,6 +8,8 @@
 //! Output is printed to stdout as fixed-width tables; `all` additionally writes the
 //! collected tables to `experiments_results.md` in the current directory.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::time::Instant;
 

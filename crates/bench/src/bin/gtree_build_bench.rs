@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench [--sizes 20000,100000,250000,500000]`
 
+#![forbid(unsafe_code)]
+
 use rnknn::gtree::{GtreeConfig, MatrixOracle};
 use rnknn_bench::gtree_build;
 

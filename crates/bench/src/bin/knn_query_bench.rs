@@ -12,6 +12,8 @@
 //!         [--sizes 20000,100000,250000,500000] [--queries 400] [--k 10]
 //!         [--density 0.01] [--smoke]`
 
+#![forbid(unsafe_code)]
+
 use rnknn_bench::knn_query;
 
 fn main() {

@@ -11,6 +11,8 @@
 //!         [--sizes 100000,500000] [--k 10] [--density 0.01]
 //!         [--seconds 3.0] [--smoke]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use rnknn_bench::serving;

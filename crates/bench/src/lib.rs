@@ -6,6 +6,8 @@
 //! query vertices, and per-method timing. Every table and figure of the paper maps to
 //! one experiment in the `experiments` binary (see DESIGN.md §3).
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use rnknn::engine::{Engine, EngineConfig, Method};

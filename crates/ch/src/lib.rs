@@ -17,6 +17,8 @@
 //! the [`rnknn-tnr`](../rnknn_tnr/index.html) crate to select transit nodes and by
 //! [`rnknn-phl`](../rnknn_phl/index.html) as a label ordering.
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod query;
 

@@ -560,7 +560,12 @@ impl Engine {
         if query as usize >= num_vertices {
             return Err(EngineError::InvalidVertex { vertex: query, num_vertices });
         }
-        scratch.sync_object_generation(live.generation());
+        // Mutant hook (`mutant-skip-generation-stamp`, for the serving-layer
+        // models only): without the stamp, pooled scratch silently reuses
+        // object-dependent state across different object sets.
+        if !cfg!(feature = "mutant-skip-generation-stamp") {
+            scratch.sync_object_generation(live.generation());
+        }
         let ctx = QueryContext {
             graph: &self.graph,
             chains: &self.chains,

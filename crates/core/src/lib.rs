@@ -58,6 +58,7 @@
 //! assert_eq!(batch[0].result, engine.query(Method::Gtree, queries[0], 5).unwrap().result);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod disbrw;

@@ -93,6 +93,14 @@ impl EngineScratch {
         EngineScratch { reuse_pools: false, ..Self::default() }
     }
 
+    /// The [object generation](crate::ObjectIndexes::generation) this scratch last
+    /// served (0 = never). Read-only verification hook: after any dispatched query
+    /// it must equal the queried indexes' generation — the serving-layer loom
+    /// models assert exactly that to pin the stamp protocol in place.
+    pub fn objects_generation(&self) -> u64 {
+        self.objects_generation
+    }
+
     /// Ensures this scratch carries no state derived from an object view other than
     /// `generation`: on mismatch, clears every object-derived buffer (browse heap,
     /// Distance Browsing candidates/queues/best-k — capacity kept) and stamps the

@@ -9,6 +9,8 @@
 //! Swapping the workspace `criterion` entry back to the real crate requires no
 //! change to the bench sources.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 

@@ -15,6 +15,8 @@
 //! * [`chains`] — degree-2 chain extraction used by the SILC/DisBrw degree-2
 //!   optimisation (Appendix A.1.2).
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod chains;
 pub mod dimacs;

@@ -190,15 +190,17 @@ const MIN_PARALLEL_WORK: usize = 1 << 20;
 /// keeps every other architecture correct.
 #[inline]
 fn min_plus_into(out: &mut [Weight], s: Weight, addend: &[Weight]) {
-    #[cfg(target_arch = "x86_64")]
+    // Miri interprets neither runtime feature detection nor vector intrinsics;
+    // under it the (semantically identical) scalar loop is the whole story.
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
     {
         if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: avx512f support was just detected.
+            // SAFETY: avx512f support was just detected on this CPU.
             unsafe { min_plus_into_avx512(out, s, addend) };
             return;
         }
         if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: avx2 support was just detected.
+            // SAFETY: avx2 support was just detected on this CPU.
             unsafe { min_plus_into_avx2(out, s, addend) };
             return;
         }
@@ -216,8 +218,13 @@ fn min_plus_into_scalar(out: &mut [Weight], s: Weight, addend: &[Weight]) {
     }
 }
 
-/// SAFETY: caller must ensure the CPU supports AVX-512F.
-#[cfg(target_arch = "x86_64")]
+/// AVX-512F kernel for [`min_plus_into`] (`vpminuq` over 8 lanes).
+///
+/// # Safety
+///
+/// The CPU must support AVX-512F (guaranteed by the caller's runtime
+/// `is_x86_feature_detected!` check).
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx512f")]
 unsafe fn min_plus_into_avx512(out: &mut [Weight], s: Weight, addend: &[Weight]) {
     use std::arch::x86_64::*;
@@ -225,19 +232,28 @@ unsafe fn min_plus_into_avx512(out: &mut [Weight], s: Weight, addend: &[Weight])
     let sv = _mm512_set1_epi64(s as i64);
     let mut i = 0;
     while i + 8 <= n {
-        let a = _mm512_loadu_si512(addend.as_ptr().add(i) as *const _);
-        let o = _mm512_loadu_si512(out.as_ptr().add(i) as *const _);
-        let v = _mm512_add_epi64(a, sv);
-        let m = _mm512_min_epu64(v, o);
-        _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, m);
+        // SAFETY: `i + 8 <= n <=` both slices' lengths, so the 8-lane reads
+        // and the write stay in bounds; `loadu`/`storeu` require no alignment.
+        unsafe {
+            let a = _mm512_loadu_si512(addend.as_ptr().add(i) as *const _);
+            let o = _mm512_loadu_si512(out.as_ptr().add(i) as *const _);
+            let v = _mm512_add_epi64(a, sv);
+            let m = _mm512_min_epu64(v, o);
+            _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, m);
+        }
         i += 8;
     }
     min_plus_into_scalar(&mut out[i..n], s, &addend[i..n]);
 }
 
-/// SAFETY: caller must ensure the CPU supports AVX2. Values stay below `2^63`
+/// AVX2 kernel for [`min_plus_into`] (`vpcmpgtq` + blend over 4 lanes).
+///
+/// # Safety
+///
+/// The CPU must support AVX2 (guaranteed by the caller's runtime
+/// `is_x86_feature_detected!` check). Values stay below `2^63`
 /// (`2 × INFINITY`), so the signed `vpcmpgtq` compare is exact.
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(miri)))]
 #[target_feature(enable = "avx2")]
 unsafe fn min_plus_into_avx2(out: &mut [Weight], s: Weight, addend: &[Weight]) {
     use std::arch::x86_64::*;
@@ -245,13 +261,17 @@ unsafe fn min_plus_into_avx2(out: &mut [Weight], s: Weight, addend: &[Weight]) {
     let sv = _mm256_set1_epi64x(s as i64);
     let mut i = 0;
     while i + 4 <= n {
-        let a = _mm256_loadu_si256(addend.as_ptr().add(i) as *const _);
-        let o = _mm256_loadu_si256(out.as_ptr().add(i) as *const _);
-        let v = _mm256_add_epi64(a, sv);
-        // m = o > v ? v : o  (signed compare is exact below 2^63).
-        let gt = _mm256_cmpgt_epi64(o, v);
-        let m = _mm256_blendv_epi8(o, v, gt);
-        _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut _, m);
+        // SAFETY: `i + 4 <= n <=` both slices' lengths, so the 4-lane reads
+        // and the write stay in bounds; `loadu`/`storeu` require no alignment.
+        unsafe {
+            let a = _mm256_loadu_si256(addend.as_ptr().add(i) as *const _);
+            let o = _mm256_loadu_si256(out.as_ptr().add(i) as *const _);
+            let v = _mm256_add_epi64(a, sv);
+            // m = o > v ? v : o  (signed compare is exact below 2^63).
+            let gt = _mm256_cmpgt_epi64(o, v);
+            let m = _mm256_blendv_epi8(o, v, gt);
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut _, m);
+        }
         i += 4;
     }
     min_plus_into_scalar(&mut out[i..n], s, &addend[i..n]);

@@ -18,6 +18,11 @@
 //! usual bottom-up computation (see DESIGN.md §4), so every distance returned by this
 //! crate equals the Dijkstra distance.
 
+// The only crate in the workspace allowed to contain `unsafe` (the SIMD
+// min-plus kernels in `build.rs`); every other crate root forbids it, enforced
+// by `cargo xtask lint`. Unsafe operations must be wrapped in explicit blocks
+// even inside `unsafe fn`, each with its own `// SAFETY:` justification.
+#![deny(unsafe_op_in_unsafe_fn)]
 #![deny(missing_docs)]
 
 mod build;

@@ -1,0 +1,11 @@
+//! Spin-loop hints (instrumented as yields under a model).
+
+/// In a model, a scheduling point that prefers switching away (a spinning
+/// thread must let the thread it waits on run); otherwise `std::hint::spin_loop`.
+pub fn spin_loop() {
+    if crate::rt::in_model() {
+        crate::rt::point(crate::rt::PointKind::Yield);
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,51 @@
+//! A minimal, dependency-free stand-in for the [`loom`] concurrency model checker.
+//!
+//! The workspace builds in environments without network access, so the real
+//! crates.io `loom` cannot be fetched. This shim implements the API surface the
+//! serving-layer models use — [`fn@model`], [`model::Builder`], [`sync::Arc`],
+//! [`sync::Mutex`], [`sync::RwLock`], [`sync::Condvar`], [`sync::atomic`] and
+//! [`thread`] — backed by a deterministic *serialized-thread* explorer:
+//!
+//! * Model threads run as real OS threads, but a scheduler token serializes them
+//!   so exactly one runs at a time. Every instrumented operation (lock, unlock,
+//!   atomic access, `Arc` clone/drop/`try_unwrap`, condvar wait/notify, spawn,
+//!   join, yield) is a *scheduling point* where the explorer may switch threads.
+//! * [`fn@model`] re-runs the closure under depth-first search over those
+//!   scheduling decisions, bounded by
+//!   [`preemption_bound`](model::Builder::preemption_bound) involuntary
+//!   preemptions per execution (voluntary switches — blocking, yielding,
+//!   finishing — are always explored exhaustively). Research on systematic
+//!   concurrency testing shows a small preemption bound catches the vast
+//!   majority of schedule-dependent bugs.
+//! * Failed executions (assertion panics, detected deadlocks) abort the search
+//!   and re-raise on the caller with the execution count and a trailing trace of
+//!   scheduling events, so the failing schedule can be reasoned about.
+//!
+//! ## Fidelity limits (vs. the real `loom`)
+//!
+//! * Interleavings are explored under **sequential consistency** only: relaxed /
+//!   acquire-release outcomes that require weak-memory reordering are not
+//!   generated. The models in this workspace guard logical protocol invariants
+//!   (epoch lifecycle, replay bookkeeping, handshakes), which SC exploration
+//!   covers; they do not attempt to validate memory-ordering choices.
+//! * Condition variables never wake spuriously.
+//! * Only operations that go through this crate's types are visible to the
+//!   explorer. Code under test must route all cross-thread communication through
+//!   them (the `rnknn-serve` `sync` shim does exactly that).
+//!
+//! Outside an active [`fn@model`] run every type delegates straight to its `std`
+//! counterpart, so code threaded through the shim behaves identically (and costs
+//! one branch) in production builds and non-model tests.
+//!
+//! [`loom`]: https://docs.rs/loom
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod hint;
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;

@@ -1,0 +1,127 @@
+//! The schedule explorer: run a closure under every (preemption-bounded)
+//! interleaving of its instrumented operations.
+
+use std::panic::resume_unwind;
+use std::sync::{Arc as StdArc, Mutex as StdMutex, MutexGuard, OnceLock};
+
+use crate::rt::{Choice, Scheduler};
+
+/// Serializes model runs process-wide: one scheduler at a time, so `cargo test`
+/// may run model tests on parallel test threads safely.
+static MODEL_LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+
+fn model_lock() -> MutexGuard<'static, ()> {
+    MODEL_LOCK.get_or_init(|| StdMutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Explorer configuration, mirroring `loom::model::Builder`.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary preemptions per execution (`None` = unbounded).
+    /// Voluntary switches — blocking, yielding, finishing — are always explored
+    /// exhaustively. The default of 2 catches the overwhelming majority of
+    /// schedule-dependent bugs at a fraction of the cost of full exploration.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on executions; exceeding it fails the model run rather than
+    /// silently truncating coverage.
+    pub max_executions: usize,
+    /// Print a one-line exploration summary per model (also enabled by the
+    /// `RNKNN_LOOM_LOG` environment variable).
+    pub log: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_executions: 250_000,
+            log: std::env::var_os("RNKNN_LOOM_LOG").is_some(),
+        }
+    }
+}
+
+impl Builder {
+    /// A fresh default builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Explores `f` under every scheduling of its instrumented operations within
+    /// the preemption bound. Panics (re-raising the model's own panic, a
+    /// deadlock report, or an exploration-budget overrun) if any execution fails.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _serial = model_lock();
+        crate::rt::install_abort_hook();
+        let f = StdArc::new(f);
+        let mut prefix: Vec<Choice> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                panic!(
+                    "loom-shim: exceeded max_executions = {} (model too large for the \
+                     configured exploration budget; simplify the model or raise the budget)",
+                    self.max_executions
+                );
+            }
+            let sched = Scheduler::new(std::mem::take(&mut prefix));
+            let body = StdArc::clone(&f);
+            sched.start(move || body());
+            let result = sched.wait_done();
+            if let Some(payload) = result.failure {
+                eprintln!(
+                    "loom-shim: model failed on execution {executions}; trailing schedule trace:"
+                );
+                for event in &result.events {
+                    eprintln!("    {event}");
+                }
+                resume_unwind(payload);
+            }
+            prefix = result.schedule;
+            if !advance(&mut prefix, self.preemption_bound) {
+                break;
+            }
+        }
+        if self.log {
+            eprintln!("loom-shim: model passed ({executions} executions explored)");
+        }
+    }
+}
+
+/// Explores `f` with the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}
+
+/// Advances `schedule` to the next unexplored decision vector within the
+/// preemption bound (depth-first: bump the deepest choice with an untried
+/// alternative, truncate everything after it). Returns `false` when the space is
+/// exhausted.
+fn advance(schedule: &mut Vec<Choice>, preemption_bound: Option<usize>) -> bool {
+    // Preemptions spent *before* each choice, so a bumped alternative can be
+    // checked against the bound.
+    let mut spent_before = Vec::with_capacity(schedule.len());
+    let mut spent = 0usize;
+    for choice in schedule.iter() {
+        spent_before.push(spent);
+        spent += choice.cost();
+    }
+    for i in (0..schedule.len()).rev() {
+        let choice = &mut schedule[i];
+        if choice.index + 1 < choice.candidates.len() {
+            let next_cost = usize::from(!choice.forced);
+            if preemption_bound.is_none_or(|bound| spent_before[i] + next_cost <= bound) {
+                choice.index += 1;
+                schedule.truncate(i + 1);
+                return true;
+            }
+        }
+    }
+    false
+}

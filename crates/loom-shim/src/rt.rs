@@ -1,0 +1,744 @@
+//! The serialized-thread scheduler and depth-first schedule explorer.
+//!
+//! One [`Scheduler`] drives one *execution* of a model closure: it registers
+//! every model thread, hands a run token to exactly one of them at a time, and
+//! records each branching scheduling decision as a [`Choice`]. The explorer in
+//! [`fn@crate::model`] replays a decision prefix and backtracks over it between
+//! executions.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Allocates process-unique ids for shim mutexes/rwlocks/condvars. Ids only need
+/// to be unique within one execution; a monotone global counter gives that
+/// without any reset bookkeeping.
+static NEXT_RESOURCE: AtomicUsize = AtomicUsize::new(0);
+
+/// Draws a fresh resource id (called by `sync` type constructors).
+pub(crate) fn next_resource_id() -> usize {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The scheduler context of the current OS thread, set iff this thread is a
+    /// registered thread of an active model execution.
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    sched: StdArc<Scheduler>,
+    tid: usize,
+}
+
+/// Zero-sized panic payload used to quietly unwind sibling threads after a model
+/// failure or deadlock has already been recorded. The thread wrapper swallows it.
+pub(crate) struct SilentAbort;
+
+/// True when the calling OS thread belongs to an active model execution.
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// The scheduler of the active model execution on this thread, if any.
+pub(crate) fn current_scheduler() -> Option<StdArc<Scheduler>> {
+    current_ctx().map(|c| c.sched)
+}
+
+/// What a thread is waiting for while blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resource {
+    /// A shim mutex (by id).
+    Mutex(usize),
+    /// Read access to a shim rwlock (by id).
+    RwRead(usize),
+    /// Write access to a shim rwlock (by id).
+    RwWrite(usize),
+    /// A shim condvar notification (by id).
+    Condvar(usize),
+    /// Another model thread finishing (by tid).
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Resource),
+    Finished,
+}
+
+/// One thread's scheduler-side state: run status plus its wake token.
+struct Th {
+    run: Run,
+    token: StdArc<Token>,
+}
+
+/// A park/wake token: each model thread waits on its own.
+struct Token {
+    flag: StdMutex<bool>,
+    cv: StdCondvar,
+}
+
+impl Token {
+    fn new() -> StdArc<Token> {
+        StdArc::new(Token { flag: StdMutex::new(false), cv: StdCondvar::new() })
+    }
+
+    fn wait(&self) {
+        let mut g = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+
+    fn grant(&self) {
+        *self.flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_one();
+    }
+}
+
+/// One recorded branching decision: the candidate thread ids at a scheduling
+/// point (deterministically ordered) and which index was taken. `forced` marks
+/// decisions where the running thread could not simply continue (block, finish,
+/// yield, notify target selection) — those alternatives cost no preemption.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    pub(crate) candidates: Vec<usize>,
+    pub(crate) index: usize,
+    pub(crate) forced: bool,
+}
+
+impl Choice {
+    /// The preemption cost of this decision as currently taken: switching away
+    /// from a thread that could have continued costs one preemption.
+    pub(crate) fn cost(&self) -> usize {
+        usize::from(!self.forced && self.index != 0)
+    }
+}
+
+struct RwSt {
+    writer: Option<usize>,
+    readers: usize,
+}
+
+struct St {
+    threads: Vec<Th>,
+    current: usize,
+    finished: usize,
+    /// Replayed prefix plus decisions appended by this execution.
+    schedule: Vec<Choice>,
+    /// Next position in `schedule` to replay; past the end means we are
+    /// recording fresh decisions.
+    cursor: usize,
+    /// First real failure (assertion panic payload or deadlock report).
+    failure: Option<Box<dyn Any + Send + 'static>>,
+    aborting: bool,
+    mutexes: HashMap<usize, Option<usize>>,
+    rwlocks: HashMap<usize, RwSt>,
+    /// Trailing scheduling-event trace (bounded), printed on failure.
+    events: Vec<String>,
+}
+
+const EVENT_TRACE_CAP: usize = 64;
+
+impl St {
+    fn push_event(&mut self, tid: usize, what: &str) {
+        if self.events.len() == EVENT_TRACE_CAP {
+            self.events.remove(0);
+        }
+        self.events.push(format!("t{tid} {what}"));
+    }
+
+    fn runnable_others(&self, tid: usize) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| t != tid && self.threads[t].run == Run::Runnable)
+            .collect()
+    }
+
+    /// Replays or records the decision among `candidates`, returning the chosen
+    /// tid. Single-candidate points are deterministic and not recorded.
+    fn pick(&mut self, candidates: Vec<usize>, forced: bool) -> usize {
+        debug_assert!(!candidates.is_empty());
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        if self.cursor < self.schedule.len() {
+            let choice = &self.schedule[self.cursor];
+            assert_eq!(
+                choice.candidates, candidates,
+                "loom-shim: nondeterministic model (replayed candidate set diverged; \
+                 model closures must be deterministic given the schedule)"
+            );
+            self.cursor += 1;
+            choice.candidates[choice.index]
+        } else {
+            let chosen = candidates[0];
+            self.schedule.push(Choice { candidates, index: 0, forced });
+            self.cursor += 1;
+            chosen
+        }
+    }
+
+    fn wake_blocked_on(&mut self, resource: Resource) {
+        for th in &mut self.threads {
+            if th.run == Run::Blocked(resource) {
+                th.run = Run::Runnable;
+            }
+        }
+    }
+
+    fn describe_threads(&self) -> String {
+        let mut out = String::new();
+        for (tid, th) in self.threads.iter().enumerate() {
+            out.push_str(&format!("  t{tid}: {:?}\n", th.run));
+        }
+        out
+    }
+}
+
+/// The per-execution scheduler (see the module docs).
+pub(crate) struct Scheduler {
+    st: StdMutex<St>,
+    done: StdCondvar,
+}
+
+/// What finished execution produced: the full decision list, the failure (if
+/// any) and the trailing event trace.
+pub(crate) struct ExecutionResult {
+    pub(crate) schedule: Vec<Choice>,
+    pub(crate) failure: Option<Box<dyn Any + Send + 'static>>,
+    pub(crate) events: Vec<String>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(prefix: Vec<Choice>) -> StdArc<Scheduler> {
+        StdArc::new(Scheduler {
+            st: StdMutex::new(St {
+                threads: Vec::new(),
+                current: 0,
+                finished: 0,
+                schedule: prefix,
+                cursor: 0,
+                failure: None,
+                aborting: false,
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                events: Vec::new(),
+            }),
+            done: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, St> {
+        self.st.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread (runnable, not yet granted) and returns its tid.
+    fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Th { run: Run::Runnable, token: Token::new() });
+        st.threads.len() - 1
+    }
+
+    /// Spawns the root thread (tid 0) running `f` and returns once registered.
+    pub(crate) fn start<F>(self: &StdArc<Self>, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let tid = self.register();
+        debug_assert_eq!(tid, 0);
+        {
+            let mut st = self.lock();
+            st.current = 0;
+            st.threads[0].token.grant();
+        }
+        let sched = StdArc::clone(self);
+        std::thread::Builder::new()
+            .name("loom-shim-0".into())
+            .spawn(move || thread_main(sched, 0, f, None::<StdArc<StdMutex<Option<()>>>>))
+            .expect("loom-shim: failed to spawn model thread");
+    }
+
+    /// Spawns an additional model thread; `slot` receives the closure's value for
+    /// `join`. Returns the new tid. Called from a running model thread.
+    pub(crate) fn spawn_thread<T, F>(
+        self: &StdArc<Self>,
+        name: Option<String>,
+        slot: StdArc<StdMutex<Option<T>>>,
+        f: F,
+    ) -> usize
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let tid = self.register();
+        let sched = StdArc::clone(self);
+        std::thread::Builder::new()
+            .name(name.unwrap_or_else(|| format!("loom-shim-{tid}")))
+            .spawn(move || thread_main(sched, tid, f, Some(slot)))
+            .expect("loom-shim: failed to spawn model thread");
+        // Expose the new thread to the explorer right away.
+        point(PointKind::Op("spawn"));
+        tid
+    }
+
+    /// Blocks the runner until every registered thread has finished, then
+    /// returns the execution's outcome.
+    pub(crate) fn wait_done(&self) -> ExecutionResult {
+        let mut st = self.lock();
+        while st.finished == 0 || st.finished < st.threads.len() {
+            st = self.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        ExecutionResult {
+            schedule: std::mem::take(&mut st.schedule),
+            failure: st.failure.take(),
+            events: std::mem::take(&mut st.events),
+        }
+    }
+
+    /// Records the first real failure, then aborts the execution: every
+    /// unfinished thread is granted its token so it can observe `aborting` and
+    /// unwind quietly.
+    fn record_failure(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut st = self.lock();
+        if st.failure.is_none() {
+            st.failure = Some(payload);
+        }
+        abort_locked(&mut st);
+    }
+
+    fn finish_thread(&self, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].run = Run::Finished;
+        st.finished += 1;
+        st.push_event(tid, "finish");
+        st.wake_blocked_on(Resource::Join(tid));
+        if st.finished == st.threads.len() {
+            drop(st);
+            self.done.notify_all();
+            return;
+        }
+        if st.aborting {
+            return;
+        }
+        // Hand the token to a successor; with unfinished threads and nobody
+        // runnable the execution is deadlocked.
+        let candidates = st.runnable_others(tid);
+        if candidates.is_empty() {
+            deadlock_locked(&mut st, tid);
+            return;
+        }
+        let chosen = st.pick(candidates, true);
+        grant_locked(&mut st, chosen);
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that accelerates model aborts.
+///
+/// The moment any model thread panics — *before* its unwinding runs destructors
+/// — the execution is marked aborting and every unfinished sibling is granted
+/// its token. A sibling parked inside a critical section still holds a real
+/// `std` guard; waking it now lets it observe the abort, unwind and release
+/// that guard. The failing thread's own destructors degrade to bare `std`
+/// locking while panicking (the entry-point guards), so with every holder
+/// already unwinding those locks are release-bound and cleanup cannot wedge on
+/// a thread that would otherwise only be rescheduled after this unwind
+/// completed. [`SilentAbort`] payloads are suppressed from the default report;
+/// everything else — including panics outside any model — is forwarded to the
+/// previously installed hook.
+pub(crate) fn install_abort_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let silent = info.payload().is::<SilentAbort>();
+            if let Some(sched) = current_scheduler() {
+                abort_locked(&mut sched.lock());
+            }
+            if !silent {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Marks the execution aborting and wakes every unfinished thread.
+fn abort_locked(st: &mut St) {
+    st.aborting = true;
+    for th in &st.threads {
+        if th.run != Run::Finished {
+            th.token.grant();
+        }
+    }
+}
+
+/// Records a deadlock as the execution failure and aborts.
+fn deadlock_locked(st: &mut St, tid: usize) {
+    let msg = format!(
+        "loom-shim: deadlock detected (every unfinished thread is blocked; t{tid} was last to stop)\n{}",
+        st.describe_threads()
+    );
+    if st.failure.is_none() {
+        st.failure = Some(Box::new(msg));
+    }
+    abort_locked(st);
+}
+
+fn grant_locked(st: &mut St, tid: usize) {
+    st.current = tid;
+    st.threads[tid].token.grant();
+}
+
+fn thread_main<T, F>(
+    sched: StdArc<Scheduler>,
+    tid: usize,
+    f: F,
+    slot: Option<StdArc<StdMutex<Option<T>>>>,
+) where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    CURRENT.with(|c| *c.borrow_mut() = Some(Ctx { sched: StdArc::clone(&sched), tid }));
+    let token = StdArc::clone(&sched.lock().threads[tid].token);
+    token.wait();
+    let aborting = sched.lock().aborting;
+    if !aborting {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(value) => {
+                if let Some(slot) = &slot {
+                    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+                }
+            }
+            Err(payload) => {
+                if !payload.is::<SilentAbort>() {
+                    sched.record_failure(payload);
+                }
+            }
+        }
+    }
+    sched.finish_thread(tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// The flavour of a scheduling point.
+#[derive(Clone, Copy)]
+pub(crate) enum PointKind {
+    /// An instrumented operation about to execute; continuing the current thread
+    /// is the default, switching costs a preemption.
+    Op(&'static str),
+    /// A `yield_now`: the current thread asks to be descheduled. When another
+    /// runnable thread exists the switch is mandatory (the explorer only
+    /// branches over *which* thread runs next) — keeping "stay put" as an
+    /// alternative would make the explorer enumerate livelock schedules in
+    /// which a yielding spin loop starves the thread it waits on forever.
+    Yield,
+}
+
+/// The central scheduling point: possibly switches to another runnable thread
+/// before the caller performs its instrumented operation.
+pub(crate) fn point(kind: PointKind) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    let sched = ctx.sched;
+    let tid = ctx.tid;
+    {
+        let mut st = sched.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(SilentAbort);
+        }
+        let (label, forced) = match kind {
+            PointKind::Op(op) => (op, false),
+            PointKind::Yield => ("yield", true),
+        };
+        st.push_event(tid, label);
+        let others = st.runnable_others(tid);
+        if others.is_empty() {
+            return;
+        }
+        let candidates = match kind {
+            PointKind::Op(_) => {
+                let mut c = Vec::with_capacity(others.len() + 1);
+                c.push(tid);
+                c.extend(others);
+                c
+            }
+            // Mandatory deschedule: branch only over which other thread runs.
+            PointKind::Yield => others,
+        };
+        let chosen = st.pick(candidates, forced);
+        if chosen == tid {
+            return;
+        }
+        grant_locked(&mut st, chosen);
+    }
+    wait_for_turn(&sched, tid);
+}
+
+/// Parks the calling thread until it is granted the run token again, then
+/// re-checks for an abort.
+fn wait_for_turn(sched: &StdArc<Scheduler>, tid: usize) {
+    let token = StdArc::clone(&sched.lock().threads[tid].token);
+    token.wait();
+    // Never turn an in-progress unwind into a double panic (the guarded entry
+    // points make this unreachable while panicking, but keep it airtight).
+    if sched.lock().aborting && !std::thread::panicking() {
+        std::panic::panic_any(SilentAbort);
+    }
+}
+
+/// Marks the current thread blocked on `resource`, hands the token to another
+/// runnable thread (deadlock if none) and parks until woken *and* rescheduled.
+pub(crate) fn block_on(resource: Resource, label: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    mark_blocked(&ctx, resource, label);
+    park_blocked_ctx(&ctx);
+}
+
+fn mark_blocked(ctx: &Ctx, resource: Resource, label: &'static str) {
+    let mut st = ctx.sched.lock();
+    if st.aborting {
+        drop(st);
+        std::panic::panic_any(SilentAbort);
+    }
+    st.push_event(ctx.tid, label);
+    st.threads[ctx.tid].run = Run::Blocked(resource);
+}
+
+/// The parking half of [`block_on`], for callers that already marked themselves
+/// blocked (the condvar wait path, which must release its mutex in between).
+pub(crate) fn park_blocked() {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    park_blocked_ctx(&ctx);
+}
+
+fn park_blocked_ctx(ctx: &Ctx) {
+    {
+        let mut st = ctx.sched.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(SilentAbort);
+        }
+        // If something already woke us between marking and parking (possible on
+        // the condvar path where the mutex release runs in between), we are
+        // Runnable again but still must wait to be scheduled.
+        let candidates = st.runnable_others(ctx.tid);
+        if candidates.is_empty() {
+            if st.threads[ctx.tid].run == Run::Runnable {
+                // Everyone else is blocked or finished but we can continue.
+                return;
+            }
+            deadlock_locked(&mut st, ctx.tid);
+            drop(st);
+            std::panic::panic_any(SilentAbort);
+        }
+        let chosen = st.pick(candidates, true);
+        grant_locked(&mut st, chosen);
+    }
+    wait_for_turn(&ctx.sched, ctx.tid);
+}
+
+/// Registers the calling thread as a waiter of condvar `cv` (blocked state set
+/// immediately so a wake between the mutex release and the park is not lost).
+pub(crate) fn condvar_enqueue(cv: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    mark_blocked(&ctx, Resource::Condvar(cv), "cv.wait");
+}
+
+/// Wakes one waiter of condvar `cv` (branching over the choice when several wait).
+pub(crate) fn condvar_notify_one(cv: usize) {
+    let Some(ctx) = current_ctx() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    point(PointKind::Op("cv.notify_one"));
+    let mut st = ctx.sched.lock();
+    let waiters: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| st.threads[t].run == Run::Blocked(Resource::Condvar(cv)))
+        .collect();
+    if waiters.is_empty() {
+        return;
+    }
+    let chosen = st.pick(waiters, true);
+    st.threads[chosen].run = Run::Runnable;
+}
+
+/// Wakes every waiter of condvar `cv`.
+pub(crate) fn condvar_notify_all(cv: usize) {
+    let Some(ctx) = current_ctx() else { return };
+    if std::thread::panicking() {
+        return;
+    }
+    point(PointKind::Op("cv.notify_all"));
+    ctx.sched.lock().wake_blocked_on(Resource::Condvar(cv));
+}
+
+/// Acquires shim mutex `id` for the calling model thread (scheduling point +
+/// block-retry loop).
+pub(crate) fn mutex_acquire(id: usize) {
+    if std::thread::panicking() {
+        // A destructor running during unwinding (channel endpoints, guards) may
+        // re-enter the scheduler; degrade to the caller's bare `std` locking —
+        // the execution is already being abandoned and `install_abort_hook` has
+        // woken every parked guard holder, so that lock is release-bound.
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    point(PointKind::Op("lock"));
+    loop {
+        {
+            let mut st = ctx.sched.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(SilentAbort);
+            }
+            let holder = st.mutexes.entry(id).or_insert(None);
+            match holder {
+                None => {
+                    *holder = Some(ctx.tid);
+                    return;
+                }
+                Some(h) if *h == ctx.tid => {
+                    drop(st);
+                    ctx.sched.record_failure(Box::new(format!(
+                        "loom-shim: recursive lock of mutex #{id} by t{}",
+                        ctx.tid
+                    )));
+                    std::panic::panic_any(SilentAbort);
+                }
+                Some(_) => {}
+            }
+        }
+        block_on(Resource::Mutex(id), "lock-wait");
+    }
+}
+
+/// Releases shim mutex `id`, waking its waiters (not itself a scheduling point).
+pub(crate) fn mutex_release(id: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    let mut st = ctx.sched.lock();
+    st.push_event(ctx.tid, "unlock");
+    st.mutexes.insert(id, None);
+    st.wake_blocked_on(Resource::Mutex(id));
+}
+
+/// Acquires shim rwlock `id` for reading.
+pub(crate) fn rwlock_acquire_read(id: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    point(PointKind::Op("read"));
+    loop {
+        {
+            let mut st = ctx.sched.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(SilentAbort);
+            }
+            let rw = st.rwlocks.entry(id).or_insert(RwSt { writer: None, readers: 0 });
+            if rw.writer.is_none() {
+                rw.readers += 1;
+                return;
+            }
+        }
+        block_on(Resource::RwRead(id), "read-wait");
+    }
+}
+
+/// Releases a read acquisition of shim rwlock `id`.
+pub(crate) fn rwlock_release_read(id: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    let mut st = ctx.sched.lock();
+    st.push_event(ctx.tid, "read-unlock");
+    let rw = st.rwlocks.entry(id).or_insert(RwSt { writer: None, readers: 1 });
+    rw.readers = rw.readers.saturating_sub(1);
+    if rw.readers == 0 {
+        st.wake_blocked_on(Resource::RwWrite(id));
+    }
+}
+
+/// Acquires shim rwlock `id` for writing.
+pub(crate) fn rwlock_acquire_write(id: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    point(PointKind::Op("write"));
+    loop {
+        {
+            let mut st = ctx.sched.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(SilentAbort);
+            }
+            let rw = st.rwlocks.entry(id).or_insert(RwSt { writer: None, readers: 0 });
+            if rw.writer.is_none() && rw.readers == 0 {
+                rw.writer = Some(ctx.tid);
+                return;
+            }
+        }
+        block_on(Resource::RwWrite(id), "write-wait");
+    }
+}
+
+/// Releases a write acquisition of shim rwlock `id`.
+pub(crate) fn rwlock_release_write(id: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    let mut st = ctx.sched.lock();
+    st.push_event(ctx.tid, "write-unlock");
+    st.rwlocks.insert(id, RwSt { writer: None, readers: 0 });
+    st.wake_blocked_on(Resource::RwRead(id));
+    st.wake_blocked_on(Resource::RwWrite(id));
+}
+
+/// Blocks the calling model thread until model thread `target` finishes.
+pub(crate) fn join_thread(target: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    let Some(ctx) = current_ctx() else { return };
+    point(PointKind::Op("join"));
+    loop {
+        {
+            let st = ctx.sched.lock();
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(SilentAbort);
+            }
+            if st.threads[target].run == Run::Finished {
+                return;
+            }
+        }
+        block_on(Resource::Join(target), "join-wait");
+    }
+}

@@ -1,0 +1,126 @@
+//! Instrumented atomics. Under a model every access is a scheduling point and
+//! executes sequentially consistent (the shim explores SC interleavings only —
+//! see the crate docs); outside a model the requested ordering is used as-is.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+macro_rules! atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with `value`.
+            pub const fn new(value: $prim) -> $name {
+                $name { inner: std::sync::atomic::$std::new(value) }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> $prim {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.load"));
+                    self.inner.load(Ordering::SeqCst)
+                } else {
+                    self.inner.load(order)
+                }
+            }
+
+            /// Atomic store.
+            pub fn store(&self, value: $prim, order: Ordering) {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.store"));
+                    self.inner.store(value, Ordering::SeqCst)
+                } else {
+                    self.inner.store(value, order)
+                }
+            }
+
+            /// Atomic swap, returning the previous value.
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.swap"));
+                    self.inner.swap(value, Ordering::SeqCst)
+                } else {
+                    self.inner.swap(value, order)
+                }
+            }
+
+            /// Atomic compare-exchange.
+            #[allow(clippy::result_unit_err)]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.compare_exchange"));
+                    self.inner.compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                } else {
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+            }
+        }
+    };
+}
+
+macro_rules! atomic_numeric {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Atomic fetch-add, returning the previous value.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.fetch_add"));
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                } else {
+                    self.inner.fetch_add(value, order)
+                }
+            }
+
+            /// Atomic saturating-free fetch-sub, returning the previous value.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                if rt::in_model() {
+                    rt::point(rt::PointKind::Op("atomic.fetch_sub"));
+                    self.inner.fetch_sub(value, Ordering::SeqCst)
+                } else {
+                    self.inner.fetch_sub(value, order)
+                }
+            }
+        }
+    };
+}
+
+atomic!(
+    /// Instrumented `AtomicBool`.
+    AtomicBool,
+    AtomicBool,
+    bool
+);
+atomic!(
+    /// Instrumented `AtomicU32`.
+    AtomicU32,
+    AtomicU32,
+    u32
+);
+atomic!(
+    /// Instrumented `AtomicU64`.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic!(
+    /// Instrumented `AtomicUsize`.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+atomic_numeric!(AtomicU32, u32);
+atomic_numeric!(AtomicU64, u64);
+atomic_numeric!(AtomicUsize, usize);

@@ -1,0 +1,101 @@
+//! Instrumented replacements for `std::thread` spawning, joining and yielding.
+
+use std::fmt;
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+use crate::rt;
+
+/// Spawns a thread. Inside a model the thread is registered with the explorer
+/// and serialized with every other model thread; outside one this is
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("loom-shim: failed to spawn thread")
+}
+
+/// Cooperatively yields: a scheduling point that prefers switching away (in a
+/// model), or `std::thread::yield_now` (outside one).
+pub fn yield_now() {
+    if rt::in_model() {
+        rt::point(rt::PointKind::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Thread factory mirroring `std::thread::Builder` (name support only).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// A fresh builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Names the thread-to-be.
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread (see [`spawn`]).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some(sched) = rt::current_scheduler() {
+            let slot = StdArc::new(StdMutex::new(None));
+            let tid = sched.spawn_thread(self.name, StdArc::clone(&slot), f);
+            Ok(JoinHandle { imp: HandleImp::Model { tid, slot } })
+        } else {
+            let mut builder = std::thread::Builder::new();
+            if let Some(name) = self.name {
+                builder = builder.name(name);
+            }
+            builder.spawn(f).map(|handle| JoinHandle { imp: HandleImp::Std(handle) })
+        }
+    }
+}
+
+enum HandleImp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model { tid: usize, slot: StdArc<StdMutex<Option<T>>> },
+}
+
+/// Handle to a spawned thread; [`JoinHandle::join`] blocks until it finishes.
+pub struct JoinHandle<T> {
+    imp: HandleImp<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value (`Err` if the
+    /// thread panicked — under a model the whole execution has failed by then).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            HandleImp::Std(handle) => handle.join(),
+            HandleImp::Model { tid, slot } => {
+                rt::join_thread(tid);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(value) => Ok(value),
+                    None => Err(Box::new("loom-shim: model thread panicked")),
+                }
+            }
+        }
+    }
+}
+
+impl<T> fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.imp {
+            HandleImp::Std(handle) => f.debug_tuple("JoinHandle").field(handle).finish(),
+            HandleImp::Model { tid, .. } => f.debug_tuple("JoinHandle").field(tid).finish(),
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Self-tests for the schedule explorer: it must find real races, detect
+//! deadlocks, enforce mutual exclusion, and drive condvar handshakes to
+//! completion.
+
+use std::collections::BTreeSet;
+use std::sync::Mutex as StdMutex;
+
+use loom_shim as loom;
+
+use loom::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::{model, thread};
+
+/// The classic lost update: two threads each do a non-atomic read-modify-write.
+/// A correct explorer must witness BOTH outcomes — 2 (serialized) and 1 (both
+/// read 0 before either stored).
+#[test]
+fn explorer_observes_lost_update_race() {
+    let outcomes: &'static StdMutex<BTreeSet<u32>> =
+        Box::leak(Box::new(StdMutex::new(BTreeSet::new())));
+    model(move || {
+        let counter = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        outcomes.lock().expect("outcomes").insert(counter.load(Ordering::SeqCst));
+    });
+    let seen = outcomes.lock().expect("outcomes").clone();
+    assert_eq!(seen, BTreeSet::from([1, 2]), "explorer missed an interleaving");
+}
+
+/// The same race, but with the model asserting the serialized outcome: the
+/// explorer must find the schedule that violates it.
+#[test]
+#[should_panic(expected = "lost update must be found")]
+fn explorer_fails_model_that_assumes_atomicity() {
+    model(|| {
+        let counter = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let seen = counter.load(Ordering::SeqCst);
+                    counter.store(seen + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update must be found");
+    });
+}
+
+/// Mutex-protected increments never lose updates, under every schedule.
+#[test]
+fn mutex_preserves_read_modify_write() {
+    model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                thread::spawn(move || {
+                    let mut guard = counter.lock().expect("counter");
+                    *guard += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        assert_eq!(*counter.lock().expect("counter"), 2);
+    });
+}
+
+/// AB/BA lock ordering: the explorer must drive both threads into the cycle
+/// and report it as a deadlock rather than hanging.
+#[test]
+#[should_panic(expected = "deadlock")]
+fn explorer_detects_lock_order_deadlock() {
+    model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().expect("a");
+            let _gb = b2.lock().expect("b");
+        });
+        {
+            let _gb = b.lock().expect("b");
+            let _ga = a.lock().expect("a");
+        }
+        t.join().expect("worker");
+    });
+}
+
+/// Condvar handshake: consumer waits for the flag, producer sets and notifies.
+/// Every schedule must terminate with the flag observed (no lost wakeups).
+#[test]
+fn condvar_handshake_terminates() {
+    model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let producer = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock().expect("flag") = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock().expect("flag");
+        while !*ready {
+            ready = cv.wait(ready).expect("wait");
+        }
+        assert!(*ready);
+        drop(ready);
+        producer.join().expect("producer");
+    });
+}
+
+/// A spin loop on an atomic flag (with `loom::thread::yield_now` in the body)
+/// must make progress: yielding hands the schedule to the setter.
+#[test]
+fn yielding_spin_makes_progress() {
+    model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        let setter = thread::spawn(move || {
+            flag2.store(true, Ordering::SeqCst);
+        });
+        let mut spins = 0u32;
+        while !flag.load(Ordering::SeqCst) {
+            thread::yield_now();
+            spins += 1;
+            assert!(spins < 1_000, "spin loop failed to make progress");
+        }
+        setter.join().expect("setter");
+    });
+}
+
+/// `Arc::try_unwrap` succeeds exactly when the last clone has dropped — the
+/// primitive the epoch-reclaim protocol leans on.
+#[test]
+fn arc_try_unwrap_tracks_last_owner() {
+    model(|| {
+        let value = Arc::new(7u32);
+        let clone = Arc::clone(&value);
+        let t = thread::spawn(move || drop(clone));
+        t.join().expect("dropper");
+        match Arc::try_unwrap(value) {
+            Ok(v) => assert_eq!(v, 7),
+            Err(_) => panic!("sole owner must reclaim"),
+        }
+    });
+}
+
+/// Failures inside spawned model threads propagate out of `model()`.
+#[test]
+#[should_panic(expected = "spawned thread assertion")]
+fn spawned_thread_failure_propagates() {
+    model(|| {
+        let t = thread::spawn(|| {
+            panic!("spawned thread assertion");
+        });
+        let _ = t.join();
+    });
+}
+
+/// Outside `model()`, the shim types delegate to std and just work.
+#[test]
+fn delegates_to_std_outside_model() {
+    let counter = Arc::new(Mutex::new(0u32));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || {
+                *counter.lock().expect("counter") += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+    assert_eq!(*counter.lock().expect("counter"), 4);
+
+    let flag = AtomicBool::new(false);
+    flag.store(true, Ordering::Release);
+    assert!(flag.load(Ordering::Acquire));
+}

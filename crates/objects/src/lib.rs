@@ -12,6 +12,8 @@
 //!   G-tree occurrence lists and ROAD association directories (re-exported from their
 //!   home crates and wrapped by [`builders`] so the harness can time them uniformly).
 
+#![forbid(unsafe_code)]
+
 pub mod builders;
 pub mod generators;
 pub mod poi;

@@ -16,6 +16,8 @@
 //! `k`-way partitions are produced by recursive bisection, which is how both G-tree
 //! (fanout `f`) and ROAD (`f` child Rnets) consume it.
 
+#![forbid(unsafe_code)]
+
 pub mod multilevel;
 pub mod refine;
 

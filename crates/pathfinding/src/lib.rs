@@ -18,6 +18,8 @@
 //! * [`scratch`] — reusable, epoch-tagged per-search state ([`SearchScratch`]), so the
 //!   point-to-point searches above can run allocation-free in steady state.
 
+#![forbid(unsafe_code)]
+
 pub mod astar;
 pub mod bidirectional;
 pub mod dijkstra;

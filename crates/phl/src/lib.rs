@@ -13,6 +13,8 @@
 //! sample of shortest-path trees; a Contraction Hierarchies rank can be supplied instead
 //! (and is, in the experiment harness) for smaller labels.
 
+#![forbid(unsafe_code)]
+
 use rnknn_ch::ContractionHierarchy;
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;

@@ -291,6 +291,97 @@ mod tests {
         assert!(dir.dirty_removals() > 16);
     }
 
+    /// The hard maintenance cycle: the *same* vertices repeatedly removed,
+    /// re-inserted and removed again, with repairs landing at every phase
+    /// boundary. Targets the stale-true interplay — a re-insert may stop its
+    /// upward propagation at an ancestor bit that is only *conservatively* set
+    /// from the earlier remove, and a repair between the phases clears exactly
+    /// those bits, so the next insert must re-propagate the full path.
+    #[test]
+    fn repeated_remove_insert_remove_cycles_interleaved_with_repair() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(600, 11));
+        let g = net.graph(EdgeWeightKind::Distance);
+        let road = RoadIndex::build_with_config(
+            &g,
+            RoadConfig { fanout: 4, levels: 3, min_rnet_vertices: 16 },
+        );
+        let mut members: Vec<NodeId> = g.vertices().filter(|v| v % 17 == 2).collect();
+        let mut dir = AssociationDirectory::build(&road, g.num_vertices(), &members);
+        let cyclers: Vec<NodeId> = members.iter().copied().step_by(3).collect();
+        assert!(cyclers.len() >= 5, "need enough cycled vertices to be interesting");
+        let num_rnets = road.num_rnets();
+
+        let assert_exact_after_repair = |dir: &AssociationDirectory, members: &[NodeId]| {
+            let exact = AssociationDirectory::build(&road, g.num_vertices(), members);
+            for r in 0..num_rnets {
+                let r = r as RnetIndex;
+                assert_eq!(dir.rnet_has_object(r), exact.rnet_has_object(r), "rnet {r}");
+            }
+        };
+
+        for round in 0..4 {
+            // Phase 1: remove every cycler. Vertex bits go exact-false, Rnet
+            // bits go stale-true, the dirty counter tracks each removal.
+            let before = dir.dirty_removals();
+            for &v in &cyclers {
+                assert!(dir.remove(v), "round {round}: remove {v}");
+                assert!(!dir.is_object(v));
+            }
+            assert_eq!(dir.dirty_removals(), before + cyclers.len());
+            members.retain(|v| !cyclers.contains(v));
+            // Repair on alternating rounds, so phase 2 re-inserts see both a
+            // freshly-cleared path and a conservatively-stale one.
+            if round % 2 == 0 {
+                dir.repair(&road, &members);
+                assert_eq!(dir.dirty_removals(), 0);
+                assert_exact_after_repair(&dir, &members);
+                for &v in &cyclers {
+                    // After an exact repair a cycler's pure singleton path must
+                    // have lost its presence bit (unless shared with a survivor
+                    // — the root, typically — which stays set).
+                    assert!(!dir.is_object(v));
+                }
+            }
+
+            // Phase 2: re-insert every cycler; the vertex bit and the whole
+            // leaf-to-root path must be live again regardless of repair state.
+            for &v in &cyclers {
+                assert!(dir.insert(&road, v), "round {round}: reinsert {v}");
+                members.push(v);
+                assert!(dir.is_object(v));
+                let mut r = road.leaf_of(v);
+                loop {
+                    assert!(dir.rnet_has_object(r), "round {round}: path bit lost at rnet {r}");
+                    match road.rnet(r).parent {
+                        Some(p) => r = p,
+                        None => break,
+                    }
+                }
+            }
+            dir.repair(&road, &members);
+            assert_exact_after_repair(&dir, &members);
+
+            // Phase 3: remove them again immediately after the repair — the
+            // next round's insert then starts from a truly cleared path.
+            for &v in &cyclers {
+                assert!(dir.remove(v), "round {round}: second remove {v}");
+            }
+            members.retain(|v| !cyclers.contains(v));
+            dir.repair(&road, &members);
+            assert_exact_after_repair(&dir, &members);
+
+            // Close the round with the cyclers back in, exactly once.
+            for &v in &cyclers {
+                assert!(dir.insert(&road, v), "round {round}: closing insert {v}");
+                assert!(!dir.insert(&road, v), "round {round}: duplicate insert {v}");
+                members.push(v);
+            }
+            assert_eq!(dir.num_objects(), members.len(), "round {round}");
+        }
+        dir.repair(&road, &members);
+        assert_exact_after_repair(&dir, &members);
+    }
+
     #[test]
     fn duplicates_and_empty_sets() {
         let net = RoadNetwork::generate(&GeneratorConfig::new(300, 8));

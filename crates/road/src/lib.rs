@@ -15,6 +15,8 @@
 //! * [`RoadKnn`] — the kNN search of Appendix A.3, including the fix that skips
 //!   re-inserting already-visited borders.
 
+#![forbid(unsafe_code)]
+
 mod association;
 mod index;
 mod knn;

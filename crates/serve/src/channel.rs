@@ -1,0 +1,339 @@
+//! Mpsc channels built on the [`crate::sync`] facade.
+//!
+//! A drop-in replacement for the slice of `std::sync::mpsc` the serving layer
+//! uses (unbounded [`channel`], bounded [`sync_channel`], `send` / `try_send` /
+//! `recv` / `try_recv` / `recv_timeout`, disconnect-on-drop) — implemented on
+//! the facade's `Mutex` + `Condvar` instead of std's private queue, so that
+//! under the `loom-model` feature every enqueue, dequeue and wakeup is an
+//! instrumented scheduling point and the whole submit/serve/shutdown handshake
+//! of [`crate::ServeFront`] is visible to the model checker. Production builds
+//! pay one mutex round-trip per operation, which is noise next to a kNN query.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use crate::sync::{Arc, Condvar, Mutex};
+
+/// An unbounded channel: sends never block.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared::new(None));
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// A bounded channel: sends block (or [`SyncSender::try_send`] pushes back)
+/// while `capacity` messages are queued.
+pub fn sync_channel<T>(capacity: usize) -> (SyncSender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared::new(Some(capacity.max(1))));
+    (SyncSender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+/// The sending half of an unbounded [`channel`].
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The sending half of a bounded [`sync_channel`].
+pub struct SyncSender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of either channel flavour.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The message, handed back because the receiver disconnected.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Why a [`SyncSender::try_send`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// The receiver disconnected; the message is handed back.
+    Disconnected(T),
+}
+
+/// Every sender disconnected and the queue is drained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a [`Receiver::try_recv`] returned no message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty.
+    Empty,
+    /// Every sender disconnected and the queue is drained.
+    Disconnected,
+}
+
+/// Why a [`Receiver::recv_timeout`] returned no message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed first.
+    Timeout,
+    /// Every sender disconnected and the queue is drained.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    /// Signalled on enqueue and on last-sender disconnect.
+    not_empty: Condvar,
+    /// Signalled on dequeue and on receiver disconnect (bounded senders wait).
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn new(capacity: Option<usize>) -> Shared<T> {
+        Shared {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receiver_alive: true }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn drop_sender(&self) {
+        let mut st = self.state.lock().expect("channel poisoned");
+        st.senders -= 1;
+        if st.senders == 0 {
+            // Wake the receiver so a blocked `recv` observes the disconnect.
+            self.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`; `Err` hands it back if the receiver disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> SyncSender<T> {
+    /// Enqueues `value`, blocking while the queue is at capacity; `Err` hands
+    /// it back if the receiver disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let capacity = self.shared.capacity.expect("sync_channel always has a capacity");
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        while st.receiver_alive && st.queue.len() >= capacity {
+            st = self.shared.not_full.wait(st).expect("channel poisoned");
+        }
+        if !st.receiver_alive {
+            return Err(SendError(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `value` without blocking; a full queue or a disconnected
+    /// receiver hands it back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let capacity = self.shared.capacity.expect("sync_channel always has a capacity");
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        if !st.receiver_alive {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.queue.len() >= capacity {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues the next message, blocking until one arrives; `Err` once every
+    /// sender disconnected and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.not_empty.wait(st).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        if let Some(value) = st.queue.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(value);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// [`Receiver::recv`] with a deadline of `now + timeout`. (Under the
+    /// `loom-model` feature timeouts never fire — model schedules are untimed —
+    /// so models must not rely on a timeout for progress.)
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let Some(remaining) =
+                deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, timed_out) =
+                self.shared.not_empty.wait_timeout(st, remaining).expect("channel poisoned");
+            st = guard;
+            if timed_out.timed_out() && st.queue.is_empty() && st.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> SyncSender<T> {
+        self.shared.state.lock().expect("channel poisoned").senders += 1;
+        SyncSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.shared.drop_sender();
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        self.shared.drop_sender();
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().expect("channel poisoned");
+        st.receiver_alive = false;
+        drop(st);
+        // Wake blocked bounded senders so they observe the disconnect.
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+
+        let (stx, srx) = sync_channel::<u32>(1);
+        drop(srx);
+        assert_eq!(stx.send(9), Err(SendError(9)));
+        assert_eq!(stx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn bounded_try_send_pushes_back_when_full() {
+        let (tx, rx) = sync_channel::<u32>(2);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Ok(()));
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_slot_frees() {
+        let (tx, rx) = sync_channel::<u32>(1);
+        tx.send(1).unwrap();
+        let producer = std::thread::spawn(move || tx.send(2));
+        // The producer is blocked on the full queue until this recv.
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        producer.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = channel::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(5));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn drained_messages_survive_sender_disconnect() {
+        let (tx, rx) = channel::<u32>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

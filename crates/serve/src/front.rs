@@ -16,10 +16,13 @@
 //! visible promptly).
 
 use std::num::NonZeroU64;
+// Monitoring counters deliberately bypass the `crate::sync` facade: they are
+// observe-only (nothing branches on them inside the protocols under test), and
+// instrumenting them would blow up the model checker's state space.
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc};
-use std::thread::JoinHandle;
+
+use crate::channel::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use crate::sync::{thread, Arc};
 
 use rnknn::{EngineError, EngineScratch, Method, QueryOutput};
 use rnknn_graph::NodeId;
@@ -112,8 +115,8 @@ pub struct ServeFront {
     store: Arc<ObjectStore>,
     shards: Vec<SyncSender<KnnRequest>>,
     updates: Option<Sender<UpdateEvent>>,
-    workers: Vec<JoinHandle<WorkerStats>>,
-    updater: Option<JoinHandle<u64>>,
+    workers: Vec<thread::JoinHandle<WorkerStats>>,
+    updater: Option<thread::JoinHandle<u64>>,
     next_shard: AtomicU64,
     served: Arc<AtomicU64>,
     updates_applied: Arc<AtomicU64>,
@@ -147,7 +150,7 @@ impl ServeFront {
         config: ServeConfig,
     ) -> (ServeFront, Receiver<KnnResponse>) {
         let workers = config.workers.max(1);
-        let (respond, responses) = mpsc::channel::<KnnResponse>();
+        let (respond, responses) = channel::<KnnResponse>();
         let served = Arc::new(AtomicU64::new(0));
         let updates_applied = Arc::new(AtomicU64::new(0));
 
@@ -161,19 +164,19 @@ impl ServeFront {
             let served = Arc::clone(&served);
             let max_batch = config.max_batch.max(1);
             handles.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("rnknn-serve-{worker}"))
                     .spawn(move || worker_loop(worker, store, rx, respond, served, max_batch))
                     .expect("failed to spawn serving worker"),
             );
         }
 
-        let (update_tx, update_rx) = mpsc::channel::<UpdateEvent>();
+        let (update_tx, update_rx) = channel::<UpdateEvent>();
         let updater = {
             let store = Arc::clone(&store);
             let applied = Arc::clone(&updates_applied);
             let publish_every = config.publish_every.get();
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("rnknn-serve-updater".into())
                 .spawn(move || updater_loop(store, update_rx, applied, publish_every))
                 .expect("failed to spawn serving updater")
@@ -267,7 +270,14 @@ impl ServeFront {
 
 impl Drop for ServeFront {
     fn drop(&mut self) {
-        self.shutdown();
+        // Dropped during unwinding there is nothing sane to join: a worker may
+        // itself be the panic source, and `shutdown`'s `expect` would escalate
+        // the failure into a process abort. Dropping the channel endpoints
+        // (below, field drop order) still disconnects every loop so the threads
+        // exit on their own.
+        if !std::thread::panicking() {
+            self.shutdown();
+        }
     }
 }
 
@@ -277,7 +287,7 @@ fn worker_loop(
     worker: usize,
     store: Arc<ObjectStore>,
     requests: Receiver<KnnRequest>,
-    respond: mpsc::Sender<KnnResponse>,
+    respond: Sender<KnnResponse>,
     served: Arc<AtomicU64>,
     max_batch: usize,
 ) -> WorkerStats {
@@ -312,6 +322,17 @@ fn worker_loop(
                     &mut out,
                 )
                 .map(|()| std::mem::take(&mut out));
+            // Model-checked protocol obligation: a successfully dispatched query
+            // leaves the pooled scratch stamped with the generation of the exact
+            // object view it served — the backstop that makes scratch reuse safe
+            // across epoch flips (see docs/CORRECTNESS.md; the
+            // `mutant-skip-generation-stamp` feature breaks precisely this).
+            // Rejected queries (bad k / bad vertex) bail out before the stamp.
+            #[cfg(feature = "loom-model")]
+            assert!(
+                result.is_err() || scratch.objects_generation() == snapshot.indexes().generation(),
+                "pooled scratch not synced to the served object generation"
+            );
             stats.served += 1;
             served.fetch_add(1, Ordering::Relaxed);
             let response =

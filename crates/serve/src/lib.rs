@@ -22,7 +22,7 @@
 //!   publishes ([`ServeConfig::publish_every`]).
 //!
 //! ```
-//! use std::sync::Arc;
+//! use rnknn_serve::sync::Arc; // `std::sync::Arc` unless model-checking
 //! use rnknn::{Engine, EngineConfig, Method};
 //! use rnknn_graph::{generator::{GeneratorConfig, RoadNetwork}, EdgeWeightKind};
 //! use rnknn_objects::{uniform, UpdateEvent};
@@ -50,10 +50,14 @@
 //! drop(front); // shuts down: drains queues, joins workers and updater
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod channel;
 pub mod front;
 pub mod store;
+pub mod sync;
 
+pub use channel::Receiver;
 pub use front::{FrontStats, KnnRequest, KnnResponse, ServeConfig, ServeFront, SubmitError};
 pub use store::{EpochSnapshot, ObjectStore};

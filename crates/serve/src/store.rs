@@ -26,8 +26,9 @@
 //! [`publish`]: ObjectStore::publish
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+use crate::sync::{thread, Arc, Mutex, RwLock};
 
 use rnknn::{Engine, ObjectIndexes};
 use rnknn_graph::NodeId;
@@ -99,7 +100,16 @@ pub struct ObjectStore {
 
 /// How many times to spin (with a `yield_now` each round) waiting for late
 /// readers to release the previous epoch before giving up and cloning.
+#[cfg(not(feature = "loom-model"))]
 const RECLAIM_SPINS: usize = 128;
+/// Under the model checker every spin iteration is a scheduling point, so the
+/// budget shrinks — but stays **strictly above the explorer's preemption bound
+/// of 2**: each failed reclaim requires preempting the reader right before its
+/// snapshot drop, so with 3 spins no schedule within the bound can exhaust
+/// them, and the models may assert `clone_fallbacks() == 0` whenever readers
+/// release promptly (the protocol's `O(batch)` publish obligation).
+#[cfg(feature = "loom-model")]
+const RECLAIM_SPINS: usize = 3;
 
 impl ObjectStore {
     /// Builds the store's initial indexes from `initial` and publishes them as
@@ -227,22 +237,31 @@ impl ObjectStore {
         // briefly for late readers, reclaim it, and replay the pending events so
         // it catches up with what was just published.
         let mut reclaimed = None;
-        for _ in 0..RECLAIM_SPINS {
-            match Arc::try_unwrap(previous) {
-                Ok(snapshot) => {
-                    reclaimed = Some(snapshot.indexes);
-                    break;
-                }
-                Err(still_shared) => {
-                    previous = still_shared;
-                    std::thread::yield_now();
+        if cfg!(feature = "mutant-no-reclaim-spin") {
+            // Mutant: give up immediately — every publish pays the O(|O|) clone.
+            drop(previous);
+        } else {
+            for _ in 0..RECLAIM_SPINS {
+                match Arc::try_unwrap(previous) {
+                    Ok(snapshot) => {
+                        reclaimed = Some(snapshot.indexes);
+                        break;
+                    }
+                    Err(still_shared) => {
+                        previous = still_shared;
+                        thread::yield_now();
+                    }
                 }
             }
         }
         w.working = Some(match reclaimed {
             Some(mut indexes) => {
-                for &event in &w.pending {
-                    self.engine.apply_object_update(&mut indexes, event);
+                // Mutant: skip the catch-up replay, so the next epoch publishes
+                // from a buffer missing this batch's events.
+                if !cfg!(feature = "mutant-skip-replay") {
+                    for &event in &w.pending {
+                        self.engine.apply_object_update(&mut indexes, event);
+                    }
                 }
                 indexes
             }
@@ -329,6 +348,67 @@ mod tests {
         }
         // With snapshots dropped promptly, the double buffer should win every time.
         assert_eq!(store.clone_fallbacks(), 0);
+    }
+
+    /// Forces the clone fallback deterministically: a snapshot held across the
+    /// publish pins the previous epoch, so every reclaim spin fails and the
+    /// publisher must clone — exactly once. The cloned bundle and a later
+    /// replayed (reclaimed) bundle must both match a from-scratch rebuild.
+    #[test]
+    fn pinned_snapshot_forces_exactly_one_clone_fallback_with_correct_contents() {
+        let engine = engine();
+        let store = ObjectStore::new(Arc::clone(&engine), uniform(engine.graph(), 0.03, 21));
+        let pinned = store.snapshot();
+        let mut free = engine.graph().vertices().filter(|&v| !pinned.objects().contains(v));
+        let (a, b) = (free.next().unwrap(), free.next().unwrap());
+
+        // Publish while `pinned` still holds the previous epoch's Arc: no spin
+        // can win `try_unwrap`, so this publish *must* take the clone path.
+        assert!(store.insert(a));
+        let cloned = store.publish();
+        assert_eq!(store.clone_fallbacks(), 1, "pinned reader must force the clone fallback");
+        assert_eq!(cloned.epoch(), 1);
+        assert!(cloned.objects().contains(a));
+        // The pinned epoch is untouched by the clone.
+        assert!(!pinned.objects().contains(a));
+        assert_eq!(pinned.epoch(), 0);
+
+        // A published bundle must be indistinguishable from a from-scratch
+        // build over the same membership: same objects, same query answers.
+        let matches_rebuild = |snap: &EpochSnapshot, queries: &[u32]| {
+            let rebuilt = ObjectStore::new(
+                Arc::clone(&engine),
+                rnknn_objects::ObjectSet::new(
+                    "rebuilt",
+                    engine.graph().num_vertices(),
+                    snap.objects().vertices().to_vec(),
+                ),
+            );
+            let fresh = rebuilt.snapshot();
+            assert_eq!(snap.objects().len(), fresh.objects().len());
+            for v in engine.graph().vertices() {
+                assert_eq!(snap.objects().contains(v), fresh.objects().contains(v), "vertex {v}");
+            }
+            for &q in queries {
+                let via_snap = engine.query_snapshot(Method::Ine, q, 3, snap.indexes()).unwrap();
+                let via_fresh = engine.query_snapshot(Method::Ine, q, 3, fresh.indexes()).unwrap();
+                assert_eq!(via_snap.result, via_fresh.result, "query at {q}");
+            }
+        };
+        matches_rebuild(&cloned, &[a]);
+
+        // Release every pin: the next publish reclaims the double buffer (which
+        // is two epochs behind) and catches it up by replaying epoch 1's
+        // insert. No further fallback.
+        drop(pinned);
+        drop(cloned);
+        assert!(store.insert(b));
+        let replayed = store.publish();
+        assert_eq!(store.clone_fallbacks(), 1, "reclaim must win once the pins are gone");
+        assert_eq!(replayed.epoch(), 2);
+        assert!(replayed.objects().contains(a), "replayed buffer lost epoch 1's insert");
+        assert!(replayed.objects().contains(b));
+        matches_rebuild(&replayed, &[a, b]);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Loom models of the [`ServeFront`] submit/serve/shutdown handshake.
+//!
+//! These explore the full front-end machinery — bounded shard queues, the
+//! batching worker, the updater thread and the drain-on-shutdown protocol — all
+//! running on the instrumented channel/thread shim, against a real (tiny)
+//! engine. Properties:
+//!
+//! 1. **No lost or duplicated requests** — every submitted request is answered
+//!    exactly once and shutdown reports the exact totals, wherever the worker,
+//!    updater and closing main thread interleave.
+//! 2. **Update visibility** — an update published before a request was
+//!    submitted is visible to that request's batch (the per-batch epoch pin
+//!    happens after admission).
+//! 3. **Scratch generation stamping** — a worker's pooled scratch is re-stamped
+//!    to the generation of every object view it serves (asserted inside
+//!    `worker_loop` under this feature). The `mutant-skip-generation-stamp`
+//!    feature removes the stamp in the engine's dispatch path and makes every
+//!    schedule of these models fail.
+//!
+//! Run with `cargo test -p rnknn-serve --features loom-model`; see
+//! docs/CORRECTNESS.md for the mutant matrix.
+
+#![cfg(feature = "loom-model")]
+
+use std::num::NonZeroU64;
+use std::sync::OnceLock;
+
+use rnknn::{Engine, EngineConfig, Method};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_objects::{ObjectSet, UpdateEvent};
+use rnknn_serve::sync::{thread, Arc};
+use rnknn_serve::{KnnRequest, ObjectStore, ServeConfig, ServeFront};
+
+const BASE: [u32; 3] = [10, 20, 30];
+const FREE: u32 = 40;
+
+fn engine() -> Arc<Engine> {
+    static ENGINE: OnceLock<Arc<Engine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(60, 7));
+        Arc::new(Engine::build(net.graph(EdgeWeightKind::Distance), &EngineConfig::minimal()))
+    }))
+}
+
+fn store() -> Arc<ObjectStore> {
+    let engine = engine();
+    let num_vertices = engine.graph().num_vertices();
+    Arc::new(ObjectStore::new(engine, ObjectSet::new("model", num_vertices, BASE.to_vec())))
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_batch: 2,
+        publish_every: NonZeroU64::new(1).expect("nonzero"),
+    }
+}
+
+fn request(id: u64, query: u32) -> KnnRequest {
+    KnnRequest { id, method: Method::Ine, query, k: 1 }
+}
+
+/// Property 1: every request answered exactly once; shutdown drains and joins
+/// under every schedule and reports exact totals.
+#[test]
+fn every_request_is_answered_exactly_once_through_shutdown() {
+    loom::model(|| {
+        let (mut front, responses) = ServeFront::start(store(), config());
+        front.submit(request(0, BASE[0])).expect("submit 0");
+        front.submit(request(1, BASE[1])).expect("submit 1");
+        let mut seen = [false; 2];
+        for _ in 0..2 {
+            let r = responses.recv().expect("response");
+            assert!(!std::mem::replace(&mut seen[r.id as usize], true), "duplicate {}", r.id);
+            let output = r.output.expect("query ok");
+            assert_eq!(output.result.len(), 1);
+        }
+        let stats = front.shutdown();
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.updates_applied, 0);
+        // Nothing further arrives after a drained shutdown.
+        assert!(responses.try_recv().is_err());
+    });
+}
+
+/// Properties 2 + 3: an update that published before a request was submitted is
+/// visible to that request, and the worker's scratch is re-stamped to the new
+/// object generation (the in-loop assertion under this feature).
+#[test]
+fn published_update_is_visible_to_later_requests() {
+    loom::model(|| {
+        let store = store();
+        let (front, responses) = ServeFront::start(Arc::clone(&store), config());
+
+        // A first request may be served against epoch 0 — it stamps the
+        // worker's scratch with epoch 0's generation.
+        front.submit(request(0, BASE[0])).expect("submit 0");
+
+        // Route an insert through the updater thread and wait for its publish.
+        front.submit_update(UpdateEvent::Insert(FREE)).expect("submit update");
+        while store.snapshot().epoch() == 0 {
+            thread::yield_now();
+        }
+
+        // Submitted strictly after the publish: the worker pins its batch's
+        // epoch after admission, so this request must see the insert — and the
+        // worker's scratch must be re-stamped to the flipped generation.
+        front.submit(request(1, FREE)).expect("submit 1");
+        for _ in 0..2 {
+            let r = responses.recv().expect("response");
+            let output = r.output.expect("query ok");
+            if r.id == 1 {
+                assert!(r.epoch >= 1, "request 1 served from a pre-publish epoch");
+                assert_eq!(
+                    output.result[0],
+                    (FREE, 0),
+                    "insert published before submission must be visible"
+                );
+            }
+        }
+        drop(front);
+    });
+}
+
+/// Shutdown with an update still queued: the drain protocol applies and
+/// publishes it before the updater exits, so nothing staged is ever lost.
+#[test]
+fn shutdown_flushes_queued_updates() {
+    loom::model(|| {
+        let store = store();
+        let (mut front, responses) = ServeFront::start(Arc::clone(&store), config());
+        front.submit_update(UpdateEvent::Insert(FREE)).expect("submit update");
+        let stats = front.shutdown();
+        assert_eq!(stats.updates_applied, 1);
+        assert!(stats.epochs_published >= 1);
+        let fin = store.snapshot();
+        assert!(fin.objects().contains(FREE), "queued update lost in shutdown");
+        drop(responses);
+    });
+}

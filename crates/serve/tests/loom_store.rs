@@ -1,0 +1,195 @@
+//! Loom models of the epoch publish/reclaim protocol.
+//!
+//! Each test explores every interleaving (within the explorer's preemption
+//! bound) of one writer driving the stage → publish → reclaim lifecycle against
+//! reader threads pinning and releasing [`EpochSnapshot`]s. The properties:
+//!
+//! 1. **Snapshot atomicity** — a reader sees a staged `Move` entirely or not at
+//!    all (XOR membership), never a torn view, no matter where its pin lands.
+//! 2. **Reclaim replays** — events published in epoch `n` are still present in
+//!    epoch `n+1` even though `n+1` is built from the *reclaimed previous
+//!    buffer*, which was two epochs behind (the `mutant-skip-replay` feature
+//!    deletes the catch-up replay and makes this model fail).
+//! 3. **Bounded-spin reclaim** — when readers release their pins promptly, the
+//!    double buffer always wins: `clone_fallbacks()` stays 0 in every schedule,
+//!    because `RECLAIM_SPINS` exceeds the explorer's preemption bound (the
+//!    `mutant-no-reclaim-spin` feature clones unconditionally and fails this in
+//!    every schedule).
+//! 4. **TTL ordering** — a TTL that is due expires *before* the working buffer
+//!    is moved in, so no published epoch ever exposes the expired object.
+//!
+//! Run with `cargo test -p rnknn-serve --features loom-model`; see
+//! docs/CORRECTNESS.md for the mutant matrix these models reject.
+
+#![cfg(feature = "loom-model")]
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use rnknn::{Engine, EngineConfig};
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_objects::ObjectSet;
+use rnknn_serve::sync::{thread, Arc};
+use rnknn_serve::ObjectStore;
+
+/// Vertices of the 60-vertex model graph used as objects / targets.
+const BASE: [u32; 3] = [10, 20, 30];
+const FREE_A: u32 = 40;
+const FREE_B: u32 = 45;
+
+/// One engine for every execution of every model: the road-network indexes are
+/// immutable under this test, and the shim's types (unlike real loom's) may be
+/// created outside `model()` and shared into it, so the expensive build is
+/// hoisted out of the explored body.
+fn engine() -> Arc<Engine> {
+    static ENGINE: OnceLock<Arc<Engine>> = OnceLock::new();
+    Arc::clone(ENGINE.get_or_init(|| {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(60, 7));
+        Arc::new(Engine::build(net.graph(EdgeWeightKind::Distance), &EngineConfig::minimal()))
+    }))
+}
+
+fn store() -> Arc<ObjectStore> {
+    let engine = engine();
+    let num_vertices = engine.graph().num_vertices();
+    let objects = ObjectSet::new("model", num_vertices, BASE.to_vec());
+    Arc::new(ObjectStore::new(engine, objects))
+}
+
+/// Property 1 + 3: a concurrent reader observes a staged move atomically, and
+/// prompt pin release keeps the publish on the O(batch) reclaim path.
+#[test]
+fn move_is_atomic_under_every_schedule() {
+    loom::model(|| {
+        let store = store();
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let snap = store.snapshot();
+                let at_from = snap.objects().contains(BASE[0]);
+                let at_to = snap.objects().contains(FREE_A);
+                assert!(
+                    at_from ^ at_to,
+                    "torn move at epoch {}: from={at_from} to={at_to}",
+                    snap.epoch()
+                );
+            })
+        };
+        assert!(store.move_to(BASE[0], FREE_A));
+        store.publish();
+        reader.join().expect("reader");
+
+        let fin = store.snapshot();
+        assert_eq!(fin.epoch(), 1);
+        assert!(!fin.objects().contains(BASE[0]));
+        assert!(fin.objects().contains(FREE_A));
+        assert_eq!(
+            store.clone_fallbacks(),
+            0,
+            "publish must reclaim the double buffer when pins are released promptly"
+        );
+    });
+}
+
+/// Property 2 + 3: the buffer reclaimed at publish `n` is caught up by replaying
+/// the pending events, so epoch `n+1` still contains epoch `n`'s insert.
+#[test]
+fn reclaimed_buffer_replays_previous_epochs_events() {
+    loom::model(|| {
+        let store = store();
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                // Pin an arbitrary epoch and release promptly; membership of the
+                // base objects must hold in every epoch.
+                let snap = store.snapshot();
+                assert!(snap.objects().contains(BASE[1]));
+            })
+        };
+        assert!(store.insert(FREE_A));
+        store.publish();
+        assert!(store.insert(FREE_B));
+        store.publish();
+        reader.join().expect("reader");
+
+        let fin = store.snapshot();
+        assert_eq!(fin.epoch(), 2);
+        assert!(
+            fin.objects().contains(FREE_A),
+            "epoch 1's insert vanished from epoch 2: the reclaimed buffer was not replayed"
+        );
+        assert!(fin.objects().contains(FREE_B));
+        assert_eq!(fin.objects().len(), BASE.len() + 2);
+        assert_eq!(store.clone_fallbacks(), 0);
+    });
+}
+
+/// Property 4: an already-due TTL is expired before the epoch is moved in — no
+/// published epoch ever exposes the object, under any reader interleaving.
+#[test]
+fn due_ttl_never_reaches_a_published_epoch() {
+    loom::model(|| {
+        let store = store();
+        assert!(store.insert_with_ttl(FREE_A, Duration::ZERO));
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let snap = store.snapshot();
+                assert!(
+                    !snap.objects().contains(FREE_A),
+                    "expired TTL visible at epoch {}",
+                    snap.epoch()
+                );
+            })
+        };
+        let published = store.publish();
+        assert!(!published.objects().contains(FREE_A));
+        reader.join().expect("reader");
+    });
+}
+
+/// Concurrent staging from two threads serializes cleanly on the writer lock:
+/// both events survive into the next publish, whichever order they land in.
+#[test]
+fn concurrent_staging_loses_no_events() {
+    loom::model(|| {
+        let store = store();
+        let a = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || assert!(store.insert(FREE_A)))
+        };
+        let b = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || assert!(store.remove(BASE[2])))
+        };
+        a.join().expect("stager a");
+        b.join().expect("stager b");
+        let snap = store.publish();
+        assert!(snap.objects().contains(FREE_A));
+        assert!(!snap.objects().contains(BASE[2]));
+        assert_eq!(snap.objects().len(), BASE.len());
+    });
+}
+
+/// Epochs are monotonic from any single reader's point of view, across
+/// concurrent publishes.
+#[test]
+fn epochs_are_monotonic_per_reader() {
+    loom::model(|| {
+        let store = store();
+        let reader = {
+            let store = Arc::clone(&store);
+            thread::spawn(move || {
+                let first = store.snapshot().epoch();
+                let second = store.snapshot().epoch();
+                assert!(second >= first, "epoch went backwards: {first} then {second}");
+            })
+        };
+        store.insert(FREE_A);
+        store.publish();
+        store.publish();
+        reader.join().expect("reader");
+        assert_eq!(store.snapshot().epoch(), 2);
+    });
+}

@@ -21,6 +21,8 @@
 //! The degree-2 chain optimisation of Appendix A.1.2 is supported by passing a
 //! [`ChainIndex`] to the path / refinement routines.
 
+#![forbid(unsafe_code)]
+
 use rnknn_graph::{ChainIndex, Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::sssp_tree;
 use rnknn_spatial::morton::CoordinateNormalizer;

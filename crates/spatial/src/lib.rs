@@ -8,6 +8,8 @@
 //!   vertex "colors"; [`quadtree`] provides the Morton-ordered block structure those
 //!   quadtrees are built from, and [`morton`] the space-filling-curve arithmetic.
 
+#![forbid(unsafe_code)]
+
 pub mod morton;
 pub mod quadtree;
 pub mod rtree;

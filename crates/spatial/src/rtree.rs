@@ -573,6 +573,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn knn_matches_brute_force() {
         let entries = scattered_points(500);
         let tree = RTree::bulk_load(&entries);
@@ -588,6 +589,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn browser_yields_nondecreasing_distances_and_all_entries() {
         let entries = scattered_points(300);
         let tree = RTree::bulk_load(&entries);
@@ -623,6 +625,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn scratch_browser_matches_owning_browser_across_reuses() {
         let entries = scattered_points(300);
         let tree = RTree::bulk_load(&entries);
@@ -651,6 +654,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn within_radius_filters_correctly() {
         let entries = scattered_points(200);
         let tree = RTree::bulk_load(&entries);
@@ -663,6 +667,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn various_node_capacities_agree() {
         let entries = scattered_points(257);
         let q = Point::new(42.0, 777.0);
@@ -678,6 +683,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn memory_accounting_scales_with_entries() {
         let small = RTree::bulk_load(&scattered_points(10));
         let large = RTree::bulk_load(&scattered_points(1000));
@@ -688,6 +694,7 @@ mod tests {
     /// Randomized churn: interleaved inserts and removes must keep the tree exactly
     /// equal (in kNN answers and cardinality) to a brute-force live-entry list.
     #[test]
+    #[cfg_attr(miri, ignore = "large input; Miri covers the sized-down stress tests")]
     fn incremental_insert_remove_matches_brute_force_under_churn() {
         let pool = scattered_points(400);
         for cap in [4usize, 16] {
@@ -752,5 +759,94 @@ mod tests {
         assert!(!tree.remove(q, 0));
         tree.insert(q, 7);
         assert_eq!(tree.knn(q, 1), vec![(0.0, 7)]);
+    }
+
+    /// Randomized free-list stress against a reference model: across heavy
+    /// insert/remove/reinsert churn (including the compaction rebuild), a
+    /// reused entry slot must never alias a live entry — the browser yields
+    /// exactly the live payload set, each exactly once, at its current point.
+    ///
+    /// Sized down under Miri (which runs this test in CI) so the interpreter
+    /// finishes quickly; the drain phase still crosses the compaction
+    /// threshold in both configurations.
+    #[test]
+    fn free_list_reuse_never_aliases_live_entries() {
+        const OPS: usize = if cfg!(miri) { 260 } else { 4_000 };
+        const CHECK_EVERY: usize = if cfg!(miri) { 16 } else { 64 };
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        // Reference model: the live entries, exactly.
+        let mut live: Vec<(Point, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        let mut tree = RTree::bulk_load(&[]);
+
+        let verify = |tree: &RTree, live: &[(Point, u32)]| {
+            assert_eq!(tree.len(), live.len());
+            let mut seen = std::collections::BTreeMap::new();
+            for (d, id) in tree.browse(Point::new(0.0, 0.0)) {
+                assert!(d.is_finite());
+                *seen.entry(id).or_insert(0u32) += 1;
+            }
+            assert_eq!(seen.len(), live.len(), "browser lost or duplicated payloads");
+            for &(_, id) in live {
+                assert_eq!(seen.get(&id), Some(&1), "payload {id} not yielded exactly once");
+            }
+            // Spot-check (full scans are quadratic): sampled entries must be
+            // findable at their *current* model point — knn at the exact
+            // location returns distance 0 for them.
+            for &(p, id) in live.iter().step_by(1 + live.len() / 48) {
+                assert!(
+                    tree.knn(p, tree.len()).iter().any(|&(d, got)| got == id && d.abs() < 1e-12),
+                    "payload {id} not at its model point (slot aliased?)"
+                );
+            }
+        };
+
+        // Grow-heavy first, then remove-heavy: the shrinking phase leaves far
+        // more dead slots than live entries, forcing the compaction rebuild,
+        // while continuous reinsertion keeps recycling freed slots throughout.
+        for op in 0..OPS {
+            let grow_pct = if op < 2 * OPS / 5 { 80 } else { 30 };
+            let grow = live.len() < 8 || rng() % 100 < grow_pct;
+            if grow {
+                let p = Point::new((rng() % 1000) as f64, (rng() % 1000) as f64);
+                tree.insert(p, next_id);
+                live.push((p, next_id));
+                next_id += 1;
+            } else {
+                let idx = (rng() as usize) % live.len();
+                let (p, id) = live.swap_remove(idx);
+                assert!(tree.remove(p, id), "op {op}: live entry missing from tree");
+                assert!(!tree.remove(p, id), "op {op}: double remove succeeded");
+            }
+            if op % CHECK_EVERY == 0 {
+                verify(&tree, &live);
+            }
+        }
+        verify(&tree, &live);
+
+        // Drain past the compaction threshold (> 64 dead slots and more dead
+        // than alive), then keep going: the rebuilt tree must stay exact.
+        while live.len() > 4 {
+            let idx = (rng() as usize) % live.len();
+            let (p, id) = live.swap_remove(idx);
+            assert!(tree.remove(p, id));
+        }
+        verify(&tree, &live);
+
+        // Refill through the (possibly rebuilt) free list one more time.
+        for _ in 0..if cfg!(miri) { 24 } else { 256 } {
+            let p = Point::new((rng() % 1000) as f64, (rng() % 1000) as f64);
+            tree.insert(p, next_id);
+            live.push((p, next_id));
+            next_id += 1;
+        }
+        verify(&tree, &live);
     }
 }

@@ -19,6 +19,8 @@
 //! pairs (matching the behaviour the paper observes: "CH is the technique used to answer
 //! local queries in TNR").
 
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rnknn_ch::{ChConfig, ChSearchSpace, ContractionHierarchy};

@@ -1,0 +1,29 @@
+//! Workspace automation tasks, invoked as `cargo xtask <task>`.
+//!
+//! The only task so far is `lint`, the unsafe-hygiene pass described in
+//! `docs/CORRECTNESS.md`: every crate must `#![forbid(unsafe_code)]` unless it
+//! is on the explicit allowlist, and allowlisted crates must pair every
+//! `unsafe` block or function with a `// SAFETY:` comment and deny
+//! `unsafe_op_in_unsafe_fn` at the crate root.
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint::run(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}

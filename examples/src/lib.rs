@@ -1,2 +1,4 @@
 //! Example crate: the runnable binaries in this directory demonstrate the public
 //! `rnknn` API. This library target is intentionally empty.
+
+#![forbid(unsafe_code)]

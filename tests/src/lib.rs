@@ -1,2 +1,4 @@
 //! Integration-test crate: the tests in `tests/` exercise the whole workspace through
 //! the public `rnknn` API. This library target is intentionally empty.
+
+#![forbid(unsafe_code)]

@@ -25,14 +25,20 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump; every
+// layout/pointer contract of `GlobalAlloc` is forwarded unchanged, so `System`'s
+// own guarantees carry over verbatim.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded as-is.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded as-is.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
