@@ -5,22 +5,37 @@
 //! `BENCH_ch_build.json` in the workspace root so CI can track the perf trajectory
 //! across PRs. The knob flags mirror [`rnknn::ch::ChConfig`] for tuning experiments.
 //!
-//! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench [--sizes 20000,100000,250000,500000]`
+//! Usage: `cargo run --release -p rnknn-bench --bin ch_build_bench
+//!         [--sizes 20000,100000,250000,500000] [--save DIR] [--load DIR]`
+//!
+//! `--save DIR` persists each built hierarchy (plus its graph) as
+//! `DIR/rnknn-ch-<size>.rnk`; `--load DIR` reloads those artifacts instead of
+//! building — the Dijkstra verification gate still runs, but no tracking JSON
+//! is written (loads are not build-time measurements).
 
 #![forbid(unsafe_code)]
 
 use rnknn::ch::ChConfig;
-use rnknn_bench::ch_build;
+use rnknn_bench::{artifacts, ch_build};
 
 fn main() {
     let mut sizes: Vec<usize> = vec![20_000, 100_000, 250_000, 500_000];
     let mut verify_pairs = 20u32;
     let mut query_probe = 0u32;
     let mut config = ChConfig::default();
+    let mut io = artifacts::ArtifactIo::none();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--save" => {
+                i += 1;
+                io.save_dir = Some(args[i].clone());
+            }
+            "--load" => {
+                i += 1;
+                io.load_dir = Some(args[i].clone());
+            }
             "--sizes" => {
                 i += 1;
                 sizes = args[i].split(',').map(|s| s.trim().parse().expect("size")).collect();
@@ -67,7 +82,11 @@ fn main() {
         }
         return;
     }
-    let points = ch_build::measure(&sizes, &config, verify_pairs);
+    let points = ch_build::measure(&sizes, &config, verify_pairs, &io);
+    if io.load_dir.is_some() {
+        println!("loaded from artifacts; tracking file left untouched");
+        return;
+    }
     let path = ch_build::tracking_file();
     std::fs::write(path, ch_build::render_json(&points)).expect("write BENCH_ch_build.json");
     println!("wrote {path}");

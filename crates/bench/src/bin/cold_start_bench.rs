@@ -1,0 +1,46 @@
+//! Cold-start bench (ISSUE 8): time-to-query-ready from a saved index artifact.
+//!
+//! For each size tier this builds the query-engine configuration (G-tree + CH)
+//! once, saves the versioned artifact, then measures the median warm-page-cache
+//! load-and-validate time plus the full "ready" path — load, inject a uniform
+//! object set, answer one kNN query whose result is Dijkstra-verified after the
+//! clock stops. Writes the trajectory to `BENCH_cold_start.json` in the
+//! workspace root so CI can track cold-start latency across PRs.
+//!
+//! Usage: `cargo run --release -p rnknn-bench --bin cold_start_bench
+//!         [--sizes 20000,100000,500000] [--loads 5] [--smoke]`
+
+#![forbid(unsafe_code)]
+
+use rnknn_bench::cold_start;
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![20_000, 100_000, 500_000];
+    let mut loads = 5usize;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i].split(',').map(|s| s.trim().parse().expect("size")).collect();
+            }
+            "--loads" => {
+                i += 1;
+                loads = args[i].parse().expect("load count");
+            }
+            "--smoke" => {
+                // The CI tier.
+                cold_start::run_and_track();
+                return;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let points = cold_start::measure(&sizes, loads);
+    let path = cold_start::tracking_file();
+    std::fs::write(path, cold_start::render_json(&points)).expect("write BENCH_cold_start.json");
+    println!("wrote {path}");
+}

@@ -37,14 +37,16 @@ const LARGE_METHODS: [Method; 4] = [Method::Ine, Method::Road, Method::Gtree, Me
 struct Ctx {
     scale: f64,
     queries: usize,
+    /// Index-artifact persistence (`--save`/`--load`) applied to every testbed.
+    artifacts: rnknn_bench::artifacts::ArtifactIo,
     /// Cache of prepared testbeds, keyed by (preset, weight kind).
     testbeds: HashMap<(DatasetPreset, EdgeWeightKind), Testbed>,
     collected: Vec<Table>,
 }
 
 impl Ctx {
-    fn new(scale: f64, queries: usize) -> Ctx {
-        Ctx { scale, queries, testbeds: HashMap::new(), collected: Vec::new() }
+    fn new(scale: f64, queries: usize, artifacts: rnknn_bench::artifacts::ArtifactIo) -> Ctx {
+        Ctx { scale, queries, artifacts, testbeds: HashMap::new(), collected: Vec::new() }
     }
 
     /// The paper's "NW" stands in for the median-size default network and "US" for the
@@ -52,11 +54,12 @@ impl Ctx {
     fn testbed(&mut self, preset: DatasetPreset, kind: EdgeWeightKind) -> &mut Testbed {
         let scale = self.scale;
         let queries = self.queries;
+        let artifacts = self.artifacts.clone();
         self.testbeds.entry((preset, kind)).or_insert_with(|| {
             // Mirror the paper's memory limits: SILC only for the smaller networks.
             let engine =
                 EngineConfig { build_tnr: false, silc_max_vertices: 10_000, ..Default::default() };
-            let options = TestbedOptions { scale, kind, num_queries: queries, engine };
+            let options = TestbedOptions { scale, kind, num_queries: queries, engine, artifacts };
             eprintln!("[setup] building testbed {} ({kind:?}, scale {scale}) ...", preset.name());
             let start = Instant::now();
             let bed = Testbed::build(preset, &options);
@@ -1058,6 +1061,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = DEFAULT_SCALE;
     let mut queries = DEFAULT_QUERIES;
+    let mut io = rnknn_bench::artifacts::ArtifactIo::none();
     let mut selected: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -1070,12 +1074,22 @@ fn main() {
                 queries = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_QUERIES);
                 i += 1;
             }
+            "--save" => {
+                io.save_dir = args.get(i + 1).cloned();
+                i += 1;
+            }
+            "--load" => {
+                io.load_dir = args.get(i + 1).cloned();
+                i += 1;
+            }
             other => selected.push(other.to_string()),
         }
         i += 1;
     }
     if selected.is_empty() {
-        eprintln!("usage: experiments [--scale S] [--queries N] <all | table1 | fig4 | ...>");
+        eprintln!(
+            "usage: experiments [--scale S] [--queries N] [--save DIR] [--load DIR] <all | table1 | fig4 | ...>"
+        );
         eprintln!("experiments: {}", ALL.join(" "));
         return;
     }
@@ -1083,7 +1097,7 @@ fn main() {
     let list: Vec<&str> =
         if run_all { ALL.to_vec() } else { selected.iter().map(|s| s.as_str()).collect() };
 
-    let mut ctx = Ctx::new(scale, queries);
+    let mut ctx = Ctx::new(scale, queries, io);
     let start = Instant::now();
     for name in &list {
         eprintln!("=== running {name} ===");

@@ -6,16 +6,23 @@
 //! across PRs. The knob flags mirror [`rnknn::gtree::GtreeConfig`]; unless
 //! `--leaf-capacity` is given, the paper's size-based leaf capacity applies per size.
 //!
-//! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench [--sizes 20000,100000,250000,500000]`
+//! Usage: `cargo run --release -p rnknn-bench --bin gtree_build_bench
+//!         [--sizes 20000,100000,250000,500000] [--save DIR] [--load DIR]`
+//!
+//! `--save DIR` persists each built tree (plus its graph) as
+//! `DIR/rnknn-gtree-<size>.rnk`; `--load DIR` reloads those artifacts instead
+//! of building — the Dijkstra verification gate still runs, but no tracking
+//! JSON is written (loads are not build-time measurements).
 
 #![forbid(unsafe_code)]
 
 use rnknn::gtree::{GtreeConfig, MatrixOracle};
-use rnknn_bench::gtree_build;
+use rnknn_bench::{artifacts, gtree_build};
 
 fn main() {
     let mut sizes: Vec<usize> = vec![20_000, 100_000, 250_000, 500_000];
     let mut verify_queries = 5u32;
+    let mut io = artifacts::ArtifactIo::none();
     let mut leaf_capacity: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut fanout: Option<usize> = None;
@@ -56,6 +63,14 @@ fn main() {
             "--oracle-core-degree" => {
                 i += 1;
                 oracle_core_degree = Some(args[i].parse().expect("core degree threshold"));
+            }
+            "--save" => {
+                i += 1;
+                io.save_dir = Some(args[i].clone());
+            }
+            "--load" => {
+                i += 1;
+                io.load_dir = Some(args[i].clone());
             }
             other => panic!("unknown argument {other}"),
         }
@@ -103,7 +118,11 @@ fn main() {
             }
             Some(config)
         };
-        points.extend(gtree_build::measure(&[size], config.as_ref(), verify_queries));
+        points.extend(gtree_build::measure(&[size], config.as_ref(), verify_queries, &io));
+    }
+    if io.load_dir.is_some() {
+        println!("loaded from artifacts; tracking file left untouched");
+        return;
     }
     let path = gtree_build::tracking_file();
     std::fs::write(path, gtree_build::render_json(&points)).expect("write BENCH_gtree_build.json");

@@ -10,11 +10,15 @@
 //!
 //! Usage: `cargo run --release -p rnknn-bench --bin knn_query_bench
 //!         [--sizes 20000,100000,250000,500000] [--queries 400] [--k 10]
-//!         [--density 0.01] [--smoke]`
+//!         [--density 0.01] [--save DIR] [--load DIR] [--smoke]`
+//!
+//! `--save DIR` persists each tier's built indexes as
+//! `DIR/rnknn-knn-<size>.rnk`; `--load DIR` cold-starts every tier from those
+//! artifacts instead of rebuilding (the Dijkstra verification gate still runs).
 
 #![forbid(unsafe_code)]
 
-use rnknn_bench::knn_query;
+use rnknn_bench::{artifacts, knn_query};
 
 fn main() {
     let mut sizes: Vec<usize> = vec![20_000, 100_000, 250_000, 500_000];
@@ -23,6 +27,7 @@ fn main() {
     // Default workload matches the committed BENCH_knn_query.json trajectory and
     // the run_and_track smoke tier (serving regime: ~1 object per 100 vertices).
     let mut density = 0.01f64;
+    let mut io = artifacts::ArtifactIo::none();
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -43,6 +48,14 @@ fn main() {
                 i += 1;
                 density = args[i].parse().expect("density");
             }
+            "--save" => {
+                i += 1;
+                io.save_dir = Some(args[i].clone());
+            }
+            "--load" => {
+                i += 1;
+                io.load_dir = Some(args[i].clone());
+            }
             "--smoke" => {
                 // The CI tier: identical to what bench_construction smoke-runs.
                 knn_query::run_and_track();
@@ -53,7 +66,7 @@ fn main() {
         i += 1;
     }
 
-    let points = knn_query::measure(&sizes, queries, k, density, 3);
+    let points = knn_query::measure(&sizes, queries, k, density, 3, &io);
     let path = knn_query::tracking_file();
     std::fs::write(path, knn_query::render_json(&points)).expect("write BENCH_knn_query.json");
     println!("wrote {path}");

@@ -9,13 +9,18 @@
 //!
 //! Usage: `cargo run --release -p rnknn-bench --bin serving_bench
 //!         [--sizes 100000,500000] [--k 10] [--density 0.01]
-//!         [--seconds 3.0] [--smoke]`
+//!         [--seconds 3.0] [--save DIR] [--load DIR] [--smoke]`
+//!
+//! `--save DIR` persists each tier's built engine as
+//! `DIR/rnknn-serve-<size>.rnk`; `--load DIR` warm-starts every tier from
+//! those artifacts instead of rebuilding (the interleaved Dijkstra
+//! verification still runs).
 
 #![forbid(unsafe_code)]
 
 use std::time::Duration;
 
-use rnknn_bench::serving;
+use rnknn_bench::{artifacts, serving};
 
 fn main() {
     let mut sizes: Vec<usize> = vec![100_000, 500_000];
@@ -23,6 +28,8 @@ fn main() {
     // Serving regime: ~1 object per 100 vertices, matching BENCH_knn_query.json.
     let mut density = 0.01f64;
     let mut seconds = 3.0f64;
+    let mut io = artifacts::ArtifactIo::none();
+    let mut smoke = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -43,17 +50,28 @@ fn main() {
                 i += 1;
                 seconds = args[i].parse().expect("seconds per cell");
             }
-            "--smoke" => {
-                // The CI tier: identical to what CI smoke-runs.
-                serving::run_and_track();
-                return;
+            "--save" => {
+                i += 1;
+                io.save_dir = Some(args[i].clone());
             }
+            "--load" => {
+                i += 1;
+                io.load_dir = Some(args[i].clone());
+            }
+            "--smoke" => smoke = true,
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
-    let points = serving::measure(&sizes, k, density, Duration::from_secs_f64(seconds));
+    if smoke {
+        // The CI tier: identical to what CI smoke-runs. Composes with
+        // --save/--load so CI can hand the artifact across a process boundary.
+        serving::run_and_track(&io);
+        return;
+    }
+
+    let points = serving::measure(&sizes, k, density, Duration::from_secs_f64(seconds), &io);
     let path = serving::tracking_file();
     std::fs::write(path, serving::render_json(&points)).expect("write BENCH_serving.json");
     println!("wrote {path}");

@@ -45,6 +45,9 @@ pub struct TestbedOptions {
     pub num_queries: usize,
     /// Engine configuration (which indexes to build).
     pub engine: EngineConfig,
+    /// Index-artifact persistence: save built indexes / cold-start from disk
+    /// (the `--save`/`--load` flags of the bench binaries).
+    pub artifacts: artifacts::ArtifactIo,
 }
 
 impl Default for TestbedOptions {
@@ -54,6 +57,7 @@ impl Default for TestbedOptions {
             kind: EdgeWeightKind::Distance,
             num_queries: DEFAULT_QUERIES,
             engine: EngineConfig::default(),
+            artifacts: artifacts::ArtifactIo::none(),
         }
     }
 }
@@ -66,13 +70,19 @@ impl Testbed {
         Self::from_graph(preset, graph, options)
     }
 
-    /// Builds a testbed from an already-materialised graph.
+    /// Builds a testbed from an already-materialised graph. When the options
+    /// carry a `--load` directory, the engine's CH/G-tree come from the saved
+    /// artifact instead of being rebuilt (the graph argument only names the
+    /// artifact); `--save` persists them after the build.
     pub fn from_graph(preset: DatasetPreset, graph: Graph, options: &TestbedOptions) -> Testbed {
-        let n = graph.num_vertices() as NodeId;
+        let tag =
+            format!("{}-{:?}-{}", preset.name().to_lowercase(), options.kind, graph.num_vertices());
+        let engine =
+            artifacts::obtain_engine_tagged(&tag, graph, &options.engine, &options.artifacts);
+        let n = engine.graph().num_vertices() as NodeId;
         let queries: Vec<NodeId> = (0..options.num_queries as u64)
             .map(|i| ((i * 2_654_435_769) % n as u64) as NodeId)
             .collect();
-        let engine = Engine::build(graph, &options.engine);
         Testbed { preset, engine, queries }
     }
 
@@ -215,6 +225,148 @@ pub mod defaults {
     pub const DENSITY_SWEEP: [f64; 5] = [0.0001, 0.001, 0.01, 0.1, 1.0];
 }
 
+/// Index-artifact persistence plumbing behind the `--save DIR` / `--load DIR`
+/// flags every bench binary carries: build once, write the versioned artifact,
+/// and let every later run (or a fresh process, as the CI scaling job does)
+/// cold-start from disk instead of paying the minutes-long CH/G-tree builds.
+pub mod artifacts {
+    use std::io::BufWriter;
+    use std::path::PathBuf;
+    use std::time::Instant;
+
+    use rnknn::engine::{Engine, EngineConfig};
+    use rnknn::persist_format::{Artifact, ArtifactWriter, PersistError};
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, Graph};
+
+    /// Where a bench run saves its built indexes and/or loads them from.
+    /// Both directions may be set at once ("migrate": load, then re-save).
+    #[derive(Debug, Clone, Default)]
+    pub struct ArtifactIo {
+        /// Directory to save built indexes into (`--save DIR`).
+        pub save_dir: Option<String>,
+        /// Directory to load indexes from instead of building (`--load DIR`).
+        pub load_dir: Option<String>,
+    }
+
+    impl ArtifactIo {
+        /// No persistence: always build, never save.
+        pub fn none() -> ArtifactIo {
+            ArtifactIo::default()
+        }
+    }
+
+    /// The artifact path for `tag` inside `dir`.
+    pub fn path(dir: &str, tag: &str) -> PathBuf {
+        PathBuf::from(dir).join(format!("rnknn-{tag}.rnk"))
+    }
+
+    fn report(action: &str, tag: &str, bytes: u64, seconds: f64) {
+        println!(
+            "artifact {action} {tag}: {:.1} MiB in {:.0}ms",
+            bytes as f64 / (1024.0 * 1024.0),
+            seconds * 1e3
+        );
+    }
+
+    /// Obtains the engine for one bench tier: loads it from `--load DIR` when
+    /// set (skipping graph generation and index construction entirely),
+    /// builds it from a freshly generated network otherwise, and saves the
+    /// built indexes to `--save DIR` when set. `tag` names the artifact file
+    /// and must be stable between the saving and the loading run.
+    pub fn obtain_engine(tag: &str, size: usize, config: &EngineConfig, io: &ArtifactIo) -> Engine {
+        if let Some(dir) = &io.load_dir {
+            return load_engine(dir, tag, config);
+        }
+        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+        let graph = net.graph(EdgeWeightKind::Distance);
+        let engine = Engine::build(graph, config);
+        if let Some(dir) = &io.save_dir {
+            save_engine(dir, tag, &engine);
+        }
+        engine
+    }
+
+    /// [`obtain_engine`] for callers that already hold the graph (the
+    /// [`Testbed`](crate::Testbed) path). In `--load` mode the graph argument
+    /// is dropped — the artifact carries its own copy of the network.
+    pub fn obtain_engine_tagged(
+        tag: &str,
+        graph: Graph,
+        config: &EngineConfig,
+        io: &ArtifactIo,
+    ) -> Engine {
+        if let Some(dir) = &io.load_dir {
+            return load_engine(dir, tag, config);
+        }
+        let engine = Engine::build(graph, config);
+        if let Some(dir) = &io.save_dir {
+            save_engine(dir, tag, &engine);
+        }
+        engine
+    }
+
+    fn save_engine(dir: &str, tag: &str, engine: &Engine) {
+        std::fs::create_dir_all(dir).expect("create --save directory");
+        let p = path(dir, tag);
+        let start = Instant::now();
+        let bytes = engine.save_indexes(&p).unwrap_or_else(|e| panic!("save {}: {e}", p.display()));
+        report("saved", tag, bytes, start.elapsed().as_secs_f64());
+    }
+
+    fn load_engine(dir: &str, tag: &str, config: &EngineConfig) -> Engine {
+        let p = path(dir, tag);
+        let start = Instant::now();
+        let engine = Engine::load_indexes(&p, config)
+            .unwrap_or_else(|e| panic!("load {}: {e}", p.display()));
+        let bytes = std::fs::metadata(&p).map(|m| m.len()).unwrap_or(0);
+        report("loaded", tag, bytes, start.elapsed().as_secs_f64());
+        engine
+    }
+
+    /// Saves a graph plus one already-built index section (the single-index
+    /// construction benches) via `write_index`, atomically, returning the
+    /// artifact size in bytes.
+    pub fn save_raw(
+        dir: &str,
+        tag: &str,
+        graph: &Graph,
+        write_index: impl FnOnce(
+            &mut ArtifactWriter<BufWriter<std::fs::File>>,
+        ) -> Result<(), PersistError>,
+    ) -> u64 {
+        std::fs::create_dir_all(dir).expect("create --save directory");
+        let p = path(dir, tag);
+        let tmp = p.with_extension("tmp");
+        let start = Instant::now();
+        let file = std::fs::File::create(&tmp).expect("create artifact");
+        let mut writer = ArtifactWriter::new(BufWriter::new(file)).expect("artifact header");
+        rnknn_graph::persist::save_graph(graph, &mut writer).expect("save graph");
+        write_index(&mut writer).unwrap_or_else(|e| panic!("save {}: {e}", p.display()));
+        let out = writer.finish().expect("finish artifact");
+        let file = out.into_inner().expect("flush artifact");
+        let bytes = file.metadata().expect("stat artifact").len();
+        file.sync_all().expect("sync artifact");
+        drop(file);
+        std::fs::rename(&tmp, &p).expect("publish artifact");
+        report("saved", tag, bytes, start.elapsed().as_secs_f64());
+        bytes
+    }
+
+    /// Opens the raw artifact for `tag` and loads its graph; the caller pulls
+    /// its index section out of the returned [`Artifact`].
+    pub fn load_raw(dir: &str, tag: &str) -> (Graph, Artifact) {
+        let p = path(dir, tag);
+        let start = Instant::now();
+        let artifact = Artifact::open(&p).unwrap_or_else(|e| panic!("open {}: {e}", p.display()));
+        let graph = rnknn_graph::persist::load_graph(&artifact)
+            .unwrap_or_else(|e| panic!("load {}: {e}", p.display()));
+        let bytes = std::fs::metadata(&p).map(|m| m.len()).unwrap_or(0);
+        report("opened", tag, bytes, start.elapsed().as_secs_f64());
+        (graph, artifact)
+    }
+}
+
 /// CH construction scaling measurement shared by the `bench_construction` bench (CI
 /// smoke run) and the `ch_build_bench` binary: build hierarchies on generated networks
 /// of increasing size, verify exactness against Dijkstra, and persist the measured
@@ -243,15 +395,36 @@ pub mod ch_build {
 
     /// Builds a CH per requested size, asserting exactness against Dijkstra on
     /// `verify_pairs` random pairs so a fast-but-wrong build never lands in the
-    /// tracking file.
-    pub fn measure(sizes: &[usize], config: &ChConfig, verify_pairs: u32) -> Vec<BuildPoint> {
+    /// tracking file. With `--load` the hierarchy comes from the saved artifact
+    /// instead (the verification gate still runs, and `build_seconds` then
+    /// records the load time — the binary skips the tracking file in that mode).
+    pub fn measure(
+        sizes: &[usize],
+        config: &ChConfig,
+        verify_pairs: u32,
+        io: &crate::artifacts::ArtifactIo,
+    ) -> Vec<BuildPoint> {
         let mut points = Vec::new();
         for &size in sizes {
-            let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
-            let g = net.graph(EdgeWeightKind::Distance);
-            let start = Instant::now();
-            let ch = ContractionHierarchy::build_with_config(&g, config);
-            let elapsed = start.elapsed().as_secs_f64();
+            let (g, ch, elapsed) = if let Some(dir) = &io.load_dir {
+                let start = Instant::now();
+                let (g, artifact) = crate::artifacts::load_raw(dir, &format!("ch-{size}"));
+                let ch = rnknn::ch::persist::load_ch(&artifact, g.num_vertices(), Some(config))
+                    .expect("CH section");
+                (g, ch, start.elapsed().as_secs_f64())
+            } else {
+                let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+                let g = net.graph(EdgeWeightKind::Distance);
+                let start = Instant::now();
+                let ch = ContractionHierarchy::build_with_config(&g, config);
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some(dir) = &io.save_dir {
+                    crate::artifacts::save_raw(dir, &format!("ch-{size}"), &g, |w| {
+                        rnknn::ch::persist::save_ch(&ch, w)
+                    });
+                }
+                (g, ch, elapsed)
+            };
             let n = g.num_vertices() as NodeId;
             for i in 0..verify_pairs {
                 let s = (i * 7919) % n;
@@ -340,7 +513,12 @@ pub mod ch_build {
     /// Measures the standard 20k/100k/250k trajectory (the CI smoke tier; the
     /// `ch_build_bench` binary extends it to 500k) and writes the tracking file.
     pub fn run_and_track() -> Vec<BuildPoint> {
-        let points = measure(&[20_000, 100_000, 250_000], &ChConfig::default(), 5);
+        let points = measure(
+            &[20_000, 100_000, 250_000],
+            &ChConfig::default(),
+            5,
+            &crate::artifacts::ArtifactIo::none(),
+        );
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_ch_build.json");
         println!("wrote {path}");
@@ -380,21 +558,41 @@ pub mod gtree_build {
     /// Builds a G-tree per requested size (with the paper's size-based leaf capacity
     /// unless `config` overrides it), asserting kNN agreement against a Dijkstra brute
     /// force on `verify_queries` query vertices so a fast-but-wrong build never lands
-    /// in the tracking file.
+    /// in the tracking file. With `--load` the tree comes from the saved artifact
+    /// instead (the verification gate still runs, and `build_seconds` then records
+    /// the load time — the binary skips the tracking file in that mode).
     pub fn measure(
         sizes: &[usize],
         config: Option<&GtreeConfig>,
         verify_queries: u32,
+        io: &crate::artifacts::ArtifactIo,
     ) -> Vec<BuildPoint> {
         let mut points = Vec::new();
         for &size in sizes {
-            let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
-            let g = net.graph(EdgeWeightKind::Distance);
-            let gconfig =
-                config.cloned().unwrap_or_else(|| GtreeConfig::for_network(g.num_vertices()));
-            let start = Instant::now();
-            let tree = Gtree::build_with_config(&g, gconfig);
-            let elapsed = start.elapsed().as_secs_f64();
+            let (g, tree, elapsed) = if let Some(dir) = &io.load_dir {
+                let start = Instant::now();
+                let (g, artifact) = crate::artifacts::load_raw(dir, &format!("gtree-{size}"));
+                let expected =
+                    config.cloned().unwrap_or_else(|| GtreeConfig::for_network(g.num_vertices()));
+                let tree =
+                    rnknn::gtree::persist::load_gtree(&artifact, g.num_vertices(), Some(&expected))
+                        .expect("G-tree section");
+                (g, tree, start.elapsed().as_secs_f64())
+            } else {
+                let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+                let g = net.graph(EdgeWeightKind::Distance);
+                let gconfig =
+                    config.cloned().unwrap_or_else(|| GtreeConfig::for_network(g.num_vertices()));
+                let start = Instant::now();
+                let tree = Gtree::build_with_config(&g, gconfig);
+                let elapsed = start.elapsed().as_secs_f64();
+                if let Some(dir) = &io.save_dir {
+                    crate::artifacts::save_raw(dir, &format!("gtree-{size}"), &g, |w| {
+                        rnknn::gtree::persist::save_gtree(&tree, w)
+                    });
+                }
+                (g, tree, elapsed)
+            };
             let n = g.num_vertices() as NodeId;
             let objects: Vec<NodeId> = (0..n).filter(|v| v % 101 == 3).collect();
             let occ = OccurrenceList::build(&tree, &objects);
@@ -460,7 +658,8 @@ pub mod gtree_build {
     /// Measures the standard 20k/100k/250k trajectory (the CI smoke tier; the
     /// `gtree_build_bench` binary extends it to 500k) and writes the tracking file.
     pub fn run_and_track() -> Vec<BuildPoint> {
-        let points = measure(&[20_000, 100_000, 250_000], None, 2);
+        let points =
+            measure(&[20_000, 100_000, 250_000], None, 2, &crate::artifacts::ArtifactIo::none());
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_gtree_build.json");
         println!("wrote {path}");
@@ -482,8 +681,7 @@ pub mod knn_query {
     use rnknn::engine::{Engine, EngineConfig, Method};
     use rnknn::verify::matches_ground_truth;
     use rnknn::QueryOutput;
-    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
-    use rnknn_graph::{EdgeWeightKind, NodeId};
+    use rnknn_graph::NodeId;
     use rnknn_objects::uniform;
 
     /// The methods the trajectory tracks: the acceptance trio (G-tree, INE, IER-CH)
@@ -527,12 +725,10 @@ pub mod knn_query {
         times[times.len() / 2] as f64
     }
 
-    /// Builds the engine + object set for one size tier (G-tree and CH only — the
-    /// indexes the tracked methods need).
-    fn build_engine(size: usize) -> Engine {
-        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
-        let graph = net.graph(EdgeWeightKind::Distance);
-        let config = EngineConfig {
+    /// The engine configuration of this trajectory's tiers (G-tree and CH only —
+    /// the indexes the tracked methods need).
+    pub fn engine_config() -> EngineConfig {
+        EngineConfig {
             build_gtree: true,
             build_road: false,
             build_silc: false,
@@ -540,24 +736,30 @@ pub mod knn_query {
             build_phl: false,
             build_tnr: false,
             ..Default::default()
-        };
-        Engine::build(graph, &config)
+        }
+    }
+
+    /// Builds (or `--load`s) the engine for one size tier.
+    fn obtain_engine(size: usize, io: &crate::artifacts::ArtifactIo) -> Engine {
+        crate::artifacts::obtain_engine(&format!("knn-{size}"), size, &engine_config(), io)
     }
 
     /// Measures one point per requested size. Every method is first verified
     /// against the Dijkstra ground truth on `verify_queries` query vertices (both
-    /// paths), so a fast-but-wrong query path never lands in the tracking file.
+    /// paths), so a fast-but-wrong query path never lands in the tracking file —
+    /// on the `--load` path this doubles as the loaded-artifact conformance gate.
     pub fn measure(
         sizes: &[usize],
         queries_per_size: usize,
         k: usize,
         density: f64,
         verify_queries: usize,
+        io: &crate::artifacts::ArtifactIo,
     ) -> Vec<QueryPoint> {
         let mut points = Vec::new();
         for &size in sizes {
             let build_start = Instant::now();
-            let mut engine = build_engine(size);
+            let mut engine = obtain_engine(size, io);
             let objects = uniform(engine.graph(), density, 1);
             engine.set_objects(objects.clone());
             let n = engine.graph().num_vertices() as NodeId;
@@ -705,7 +907,8 @@ pub mod knn_query {
     /// Workload parameters (k=10, d=0.01) must match the binary's defaults so the
     /// smoke tier and the committed full trajectory stay comparable.
     pub fn run_and_track() -> Vec<QueryPoint> {
-        let points = measure(&[20_000, 100_000], 400, 10, 0.01, 3);
+        let points =
+            measure(&[20_000, 100_000], 400, 10, 0.01, 3, &crate::artifacts::ArtifactIo::none());
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_knn_query.json");
         println!("wrote {path}");
@@ -729,8 +932,6 @@ pub mod serving {
 
     use rnknn::engine::{Engine, EngineConfig, Method};
     use rnknn::verify::ground_truth;
-    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
-    use rnknn_graph::EdgeWeightKind;
     use rnknn_graph::NodeId;
     use rnknn_objects::{churn_stream, uniform, ChurnConfig, ObjectSet, UpdateEvent};
     use rnknn_serve::{KnnRequest, ObjectStore, ServeConfig, ServeFront, SubmitError};
@@ -776,12 +977,11 @@ pub mod serving {
         pub cells: Vec<RateCell>,
     }
 
-    /// Builds the serving engine for one tier (G-tree only: the single method the
-    /// workload dispatches plus INE for verification, which needs no index).
-    fn build_engine(size: usize) -> Engine {
-        let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
-        let graph = net.graph(EdgeWeightKind::Distance);
-        let config = EngineConfig {
+    /// The engine configuration of the serving tiers (G-tree only: the single
+    /// method the workload dispatches plus INE for verification, which needs no
+    /// index).
+    pub fn engine_config() -> EngineConfig {
+        EngineConfig {
             build_gtree: true,
             build_road: false,
             build_silc: false,
@@ -789,8 +989,12 @@ pub mod serving {
             build_phl: false,
             build_tnr: false,
             ..Default::default()
-        };
-        Engine::build(graph, &config)
+        }
+    }
+
+    /// Builds (or `--load`s) the serving engine for one tier.
+    fn obtain_engine(size: usize, io: &crate::artifacts::ArtifactIo) -> Engine {
+        crate::artifacts::obtain_engine(&format!("serve-{size}"), size, &engine_config(), io)
     }
 
     /// The correctness gate: paced update/query rounds against the live store,
@@ -934,12 +1138,13 @@ pub mod serving {
         k: usize,
         density: f64,
         duration: Duration,
+        io: &crate::artifacts::ArtifactIo,
     ) -> Vec<ServingPoint> {
         let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
         let mut points = Vec::new();
         for &size in sizes {
             let build_start = Instant::now();
-            let engine = Arc::new(build_engine(size));
+            let engine = Arc::new(obtain_engine(size, io));
             let initial = uniform(engine.graph(), density, 1);
             let mut feeder = initial.clone();
             let num_objects = initial.len();
@@ -1017,11 +1222,151 @@ pub mod serving {
     /// Measures the 23k smoke tier with short windows (the CI run; the
     /// `serving_bench` binary extends the trajectory to the committed 116k/580k
     /// tiers) and writes the tracking file. Workload parameters (k=10, d=0.01)
-    /// match the binary's defaults so the tiers stay comparable.
-    pub fn run_and_track() -> Vec<ServingPoint> {
-        let points = measure(&[20_000], 10, 0.01, Duration::from_millis(500));
+    /// match the binary's defaults so the tiers stay comparable. `io` lets the
+    /// CI handoff save the smoke tier's artifact in one process and warm-start
+    /// the serving stack from it in a fresh one (ISSUE 8).
+    pub fn run_and_track(io: &crate::artifacts::ArtifactIo) -> Vec<ServingPoint> {
+        let points = measure(&[20_000], 10, 0.01, Duration::from_millis(500), io);
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_serving.json");
+        println!("wrote {path}");
+        points
+    }
+}
+
+/// Cold-start measurement (ISSUE 8): how fast a saved engine becomes
+/// query-ready from disk, versus the minutes the CH + G-tree builds take.
+/// For each tier the harness builds the query-engine configuration once,
+/// saves the artifact, then times repeated loads from a warm page cache plus
+/// the full "ready" path — load, inject objects, answer one verified kNN
+/// query. The trajectory is persisted to `BENCH_cold_start.json`.
+pub mod cold_start {
+    use std::time::Instant;
+
+    use rnknn::engine::{Engine, Method};
+    use rnknn::verify::matches_ground_truth;
+    use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+    use rnknn_graph::{EdgeWeightKind, NodeId};
+    use rnknn_objects::uniform;
+
+    /// One measured tier.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ColdStartPoint {
+        /// Vertices of the generated network.
+        pub vertices: usize,
+        /// Artifact size on disk in bytes.
+        pub artifact_bytes: u64,
+        /// Wall-clock CH + G-tree build time in seconds (the cost a load skips).
+        pub build_seconds: f64,
+        /// Wall-clock save time in seconds.
+        pub save_seconds: f64,
+        /// Median warm-page-cache load-and-validate time in milliseconds.
+        pub load_warm_ms: f64,
+        /// Load + object injection + first verified kNN answer, milliseconds.
+        pub ready_ms: f64,
+    }
+
+    /// Measures one point per requested size: build once, save, then `loads`
+    /// timed loads (median reported) and one timed load-to-first-answer run
+    /// whose result is Dijkstra-verified *after* the clock stops.
+    pub fn measure(sizes: &[usize], loads: usize) -> Vec<ColdStartPoint> {
+        let config = crate::knn_query::engine_config();
+        let dir = std::env::temp_dir().join("rnknn-cold-start");
+        std::fs::create_dir_all(&dir).expect("create artifact directory");
+        let mut points = Vec::new();
+        for &size in sizes {
+            let net = RoadNetwork::generate(&GeneratorConfig::new(size, 42));
+            let graph = net.graph(EdgeWeightKind::Distance);
+            let vertices = graph.num_vertices();
+            let build_start = Instant::now();
+            let engine = Engine::build(graph, &config);
+            let build_seconds = build_start.elapsed().as_secs_f64();
+
+            let path = dir.join(format!("coldstart-{size}.rnk"));
+            let save_start = Instant::now();
+            let artifact_bytes = engine.save_indexes(&path).expect("save artifact");
+            let save_seconds = save_start.elapsed().as_secs_f64();
+            drop(engine);
+
+            // One unmeasured load warms the page cache; then the median of
+            // `loads` full load-and-validate passes.
+            drop(Engine::load_indexes(&path, &config).expect("warm-up load"));
+            let mut load_ms = Vec::with_capacity(loads.max(1));
+            for _ in 0..loads.max(1) {
+                let start = Instant::now();
+                let loaded = Engine::load_indexes(&path, &config).expect("timed load");
+                load_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                drop(loaded);
+            }
+            load_ms.sort_by(|a, b| a.total_cmp(b));
+            let load_warm_ms = load_ms[load_ms.len() / 2];
+
+            // Ready = load + objects + first answer; verification happens
+            // after the clock stops so it never inflates the number.
+            let k = 10;
+            let q = (vertices / 2) as NodeId;
+            let ready_start = Instant::now();
+            let mut loaded = Engine::load_indexes(&path, &config).expect("ready load");
+            let objects = uniform(loaded.graph(), 0.01, 1);
+            loaded.set_objects(objects.clone());
+            let answer = loaded.query(Method::Gtree, q, k).expect("first query");
+            let ready_ms = ready_start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                matches_ground_truth(loaded.graph(), q, k, &objects, &answer.result),
+                "loaded engine answered wrong at q={q} size={size}"
+            );
+
+            println!(
+                "cold start n={size:>7} vertices={vertices:>7} artifact={:.1}MiB build={build_seconds:.1}s save={:.0}ms load(warm p50)={load_warm_ms:.0}ms ready={ready_ms:.0}ms",
+                artifact_bytes as f64 / (1024.0 * 1024.0),
+                save_seconds * 1e3,
+            );
+            let _ = std::fs::remove_file(&path);
+            points.push(ColdStartPoint {
+                vertices,
+                artifact_bytes,
+                build_seconds,
+                save_seconds,
+                load_warm_ms,
+                ready_ms,
+            });
+        }
+        points
+    }
+
+    /// Renders the tracking JSON for `BENCH_cold_start.json`.
+    pub fn render_json(points: &[ColdStartPoint]) -> String {
+        let mut json = String::from(
+            "{\n  \"bench\": \"cold_start\",\n  \"unit\": \"milliseconds to query-ready from a warm page cache\",\n  \"points\": [\n",
+        );
+        for (i, p) in points.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"vertices\": {}, \"artifact_bytes\": {}, \"build_seconds\": {:.3}, \"save_seconds\": {:.3}, \"load_warm_ms\": {:.1}, \"ready_ms\": {:.1}}}{}\n",
+                p.vertices,
+                p.artifact_bytes,
+                p.build_seconds,
+                p.save_seconds,
+                p.load_warm_ms,
+                p.ready_ms,
+                if i + 1 < points.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Path of the tracking file (workspace root).
+    pub fn tracking_file() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cold_start.json")
+    }
+
+    /// Measures the 23k/116k smoke tier (the CI run; the `cold_start_bench`
+    /// binary extends the trajectory to the committed 580k tier) and writes the
+    /// tracking file.
+    pub fn run_and_track() -> Vec<ColdStartPoint> {
+        let points = measure(&[20_000, 100_000], 5);
+        let path = tracking_file();
+        std::fs::write(path, render_json(&points)).expect("write BENCH_cold_start.json");
         println!("wrote {path}");
         points
     }

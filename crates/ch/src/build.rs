@@ -42,6 +42,7 @@
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_partition::Partitioner;
 use rnknn_pathfinding::heap::MinHeap;
+use rnknn_persist::PVec;
 use std::collections::HashMap;
 
 /// Tuning parameters for CH preprocessing.
@@ -121,21 +122,28 @@ impl Default for ChConfig {
 }
 
 /// A preprocessed contraction hierarchy over an undirected road network.
+///
+/// The query arrays are [`PVec`]s: owned vectors when freshly built, zero-copy
+/// views into a mapped artifact when loaded from disk (see `crate::persist`).
+/// Query code is identical either way.
 #[derive(Debug, Clone)]
 pub struct ContractionHierarchy {
     /// `rank[v]` = contraction position of `v` (higher = more important).
-    rank: Vec<u32>,
+    pub(crate) rank: PVec<u32>,
     /// Upward adjacency in CSR form: for each vertex, edges (original and shortcuts) to
     /// higher-ranked vertices only.
-    up_offsets: Vec<u32>,
-    up_targets: Vec<NodeId>,
-    up_weights: Vec<Weight>,
+    pub(crate) up_offsets: PVec<u32>,
+    pub(crate) up_targets: PVec<NodeId>,
+    pub(crate) up_weights: PVec<Weight>,
     /// Total number of shortcuts added during preprocessing (reported by experiments).
-    num_shortcuts: usize,
+    pub(crate) num_shortcuts: usize,
     /// Whether the pruned query searches apply stall-on-demand (from
     /// [`ChConfig::stall_on_demand`]; togglable via
     /// [`ContractionHierarchy::set_stall_on_demand`]).
     pub(crate) stall_on_demand: bool,
+    /// Fingerprint of the [`ChConfig`] this hierarchy was built under (see
+    /// `ChConfig::fingerprint`); persisted so loads can reject config drift.
+    pub(crate) config_fingerprint: u64,
 }
 
 impl ContractionHierarchy {
@@ -213,7 +221,7 @@ impl ContractionHierarchy {
             }
         }
 
-        c.into_hierarchy(config.stall_on_demand)
+        c.into_hierarchy(config.stall_on_demand, config.fingerprint())
     }
 
     /// Number of vertices in the hierarchy.
@@ -242,6 +250,11 @@ impl ContractionHierarchy {
     /// Whether the pruned query searches apply stall-on-demand.
     pub fn stall_on_demand(&self) -> bool {
         self.stall_on_demand
+    }
+
+    /// Fingerprint of the [`ChConfig`] this hierarchy was built under.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
     }
 
     /// Toggles stall-on-demand on the pruned query searches (for ablations and the
@@ -531,7 +544,11 @@ impl<'a> Contractor<'a> {
     /// Assembles the upward graph: for each vertex keep only edges towards
     /// higher-ranked vertices (original edges plus every shortcut accumulated in the
     /// working adjacency).
-    fn into_hierarchy(self, stall_on_demand: bool) -> ContractionHierarchy {
+    fn into_hierarchy(
+        self,
+        stall_on_demand: bool,
+        config_fingerprint: u64,
+    ) -> ContractionHierarchy {
         let n = self.rank.len();
         let mut up_offsets = vec![0u32; n + 1];
         let mut up_targets = Vec::new();
@@ -553,12 +570,13 @@ impl<'a> Contractor<'a> {
         }
 
         ContractionHierarchy {
-            rank: self.rank,
-            up_offsets,
-            up_targets,
-            up_weights,
+            rank: self.rank.into(),
+            up_offsets: up_offsets.into(),
+            up_targets: up_targets.into(),
+            up_weights: up_weights.into(),
             num_shortcuts: self.num_shortcuts,
             stall_on_demand,
+            config_fingerprint,
         }
     }
 }

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 mod build;
+pub mod persist;
 mod query;
 
 pub use build::{ChConfig, ContractionHierarchy};

@@ -190,20 +190,36 @@ pub struct Engine {
 impl Engine {
     /// Builds the requested road-network indexes over `graph`.
     pub fn build(graph: Graph, config: &EngineConfig) -> Engine {
+        Engine::assemble(graph, config, None, None)
+    }
+
+    /// The shared body of [`Engine::build`] and the artifact load path
+    /// ([`crate::persist`]): any index handed in as `preloaded_*` is adopted
+    /// as-is (its build time stays zero), everything else the config requests
+    /// is built here — so a loaded engine can still grow the non-persisted
+    /// indexes (ROAD, SILC, PHL, TNR) on top of disk-backed CH and G-tree.
+    pub(crate) fn assemble(
+        graph: Graph,
+        config: &EngineConfig,
+        preloaded_gtree: Option<Gtree>,
+        preloaded_ch: Option<rnknn_ch::ContractionHierarchy>,
+    ) -> Engine {
         let chains = ChainIndex::build(&graph);
         let mut build_times = BuildTimes::default();
 
         let gtree = config.build_gtree.then(|| {
-            let start = Instant::now();
-            let gconfig = GtreeConfig {
-                leaf_capacity: config
-                    .gtree_leaf_capacity
-                    .unwrap_or_else(|| GtreeConfig::paper_leaf_capacity(graph.num_vertices())),
-                ..config.gtree_config.clone()
-            };
-            let t = Gtree::build_with_config(&graph, gconfig);
-            build_times.gtree_micros = start.elapsed().as_micros();
-            t
+            preloaded_gtree.unwrap_or_else(|| {
+                let start = Instant::now();
+                let gconfig = GtreeConfig {
+                    leaf_capacity: config
+                        .gtree_leaf_capacity
+                        .unwrap_or_else(|| GtreeConfig::paper_leaf_capacity(graph.num_vertices())),
+                    ..config.gtree_config.clone()
+                };
+                let t = Gtree::build_with_config(&graph, gconfig);
+                build_times.gtree_micros = start.elapsed().as_micros();
+                t
+            })
         });
         let road = config.build_road.then(|| {
             let start = Instant::now();
@@ -227,10 +243,13 @@ impl Engine {
             None
         };
         let ch = (config.build_ch || config.build_tnr).then(|| {
-            let start = Instant::now();
-            let ch = rnknn_ch::ContractionHierarchy::build_with_config(&graph, &config.ch_config);
-            build_times.ch_micros = start.elapsed().as_micros();
-            ch
+            preloaded_ch.unwrap_or_else(|| {
+                let start = Instant::now();
+                let ch =
+                    rnknn_ch::ContractionHierarchy::build_with_config(&graph, &config.ch_config);
+                build_times.ch_micros = start.elapsed().as_micros();
+                ch
+            })
         });
         let phl = if config.build_phl {
             let start = Instant::now();

@@ -68,6 +68,7 @@ pub mod ier;
 pub mod ine;
 pub mod live;
 pub mod methods;
+pub mod persist;
 pub mod query;
 pub mod scratch;
 pub mod verify;
@@ -76,6 +77,7 @@ pub use engine::{BuildTimes, Engine, EngineConfig, Method};
 pub use error::EngineError;
 pub use live::ObjectIndexes;
 pub use query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
+pub use rnknn_persist::PersistError;
 pub use scratch::EngineScratch;
 
 // Re-export the substrate crates so downstream users need a single dependency.
@@ -85,6 +87,7 @@ pub use rnknn_gtree as gtree;
 pub use rnknn_objects as objects;
 pub use rnknn_partition as partition;
 pub use rnknn_pathfinding as pathfinding;
+pub use rnknn_persist as persist_format;
 pub use rnknn_phl as phl;
 pub use rnknn_road as road;
 pub use rnknn_silc as silc;

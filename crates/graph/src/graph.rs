@@ -249,6 +249,11 @@ impl Graph {
         (sub, vertices.to_vec())
     }
 
+    /// CSR internals, for the persistence layer.
+    pub(crate) fn csr_parts(&self) -> (&[u32], &[NodeId], &[Weight]) {
+        (&self.offsets, &self.targets, &self.weights)
+    }
+
     /// Checks whether the graph is connected (all vertices reachable from vertex 0).
     pub fn is_connected(&self) -> bool {
         if self.num_vertices() == 0 {

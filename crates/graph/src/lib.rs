@@ -22,6 +22,7 @@ pub mod chains;
 pub mod dimacs;
 pub mod generator;
 pub mod graph;
+pub mod persist;
 pub mod point;
 
 pub use builder::GraphBuilder;

@@ -9,6 +9,7 @@
 //! performance counters.
 
 use rnknn_graph::Weight;
+use rnknn_persist::PVec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -129,7 +130,9 @@ pub struct DistanceMatrix {
     kind: MatrixKind,
     rows: usize,
     cols: usize,
-    array: Vec<Weight>,
+    /// Array-layout cells: owned when built, a zero-copy artifact view when
+    /// loaded from disk (see `crate::persist`).
+    array: PVec<Weight>,
     chained: HashMap<u64, Weight>,
     quadratic: Option<QuadraticTable>,
     stats: MatrixStats,
@@ -142,13 +145,13 @@ impl DistanceMatrix {
             kind,
             rows,
             cols,
-            array: Vec::new(),
+            array: PVec::new(),
             chained: HashMap::new(),
             quadratic: None,
             stats: MatrixStats::default(),
         };
         match kind {
-            MatrixKind::Array => m.array = vec![fill; rows * cols],
+            MatrixKind::Array => m.array = vec![fill; rows * cols].into(),
             MatrixKind::ChainedHashing => {
                 m.chained.reserve(rows * cols);
                 for r in 0..rows {
@@ -293,6 +296,30 @@ impl DistanceMatrix {
     /// A full row as a vector (used when refining matrices).
     pub fn row(&self, row: usize) -> Vec<Weight> {
         (0..self.cols).map(|c| self.get(row, c)).collect()
+    }
+
+    /// Reassembles an array-layout matrix from persisted parts (`array` is
+    /// typically a zero-copy view into a loaded artifact).
+    pub(crate) fn from_array_parts(rows: usize, cols: usize, array: PVec<Weight>) -> Self {
+        debug_assert_eq!(array.len(), rows * cols);
+        DistanceMatrix {
+            kind: MatrixKind::Array,
+            rows,
+            cols,
+            array,
+            chained: HashMap::new(),
+            quadratic: None,
+            stats: MatrixStats::default(),
+        }
+    }
+
+    /// The raw array-layout cells (`None` for the hash-table ablation layouts,
+    /// which are not persistable).
+    pub(crate) fn array_data(&self) -> Option<&[Weight]> {
+        match self.kind {
+            MatrixKind::Array => Some(&self.array),
+            _ => None,
+        }
     }
 
     /// Approximate resident size in bytes.

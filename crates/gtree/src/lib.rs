@@ -28,6 +28,7 @@
 mod build;
 mod distmatrix;
 mod occurrence;
+pub mod persist;
 mod search;
 mod tree;
 

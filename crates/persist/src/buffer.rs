@@ -1,0 +1,279 @@
+//! The backing storage for a loaded artifact.
+//!
+//! [`Bytes`] is an immutable byte buffer with two providers:
+//!
+//! * **Mapped** (Linux/x86_64, not Miri): the artifact file is `mmap`ed
+//!   read-only via raw syscalls — the container has no `libc`/`memmap2`
+//!   crates, and the kernel ABI is stable. This is the zero-copy cold-start
+//!   path: the 1 GB matrix arena is paged in lazily by the kernel.
+//! * **Owned** (everywhere else, any mmap failure, and always under Miri):
+//!   the file is read into a `Vec<u64>`-backed buffer, which guarantees the
+//!   8-byte base alignment that the typed views
+//!   ([`SharedSlice`](crate::view::SharedSlice)) rely on. Because this path is
+//!   plain safe reads over heap memory, the whole parse/validate/view surface
+//!   is exercisable under Miri through in-memory artifacts.
+//!
+//! Both providers are immutable after construction; `Bytes` hands out only
+//! `&[u8]`. The format contract (docs/PERSISTENCE.md) requires artifact files
+//! to be treated as immutable once written — rewriting a file while a process
+//! has it mapped is outside the contract, exactly as with any mmap-based
+//! database file.
+
+use crate::error::PersistError;
+use std::path::Path;
+
+/// Raw Linux mmap/munmap syscalls. The workspace is offline (no `libc`), so
+/// the two calls the mapped path needs are made directly; numbers and flag
+/// values are from the stable x86_64 Linux syscall ABI.
+#[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+mod sys {
+    use std::arch::asm;
+
+    const SYS_MMAP: u64 = 9;
+    const SYS_MUNMAP: u64 = 11;
+    const PROT_READ: u64 = 1;
+    const MAP_PRIVATE: u64 = 2;
+
+    /// Maps `len` bytes of `fd` read-only and private. Returns the page-aligned
+    /// base address, or `Err(-errno)`.
+    ///
+    /// # Safety
+    ///
+    /// `fd` must be an open, readable file descriptor whose file is at least
+    /// `len` bytes long. The caller must pair the returned mapping with exactly
+    /// one [`munmap`] call and must not let the file shrink or change while
+    /// the mapping is referenced (the artifact-immutability contract).
+    pub(super) unsafe fn mmap_file(fd: i32, len: usize) -> Result<*const u8, i64> {
+        let ret: i64;
+        // SAFETY: the `syscall` instruction with the kernel's mmap ABI —
+        // args in rdi/rsi/rdx/r10/r8/r9, result in rax, rcx/r11 clobbered by
+        // the kernel. A fresh PROT_READ|MAP_PRIVATE mapping at a kernel-chosen
+        // address cannot alias any memory the compiler knows about.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") SYS_MMAP as i64 => ret,
+                in("rdi") 0u64,
+                in("rsi") len as u64,
+                in("rdx") PROT_READ,
+                in("r10") MAP_PRIVATE,
+                in("r8") fd as i64,
+                in("r9") 0u64,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        // The kernel signals errors as small negative values in rax.
+        if (-4095..0).contains(&ret) {
+            Err(ret)
+        } else {
+            Ok(ret as usize as *const u8)
+        }
+    }
+
+    /// Unmaps a mapping created by [`mmap_file`].
+    ///
+    /// # Safety
+    ///
+    /// `(ptr, len)` must be exactly the base address and length of a live
+    /// mapping returned by [`mmap_file`], not yet unmapped, with no
+    /// outstanding references into it.
+    pub(super) unsafe fn munmap(ptr: *const u8, len: usize) {
+        let ret: i64;
+        // SAFETY: munmap over a region this module mapped; the caller
+        // guarantees no references into it remain.
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") SYS_MUNMAP as i64 => ret,
+                in("rdi") ptr as u64,
+                in("rsi") len as u64,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        debug_assert!(ret == 0, "munmap returned {ret}");
+    }
+}
+
+enum Inner {
+    /// Heap-backed storage. The `Vec<u64>` element type guarantees the base
+    /// pointer is 8-aligned; `len` is the byte length actually used (the last
+    /// word may be zero-padded).
+    Owned { words: Vec<u64>, len: usize },
+    /// A read-only file mapping (page-aligned, hence also 8-aligned).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+/// An immutable, 8-aligned byte buffer holding a whole artifact.
+///
+/// Obtained from [`Bytes::open`] (mmap when available) or [`Bytes::from_vec`]
+/// (owned; the Miri-friendly path). Shared between typed views via
+/// `Arc<Bytes>`.
+pub struct Bytes {
+    inner: Inner,
+}
+
+// SAFETY: both variants are immutable after construction and only ever hand
+// out shared `&[u8]`. The raw pointer variant is a private, read-only file
+// mapping owned exclusively by this value until Drop.
+unsafe impl Send for Bytes {}
+// SAFETY: as above — no interior mutability in either variant.
+unsafe impl Sync for Bytes {}
+
+impl Bytes {
+    /// Wraps an in-memory artifact image. Copies into 8-aligned storage.
+    pub fn from_vec(bytes: Vec<u8>) -> Bytes {
+        let len = bytes.len();
+        let mut words = vec![0u64; len.div_ceil(8)];
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u64::from_le_bytes(w);
+        }
+        Bytes { inner: Inner::Owned { words, len } }
+    }
+
+    /// Opens `path`, preferring a zero-copy mmap and falling back to reading
+    /// the file into an owned buffer (always the case under Miri or off
+    /// Linux/x86_64).
+    pub fn open(path: &Path) -> Result<Bytes, PersistError> {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+        if let Ok(bytes) = Self::open_mapped(path) {
+            return Ok(bytes);
+        }
+        let data = std::fs::read(path)
+            .map_err(|source| PersistError::Io { context: "reading artifact file", source })?;
+        Ok(Bytes::from_vec(data))
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+    fn open_mapped(path: &Path) -> Result<Bytes, PersistError> {
+        use std::os::fd::AsRawFd;
+        let file = std::fs::File::open(path)
+            .map_err(|source| PersistError::Io { context: "opening artifact file", source })?;
+        let len = file
+            .metadata()
+            .map_err(|source| PersistError::Io { context: "reading artifact metadata", source })?
+            .len() as usize;
+        if len == 0 {
+            return Ok(Bytes::from_vec(Vec::new()));
+        }
+        // SAFETY: `file` is open and readable, `len` is its current size, and
+        // the mapping is paired with exactly one munmap in `Drop`. Artifact
+        // files are immutable once written (format contract), so the mapped
+        // bytes are stable for the mapping's lifetime.
+        let ptr = unsafe { sys::mmap_file(file.as_raw_fd(), len) }.map_err(|neg_errno| {
+            PersistError::Io {
+                context: "mmap of artifact file",
+                source: std::io::Error::from_raw_os_error(-neg_errno as i32),
+            }
+        })?;
+        // The mapping outlives the fd; `file` closes here by design.
+        Ok(Bytes { inner: Inner::Mapped { ptr, len } })
+    }
+
+    /// The buffer length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Inner::Owned { len, .. } => *len,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+            Inner::Mapped { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this buffer is a file mapping (false: owned heap memory).
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            Inner::Owned { .. } => false,
+            #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+            Inner::Mapped { .. } => true,
+        }
+    }
+
+    /// The buffer contents. The base pointer is always 8-aligned.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Owned { words, len } => {
+                debug_assert!(*len <= words.len() * 8);
+                // SAFETY: `words` owns at least `len` initialised bytes
+                // (zero-padded to a word boundary at construction); `u8` has
+                // alignment 1; the borrow of `self` keeps the Vec alive.
+                unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), *len) }
+            }
+            #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: `(ptr, len)` is a live PROT_READ mapping owned by
+                // this value; it stays mapped until Drop, and the borrow of
+                // `self` prevents Drop from running while the slice is alive.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+        }
+    }
+}
+
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64", not(miri)))]
+        if let Inner::Mapped { ptr, len } = &self.inner {
+            // SAFETY: the mapping was created by `open_mapped` and is dropped
+            // exactly once; `&mut self` proves no outstanding borrows.
+            unsafe { sys::munmap(*ptr, *len) };
+        }
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_round_trips_unaligned_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let data: Vec<u8> = (0..len as u32).map(|v| (v * 37 + 11) as u8).collect();
+            let bytes = Bytes::from_vec(data.clone());
+            assert_eq!(bytes.as_slice(), &data[..]);
+            assert_eq!(bytes.len(), len);
+            assert!(!bytes.is_mapped());
+            assert_eq!(bytes.as_slice().as_ptr() as usize % 8, 0, "8-aligned base");
+        }
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn open_reads_files_and_matches_owned() {
+        let dir = std::env::temp_dir().join("rnknn-persist-buffer-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("buf.bin");
+        let data: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        std::fs::write(&path, &data).unwrap();
+        let opened = Bytes::open(&path).unwrap();
+        assert_eq!(opened.as_slice(), &data[..]);
+        assert_eq!(opened.as_slice().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(not(miri))]
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = Bytes::open(Path::new("/nonexistent/rnknn-persist-missing.bin")).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }));
+    }
+}

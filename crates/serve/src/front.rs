@@ -195,6 +195,23 @@ impl ServeFront {
         (front, responses)
     }
 
+    /// Warm-starts a serving front from an index artifact on disk (see
+    /// `docs/PERSISTENCE.md`): loads the engine via
+    /// [`Engine::load_indexes`](rnknn::Engine::load_indexes) — mmap-backed,
+    /// fully validated, sub-200ms at 580k vertices from a warm page cache —
+    /// seeds the store with `initial` objects, and spawns the worker pool.
+    /// This replaces minutes of index construction on the restart path.
+    pub fn start_from_artifact(
+        path: impl AsRef<std::path::Path>,
+        engine_config: &rnknn::EngineConfig,
+        initial: rnknn_objects::ObjectSet,
+        config: ServeConfig,
+    ) -> Result<(ServeFront, Receiver<KnnResponse>), rnknn::PersistError> {
+        let engine = Arc::new(rnknn::Engine::load_indexes(path, engine_config)?);
+        let store = Arc::new(ObjectStore::new(engine, initial));
+        Ok(ServeFront::start(store, config))
+    }
+
     /// The store this front serves from.
     pub fn store(&self) -> &Arc<ObjectStore> {
         &self.store
@@ -409,6 +426,54 @@ mod tests {
             Arc::new(Engine::build(net.graph(EdgeWeightKind::Distance), &EngineConfig::minimal()));
         let objects = uniform(engine.graph(), 0.04, 2);
         Arc::new(ObjectStore::new(engine, objects))
+    }
+
+    /// Warm start: an engine saved to disk serves through the front exactly
+    /// like the engine that built it, with zero index construction on restart.
+    #[test]
+    #[cfg(not(feature = "loom-model"))]
+    fn warm_start_from_artifact_answers_like_the_built_engine() {
+        let net = RoadNetwork::generate(&GeneratorConfig::new(400, 13));
+        let econfig = EngineConfig {
+            gtree_leaf_capacity: Some(32),
+            build_road: false,
+            build_silc: false,
+            build_phl: false,
+            ..EngineConfig::default()
+        };
+        let built = Engine::build(net.graph(EdgeWeightKind::Distance), &econfig);
+        let dir = std::env::temp_dir().join("rnknn-serve-warmstart");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("front-{}.rnk", std::process::id()));
+        built.save_indexes(&path).unwrap();
+
+        let objects = uniform(built.graph(), 0.05, 6);
+        let (mut front, responses) = ServeFront::start_from_artifact(
+            &path,
+            &econfig,
+            objects.clone(),
+            ServeConfig { workers: 2, ..Default::default() },
+        )
+        .unwrap();
+        let mut reference = built;
+        reference.set_objects(objects);
+        let n = reference.graph().num_vertices() as NodeId;
+        for id in 0..24u64 {
+            let query = (id as NodeId * 31) % n;
+            front.submit(KnnRequest { id, method: Method::Gtree, query, k: 4 }).unwrap();
+        }
+        for _ in 0..24 {
+            let r = responses.recv().unwrap();
+            let query = (r.id as NodeId * 31) % n;
+            assert_eq!(
+                r.output.unwrap().result,
+                reference.query(Method::Gtree, query, 4).unwrap().result,
+                "request {}",
+                r.id
+            );
+        }
+        assert_eq!(front.shutdown().served, 24);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

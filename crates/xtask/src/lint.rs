@@ -20,7 +20,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates allowed to contain `unsafe` code. Everything else must forbid it.
-const UNSAFE_ALLOWLIST: &[&str] = &["rnknn-gtree"];
+/// `rnknn-persist` hosts the artifact mmap + typed-view layer (the zero-copy
+/// cold-start path); see docs/PERSISTENCE.md for its safety argument.
+const UNSAFE_ALLOWLIST: &[&str] = &["rnknn-gtree", "rnknn-persist"];
 
 /// Individual files (workspace-relative, `/`-separated) allowed to contain
 /// `unsafe` inside an otherwise-forbidding crate. Integration-test binaries are

@@ -116,6 +116,52 @@ fn steady_state_queries_allocate_nothing_for_pooled_methods() {
     }
 }
 
+/// ISSUE 8: the zero-allocation steady state must survive persistence. An
+/// engine whose G-tree matrices are zero-copy views into a loaded artifact
+/// runs the same pooled query path — loading must not reintroduce per-query
+/// allocations (e.g. by materializing matrix rows on demand).
+#[test]
+fn steady_state_stays_allocation_free_on_a_loaded_engine() {
+    let (engine, queries) = pooled_engine();
+    let k = 8;
+    let bytes = engine.save_indexes_to_vec().expect("save engine");
+    // The saved artifact carries CH + G-tree; load the matching subset.
+    let config = EngineConfig {
+        build_gtree: true,
+        build_road: false,
+        build_silc: false,
+        build_ch: true,
+        build_phl: false,
+        build_tnr: false,
+        ..Default::default()
+    };
+    let mut loaded =
+        rnknn::engine::Engine::load_indexes_from_vec(bytes, &config).expect("load engine");
+    loaded.set_objects(uniform(loaded.graph(), 0.02, 9));
+
+    let mut out = QueryOutput::default();
+    for &method in &[Method::Gtree, Method::Ine, Method::IerCh, Method::IerGtree] {
+        for _ in 0..2 {
+            for &q in &queries {
+                loaded.query_into(method, q, k, &mut out).expect("warm-up query");
+            }
+        }
+        for &q in &queries {
+            let before = allocations();
+            loaded.query_into(method, q, k, &mut out).expect("steady-state query");
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{} allocated {} time(s) on a warm pool of a loaded engine at q={q}",
+                method.name(),
+                after - before
+            );
+            assert!(!out.result.is_empty(), "{} returned nothing at q={q}", method.name());
+        }
+    }
+}
+
 #[test]
 fn query_overhead_over_query_into_is_exactly_the_result_vector() {
     let (engine, queries) = pooled_engine();

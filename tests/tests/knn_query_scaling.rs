@@ -36,20 +36,9 @@ fn p50_micros(engine: &Engine, method: Method, queries: &[NodeId], k: usize) -> 
     times[times.len() / 2] as f64
 }
 
-#[test]
-fn per_method_query_p50_stays_within_budget_at_116k() {
-    let net = RoadNetwork::generate(&GeneratorConfig::new(100_000, 42));
-    let graph = net.graph(EdgeWeightKind::Distance);
-    let config = EngineConfig {
-        build_gtree: true,
-        build_road: false,
-        build_silc: false,
-        build_ch: true,
-        build_phl: false,
-        build_tnr: false,
-        ..Default::default()
-    };
-    let mut engine = Engine::build(graph, &config);
+/// Applies the exactness gate plus the per-method p50 budgets to one engine.
+/// `label` names the engine provenance ("built" / "loaded") in failures.
+fn run_guard(engine: &mut Engine, label: &str) {
     let objects = uniform(engine.graph(), 0.01, 1);
     engine.set_objects(objects.clone());
 
@@ -64,7 +53,7 @@ fn per_method_query_p50_stays_within_budget_at_116k() {
             let output = engine.query(method, q, k).expect("query");
             assert!(
                 matches_ground_truth(engine.graph(), q, k, &objects, &output.result),
-                "{} wrong at q={q}",
+                "{} wrong at q={q} on the {label} engine",
                 method.name()
             );
         }
@@ -77,12 +66,58 @@ fn per_method_query_p50_stays_within_budget_at_116k() {
         (Method::IerGtree, Duration::from_micros(7_000)),
     ];
     for (method, budget) in budgets {
-        let p50 = p50_micros(&engine, method, &queries, k);
+        let p50 = p50_micros(engine, method, &queries, k);
         assert!(
             Duration::from_micros(p50 as u64) < budget,
-            "{} p50 {}µs exceeds the {budget:?} budget at 116k",
+            "{} p50 {}µs exceeds the {budget:?} budget at 116k on the {label} engine",
             method.name(),
             p50
         );
     }
+}
+
+#[test]
+fn per_method_query_p50_stays_within_budget_at_116k_built_and_loaded() {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(100_000, 42));
+    let graph = net.graph(EdgeWeightKind::Distance);
+    let config = EngineConfig {
+        build_gtree: true,
+        build_road: false,
+        build_silc: false,
+        build_ch: true,
+        build_phl: false,
+        build_tnr: false,
+        ..Default::default()
+    };
+    let mut engine = Engine::build(graph, &config);
+    run_guard(&mut engine, "built");
+
+    // ISSUE 8: an engine cold-started from its persisted artifact must meet
+    // the same budgets with the same answers — zero-copy views over the
+    // mapped arena can't be allowed to trade latency for load speed.
+    let dir = std::env::temp_dir().join("rnknn-scaling-guard");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("guard-116k-{}.rnk", std::process::id()));
+    engine.save_indexes(&path).expect("save 116k artifact");
+    let mut loaded = Engine::load_indexes(&path, &config).expect("load 116k artifact");
+    std::fs::remove_file(&path).ok();
+
+    // Identical answers before identical budgets.
+    let objects = uniform(engine.graph(), 0.01, 1);
+    engine.set_objects(objects.clone());
+    loaded.set_objects(objects);
+    let n = engine.graph().num_vertices() as NodeId;
+    for i in 0..5u64 {
+        let q = ((i * 7919 + 1) % n as u64) as NodeId;
+        for method in [Method::Gtree, Method::Ine, Method::IerCh, Method::IerGtree] {
+            assert_eq!(
+                loaded.query(method, q, 10).unwrap().result,
+                engine.query(method, q, 10).unwrap().result,
+                "built/loaded diverge: {} q={q}",
+                method.name()
+            );
+        }
+    }
+    drop(engine);
+    run_guard(&mut loaded, "loaded");
 }

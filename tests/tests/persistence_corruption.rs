@@ -1,0 +1,167 @@
+//! Corruption fuzz against the engine-level load path (ISSUE 8).
+//!
+//! The contract under test: **no sequence of bytes makes `Engine::load_indexes`
+//! panic, read out of bounds, or hand back an engine that answers wrong** —
+//! corruption is always a typed [`PersistError`]. The format crate proves the
+//! exhaustive version of this on a synthetic artifact (every single-bit flip,
+//! every truncation); this battery samples the same adversaries on a *real*
+//! saved engine, whose artifact is far too large for exhaustive sweeps, via a
+//! seeded xorshift stream so any failure reproduces from the printed position.
+//!
+//! Everything runs through the in-memory path (`load_indexes_from_vec`), the
+//! same validation ladder the mmap path uses — byte-source choice cannot
+//! change which corruptions are caught, which `mmap_file_round_trip_is_byte_identical`
+//! (in `persistence_roundtrip.rs`) pins down separately.
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn::persist_format::checksum;
+use rnknn::PersistError;
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::EdgeWeightKind;
+use rnknn_objects::uniform;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+}
+
+fn battery_config() -> EngineConfig {
+    EngineConfig {
+        gtree_leaf_capacity: Some(32),
+        build_road: false,
+        build_silc: false,
+        build_phl: false,
+        build_tnr: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// A corrupted artifact must yield one of the validation error kinds — never
+/// `Io` (nothing touches the filesystem here), never a panic, never `Ok`.
+fn assert_typed_rejection(result: Result<Engine, PersistError>, what: &str) {
+    match result {
+        Err(PersistError::BadMagic { .. })
+        | Err(PersistError::UnsupportedVersion { .. })
+        | Err(PersistError::Truncated { .. })
+        | Err(PersistError::ChecksumMismatch { .. })
+        | Err(PersistError::MissingSection { .. })
+        | Err(PersistError::Corrupt { .. })
+        | Err(PersistError::ConfigMismatch { .. }) => {}
+        Err(other) => panic!("{what}: unexpected error kind: {other}"),
+        Ok(_) => panic!("{what}: corrupt artifact validated successfully"),
+    }
+}
+
+fn saved_engine_bytes() -> Vec<u8> {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(300, 11)).graph(EdgeWeightKind::Distance);
+    Engine::build(graph, &battery_config()).save_indexes_to_vec().expect("save")
+}
+
+#[test]
+fn seeded_single_bit_flips_are_typed_errors() {
+    let bytes = saved_engine_bytes();
+    let config = battery_config();
+    // Sanity: the pristine artifact loads.
+    assert!(Engine::load_indexes_from_vec(bytes.clone(), &config).is_ok());
+
+    let mut rng = Rng(0xC0FF_EE00_DEAD_BEEF);
+    for round in 0..256 {
+        let byte = rng.below(bytes.len());
+        let bit = rng.below(8);
+        let mut flipped = bytes.clone();
+        flipped[byte] ^= 1 << bit;
+        assert_typed_rejection(
+            Engine::load_indexes_from_vec(flipped, &config),
+            &format!("round {round}: bit flip at byte {byte} bit {bit}"),
+        );
+    }
+}
+
+#[test]
+fn seeded_truncations_are_typed_errors() {
+    let bytes = saved_engine_bytes();
+    let config = battery_config();
+    // Boundary cuts plus a seeded sample of interior cuts.
+    let mut cuts = vec![0usize, 1, 7, 47, 48, bytes.len() - 1, bytes.len() - 32];
+    let mut rng = Rng(0x7A0B_11CE_5EED_0002);
+    for _ in 0..48 {
+        cuts.push(rng.below(bytes.len()));
+    }
+    for cut in cuts {
+        assert_typed_rejection(
+            Engine::load_indexes_from_vec(bytes[..cut].to_vec(), &config),
+            &format!("truncation to {cut} bytes"),
+        );
+    }
+}
+
+#[test]
+fn section_length_lies_are_typed_errors() {
+    let bytes = saved_engine_bytes();
+    let config = battery_config();
+    let table_offset = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let num_sections = (bytes.len() - table_offset) / 32;
+    assert!(num_sections > 3, "expected a multi-section artifact");
+
+    let mut rng = Rng(0x0011_E50F_5EC7_1045);
+    for round in 0..32 {
+        let entry = rng.below(num_sections);
+        let lie: u64 = match round % 4 {
+            0 => 0,
+            1 => u64::MAX / 2,
+            2 => {
+                let at = table_offset + entry * 32 + 16;
+                u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()).wrapping_add(8)
+            }
+            _ => rng.next() % (bytes.len() as u64 * 2),
+        };
+        // Patch the length field of one table entry, then forge the table and
+        // header checksums so only the structural validation can object.
+        let mut forged = bytes.clone();
+        let len_at = table_offset + entry * 32 + 16;
+        forged[len_at..len_at + 8].copy_from_slice(&lie.to_le_bytes());
+        let table_ck = checksum(&forged[table_offset..]);
+        forged[32..40].copy_from_slice(&table_ck.to_le_bytes());
+        let header_ck = checksum(&forged[0..40]);
+        forged[40..48].copy_from_slice(&header_ck.to_le_bytes());
+        assert_typed_rejection(
+            Engine::load_indexes_from_vec(forged, &config),
+            &format!("round {round}: section {entry} length forged to {lie}"),
+        );
+    }
+}
+
+/// The "never a wrong answer" half of the contract: after the corruption
+/// sweeps, the pristine bytes still load into an engine that answers exactly
+/// like the one that saved them.
+#[test]
+fn pristine_bytes_still_answer_correctly() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(300, 11)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let mut built = Engine::build(graph, &config);
+    let bytes = built.save_indexes_to_vec().expect("save");
+    let mut loaded = Engine::load_indexes_from_vec(bytes, &config).expect("load");
+    let objects = uniform(built.graph(), 0.05, 2);
+    built.set_objects(objects.clone());
+    loaded.set_objects(objects);
+    for q in [0u32, 57, 173] {
+        assert_eq!(
+            loaded.query(Method::Gtree, q, 8).unwrap().result,
+            built.query(Method::Gtree, q, 8).unwrap().result,
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Round-trip property battery for the on-disk index format (ISSUE 8).
+//!
+//! The strongest field-for-field/cell-for-cell check available at the public
+//! API: serialize a built engine, load it, serialize the loaded engine again,
+//! and require the two artifacts to be **byte-identical**. Every persisted
+//! field — graph CSR arrays, CH ranks and shortcut CSR, G-tree topology,
+//! border lists and every distance-matrix cell — flows through that equality;
+//! a single cell lost or permuted anywhere changes the re-serialized bytes.
+//! On top of that, every loaded engine must pass the conformance gate the
+//! fuzz matrix applies to built engines: all supported methods against the
+//! INE baseline and the Dijkstra ground truth.
+//!
+//! The sweep covers three sizes × both edge-weight kinds, plus the
+//! mmap-backed file path, plus the config-fingerprint and format-version
+//! gates with their actionable error messages.
+
+use rnknn::engine::{Engine, EngineConfig, Method};
+use rnknn::persist_format::checksum;
+use rnknn::verify::{ground_truth, matches_ground_truth};
+use rnknn::PersistError;
+use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
+use rnknn_graph::{EdgeWeightKind, NodeId};
+use rnknn_objects::{uniform, ObjectSet};
+
+/// The persisted-index configuration of the battery: G-tree + CH (the two
+/// indexes the artifact carries), small leaves so every tier has real
+/// internal-node structure.
+fn battery_config() -> EngineConfig {
+    EngineConfig {
+        gtree_leaf_capacity: Some(32),
+        build_road: false,
+        build_silc: false,
+        build_phl: false,
+        build_tnr: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// The conformance gate of `conformance_fuzz.rs`, applied to a loaded engine:
+/// every supported method must agree with INE and with the Dijkstra ground
+/// truth on ranked distances.
+fn check_conformance(engine: &Engine, objects: &ObjectSet, queries: &[NodeId], k: usize) {
+    for &q in queries {
+        let ine = engine.query(Method::Ine, q, k).expect("INE query");
+        let truth = ground_truth(engine.graph(), q, k, objects);
+        assert_eq!(
+            ine.distances(),
+            truth.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+            "loaded engine: INE disagrees with Dijkstra at q={q}"
+        );
+        for method in Method::all() {
+            if !engine.supports(method) {
+                continue;
+            }
+            let output = engine.query(method, q, k).expect("method query");
+            assert_eq!(
+                output.distances(),
+                ine.distances(),
+                "loaded engine: {} disagrees with INE at q={q}",
+                method.name()
+            );
+            assert!(
+                matches_ground_truth(engine.graph(), q, k, objects, &output.result),
+                "loaded engine: {} invalid result at q={q}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn round_trip_is_byte_identical_and_conformant_across_sizes_and_weight_kinds() {
+    for &size in &[300usize, 700, 1200] {
+        for &kind in &[EdgeWeightKind::Distance, EdgeWeightKind::Time] {
+            let graph = RoadNetwork::generate(&GeneratorConfig::new(size, size as u64)).graph(kind);
+            let config = battery_config();
+            let mut built = Engine::build(graph, &config);
+            let bytes = built.save_indexes_to_vec().expect("save built engine");
+
+            let mut loaded =
+                Engine::load_indexes_from_vec(bytes.clone(), &config).expect("load engine");
+            // Field-for-field, cell-for-cell: re-serializing the loaded engine
+            // must reproduce the artifact bit-for-bit.
+            let again = loaded.save_indexes_to_vec().expect("re-save loaded engine");
+            assert_eq!(bytes, again, "re-serialized artifact differs at size={size} kind={kind:?}");
+
+            // The loaded engine passes the same conformance gate a built one does.
+            let objects = uniform(built.graph(), 0.04, 7);
+            built.set_objects(objects.clone());
+            loaded.set_objects(objects.clone());
+            let n = loaded.graph().num_vertices() as NodeId;
+            let queries: Vec<NodeId> =
+                (0..4u64).map(|i| ((i * 7919 + 3) % n as u64) as NodeId).collect();
+            check_conformance(&loaded, &objects, &queries, 5);
+            // And answers exactly what the built engine answers.
+            for &q in &queries {
+                for method in [Method::Ine, Method::Gtree, Method::IerGtree, Method::IerCh] {
+                    assert_eq!(
+                        loaded.query(method, q, 5).unwrap().result,
+                        built.query(method, q, 5).unwrap().result,
+                        "built/loaded diverge: {} q={q} size={size} kind={kind:?}",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mmap_file_round_trip_is_byte_identical() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(500, 31)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let engine = Engine::build(graph, &config);
+
+    let dir = std::env::temp_dir().join("rnknn-roundtrip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("roundtrip-{}.rnk", std::process::id()));
+    let on_disk = engine.save_indexes(&path).expect("save to file");
+    let raw = std::fs::read(&path).unwrap();
+    assert_eq!(on_disk, raw.len() as u64);
+
+    // The mmap path and the in-memory path must agree with each other and
+    // with the original bytes after a full load → save cycle.
+    let via_mmap = Engine::load_indexes(&path, &config).expect("mmap load");
+    let via_vec = Engine::load_indexes_from_vec(raw.clone(), &config).expect("vec load");
+    assert_eq!(via_mmap.save_indexes_to_vec().unwrap(), raw);
+    assert_eq!(via_vec.save_indexes_to_vec().unwrap(), raw);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn gtree_config_mismatch_is_actionable() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(250, 5)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let bytes = Engine::build(graph, &config).save_indexes_to_vec().unwrap();
+
+    // Saved with leaf capacity 32, loaded expecting 64: the fingerprint gate
+    // must name the index so the caller knows which config to fix.
+    let other = EngineConfig { gtree_leaf_capacity: Some(64), ..battery_config() };
+    match Engine::load_indexes_from_vec(bytes, &other) {
+        Err(PersistError::ConfigMismatch { index, .. }) => {
+            assert_eq!(index, "gtree", "mismatch must name the index")
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other}"),
+        Ok(_) => panic!("expected ConfigMismatch, load succeeded"),
+    }
+}
+
+#[test]
+fn ch_config_mismatch_is_actionable() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(250, 6)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let bytes = Engine::build(graph, &config).save_indexes_to_vec().unwrap();
+
+    let other = EngineConfig {
+        ch_config: rnknn::ch::ChConfig { hop_limit: 99, ..Default::default() },
+        ..battery_config()
+    };
+    match Engine::load_indexes_from_vec(bytes, &other) {
+        Err(PersistError::ConfigMismatch { index, .. }) => {
+            assert_eq!(index, "ch", "mismatch must name the index")
+        }
+        Err(other) => panic!("expected ConfigMismatch, got {other}"),
+        Ok(_) => panic!("expected ConfigMismatch, load succeeded"),
+    }
+}
+
+#[test]
+fn bumped_format_version_is_rejected_with_both_versions_named() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(200, 4)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let mut bytes = Engine::build(graph, &config).save_indexes_to_vec().unwrap();
+
+    // Bump the version field and forge the header checksum so the version
+    // gate itself (not the checksum) does the rejecting.
+    bytes[8..12].copy_from_slice(&(rnknn::persist_format::FORMAT_VERSION + 1).to_le_bytes());
+    let ck = checksum(&bytes[0..40]);
+    bytes[40..48].copy_from_slice(&ck.to_le_bytes());
+    match Engine::load_indexes_from_vec(bytes, &config) {
+        Err(PersistError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, rnknn::persist_format::FORMAT_VERSION + 1);
+            assert_eq!(supported, rnknn::persist_format::FORMAT_VERSION);
+        }
+        Err(other) => panic!("expected UnsupportedVersion, got {other}"),
+        Ok(_) => panic!("expected UnsupportedVersion, load succeeded"),
+    }
+}
+
+#[test]
+fn wrong_magic_is_rejected() {
+    let graph =
+        RoadNetwork::generate(&GeneratorConfig::new(200, 3)).graph(EdgeWeightKind::Distance);
+    let config = battery_config();
+    let mut bytes = Engine::build(graph, &config).save_indexes_to_vec().unwrap();
+    bytes[0] = b'Z';
+    assert!(matches!(
+        Engine::load_indexes_from_vec(bytes, &config),
+        Err(PersistError::BadMagic { .. })
+    ));
+}
