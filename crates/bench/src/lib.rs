@@ -902,17 +902,150 @@ pub mod knn_query {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_knn_query.json")
     }
 
+    /// Extracts the number following `"key": ` on `line`, if present.
+    fn json_number(line: &str, key: &str) -> Option<f64> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    }
+
+    /// Extracts the string following `"key": "` on `line`, if present.
+    fn json_string<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\": \"");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        Some(&rest[..rest.find('"')?])
+    }
+
+    /// Parses a committed `BENCH_knn_query.json` into
+    /// `(vertices, method, pooled_p50_us)` rows. The renderer emits one method
+    /// per line under a one-line point header, so a line scan suffices (the
+    /// workspace has no JSON dependency by design).
+    fn parse_baseline(json: &str) -> Vec<(usize, String, f64)> {
+        let mut rows = Vec::new();
+        let mut vertices = 0usize;
+        for line in json.lines() {
+            if let Some(v) = json_number(line, "vertices") {
+                vertices = v as usize;
+            }
+            if let (Some(m), Some(p)) =
+                (json_string(line, "method"), json_number(line, "pooled_p50_us"))
+            {
+                rows.push((vertices, m.to_string(), p));
+            }
+        }
+        rows
+    }
+
+    /// Fails the run if the G-tree pooled p50 regressed by more than 20% against
+    /// the committed baseline. Host-speed differences are normalised out with the
+    /// INE pooled p50 of the same tier (INE shares none of the G-tree query code,
+    /// so its current/baseline ratio measures the machine, not the change under
+    /// test). Tiers are matched by exact vertex count — the generator is
+    /// deterministic, so a mismatch means the baseline predates a generator
+    /// change and the tier is skipped rather than misjudged.
+    pub fn check_regression(points: &[QueryPoint], baseline_json: &str) {
+        const TOLERANCE: f64 = 1.2;
+        let baseline = parse_baseline(baseline_json);
+        let lookup = |vertices: usize, method: &str| -> Option<f64> {
+            baseline.iter().find(|(v, m, _)| *v == vertices && m == method).map(|&(_, _, p)| p)
+        };
+        for p in points {
+            let (Some(base_gtree), Some(base_ine)) =
+                (lookup(p.vertices, "Gtree"), lookup(p.vertices, "INE"))
+            else {
+                println!("regression guard: no baseline tier at {} vertices, skipping", p.vertices);
+                continue;
+            };
+            let current =
+                |name: &str| p.methods.iter().find(|m| m.method == name).map(|m| m.pooled_p50_us);
+            let (Some(cur_gtree), Some(cur_ine)) = (current("Gtree"), current("INE")) else {
+                continue;
+            };
+            let host_scale = cur_ine.max(1.0) / base_ine.max(1.0);
+            let limit = base_gtree * TOLERANCE * host_scale;
+            println!(
+                "regression guard @ {} vertices: Gtree pooled p50 {:.1}µs vs limit {:.1}µs \
+                 (baseline {:.1}µs × {TOLERANCE} tolerance × {host_scale:.2} host scale)",
+                p.vertices, cur_gtree, limit, base_gtree
+            );
+            assert!(
+                cur_gtree <= limit,
+                "G-tree pooled p50 regressed at {} vertices: {:.1}µs > {:.1}µs \
+                 (baseline {:.1}µs, host scale {:.2}); if intentional, re-baseline with \
+                 RNKNN_BENCH_NO_GUARD=1",
+                p.vertices,
+                cur_gtree,
+                limit,
+                base_gtree,
+                host_scale
+            );
+        }
+    }
+
     /// Measures the 23k/116k smoke tier (the CI run; the `knn_query_bench` binary
     /// extends the same trajectory to 290k/580k) and writes the tracking file.
     /// Workload parameters (k=10, d=0.01) must match the binary's defaults so the
-    /// smoke tier and the committed full trajectory stay comparable.
+    /// smoke tier and the committed full trajectory stay comparable. Before the
+    /// file is overwritten, the fresh numbers are gated against the committed
+    /// baseline (see [`check_regression`]); `RNKNN_BENCH_NO_GUARD=1` skips the
+    /// gate for intentional re-baselining.
     pub fn run_and_track() -> Vec<QueryPoint> {
         let points =
             measure(&[20_000, 100_000], 400, 10, 0.01, 3, &crate::artifacts::ArtifactIo::none());
         let path = tracking_file();
+        if std::env::var_os("RNKNN_BENCH_NO_GUARD").is_none() {
+            if let Ok(baseline) = std::fs::read_to_string(path) {
+                check_regression(&points, &baseline);
+            }
+        }
         std::fs::write(path, render_json(&points)).expect("write BENCH_knn_query.json");
         println!("wrote {path}");
         points
+    }
+
+    #[cfg(test)]
+    mod guard_tests {
+        use super::*;
+
+        fn point(vertices: usize, gtree_p50: f64, ine_p50: f64) -> QueryPoint {
+            let method = |name: &'static str, p50: f64| MethodPoint {
+                method: name,
+                fresh_p50_us: p50 * 2.0,
+                pooled_p50_us: p50,
+                fresh_qps: 1.0,
+                pooled_qps: 1.0,
+            };
+            QueryPoint {
+                vertices,
+                objects: 100,
+                k: 10,
+                queries: 400,
+                methods: vec![method("INE", ine_p50), method("Gtree", gtree_p50)],
+            }
+        }
+
+        #[test]
+        fn guard_accepts_equal_and_scaled_results() {
+            let baseline = render_json(&[point(23_190, 1000.0, 100.0)]);
+            // Same numbers: fine. Slower host (INE 2x): G-tree 2x is also fine.
+            check_regression(&[point(23_190, 1000.0, 100.0)], &baseline);
+            check_regression(&[point(23_190, 2000.0, 200.0)], &baseline);
+            // Unknown tier: skipped, not misjudged.
+            check_regression(&[point(99_999, 9e9, 100.0)], &baseline);
+        }
+
+        #[test]
+        #[should_panic(expected = "G-tree pooled p50 regressed")]
+        fn guard_rejects_a_real_regression() {
+            let baseline = render_json(&[point(23_190, 1000.0, 100.0)]);
+            // INE unchanged (same host) but G-tree 1.5x slower: over the 1.2x gate.
+            check_regression(&[point(23_190, 1500.0, 100.0)], &baseline);
+        }
     }
 }
 

@@ -52,6 +52,10 @@ pub struct OracleSearchStats {
     pub nodes_expanded: u64,
     /// Priority-queue operations performed by oracle-internal searches.
     pub heap_operations: u64,
+    /// Distance-matrix cells read by G-tree assembly (MGtree oracle only; the
+    /// per-search batch counter that replaced the per-cell atomic probes the
+    /// pooled path bypasses).
+    pub matrix_cells: u64,
 }
 
 /// Operation counters for one IER query.
@@ -445,6 +449,7 @@ impl<'a> DistanceOracle for ChOracle<'a> {
         OracleSearchStats {
             nodes_expanded: self.counters.settled,
             heap_operations: self.counters.heap_pushes,
+            matrix_cells: 0,
         }
     }
 }
@@ -546,6 +551,7 @@ impl<'a> DistanceOracle for TnrOracle<'a> {
         OracleSearchStats {
             nodes_expanded: self.counters.settled,
             heap_operations: self.counters.heap_pushes,
+            matrix_cells: 0,
         }
     }
 }
@@ -607,10 +613,24 @@ impl<'a> DistanceOracle for GtreeOracle<'a> {
         }
         self.search.as_mut().expect("initialised").distance_to(target)
     }
+    fn network_distance_within(&mut self, source: NodeId, target: NodeId, bound: Weight) -> Weight {
+        let rebuild = match &self.search {
+            Some(s) => s.source() != source,
+            None => true,
+        };
+        if rebuild {
+            self.begin_query(source);
+        }
+        // Bound-pruned materialization: rows are assembled only up to the caller's
+        // current k-th candidate distance, and rematerialized if a later (exact or
+        // looser) request needs them — see `GtreeSearch::distance_to_within`.
+        self.search.as_mut().expect("initialised").distance_to_within(target, bound)
+    }
     fn search_stats(&self) -> OracleSearchStats {
         self.search.as_ref().map_or_else(OracleSearchStats::default, |s| OracleSearchStats {
             nodes_expanded: s.stats.materialized_nodes + s.stats.leaf_vertices_settled,
             heap_operations: s.stats.heap_pushes,
+            matrix_cells: s.stats.matrix_cells,
         })
     }
 }

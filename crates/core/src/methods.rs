@@ -93,6 +93,7 @@ fn ier_knn<O: DistanceOracle>(
         candidates_examined: stats.euclidean_candidates as u64,
         nodes_expanded: oracle_stats.nodes_expanded,
         heap_operations: oracle_stats.heap_operations,
+        matrix_cells: oracle_stats.matrix_cells,
         ..Default::default()
     };
     oracle
@@ -475,6 +476,7 @@ impl KnnAlgorithm for GtreeKnn {
             nodes_expanded: stats.materialized_nodes + stats.leaf_vertices_settled,
             heap_operations: stats.heap_pushes,
             oracle_calls: stats.border_computations,
+            matrix_cells: stats.matrix_cells,
             ..Default::default()
         };
         Ok(())

@@ -33,6 +33,10 @@ pub struct QueryStats {
     pub oracle_calls: u64,
     /// Candidate objects examined (Euclidean candidates, interval candidates).
     pub candidates_examined: u64,
+    /// Distance-matrix cells read by G-tree assembly, counted in per-row batches
+    /// on the pooled hot path (the untracked sweeps bypass the per-cell atomic
+    /// matrix probes, which used to make pooled G-tree queries report zero here).
+    pub matrix_cells: u64,
     /// Wall-clock time of the query in microseconds (filled in by the engine).
     pub elapsed_micros: u64,
 }
@@ -44,6 +48,7 @@ impl QueryStats {
         self.heap_operations += other.heap_operations;
         self.oracle_calls += other.oracle_calls;
         self.candidates_examined += other.candidates_examined;
+        self.matrix_cells += other.matrix_cells;
         self.elapsed_micros += other.elapsed_micros;
     }
 }

@@ -26,6 +26,7 @@ use rnknn_partition::Partitioner;
 use rnknn_pathfinding::heap::MinHeap;
 
 use crate::distmatrix::{DistanceMatrix, MatrixKind};
+use crate::kernel::min_plus_into;
 use crate::tree::{Gtree, GtreeNode, NodeIndex};
 
 use std::collections::HashMap;
@@ -178,104 +179,9 @@ impl Gtree {
 /// callers drop to a single worker under this bound.
 const MIN_PARALLEL_WORK: usize = 1 << 20;
 
-/// The refinement sweep's innermost operation: `out[i] = min(out[i], s + addend[i])`
-/// over equal-length slices.
-///
-/// `Weight` is `u64`, and baseline x86-64 has no unsigned 64-bit vector min, so the
-/// autovectorizer leaves this loop scalar (measured: leaf refinement alone took ~16s
-/// of a 250k build). Both operands are at most `2 × INFINITY < 2^63`, so signed and
-/// unsigned comparison agree, and explicit AVX-512F (`vpminuq`) or AVX2
-/// (`vpcmpgtq` + blend) kernels — selected once at runtime — recover the ~8×
-/// data-parallel throughput the tiling was designed around. The scalar fallback
-/// keeps every other architecture correct.
-#[inline]
-fn min_plus_into(out: &mut [Weight], s: Weight, addend: &[Weight]) {
-    // Miri interprets neither runtime feature detection nor vector intrinsics;
-    // under it the (semantically identical) scalar loop is the whole story.
-    #[cfg(all(target_arch = "x86_64", not(miri)))]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: avx512f support was just detected on this CPU.
-            unsafe { min_plus_into_avx512(out, s, addend) };
-            return;
-        }
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: avx2 support was just detected on this CPU.
-            unsafe { min_plus_into_avx2(out, s, addend) };
-            return;
-        }
-    }
-    min_plus_into_scalar(out, s, addend);
-}
-
-#[inline]
-fn min_plus_into_scalar(out: &mut [Weight], s: Weight, addend: &[Weight]) {
-    for (o, &md) in out.iter_mut().zip(addend) {
-        let v = s + md;
-        if v < *o {
-            *o = v;
-        }
-    }
-}
-
-/// AVX-512F kernel for [`min_plus_into`] (`vpminuq` over 8 lanes).
-///
-/// # Safety
-///
-/// The CPU must support AVX-512F (guaranteed by the caller's runtime
-/// `is_x86_feature_detected!` check).
-#[cfg(all(target_arch = "x86_64", not(miri)))]
-#[target_feature(enable = "avx512f")]
-unsafe fn min_plus_into_avx512(out: &mut [Weight], s: Weight, addend: &[Weight]) {
-    use std::arch::x86_64::*;
-    let n = out.len().min(addend.len());
-    let sv = _mm512_set1_epi64(s as i64);
-    let mut i = 0;
-    while i + 8 <= n {
-        // SAFETY: `i + 8 <= n <=` both slices' lengths, so the 8-lane reads
-        // and the write stay in bounds; `loadu`/`storeu` require no alignment.
-        unsafe {
-            let a = _mm512_loadu_si512(addend.as_ptr().add(i) as *const _);
-            let o = _mm512_loadu_si512(out.as_ptr().add(i) as *const _);
-            let v = _mm512_add_epi64(a, sv);
-            let m = _mm512_min_epu64(v, o);
-            _mm512_storeu_si512(out.as_mut_ptr().add(i) as *mut _, m);
-        }
-        i += 8;
-    }
-    min_plus_into_scalar(&mut out[i..n], s, &addend[i..n]);
-}
-
-/// AVX2 kernel for [`min_plus_into`] (`vpcmpgtq` + blend over 4 lanes).
-///
-/// # Safety
-///
-/// The CPU must support AVX2 (guaranteed by the caller's runtime
-/// `is_x86_feature_detected!` check). Values stay below `2^63`
-/// (`2 × INFINITY`), so the signed `vpcmpgtq` compare is exact.
-#[cfg(all(target_arch = "x86_64", not(miri)))]
-#[target_feature(enable = "avx2")]
-unsafe fn min_plus_into_avx2(out: &mut [Weight], s: Weight, addend: &[Weight]) {
-    use std::arch::x86_64::*;
-    let n = out.len().min(addend.len());
-    let sv = _mm256_set1_epi64x(s as i64);
-    let mut i = 0;
-    while i + 4 <= n {
-        // SAFETY: `i + 4 <= n <=` both slices' lengths, so the 4-lane reads
-        // and the write stay in bounds; `loadu`/`storeu` require no alignment.
-        unsafe {
-            let a = _mm256_loadu_si256(addend.as_ptr().add(i) as *const _);
-            let o = _mm256_loadu_si256(out.as_ptr().add(i) as *const _);
-            let v = _mm256_add_epi64(a, sv);
-            // m = o > v ? v : o  (signed compare is exact below 2^63).
-            let gt = _mm256_cmpgt_epi64(o, v);
-            let m = _mm256_blendv_epi8(o, v, gt);
-            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut _, m);
-        }
-        i += 4;
-    }
-    min_plus_into_scalar(&mut out[i..n], s, &addend[i..n]);
-}
+// The min-plus kernels (`out[i] = min(out[i], s + addend[i])`, runtime-dispatched
+// AVX-512F/AVX2/scalar) live in `crate::kernel`, shared with the query-side
+// materialization sweep; see that module for the dispatch and value contract.
 
 /// Rows per refinement-sweep block: every border-row tile loaded in stage 2 is reused
 /// by this many output rows before the next tile is streamed in, dividing the sweep's

@@ -19,7 +19,9 @@
 //! crate equals the Dijkstra distance.
 
 // The only crate in the workspace allowed to contain `unsafe` (the SIMD
-// min-plus kernels in `build.rs`); every other crate root forbids it, enforced
+// min-plus kernels in `kernel.rs`, shared by the build-side refinement sweep
+// and the query-side materialization sweep); every other crate root forbids
+// it, enforced
 // by `cargo xtask lint`. Unsafe operations must be wrapped in explicit blocks
 // even inside `unsafe fn`, each with its own `// SAFETY:` justification.
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -27,6 +29,7 @@
 
 mod build;
 mod distmatrix;
+pub mod kernel;
 mod occurrence;
 pub mod persist;
 mod search;

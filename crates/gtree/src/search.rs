@@ -13,12 +13,38 @@
 //! instead of freshly zeroed vectors. [`GtreeSearch::reset`] re-arms an existing
 //! search for a new source (one epoch bump), which is how the IER-Gt oracle hops
 //! between sources without touching the allocator.
+//!
+//! Two query-side optimisations ride on the materialization sweep (see
+//! `docs/METHODS.md` "Query performance"):
+//!
+//! * **SIMD min-plus assembly** — the row-major sweep `dist[b] = min(dist[b],
+//!   src[a] + M[a][b])` over the contiguous matrix arena dispatches to the shared
+//!   [`crate::kernel`] min-plus kernels (AVX-512F/AVX2, scalar under Miri and off
+//!   x86-64), the same code the build-side refinement sweep runs.
+//! * **Bound-pruned materialization** — once the kNN search holds `k` candidate
+//!   distances, their maximum `B` upper-bounds the final answer: source borders
+//!   whose distance exceeds `B` are skipped, materialized entries above `B` are
+//!   clamped to [`INFINITY`], and whole nodes whose best entry distance exceeds
+//!   `B` are never enqueued. Every value `<= B` stays exact (an inflated value is
+//!   always `> B`), so results are unchanged; rows remember the bound they were
+//!   materialized under and are recomputed when a later caller needs them exact
+//!   (`row_bound` in [`SearchStore`]).
+//!
+//! Epoch tags are `u64`: at one query per nanosecond a serving thread would need
+//! ~580 years to wrap, so stale-row aliasing after epoch reuse is structurally
+//! unreachable — and the wrap branch still resets every tag and is unit-tested.
+//! Rows are mutated strictly in place (disjoint borrows via `get_disjoint_mut`
+//! instead of take-and-restore), so a panic mid-materialization can never leave a
+//! row emptied-but-marked-valid: the interrupted node's epoch tag is simply never
+//! set, and the next query rematerializes it.
 
 use std::cell::{Cell, RefCell};
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 use rnknn_pathfinding::heap::MinHeap;
 
+use crate::distmatrix::MatrixKind;
+use crate::kernel;
 use crate::occurrence::OccurrenceList;
 use crate::tree::{Gtree, NodeIndex};
 
@@ -30,15 +56,15 @@ struct LeafScratch {
     /// Tentative distances per leaf position.
     dist: Vec<Weight>,
     /// Epoch that wrote each `dist` entry; a mismatch means "unvisited this search".
-    dist_epoch: Vec<u32>,
+    dist_epoch: Vec<u64>,
     /// Epoch that settled each leaf position.
-    settled_epoch: Vec<u32>,
+    settled_epoch: Vec<u64>,
     /// Border row of each leaf position (improved leaf search only).
     border_row: Vec<u32>,
     /// Epoch that wrote each `border_row` entry.
-    border_row_epoch: Vec<u32>,
+    border_row_epoch: Vec<u64>,
     heap: MinHeap<u32>,
-    epoch: u32,
+    epoch: u64,
 }
 
 impl LeafScratch {
@@ -56,7 +82,8 @@ impl LeafScratch {
 
     /// Starts a new search over a leaf of `n` vertices: grows the arrays if this
     /// thread has only seen smaller leaves, clears the heap, and advances the epoch
-    /// (resetting the tags on the rare u32 wrap-around).
+    /// (resetting the tags on the — with `u64` tags, unreachable in practice —
+    /// wrap-around, so reuse can never alias a stale entry as current).
     fn begin(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, INFINITY);
@@ -66,7 +93,7 @@ impl LeafScratch {
             self.border_row_epoch.resize(n, 0);
         }
         self.heap.clear();
-        if self.epoch == u32::MAX {
+        if self.epoch == u64::MAX {
             self.dist_epoch.iter_mut().for_each(|e| *e = 0);
             self.settled_epoch.iter_mut().for_each(|e| *e = 0);
             self.border_row_epoch.iter_mut().for_each(|e| *e = 0);
@@ -136,27 +163,43 @@ struct SearchStore {
     /// Per G-tree node: distances from the source to the node's borders.
     rows: Vec<Vec<Weight>>,
     /// Epoch that materialized each row; a mismatch means "stale".
-    row_epoch: Vec<u32>,
+    row_epoch: Vec<u64>,
+    /// The kNN bound each row was materialized under ([`INFINITY`] = exact).
+    /// Entries above the bound were clamped, so a later caller that needs the row
+    /// under a looser bound must rematerialize it; see
+    /// [`GtreeSearch::ensure_border_distances`].
+    row_bound: Vec<Weight>,
     /// Within-leaf distances from the source to every vertex of its own leaf.
     same_leaf: Vec<Weight>,
     /// Epoch that filled `same_leaf` (valid iff it equals `epoch`).
-    same_leaf_epoch: u32,
+    same_leaf_epoch: u64,
     /// The kNN traversal queue.
     queue: MinHeap<Element>,
-    epoch: u32,
+    /// Full-matrix-width scratch for the climb-case SIMD sweep (the node's own
+    /// borders sit at scattered columns; sweeping the whole contiguous row into
+    /// this buffer and gathering afterwards beats a strided per-column walk).
+    wide: Vec<Weight>,
+    /// The `min(k, discovered)` smallest candidate distances seen by the current
+    /// kNN query, sorted ascending. Full at `k` entries, its maximum is the
+    /// pruning bound `B` (see the module docs).
+    knn_cand: Vec<Weight>,
+    epoch: u64,
 }
 
 impl SearchStore {
     /// Starts a new search over a tree of `n` nodes: grows the per-node arrays if
-    /// this store has only seen smaller trees, clears the queue, and advances the
-    /// epoch (resetting the tags on the rare u32 wrap-around).
+    /// this store has only seen smaller trees, clears the queue and candidate
+    /// bound, and advances the epoch (resetting the tags on the — with `u64`
+    /// tags, unreachable in practice — wrap-around).
     fn begin(&mut self, n: usize) {
         if self.rows.len() < n {
             self.rows.resize_with(n, Vec::new);
             self.row_epoch.resize(n, 0);
+            self.row_bound.resize(n, INFINITY);
         }
         self.queue.clear();
-        if self.epoch == u32::MAX {
+        self.knn_cand.clear();
+        if self.epoch == u64::MAX {
             self.row_epoch.iter_mut().for_each(|e| *e = 0);
             self.same_leaf_epoch = 0;
             self.epoch = 0;
@@ -178,6 +221,26 @@ thread_local! {
     static STORE_POOL: Cell<Option<SearchStore>> = const { Cell::new(None) };
 }
 
+#[cfg(test)]
+thread_local! {
+    /// Test-only fault injection: `Some(n)` makes the `n+1`-th materialization on
+    /// this thread panic mid-assembly (see the panic-safety regression test).
+    static FAIL_MATERIALIZE_AFTER: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+#[cfg(test)]
+fn materialize_panic_tick() {
+    FAIL_MATERIALIZE_AFTER.with(|c| {
+        if let Some(n) = c.get() {
+            if n == 0 {
+                c.set(None);
+                panic!("injected materialization panic");
+            }
+            c.set(Some(n - 1));
+        }
+    });
+}
+
 /// Operation counters for one G-tree search. `border_computations` is the "path cost"
 /// series of Figure 9(b); `materialized_nodes` counts how many node border-distance
 /// vectors were computed (and therefore reused by later traversals).
@@ -191,6 +254,10 @@ pub struct GtreeSearchStats {
     pub heap_pushes: u64,
     /// Vertices settled by leaf searches.
     pub leaf_vertices_settled: u64,
+    /// Distance-matrix cells read, counted in per-row batches on the pooled hot
+    /// path (the untracked sweeps bypass the per-cell atomic [`crate::MatrixStats`]
+    /// probes, which used to make pooled queries report zero matrix work).
+    pub matrix_cells: u64,
 }
 
 /// Which leaf-search algorithm the kNN query uses within the query vertex's leaf.
@@ -235,6 +302,8 @@ pub struct GtreeSearch<'a> {
     /// Whether matrix reads go through the instrumented `DistanceMatrix::get`
     /// (probe counters for the Table 3 layout ablation — the pre-pooling
     /// behaviour) instead of the untracked row sweeps of the production path.
+    /// Both modes run the same algorithm (including bound pruning), so their
+    /// results agree; only the instrumentation and sweep shape differ.
     tracked: bool,
     /// Operation counters.
     pub stats: GtreeSearchStats,
@@ -315,23 +384,33 @@ impl<'a> GtreeSearch<'a> {
 
     /// Exact network distance from the source to `target` (the MGtree oracle).
     pub fn distance_to(&mut self, target: NodeId) -> Weight {
+        self.distance_to_within(target, INFINITY)
+    }
+
+    /// Bounded network distance: exact whenever the true distance is `<= bound`
+    /// (in particular, whenever the returned value is `< bound`), and some value
+    /// `> bound` — possibly [`INFINITY`] — otherwise. Materialization prunes
+    /// against `bound`, which is how the IER-Gt oracle skips assembly work for
+    /// candidates that cannot beat its current k-th neighbor.
+    pub fn distance_to_within(&mut self, target: NodeId, bound: Weight) -> Weight {
         if target == self.source {
             return 0;
         }
-        let gtree = self.gtree;
-        let target_leaf = gtree.leaf_of(target);
+        let target_leaf = self.gtree.leaf_of(target);
         if target_leaf == self.source_leaf {
             let inside = self.same_leaf_distance(target);
-            let via = self.via_border_distance(target_leaf, target);
+            let via = self.via_border_distance(target_leaf, target, bound);
             return inside.min(via);
         }
-        self.ensure_border_distances(target_leaf);
-        self.via_border_distance(target_leaf, target)
+        self.ensure_border_distances(target_leaf, bound);
+        self.via_border_distance(target_leaf, target, bound)
     }
 
     /// `min_b dist(source, b) + matrix(b, target)` over the borders of `leaf`.
-    fn via_border_distance(&mut self, leaf: NodeIndex, target: NodeId) -> Weight {
-        self.ensure_border_distances(leaf);
+    /// Exact whenever the true via-border distance is `<= bound`; borders whose
+    /// source distance already exceeds the bound are skipped.
+    fn via_border_distance(&mut self, leaf: NodeIndex, target: NodeId, bound: Weight) -> Weight {
+        self.ensure_border_distances(leaf, bound);
         let gtree = self.gtree;
         let node = gtree.node(leaf);
         let col = gtree.position_in_leaf(target) as usize;
@@ -340,7 +419,7 @@ impl<'a> GtreeSearch<'a> {
         let mut best = INFINITY;
         let mut combinations = 0u64;
         for (bi, &d) in dists.iter().enumerate() {
-            if d == INFINITY {
+            if d == INFINITY || d > bound {
                 continue;
             }
             let m =
@@ -351,6 +430,7 @@ impl<'a> GtreeSearch<'a> {
             }
         }
         self.stats.border_computations += combinations;
+        self.stats.matrix_cells += combinations;
         best
     }
 
@@ -397,99 +477,175 @@ impl<'a> GtreeSearch<'a> {
     }
 
     /// Minimum distance from the source to any border of `node` (the priority-queue key
-    /// for G-tree nodes).
+    /// for G-tree nodes). Exact — kNN-internal callers use the bounded variant.
     pub fn min_border_distance(&mut self, node: NodeIndex) -> Weight {
-        self.ensure_border_distances(node);
+        self.min_border_distance_bounded(node, INFINITY)
+    }
+
+    /// [`GtreeSearch::min_border_distance`] under a pruning bound: exact whenever
+    /// the true minimum is `<= bound`, some value `> bound` otherwise.
+    fn min_border_distance_bounded(&mut self, node: NodeIndex, bound: Weight) -> Weight {
+        self.ensure_border_distances(node, bound);
         self.store.rows[node as usize].iter().copied().min().unwrap_or(INFINITY)
+    }
+
+    /// The current kNN pruning bound: the k-th smallest candidate distance
+    /// discovered so far, or [`INFINITY`] while fewer than `k` are known. Every
+    /// discovered distance upper-bounds its object's true distance, so the k-th
+    /// smallest upper-bounds the final k-th result — values above it can never
+    /// appear in the answer.
+    #[inline]
+    fn knn_bound(&self, k: usize) -> Weight {
+        let cand = &self.store.knn_cand;
+        if cand.len() == k {
+            *cand.last().expect("k > 0 candidates")
+        } else {
+            INFINITY
+        }
+    }
+
+    /// Records a discovered candidate distance (once per distinct object — the
+    /// traversal enqueues every object at most once), tightening the bound.
+    fn note_candidate(&mut self, d: Weight, k: usize) {
+        let cand = &mut self.store.knn_cand;
+        if cand.len() == k {
+            match cand.last() {
+                Some(&worst) if d < worst => {
+                    cand.pop();
+                }
+                _ => return,
+            }
+        }
+        let pos = cand.partition_point(|&e| e <= d);
+        cand.insert(pos, d);
     }
 
     /// Materializes the distances from the source to the borders of `t` (assembly along
     /// the tree path, reusing previously materialized nodes). The row buffer of `t` is
     /// reused from earlier queries — epoch tags mark it stale, and it is refilled in
-    /// place, so steady-state materialization performs no allocation.
-    fn ensure_border_distances(&mut self, t: NodeIndex) {
+    /// place (disjoint in-place borrows, so a panic mid-assembly leaves no row
+    /// emptied-but-valid), so steady-state materialization performs no allocation.
+    ///
+    /// Under a finite `bound`, source borders beyond the bound are skipped and
+    /// entries that come out above it are clamped to [`INFINITY`]; the bound is
+    /// recorded in `row_bound` so a later request needing looser (or exact) values
+    /// rematerializes the row.
+    fn ensure_border_distances(&mut self, t: NodeIndex, bound: Weight) {
+        let ti = t as usize;
         if self.store.is_materialized(t) {
-            return;
+            let rb = self.store.row_bound[ti];
+            if rb == INFINITY || bound <= rb {
+                return;
+            }
+            // Materialized under a tighter bound than requested: recompute below.
         }
+        #[cfg(test)]
+        materialize_panic_tick();
         let gtree = self.gtree;
-        let node = gtree.node(t);
         let tracked = self.tracked;
         if t == self.source_leaf {
-            // Column of the source vertex in its own leaf matrix.
+            // Column of the source vertex in its own leaf matrix: one strided
+            // gather per border, always exact (it is the root of every assembly).
+            let node = gtree.node(t);
             let col = gtree.position_in_leaf(self.source) as usize;
-            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            let nb = node.borders.len();
+            let out = &mut self.store.rows[ti];
             out.clear();
-            out.extend((0..node.borders.len()).map(|row| {
+            out.extend((0..nb).map(|row| {
                 if tracked {
                     node.matrix.get(row, col)
                 } else {
                     node.matrix.get_untracked(row, col)
                 }
             }));
-            self.store.rows[t as usize] = out;
+            self.stats.matrix_cells += nb as u64;
+            self.store.row_bound[ti] = INFINITY;
         } else if gtree.is_ancestor_of(t, self.source_leaf) {
             // Climb: combine the child-on-the-path's border distances with this node's
-            // matrix to reach this node's own borders. The child's distances are taken
-            // out of the memo (and restored below) rather than cloned.
+            // matrix to reach this node's own borders.
             let c = gtree.child_towards(t, self.source_leaf);
-            self.ensure_border_distances(c);
-            let src = std::mem::take(&mut self.store.rows[c as usize]);
+            self.ensure_border_distances(c, bound);
+            let node = gtree.node(t);
             let child_pos = node.children.iter().position(|&x| x == c).expect("child of t");
             let base = node.child_border_offsets[child_pos] as usize;
             let nb = node.borders.len();
-            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            let stats = &mut self.stats;
+            let wide = &mut self.store.wide;
+            let [out, src] = self
+                .store
+                .rows
+                .get_disjoint_mut([ti, c as usize])
+                .expect("a node is distinct from its on-path child");
             out.clear();
+            out.resize(nb, INFINITY);
             if tracked {
-                for xi in 0..nb {
+                for (xi, out_x) in out.iter_mut().enumerate() {
                     let px = node.own_border_positions[xi] as usize;
-                    let mut best = INFINITY;
                     for (bi, &d) in src.iter().enumerate() {
-                        if d == INFINITY {
+                        if d == INFINITY || d > bound {
                             continue;
                         }
                         let m = node.matrix.get(base + bi, px);
-                        self.stats.border_computations += 1;
-                        if m != INFINITY && d + m < best {
-                            best = d + m;
+                        stats.border_computations += 1;
+                        stats.matrix_cells += 1;
+                        if m != INFINITY && d + m < *out_x {
+                            *out_x = d + m;
                         }
                     }
-                    out.push(best);
                 }
-            } else {
-                // Row-major min-plus sweep: one contiguous matrix row per reachable
-                // source border (instead of a strided column walk per output border).
-                out.resize(nb, INFINITY);
+            } else if node.matrix.kind() == MatrixKind::Array {
+                // The node's own borders sit at scattered matrix columns, so a
+                // direct sweep would be a per-column gather. Instead min-plus the
+                // full contiguous rows into the pooled full-width buffer with the
+                // SIMD kernel and gather the border positions once at the end —
+                // more cells touched than strictly needed, but contiguous, which
+                // wins for any realistic border density.
+                let width = node.matrix.cols();
+                wide.clear();
+                wide.resize(width, INFINITY);
                 let mut active = 0u64;
                 for (bi, &d) in src.iter().enumerate() {
-                    if d == INFINITY {
+                    if d == INFINITY || d > bound {
                         continue;
                     }
                     active += 1;
-                    match node.matrix.row_slice(base + bi) {
-                        Some(row) => {
-                            for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
-                                let m = row[px as usize];
-                                if m != INFINITY && d + m < *out_x {
-                                    *out_x = d + m;
-                                }
-                            }
-                        }
-                        None => {
-                            for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
-                                let m = node.matrix.get_untracked(base + bi, px as usize);
-                                if m != INFINITY && d + m < *out_x {
-                                    *out_x = d + m;
-                                }
-                            }
+                    let row = node.matrix.row_slice(base + bi).expect("array layout");
+                    kernel::min_plus_into(wide, d, row);
+                }
+                for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
+                    *out_x = wide[px as usize];
+                }
+                stats.border_computations += active * nb as u64;
+                stats.matrix_cells += active * width as u64;
+            } else {
+                // Hash-table ablation layouts: per-cell gather, same arithmetic.
+                let mut active = 0u64;
+                for (bi, &d) in src.iter().enumerate() {
+                    if d == INFINITY || d > bound {
+                        continue;
+                    }
+                    active += 1;
+                    for (out_x, &px) in out.iter_mut().zip(&node.own_border_positions) {
+                        let m = node.matrix.get_untracked(base + bi, px as usize);
+                        if m != INFINITY && d + m < *out_x {
+                            *out_x = d + m;
                         }
                     }
                 }
-                self.stats.border_computations += active * nb as u64;
+                stats.border_computations += active * nb as u64;
+                stats.matrix_cells += active * nb as u64;
             }
-            self.store.rows[c as usize] = src;
-            self.store.rows[t as usize] = out;
+            if bound < INFINITY {
+                for o in out.iter_mut() {
+                    if *o > bound {
+                        *o = INFINITY;
+                    }
+                }
+            }
+            self.store.row_bound[ti] = bound;
         } else {
             // Descend: this node hangs off the path; go through its parent's matrix.
+            let node = gtree.node(t);
             let p = node.parent.expect("non-root because the root is an ancestor of every leaf");
             let pnode = gtree.node(p);
             let t_child_pos =
@@ -497,66 +653,65 @@ impl<'a> GtreeSearch<'a> {
             let t_base = pnode.child_border_offsets[t_child_pos] as usize;
             // Source side within the parent: either the sibling subtree containing the
             // source (when the parent is an ancestor of the source leaf) or the parent's
-            // own borders. The source distances are taken out of the memo (and restored
-            // below) rather than cloned. `s_base` maps source index `si` to its
-            // parent-matrix position: `s_base + si` for a sibling subtree, or the
-            // parent's own border positions otherwise.
+            // own borders. `s_base` maps source index `si` to its parent-matrix
+            // position: `s_base + si` for a sibling subtree, or the parent's own
+            // border positions otherwise.
             let (src_node, s_base) = if gtree.is_ancestor_of(p, self.source_leaf) {
                 let s = gtree.child_towards(p, self.source_leaf);
-                self.ensure_border_distances(s);
+                self.ensure_border_distances(s, bound);
                 let s_child_pos =
                     pnode.children.iter().position(|&x| x == s).expect("s is a child of p");
                 (s, Some(pnode.child_border_offsets[s_child_pos] as usize))
             } else {
-                self.ensure_border_distances(p);
+                self.ensure_border_distances(p, bound);
                 (p, None)
             };
-            let src_dists = std::mem::take(&mut self.store.rows[src_node as usize]);
             let nb = node.borders.len();
-            let mut out = std::mem::take(&mut self.store.rows[t as usize]);
+            let stats = &mut self.stats;
+            let [out, src] = self
+                .store
+                .rows
+                .get_disjoint_mut([ti, src_node as usize])
+                .expect("the materialization source is a sibling or the parent, never t");
             out.clear();
+            out.resize(nb, INFINITY);
             if tracked {
-                for yi in 0..nb {
-                    let py = t_base + yi;
-                    let mut best = INFINITY;
-                    for (si, &d) in src_dists.iter().enumerate() {
-                        if d == INFINITY {
-                            continue;
-                        }
-                        let pos = match s_base {
-                            Some(base) => base + si,
-                            None => pnode.own_border_positions[si] as usize,
-                        };
-                        let m = pnode.matrix.get(pos, py);
-                        self.stats.border_computations += 1;
-                        if m != INFINITY && d + m < best {
-                            best = d + m;
-                        }
-                    }
-                    out.push(best);
-                }
-            } else {
-                // The target's borders occupy the contiguous parent-matrix columns
-                // `t_base..t_base+nb`, so each reachable source border contributes
-                // one contiguous row segment — a pure min-plus row sweep.
-                out.resize(nb, INFINITY);
                 let mut active = 0u64;
-                for (si, &d) in src_dists.iter().enumerate() {
-                    if d == INFINITY {
+                for (si, &d) in src.iter().enumerate() {
+                    if d == INFINITY || d > bound {
                         continue;
                     }
                     active += 1;
                     let pos = match s_base {
-                        Some(base) => base + si,
+                        Some(sb) => sb + si,
+                        None => pnode.own_border_positions[si] as usize,
+                    };
+                    for (yi, out_y) in out.iter_mut().enumerate() {
+                        let m = pnode.matrix.get(pos, t_base + yi);
+                        if m != INFINITY && d + m < *out_y {
+                            *out_y = d + m;
+                        }
+                    }
+                }
+                stats.border_computations += active * nb as u64;
+                stats.matrix_cells += active * nb as u64;
+            } else {
+                // The target's borders occupy the contiguous parent-matrix columns
+                // `t_base..t_base+nb`, so each surviving source border contributes
+                // one contiguous row segment — a pure SIMD min-plus row sweep.
+                let mut active = 0u64;
+                for (si, &d) in src.iter().enumerate() {
+                    if d == INFINITY || d > bound {
+                        continue;
+                    }
+                    active += 1;
+                    let pos = match s_base {
+                        Some(sb) => sb + si,
                         None => pnode.own_border_positions[si] as usize,
                     };
                     match pnode.matrix.row_slice(pos) {
                         Some(row) => {
-                            for (out_y, &m) in out.iter_mut().zip(&row[t_base..t_base + nb]) {
-                                if m != INFINITY && d + m < *out_y {
-                                    *out_y = d + m;
-                                }
-                            }
+                            kernel::min_plus_into(out, d, &row[t_base..t_base + nb]);
                         }
                         None => {
                             for (yi, out_y) in out.iter_mut().enumerate() {
@@ -568,13 +723,20 @@ impl<'a> GtreeSearch<'a> {
                         }
                     }
                 }
-                self.stats.border_computations += active * nb as u64;
+                stats.border_computations += active * nb as u64;
+                stats.matrix_cells += active * nb as u64;
             }
-            self.store.rows[src_node as usize] = src_dists;
-            self.store.rows[t as usize] = out;
+            if bound < INFINITY {
+                for o in out.iter_mut() {
+                    if *o > bound {
+                        *o = INFINITY;
+                    }
+                }
+            }
+            self.store.row_bound[ti] = bound;
         }
         self.stats.materialized_nodes += 1;
-        self.store.row_epoch[t as usize] = self.store.epoch;
+        self.store.row_epoch[ti] = self.store.epoch;
     }
 
     /// k-nearest-neighbor query: the `k` objects of `occurrence` closest to the source
@@ -595,7 +757,10 @@ impl<'a> GtreeSearch<'a> {
     ///
     /// Unreachable candidates (`dist == INFINITY`) are skipped at enqueue time —
     /// nothing unreachable ever enters the queue, so a disconnected workload simply
-    /// yields fewer than `k` results once the queue drains.
+    /// yields fewer than `k` results once the queue drains. Once `k` candidate
+    /// distances are known, their maximum prunes both materialization (see
+    /// `ensure_border_distances`) and enqueueing: objects and whole subtrees
+    /// provably beyond the k-th candidate are dropped without heap work.
     pub fn knn_into(
         &mut self,
         k: usize,
@@ -609,36 +774,37 @@ impl<'a> GtreeSearch<'a> {
         }
         let gtree = self.gtree;
         let root = gtree.root();
-        // The pooled traversal queue is taken out of the store for the duration of
-        // the query (the materialization calls below need `&mut self`).
-        let mut queue = std::mem::take(&mut self.store.queue);
-        queue.clear();
+        self.store.queue.clear();
+        self.store.knn_cand.clear();
 
         if !occurrence.leaf_objects(self.source_leaf).is_empty() {
             match mode {
-                LeafSearchMode::Improved => {
-                    self.improved_leaf_search(k, occurrence, &mut queue, result)
-                }
-                LeafSearchMode::Original => self.original_leaf_search(occurrence, &mut queue),
+                LeafSearchMode::Improved => self.improved_leaf_search(k, occurrence, result),
+                LeafSearchMode::Original => self.original_leaf_search(k, occurrence),
             }
         }
 
         let mut tn = self.source_leaf;
-        let mut tmin = if tn == root { INFINITY } else { self.min_border_distance(tn) };
+        let mut tmin = if tn == root {
+            INFINITY
+        } else {
+            let b = self.knn_bound(k);
+            self.min_border_distance_bounded(tn, b)
+        };
 
-        while result.len() < k && (!queue.is_empty() || tn != root) {
-            if queue.is_empty() {
-                let (new_tn, new_tmin) = self.expand_tn(tn, occurrence, &mut queue);
+        while result.len() < k && (!self.store.queue.is_empty() || tn != root) {
+            if self.store.queue.is_empty() {
+                let (new_tn, new_tmin) = self.expand_tn(tn, k, occurrence);
                 tn = new_tn;
                 tmin = new_tmin;
                 continue;
             }
-            let (d, element) = queue.pop().expect("non-empty");
+            let (d, element) = self.store.queue.pop().expect("non-empty");
             if d > tmin && tn != root {
-                let (new_tn, new_tmin) = self.expand_tn(tn, occurrence, &mut queue);
+                let (new_tn, new_tmin) = self.expand_tn(tn, k, occurrence);
                 tn = new_tn;
                 tmin = new_tmin;
-                queue.push(d, element);
+                self.store.queue.push(d, element);
                 self.stats.heap_pushes += 1;
                 continue;
             }
@@ -649,30 +815,33 @@ impl<'a> GtreeSearch<'a> {
                 Element::Node(x) => {
                     let xnode = gtree.node(x);
                     if xnode.is_leaf() {
-                        self.ensure_border_distances(x);
+                        let b = self.knn_bound(k);
+                        self.ensure_border_distances(x, b);
                         for &o in occurrence.leaf_objects(x) {
-                            let dist = self.via_border_distance(x, o);
-                            if dist == INFINITY {
-                                continue; // unreachable object: never enqueued
+                            let b = self.knn_bound(k);
+                            let dist = self.via_border_distance(x, o, b);
+                            if dist == INFINITY || dist > b {
+                                continue; // unreachable or beyond the k-th candidate
                             }
-                            queue.push(dist, Element::Object(o));
+                            self.store.queue.push(dist, Element::Object(o));
                             self.stats.heap_pushes += 1;
+                            self.note_candidate(dist, k);
                         }
                     } else {
                         for &ci in occurrence.children_with_objects(x) {
                             let c = xnode.children[ci as usize];
-                            let dist = self.min_border_distance(c);
-                            if dist == INFINITY {
-                                continue; // unreachable subtree: never enqueued
+                            let b = self.knn_bound(k);
+                            let dist = self.min_border_distance_bounded(c, b);
+                            if dist == INFINITY || dist > b {
+                                continue; // unreachable or beyond the k-th candidate
                             }
-                            queue.push(dist, Element::Node(c));
+                            self.store.queue.push(dist, Element::Node(c));
                             self.stats.heap_pushes += 1;
                         }
                     }
                 }
             }
         }
-        self.store.queue = queue;
     }
 
     /// Moves the traversal frontier one level up: enqueues the object-bearing siblings
@@ -680,8 +849,8 @@ impl<'a> GtreeSearch<'a> {
     fn expand_tn(
         &mut self,
         tn: NodeIndex,
+        k: usize,
         occurrence: &OccurrenceList,
-        queue: &mut MinHeap<Element>,
     ) -> (NodeIndex, Weight) {
         let gtree = self.gtree;
         let root = gtree.root();
@@ -695,14 +864,20 @@ impl<'a> GtreeSearch<'a> {
             if c == tn {
                 continue;
             }
-            let dist = self.min_border_distance(c);
-            if dist == INFINITY {
-                continue; // unreachable subtree: never enqueued
+            let b = self.knn_bound(k);
+            let dist = self.min_border_distance_bounded(c, b);
+            if dist == INFINITY || dist > b {
+                continue; // unreachable or beyond the k-th candidate
             }
-            queue.push(dist, Element::Node(c));
+            self.store.queue.push(dist, Element::Node(c));
             self.stats.heap_pushes += 1;
         }
-        let tmin = if parent == root { INFINITY } else { self.min_border_distance(parent) };
+        let tmin = if parent == root {
+            INFINITY
+        } else {
+            let b = self.knn_bound(k);
+            self.min_border_distance_bounded(parent, b)
+        };
         (parent, tmin)
     }
 
@@ -714,7 +889,6 @@ impl<'a> GtreeSearch<'a> {
         &mut self,
         k: usize,
         occurrence: &OccurrenceList,
-        queue: &mut MinHeap<Element>,
         result: &mut Vec<(NodeId, Weight)>,
     ) {
         let gtree = self.gtree;
@@ -747,9 +921,10 @@ impl<'a> GtreeSearch<'a> {
                     if !border_found {
                         result.push((v, d));
                     } else {
-                        queue.push(d, Element::Object(v));
+                        self.store.queue.push(d, Element::Object(v));
                         self.stats.heap_pushes += 1;
                     }
+                    self.note_candidate(d, k);
                 }
                 // Relax ordinary leaf edges.
                 for (t, w) in self.graph.neighbors(v) {
@@ -779,6 +954,7 @@ impl<'a> GtreeSearch<'a> {
                             node.matrix.get_untracked(row as usize, opos as usize)
                         };
                         self.stats.border_computations += 1;
+                        self.stats.matrix_cells += 1;
                         if w == INFINITY {
                             continue;
                         }
@@ -796,7 +972,7 @@ impl<'a> GtreeSearch<'a> {
     /// The original G-tree leaf search: settle every leaf object with a Dijkstra
     /// restricted to the leaf, additionally evaluate the path through the borders for
     /// each object, and enqueue everything (nothing goes straight to the result).
-    fn original_leaf_search(&mut self, occurrence: &OccurrenceList, queue: &mut MinHeap<Element>) {
+    fn original_leaf_search(&mut self, k: usize, occurrence: &OccurrenceList) {
         let gtree = self.gtree;
         let leaf = self.source_leaf;
         let node = gtree.node(leaf);
@@ -839,13 +1015,15 @@ impl<'a> GtreeSearch<'a> {
             objects.iter().map(|&o| scratch.get(gtree.position_in_leaf(o))).collect()
         });
         for (&o, &inside) in objects.iter().zip(&inside_dists) {
-            let via = self.via_border_distance(leaf, o);
+            let b = self.knn_bound(k);
+            let via = self.via_border_distance(leaf, o, b);
             let dist = inside.min(via);
-            if dist == INFINITY {
-                continue; // unreachable object: never enqueued
+            if dist == INFINITY || dist > b {
+                continue; // unreachable or beyond the k-th candidate
             }
-            queue.push(dist, Element::Object(o));
+            self.store.queue.push(dist, Element::Object(o));
             self.stats.heap_pushes += 1;
+            self.note_candidate(dist, k);
         }
     }
 }
@@ -911,6 +1089,34 @@ mod tests {
                 assert_eq!(search.distance_to(t), truth[t as usize], "{s}->{t}");
             }
             assert!(search.stats.materialized_nodes > 0);
+        }
+    }
+
+    #[test]
+    fn bounded_distances_honor_the_oracle_contract() {
+        // `distance_to_within(t, bound)` must be exact whenever the true distance
+        // fits the bound, and must never under-report. Interleaves bounded and
+        // exact queries so bounded rows get rematerialized for exact requests.
+        let (g, tree) = setup(700, 21, 48);
+        let n = g.num_vertices() as NodeId;
+        for s in [9u32, 333] {
+            let truth = dijkstra::single_source(&g, s);
+            let finite: Vec<Weight> =
+                (0..n).map(|t| truth[t as usize]).filter(|&d| d < INFINITY).collect();
+            let mid = finite[finite.len() / 2];
+            let mut search = GtreeSearch::new(&tree, &g, s);
+            for t in (0..n).step_by(17) {
+                let want = truth[t as usize];
+                for bound in [0, mid / 2, mid, INFINITY] {
+                    let got = search.distance_to_within(t, bound);
+                    assert!(got >= want, "{s}->{t} bound {bound}: {got} < true {want}");
+                    if want <= bound {
+                        assert_eq!(got, want, "{s}->{t} bound {bound}");
+                    }
+                }
+                // An exact request after the bounded ones must rematerialize.
+                assert_eq!(search.distance_to(t), want, "{s}->{t} exact");
+            }
         }
     }
 
@@ -1006,6 +1212,23 @@ mod tests {
     }
 
     #[test]
+    fn pooled_searches_report_matrix_cells() {
+        // The repaired stat: the pooled hot path bypasses the per-cell atomic
+        // MatrixStats probes, so matrix work must show up in the per-search
+        // batch counter instead (it used to read zero).
+        let (g, tree) = setup(700, 27, 48);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 11 == 3).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut pooled = GtreeSearch::new(&tree, &g, 5);
+        pooled.knn(8, &occ, LeafSearchMode::Improved);
+        assert!(pooled.stats.matrix_cells > 0, "pooled kNN read no matrix cells?");
+        let mut fresh = GtreeSearch::new_unpooled(&tree, &g, 5);
+        fresh.knn(8, &occ, LeafSearchMode::Improved);
+        assert!(fresh.stats.matrix_cells > 0, "tracked kNN read no matrix cells?");
+    }
+
+    #[test]
     fn leaf_scratch_is_reusable_across_trees_and_leaves() {
         // The thread-local leaf scratch grows monotonically; interleaving queries
         // against a large and a small tree (and many different leaves) on one thread
@@ -1055,11 +1278,35 @@ mod tests {
             let want = fresh.knn(6, &occ, LeafSearchMode::Improved);
             assert_eq!(result, want, "q={q}");
             // The reused search also answers point-to-point queries correctly
-            // after the reset (the IER-Gt oracle pattern).
+            // after the reset (the IER-Gt oracle pattern) — bound-pruned kNN rows
+            // must not leak inflated values into exact queries.
             let truth = dijkstra::single_source(&g, q);
             for t in (0..n).step_by(97) {
                 assert_eq!(reused.distance_to(t), truth[t as usize], "{q}->{t}");
             }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_share_one_epoch_without_reset() {
+        // kNN with a small k (tight bound), then a larger k (looser bound), then
+        // exact point-to-point queries — all on one epoch. Rows materialized under
+        // the tighter bound must be recomputed, not reused, by the looser callers.
+        let (g, tree) = setup(800, 37, 56);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 10 == 6).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        let q = 17u32 % n;
+        let mut search = GtreeSearch::new(&tree, &g, q);
+        let got3: Vec<Weight> =
+            search.knn(3, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+        assert_eq!(got3, brute_knn(&g, q, 3, &objects), "k=3");
+        let got12: Vec<Weight> =
+            search.knn(12, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+        assert_eq!(got12, brute_knn(&g, q, 12, &objects), "k=12 after k=3");
+        let truth = dijkstra::single_source(&g, q);
+        for t in (0..n).step_by(61) {
+            assert_eq!(search.distance_to(t), truth[t as usize], "{q}->{t} after kNN");
         }
     }
 
@@ -1095,5 +1342,95 @@ mod tests {
         assert_eq!(got.iter().map(|&(_, d)| d).collect::<Vec<_>>(), want);
         let mut s2 = GtreeSearch::new(&tree, &g, 5);
         assert_eq!(s2.distance_to(40), dijkstra::distance(&g, 5, 40));
+    }
+
+    #[test]
+    fn search_store_epoch_wrap_resets_all_tags() {
+        let mut store = SearchStore::default();
+        store.begin(4);
+        store.row_epoch[2] = store.epoch; // pretend node 2 was materialized
+        store.same_leaf_epoch = store.epoch;
+        // Force the wrap: the next begin() must zero every tag, so nothing stale
+        // can alias as materialized under the restarted epoch counter.
+        store.epoch = u64::MAX;
+        store.begin(4);
+        assert_eq!(store.epoch, 1);
+        assert!(store.row_epoch.iter().all(|&e| e == 0));
+        assert_ne!(store.same_leaf_epoch, store.epoch);
+        assert!(!store.is_materialized(2));
+    }
+
+    #[test]
+    fn leaf_scratch_epoch_wrap_resets_all_tags() {
+        let mut scratch = LeafScratch::new();
+        scratch.begin(3);
+        scratch.set(1, 42);
+        scratch.settle(1);
+        scratch.set_border_row(2, 7);
+        scratch.epoch = u64::MAX;
+        scratch.begin(3);
+        assert_eq!(scratch.epoch, 1);
+        assert_eq!(scratch.get(1), INFINITY, "stale distance aliased across the wrap");
+        assert!(!scratch.is_settled(1));
+        assert_eq!(scratch.border_row_of(2), None);
+    }
+
+    #[test]
+    fn queries_stay_exact_across_a_forced_epoch_wrap() {
+        let (g, tree) = setup(400, 41, 40);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 6 == 1).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        let mut search = GtreeSearch::new(&tree, &g, 3);
+        search.knn(5, &occ, LeafSearchMode::Improved);
+        // Park the epoch at the wrap boundary; the next reset takes the wrap path.
+        search.store.epoch = u64::MAX;
+        search.reset(77 % n);
+        let got: Vec<Weight> =
+            search.knn(5, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+        assert_eq!(got, brute_knn(&g, 77 % n, 5, &objects), "post-wrap kNN");
+        let truth = dijkstra::single_source(&g, 77 % n);
+        for t in (0..n).step_by(37) {
+            assert_eq!(search.distance_to(t), truth[t as usize], "post-wrap {t}");
+        }
+    }
+
+    #[test]
+    fn panic_during_materialization_leaves_search_and_pool_usable() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let (g, tree) = setup(700, 43, 48);
+        let n = g.num_vertices() as NodeId;
+        let objects: Vec<NodeId> = (0..n).filter(|v| v % 8 == 5).collect();
+        let occ = OccurrenceList::build(&tree, &objects);
+        let truth = dijkstra::single_source(&g, 11);
+
+        let mut search = GtreeSearch::new(&tree, &g, 11);
+        // Arm the injector so the third materialization of the next query panics
+        // mid-assembly, with ancestors' rows cleared but not yet tagged valid.
+        FAIL_MATERIALIZE_AFTER.with(|c| c.set(Some(2)));
+        let far = (0..n).max_by_key(|&t| truth[t as usize].min(INFINITY - 1)).unwrap();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected backtrace
+        let outcome = catch_unwind(AssertUnwindSafe(|| search.distance_to(far)));
+        std::panic::set_hook(hook);
+        FAIL_MATERIALIZE_AFTER.with(|c| c.set(None));
+        assert!(outcome.is_err(), "the injected panic must fire (query too shallow?)");
+
+        // 1. The same search must keep answering exactly — the interrupted
+        //    materialization may not have left a half-built row marked valid.
+        for t in (0..n).step_by(43) {
+            assert_eq!(search.distance_to(t), truth[t as usize], "same-search 11->{t}");
+        }
+        let got: Vec<Weight> =
+            search.knn(6, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+        assert_eq!(got, brute_knn(&g, 11, 6, &objects), "same-search kNN");
+
+        // 2. After dropping it, the pooled store a new search inherits must be
+        //    clean as well (this used to poison the thread-local pool).
+        drop(search);
+        let mut next = GtreeSearch::new(&tree, &g, 200 % n);
+        let got: Vec<Weight> =
+            next.knn(6, &occ, LeafSearchMode::Improved).iter().map(|&(_, d)| d).collect();
+        assert_eq!(got, brute_knn(&g, 200 % n, 6, &objects), "post-drop kNN");
     }
 }
