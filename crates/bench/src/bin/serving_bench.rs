@@ -9,12 +9,22 @@
 //!
 //! Usage: `cargo run --release -p rnknn-bench --bin serving_bench
 //!         [--sizes 100000,500000] [--k 10] [--density 0.01]
-//!         [--seconds 3.0] [--save DIR] [--load DIR] [--smoke]`
+//!         [--seconds 3.0] [--save DIR] [--load DIR] [--smoke]
+//!         [--deadline-ms N] [--fault-seed SEED]`
 //!
 //! `--save DIR` persists each tier's built engine as
 //! `DIR/rnknn-serve-<size>.rnk`; `--load DIR` warm-starts every tier from
 //! those artifacts instead of rebuilding (the interleaved Dijkstra
 //! verification still runs).
+//!
+//! Robustness knobs (docs/ROBUSTNESS.md): `--deadline-ms N` stamps an N-ms
+//! deadline on every request at admission (expired requests shed, over-budget
+//! searches cut mid-flight); `--fault-seed SEED` installs the seeded chaos
+//! plan (`FaultPlan::chaos`), injecting ~1% worker panics and ~2% stragglers.
+//! Every cell then reports shed rate and p50/p99 serving latency alongside
+//! q/s. With either knob active the tracking file is **not** written — faulted
+//! or deadline-trimmed numbers are not the committed trajectory. `--smoke`
+//! with a knob runs the seeded chaos smoke round CI uses as its fault gate.
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +40,8 @@ fn main() {
     let mut seconds = 3.0f64;
     let mut io = artifacts::ArtifactIo::none();
     let mut smoke = false;
+    let mut deadline_ms: Option<u64> = None;
+    let mut fault_seed: Option<u64> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -59,19 +71,48 @@ fn main() {
                 io.load_dir = Some(args[i].clone());
             }
             "--smoke" => smoke = true,
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = Some(args[i].parse().expect("deadline in milliseconds"));
+            }
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = Some(args[i].parse().expect("fault plan seed"));
+            }
             other => panic!("unknown argument {other}"),
         }
         i += 1;
     }
 
+    let robust = serving::Robustness {
+        deadline: deadline_ms.map(Duration::from_millis),
+        fault_plan: fault_seed.map(rnknn_serve::FaultPlan::chaos),
+    };
+    let knobs_active = robust.deadline.is_some() || robust.fault_plan.is_some();
+
     if smoke {
-        // The CI tier: identical to what CI smoke-runs. Composes with
-        // --save/--load so CI can hand the artifact across a process boundary.
-        serving::run_and_track(&io);
+        if knobs_active {
+            // The CI chaos gate: one seeded round at the smoke tier; the
+            // exactly-once/census asserts in the harness are the pass/fail.
+            serving::chaos_smoke(
+                fault_seed.unwrap_or(2024),
+                robust.deadline.unwrap_or(Duration::from_millis(250)),
+                &io,
+            );
+        } else {
+            // The CI tier: identical to what CI smoke-runs. Composes with
+            // --save/--load so CI can hand the artifact across a process boundary.
+            serving::run_and_track(&io);
+        }
         return;
     }
 
-    let points = serving::measure(&sizes, k, density, Duration::from_secs_f64(seconds), &io);
+    let points =
+        serving::measure(&sizes, k, density, Duration::from_secs_f64(seconds), &io, robust);
+    if knobs_active {
+        println!("robustness knobs active: tracking file left untouched");
+        return;
+    }
     let path = serving::tracking_file();
     std::fs::write(path, serving::render_json(&points)).expect("write BENCH_serving.json");
     println!("wrote {path}");

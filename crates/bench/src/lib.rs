@@ -1067,10 +1067,24 @@ pub mod serving {
     use rnknn::verify::ground_truth;
     use rnknn_graph::NodeId;
     use rnknn_objects::{churn_stream, uniform, ChurnConfig, ObjectSet, UpdateEvent};
-    use rnknn_serve::{KnnRequest, ObjectStore, ServeConfig, ServeFront, SubmitError};
+    use rnknn_serve::{
+        FaultPlan, KnnRequest, ObjectStore, ServeConfig, ServeError, ServeFront, SubmitError,
+    };
 
     /// The update rates the trajectory tracks, as a fraction of |O| per second.
     pub const UPDATE_RATES: [f64; 3] = [0.0, 0.01, 0.10];
+
+    /// Robustness knobs for a measured run (docs/ROBUSTNESS.md): a per-request
+    /// deadline adopted at admission and/or a seeded fault plan. The defaults
+    /// (no deadline, no faults) reproduce the committed trajectory exactly.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Robustness {
+        /// Deadline stamped on every request at admission (`--deadline-ms`).
+        pub deadline: Option<Duration>,
+        /// Seeded chaos plan ([`FaultPlan::chaos`]) driving injected worker
+        /// panics and stragglers (`--fault-seed`).
+        pub fault_plan: Option<FaultPlan>,
+    }
 
     /// The serving method: G-tree is the paper's serving-grade pick (fastest of
     /// the always-buildable methods at every size — Figure 9).
@@ -1093,6 +1107,18 @@ pub mod serving {
         pub seconds: f64,
         /// Sustained throughput: `served / seconds`.
         pub qps: f64,
+        /// Requests shed with `ShedExpired` (admission or dequeue).
+        pub shed: u64,
+        /// Requests cut mid-search by their deadline (`DeadlineExceeded`).
+        pub deadline_cut: u64,
+        /// Injected worker panics absorbed (each poisons exactly one request).
+        pub worker_panics: u64,
+        /// p50 of submit→response latency over successfully served requests,
+        /// in microseconds. Under a saturating stream this is dominated by
+        /// queueing delay, so it is a serving-latency figure, not a query cost.
+        pub p50_micros: u64,
+        /// p99 of the same distribution — the tail the deadline knob trims.
+        pub p99_micros: u64,
     }
 
     /// All cells at one network size.
@@ -1172,9 +1198,51 @@ pub mod serving {
         }
     }
 
+    /// Per-cell response bookkeeping: exactly-once accounting plus the latency
+    /// samples behind the p50/p99 columns. Error responses are only legal when
+    /// a robustness knob is active — a knob-free run still panics on any `Err`,
+    /// so the committed trajectory keeps its strict gate.
+    struct Tally {
+        drained: u64,
+        shed: u64,
+        deadline_cut: u64,
+        poisoned: u64,
+        /// Submit→response latency in µs, successfully served requests only.
+        latencies: Vec<u64>,
+        strict: bool,
+    }
+
+    impl Tally {
+        fn absorb(&mut self, r: &rnknn_serve::KnnResponse, submitted_at: &[Instant]) {
+            self.drained += 1;
+            match &r.output {
+                Ok(_) => {
+                    self.latencies.push(submitted_at[r.id as usize].elapsed().as_micros() as u64)
+                }
+                Err(ServeError::ShedExpired) if !self.strict => self.shed += 1,
+                Err(ServeError::Engine(rnknn::EngineError::DeadlineExceeded { .. }))
+                    if !self.strict =>
+                {
+                    self.deadline_cut += 1
+                }
+                Err(ServeError::WorkerPanicked) if !self.strict => self.poisoned += 1,
+                Err(e) => panic!("request {} failed: {e}", r.id),
+            }
+        }
+
+        fn percentile(&mut self, p: f64) -> u64 {
+            if self.latencies.is_empty() {
+                return 0;
+            }
+            self.latencies.sort_unstable();
+            let idx = ((self.latencies.len() - 1) as f64 * p) as usize;
+            self.latencies[idx]
+        }
+    }
+
     /// One measured cell: drive the front with a saturating query stream for
     /// `duration` while pacing updates at `rate * |O|` events per second, then
-    /// drain and report sustained QPS.
+    /// drain and report sustained QPS plus the shed/cut/latency columns.
     fn measure_cell(
         store: &Arc<ObjectStore>,
         feeder: &mut ObjectSet,
@@ -1182,9 +1250,15 @@ pub mod serving {
         k: usize,
         rate: f64,
         duration: Duration,
+        robust: Robustness,
     ) -> RateCell {
-        let (front, responses) =
-            ServeFront::start(Arc::clone(store), ServeConfig { workers, ..Default::default() });
+        let config = ServeConfig {
+            workers,
+            default_deadline: robust.deadline,
+            fault_plan: robust.fault_plan,
+            ..Default::default()
+        };
+        let (front, responses) = ServeFront::start(Arc::clone(store), config);
         let n = store.engine().graph().num_vertices();
         let updates_per_sec = rate * feeder.len() as f64;
 
@@ -1197,9 +1271,18 @@ pub mod serving {
         let applied_before = front.updates_applied();
         let start = Instant::now();
         let mut submitted = 0u64;
-        let mut drained = 0u64;
         let mut updates_sent = 0u64;
         let mut id = 0u64;
+        let mut submitted_at: Vec<Instant> = Vec::new();
+        let strict = robust.deadline.is_none() && robust.fault_plan.is_none();
+        let mut tally = Tally {
+            drained: 0,
+            shed: 0,
+            deadline_cut: 0,
+            poisoned: 0,
+            latencies: Vec::new(),
+            strict,
+        };
         loop {
             let elapsed = start.elapsed();
             if elapsed >= duration {
@@ -1225,34 +1308,39 @@ pub mod serving {
             }
             // Saturating query stream: push until backpressure, then drain.
             let q = ((id * 2_654_435_769) % n as u64) as NodeId;
-            match front.try_submit(KnnRequest { id, method: METHOD, query: q, k }) {
+            // (The front stamps `default_deadline` on admission when the
+            // request carries none, so the `--deadline-ms` knob applies here.)
+            match front.try_submit(KnnRequest { id, method: METHOD, query: q, k, deadline: None }) {
                 Ok(()) => {
+                    submitted_at.push(Instant::now());
                     submitted += 1;
                     id += 1;
                 }
                 Err(SubmitError::Saturated(_)) => {
                     // Shard full: let the workers catch up by draining responses.
-                    if responses.recv_timeout(Duration::from_millis(50)).is_ok() {
-                        drained += 1;
+                    if let Ok(r) = responses.recv_timeout(Duration::from_millis(50)) {
+                        tally.absorb(&r, &submitted_at);
                     }
                 }
                 Err(e) => panic!("submit failed: {e}"),
             }
             while let Ok(r) = responses.try_recv() {
-                r.output.as_ref().expect("query failed");
-                drained += 1;
+                tally.absorb(&r, &submitted_at);
             }
         }
         // Drain the tail (still part of the measured window: the work was real).
-        while drained < submitted {
+        while tally.drained < submitted {
             let r = responses.recv_timeout(Duration::from_secs(60)).expect("drain timed out");
-            r.output.as_ref().expect("query failed");
-            drained += 1;
+            tally.absorb(&r, &submitted_at);
         }
         let seconds = start.elapsed().as_secs_f64();
         let mut front = front;
         let stats = front.shutdown();
         assert_eq!(stats.served, submitted, "front lost requests");
+        assert_eq!(stats.shed_expired, tally.shed, "shed accounting diverged");
+        assert_eq!(stats.worker_panics, tally.poisoned, "panic accounting diverged");
+        let p50_micros = tally.percentile(0.50);
+        let p99_micros = tally.percentile(0.99);
         RateCell {
             rate,
             updates_per_sec,
@@ -1261,17 +1349,25 @@ pub mod serving {
             served: submitted,
             seconds,
             qps: submitted as f64 / seconds.max(1e-9),
+            shed: tally.shed,
+            deadline_cut: tally.deadline_cut,
+            worker_panics: stats.worker_panics,
+            p50_micros,
+            p99_micros,
         }
     }
 
     /// Measures one [`ServingPoint`] per requested size: a Dijkstra-verified
     /// interleaved warm-up, then one sustained-throughput cell per update rate.
+    /// `robust` threads the `--deadline-ms` / `--fault-seed` knobs into every
+    /// cell's [`ServeConfig`]; the default is the knob-free committed workload.
     pub fn measure(
         sizes: &[usize],
         k: usize,
         density: f64,
         duration: Duration,
         io: &crate::artifacts::ArtifactIo,
+        robust: Robustness,
     ) -> Vec<ServingPoint> {
         let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
         let mut points = Vec::new();
@@ -1294,7 +1390,7 @@ pub mod serving {
 
             let mut cells = Vec::new();
             for rate in UPDATE_RATES {
-                let cell = measure_cell(&store, &mut feeder, workers, k, rate, duration);
+                let cell = measure_cell(&store, &mut feeder, workers, k, rate, duration, robust);
                 println!(
                     "  rate={:>4.0}%/s ({:>6.1} ev/s): {:>8.0} q/s sustained ({} queries, {} updates, {} epochs, {:.2}s)",
                     rate * 100.0,
@@ -1304,6 +1400,15 @@ pub mod serving {
                     cell.updates_applied,
                     cell.epochs,
                     cell.seconds
+                );
+                println!(
+                    "               latency p50={}µs p99={}µs shed={} ({:.2}% shed rate) deadline_cut={} panics={}",
+                    cell.p50_micros,
+                    cell.p99_micros,
+                    cell.shed,
+                    100.0 * cell.shed as f64 / cell.served.max(1) as f64,
+                    cell.deadline_cut,
+                    cell.worker_panics
                 );
                 cells.push(cell);
             }
@@ -1330,7 +1435,7 @@ pub mod serving {
             ));
             for (j, c) in p.cells.iter().enumerate() {
                 json.push_str(&format!(
-                    "      {{\"update_rate_per_sec\": {:.2}, \"target_updates_per_sec\": {:.1}, \"updates_applied\": {}, \"epochs\": {}, \"served\": {}, \"seconds\": {:.2}, \"qps\": {:.0}}}{}\n",
+                    "      {{\"update_rate_per_sec\": {:.2}, \"target_updates_per_sec\": {:.1}, \"updates_applied\": {}, \"epochs\": {}, \"served\": {}, \"seconds\": {:.2}, \"qps\": {:.0}, \"shed\": {}, \"deadline_cut\": {}, \"worker_panics\": {}, \"p50_micros\": {}, \"p99_micros\": {}}}{}\n",
                     c.rate,
                     c.updates_per_sec,
                     c.updates_applied,
@@ -1338,6 +1443,11 @@ pub mod serving {
                     c.served,
                     c.seconds,
                     c.qps,
+                    c.shed,
+                    c.deadline_cut,
+                    c.worker_panics,
+                    c.p50_micros,
+                    c.p99_micros,
                     if j + 1 < p.cells.len() { "," } else { "" }
                 ));
             }
@@ -1359,11 +1469,30 @@ pub mod serving {
     /// CI handoff save the smoke tier's artifact in one process and warm-start
     /// the serving stack from it in a fresh one (ISSUE 8).
     pub fn run_and_track(io: &crate::artifacts::ArtifactIo) -> Vec<ServingPoint> {
-        let points = measure(&[20_000], 10, 0.01, Duration::from_millis(500), io);
+        let points =
+            measure(&[20_000], 10, 0.01, Duration::from_millis(500), io, Robustness::default());
         let path = tracking_file();
         std::fs::write(path, render_json(&points)).expect("write BENCH_serving.json");
         println!("wrote {path}");
         points
+    }
+
+    /// One seeded chaos round at the smoke tier (the CI chaos smoke): the
+    /// serving workload under [`FaultPlan::chaos`]`(seed)` plus a deadline.
+    /// Exercises shedding, mid-search deadline cuts, worker panics and
+    /// supervised respawn end-to-end through the real bench harness; the
+    /// exactly-once and census asserts inside `measure_cell` are the gate.
+    /// Does **not** touch the tracking file — faulted numbers are not the
+    /// committed trajectory.
+    pub fn chaos_smoke(seed: u64, deadline: Duration, io: &crate::artifacts::ArtifactIo) {
+        let robust =
+            Robustness { deadline: Some(deadline), fault_plan: Some(FaultPlan::chaos(seed)) };
+        let points = measure(&[20_000], 10, 0.01, Duration::from_millis(500), io, robust);
+        let injected: u64 =
+            points.iter().flat_map(|p| p.cells.iter()).map(|c| c.worker_panics).sum();
+        println!(
+            "chaos smoke (seed {seed}): {injected} injected panics absorbed, front stayed exact"
+        );
     }
 }
 

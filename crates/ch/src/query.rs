@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 
 use rnknn_graph::{NodeId, Weight, INFINITY};
+use rnknn_pathfinding::budget::{QueryBudget, UNLIMITED};
 use rnknn_pathfinding::heap::MinHeap;
 
 use crate::build::ContractionHierarchy;
@@ -132,6 +133,19 @@ impl ContractionHierarchy {
     /// direction would cost at least the frontier minimum), so neither search space is
     /// materialised in full.
     pub fn distance_with_counters(&self, s: NodeId, t: NodeId) -> (Weight, ChSearchCounters) {
+        self.distance_budgeted_with_counters(s, t, &UNLIMITED)
+    }
+
+    /// [`ContractionHierarchy::distance_with_counters`] honoring a [`QueryBudget`]
+    /// (one step per settled vertex; an exhausted budget returns the best meet
+    /// found so far, which the caller must treat as truncated via
+    /// [`QueryBudget::is_exhausted`]).
+    pub fn distance_budgeted_with_counters(
+        &self,
+        s: NodeId,
+        t: NodeId,
+        budget: &QueryBudget,
+    ) -> (Weight, ChSearchCounters) {
         let mut counters = ChSearchCounters::default();
         if s == t {
             return (0, counters);
@@ -180,6 +194,9 @@ impl ContractionHierarchy {
                     continue;
                 }
                 counters.settled += 1;
+                if !budget.charge(1) {
+                    break;
+                }
                 let other = scratch.get(1 - side, x);
                 if other != INFINITY {
                     best = best.min(d + other);
@@ -238,6 +255,21 @@ impl ContractionHierarchy {
         t: NodeId,
         bound: Weight,
     ) -> (Weight, ChSearchCounters) {
+        self.distance_from_projection_within_budgeted_with_counters(
+            projection, t, bound, &UNLIMITED,
+        )
+    }
+
+    /// [`ContractionHierarchy::distance_from_projection_within_with_counters`]
+    /// honoring a [`QueryBudget`] (one step per settled vertex; an exhausted budget
+    /// saturates the answer to the best meet found so far).
+    pub fn distance_from_projection_within_budgeted_with_counters(
+        &self,
+        projection: &ChSpaceProjection,
+        t: NodeId,
+        bound: Weight,
+        budget: &QueryBudget,
+    ) -> (Weight, ChSearchCounters) {
         let mut counters = ChSearchCounters::default();
         if bound == 0 {
             return (bound, counters);
@@ -257,6 +289,9 @@ impl ContractionHierarchy {
                     continue;
                 }
                 counters.settled += 1;
+                if !budget.charge(1) {
+                    break;
+                }
                 let df = projection.get(x);
                 if df != INFINITY {
                     best = best.min(df + d);
@@ -303,6 +338,18 @@ impl ContractionHierarchy {
         t: NodeId,
         bound: Weight,
     ) -> (Weight, ChSearchCounters) {
+        self.distance_from_space_within_budgeted_with_counters(forward, t, bound, &UNLIMITED)
+    }
+
+    /// [`ContractionHierarchy::distance_from_space_within_with_counters`] honoring
+    /// a [`QueryBudget`] (one step per settled vertex).
+    pub fn distance_from_space_within_budgeted_with_counters(
+        &self,
+        forward: &ChSearchSpace,
+        t: NodeId,
+        bound: Weight,
+        budget: &QueryBudget,
+    ) -> (Weight, ChSearchCounters) {
         let mut counters = ChSearchCounters::default();
         if bound == 0 {
             return (bound, counters);
@@ -322,6 +369,9 @@ impl ContractionHierarchy {
                     continue;
                 }
                 counters.settled += 1;
+                if !budget.charge(1) {
+                    break;
+                }
                 if let Some(df) = forward.distance_to(x) {
                     best = best.min(df + d);
                 }
@@ -374,7 +424,7 @@ impl ContractionHierarchy {
         v: NodeId,
         space: &mut ChSearchSpace,
     ) -> ChSearchCounters {
-        self.search_space_into_impl(v, |_| false, false, space)
+        self.search_space_into_impl(v, |_| false, false, space, &UNLIMITED)
     }
 
     /// [`ContractionHierarchy::upward_search_space_into`] with stall-on-demand:
@@ -389,7 +439,19 @@ impl ContractionHierarchy {
         v: NodeId,
         space: &mut ChSearchSpace,
     ) -> ChSearchCounters {
-        self.search_space_into_impl(v, |_| false, self.stall_on_demand, space)
+        self.search_space_into_impl(v, |_| false, self.stall_on_demand, space, &UNLIMITED)
+    }
+
+    /// [`ContractionHierarchy::upward_search_space_stalled_into`] honoring a
+    /// [`QueryBudget`] (one step per settled vertex; an exhausted budget leaves a
+    /// truncated — still sorted — space behind).
+    pub fn upward_search_space_stalled_budgeted_into(
+        &self,
+        v: NodeId,
+        space: &mut ChSearchSpace,
+        budget: &QueryBudget,
+    ) -> ChSearchCounters {
+        self.search_space_into_impl(v, |_| false, self.stall_on_demand, space, budget)
     }
 
     /// [`ContractionHierarchy::upward_search_space_stopping_at`] writing into a
@@ -401,7 +463,7 @@ impl ContractionHierarchy {
         stop: impl Fn(NodeId) -> bool,
         space: &mut ChSearchSpace,
     ) -> ChSearchCounters {
-        self.search_space_into_impl(v, |x| x != v && stop(x), false, space)
+        self.search_space_into_impl(v, |x| x != v && stop(x), false, space, &UNLIMITED)
     }
 
     /// Upward search space from `v` that does not expand any vertex for which `stop`
@@ -499,7 +561,7 @@ impl ContractionHierarchy {
         stop: impl Fn(NodeId) -> bool,
     ) -> (ChSearchSpace, ChSearchCounters) {
         let mut space = ChSearchSpace::new();
-        let counters = self.search_space_into_impl(v, stop, false, &mut space);
+        let counters = self.search_space_into_impl(v, stop, false, &mut space, &UNLIMITED);
         (space, counters)
     }
 
@@ -509,6 +571,7 @@ impl ContractionHierarchy {
         stop: impl Fn(NodeId) -> bool,
         stall: bool,
         space: &mut ChSearchSpace,
+        budget: &QueryBudget,
     ) -> ChSearchCounters {
         let mut counters = ChSearchCounters::default();
         let entries = &mut space.entries;
@@ -524,6 +587,9 @@ impl ContractionHierarchy {
                     continue;
                 }
                 entries.push((x, d));
+                if !budget.charge(1) {
+                    break;
+                }
                 if stop(x) {
                     continue;
                 }

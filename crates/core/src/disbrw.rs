@@ -16,6 +16,7 @@
 use rnknn_graph::{ChainIndex, Graph, NodeId, Point, Rect, Weight, INFINITY};
 use rnknn_objects::{BrowserScratch, ObjectRTree, ObjectSet};
 use rnknn_pathfinding::heap::MinHeap;
+use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 use rnknn_silc::{IntervalRefiner, SilcIndex};
 
 use crate::KnnResult;
@@ -77,6 +78,8 @@ pub struct DisBrwSearch<'a> {
     chains: Option<&'a ChainIndex>,
     variant: DisBrwVariant,
     euclid_scale: f64,
+    /// Cooperative cancellation, charged per refinement / traversal step.
+    budget: &'a QueryBudget,
 }
 
 /// A candidate object tracked by the search.
@@ -100,7 +103,14 @@ impl<'a> DisBrwSearch<'a> {
         variant: DisBrwVariant,
     ) -> Self {
         let euclid_scale = graph.euclidean_bound().scale();
-        DisBrwSearch { graph, silc, chains, variant, euclid_scale }
+        DisBrwSearch { graph, silc, chains, variant, euclid_scale, budget: &UNLIMITED }
+    }
+
+    /// Attaches a [`QueryBudget`] charged once per main-loop step (an interval
+    /// refinement or a hierarchy expansion); when exhausted, the search stops
+    /// early and finalizes whatever candidates were certain so far.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// The variant in use.
@@ -202,6 +212,9 @@ impl<'a> DisBrwSearch<'a> {
         }
 
         loop {
+            if !self.budget.charge(1) {
+                break;
+            }
             let next_euclid_lb = browser
                 .peek_distance()
                 .map(|d| (d * self.euclid_scale).floor() as Weight)
@@ -270,6 +283,9 @@ impl<'a> DisBrwSearch<'a> {
 
         while let Some((lower, element)) = queue.pop() {
             if best.len() >= k && lower >= best.dk() {
+                break;
+            }
+            if !self.budget.charge(1) {
                 break;
             }
             match element {

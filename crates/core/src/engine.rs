@@ -18,6 +18,7 @@ use std::time::Instant;
 use rnknn_graph::{ChainIndex, Graph, NodeId};
 use rnknn_gtree::{Gtree, GtreeConfig};
 use rnknn_objects::{ObjectSet, UpdateEvent};
+use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 use rnknn_road::{RoadConfig, RoadIndex};
 use rnknn_silc::{SilcConfig, SilcIndex};
 
@@ -475,9 +476,43 @@ impl Engine {
         k: usize,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
+        self.query_into_budgeted(method, query, k, &UNLIMITED, out)
+    }
+
+    /// [`Engine::query`] under a [`QueryBudget`]: a fresh output on success,
+    /// [`EngineError::DeadlineExceeded`] when the budget exhausts mid-search.
+    pub fn query_budgeted(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<QueryOutput, EngineError> {
+        let mut out = QueryOutput::default();
+        self.query_into_budgeted(method, query, k, budget, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Engine::query_into`] under a [`QueryBudget`].
+    ///
+    /// The budget is charged cooperatively inside the method's search loops (one
+    /// step per settled vertex / materialized cell batch, checked in
+    /// [`QueryBudget::check_every`]-sized strides). When it exhausts, the search
+    /// unwinds normally — no thread is killed, the thread's scratch pool stays
+    /// reusable — and the call returns [`EngineError::DeadlineExceeded`] carrying
+    /// the counters accumulated so far; `out` is left cleared. A budget that never
+    /// exhausts leaves the answer bit-identical to the unbudgeted path.
+    pub fn query_into_budgeted(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        budget: &QueryBudget,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         ENGINE_SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
-            self.query_with_scratch(method, query, k, scratch, out)
+            self.query_with_scratch(method, query, k, budget, scratch, out)
         })
     }
 
@@ -493,7 +528,7 @@ impl Engine {
     ) -> Result<QueryOutput, EngineError> {
         let mut scratch = EngineScratch::unpooled();
         let mut out = QueryOutput::default();
-        self.query_with_scratch(method, query, k, &mut scratch, &mut out)?;
+        self.query_with_scratch(method, query, k, &UNLIMITED, &mut scratch, &mut out)?;
         Ok(out)
     }
 
@@ -504,6 +539,7 @@ impl Engine {
         method: Method,
         query: NodeId,
         k: usize,
+        budget: &QueryBudget,
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
@@ -511,7 +547,7 @@ impl Engine {
         out.stats = Default::default();
         let algorithm = self.validate(method, k)?;
         let live = self.live.as_ref().ok_or(EngineError::NoObjects)?;
-        self.dispatch(algorithm, query, k, live, scratch, out)
+        self.dispatch(algorithm, query, k, budget, live, scratch, out)
     }
 
     /// Answers a kNN query against **external** object indexes instead of the
@@ -531,6 +567,23 @@ impl Engine {
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
+        self.query_with_objects_budgeted(method, query, k, &UNLIMITED, live, scratch, out)
+    }
+
+    /// [`Engine::query_with_objects`] under a [`QueryBudget`] — the serving
+    /// layer's deadline path (see [`Engine::query_into_budgeted`] for the budget
+    /// contract).
+    #[allow(clippy::too_many_arguments)]
+    pub fn query_with_objects_budgeted(
+        &self,
+        method: Method,
+        query: NodeId,
+        k: usize,
+        budget: &QueryBudget,
+        live: &ObjectIndexes,
+        scratch: &mut EngineScratch,
+        out: &mut QueryOutput,
+    ) -> Result<(), EngineError> {
         out.result.clear();
         out.stats = Default::default();
         if k == 0 {
@@ -542,7 +595,7 @@ impl Engine {
                 return Err(EngineError::MissingIndex { method, index: kind });
             }
         }
-        self.dispatch(algorithm, query, k, live, scratch, out)
+        self.dispatch(algorithm, query, k, budget, live, scratch, out)
     }
 
     /// [`Engine::query_with_objects`] on the calling thread's pooled scratch,
@@ -566,11 +619,13 @@ impl Engine {
     /// The validated dispatch tail shared by every query path: range-check the
     /// query vertex, sync the scratch's object generation, build the context over
     /// `live`'s object view and run the algorithm.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         algorithm: &'static dyn KnnAlgorithm,
         query: NodeId,
         k: usize,
+        budget: &QueryBudget,
         live: &ObjectIndexes,
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
@@ -598,10 +653,20 @@ impl Engine {
             rtree: live.rtree(),
             occurrence: live.occurrence(),
             association: live.association(),
+            budget,
         };
         let start = Instant::now();
         algorithm.knn_into(&ctx, query, k, scratch, out)?;
         out.stats.elapsed_micros = start.elapsed().as_micros() as u64;
+        if budget.is_exhausted() {
+            // The search unwound cooperatively with a truncated result; a partial
+            // kNN list is not a valid answer, so clear it and surface the typed
+            // error with the counters accumulated up to the cancellation point.
+            let partial = out.stats;
+            out.result.clear();
+            out.stats = Default::default();
+            return Err(EngineError::DeadlineExceeded { partial });
+        }
         Ok(())
     }
 

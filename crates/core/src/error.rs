@@ -10,7 +10,7 @@ use std::fmt;
 use rnknn_graph::NodeId;
 
 use crate::engine::Method;
-use crate::query::IndexKind;
+use crate::query::{IndexKind, QueryStats};
 
 /// Why the engine could not answer a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,6 +46,19 @@ pub enum EngineError {
         /// The offending value.
         k: usize,
     },
+    /// The query's [`QueryBudget`] (deadline or step quota) exhausted before the
+    /// search completed. The search unwound cooperatively — no thread was killed
+    /// and its scratch pools remain reusable — and the truncated result was
+    /// discarded (a partial kNN list is not a valid answer), but the operation
+    /// counters accumulated up to the cancellation point are kept here so
+    /// callers can see how much work the doomed query performed.
+    ///
+    /// [`QueryBudget`]: rnknn_pathfinding::QueryBudget
+    DeadlineExceeded {
+        /// Counters at the moment the budget exhausted (`elapsed_micros` is
+        /// stamped by the engine like on the success path).
+        partial: QueryStats,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -69,6 +82,13 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::InvalidK { k } => write!(f, "k must be at least 1 (got {k})"),
+            EngineError::DeadlineExceeded { partial } => {
+                write!(
+                    f,
+                    "query budget exhausted after {} expansions / {} heap operations",
+                    partial.nodes_expanded, partial.heap_operations
+                )
+            }
         }
     }
 }
@@ -88,5 +108,10 @@ mod tests {
         let e = EngineError::InvalidVertex { vertex: 99, num_vertices: 10 };
         assert!(e.to_string().contains("99"));
         assert!(EngineError::InvalidK { k: 0 }.to_string().contains('0'));
+        let e = EngineError::DeadlineExceeded {
+            partial: QueryStats { nodes_expanded: 7, ..Default::default() },
+        };
+        assert!(e.to_string().contains("budget exhausted"));
+        assert!(e.to_string().contains('7'));
     }
 }

@@ -12,6 +12,7 @@
 use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
 use rnknn_objects::{BrowserScratch, ObjectRTree, ObjectSet};
 use rnknn_pathfinding::scratch::SearchScratch;
+use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 
 use crate::KnnResult;
 
@@ -77,6 +78,7 @@ pub struct IerSearch<'a, O: DistanceOracle> {
     graph: &'a Graph,
     oracle: O,
     bound: EuclideanBound,
+    budget: &'a QueryBudget,
 }
 
 impl<'a, O: DistanceOracle> IerSearch<'a, O> {
@@ -85,7 +87,15 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
     /// `S = max(d_i / w_i)` scaling for travel times).
     pub fn new(graph: &'a Graph, oracle: O) -> Self {
         let bound = graph.euclidean_bound();
-        IerSearch { graph, oracle, bound }
+        IerSearch { graph, oracle, bound, budget: &UNLIMITED }
+    }
+
+    /// Attaches a [`QueryBudget`], charged once per Euclidean candidate examined
+    /// (search oracles additionally charge their own settles — see their
+    /// `set_budget` methods). When exhausted, the candidate loop stops early with
+    /// a truncated candidate list.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// The oracle's display name.
@@ -166,6 +176,9 @@ impl<'a, O: DistanceOracle> IerSearch<'a, O> {
             if candidates.len() >= k && lower_bound >= dk {
                 break;
             }
+            if !self.budget.charge(1) {
+                break;
+            }
             let Some((_, object)) = browser.next() else { break };
             stats.euclidean_candidates += 1;
             // Candidates at distance >= dk are discarded below, so the oracle may
@@ -211,6 +224,7 @@ pub struct DijkstraOracle<'a> {
     /// Pre-pooling query semantics: every candidate search runs to completion
     /// (no pruning against IER's k-th candidate).
     legacy: bool,
+    budget: &'a QueryBudget,
     stats: OracleSearchStats,
 }
 
@@ -227,7 +241,19 @@ impl<'a> DijkstraOracle<'a> {
     /// are bounded by IER's current k-th candidate); recover the scratch with
     /// [`DijkstraOracle::into_scratch`].
     pub fn with_scratch(graph: &'a Graph, scratch: SearchScratch) -> Self {
-        DijkstraOracle { graph, scratch, legacy: false, stats: OracleSearchStats::default() }
+        DijkstraOracle {
+            graph,
+            scratch,
+            legacy: false,
+            budget: &UNLIMITED,
+            stats: OracleSearchStats::default(),
+        }
+    }
+
+    /// Attaches a [`QueryBudget`] charged per settled vertex inside the
+    /// per-candidate Dijkstra searches.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// Consumes the oracle, returning its search scratch to the caller's pool.
@@ -241,11 +267,12 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
         "Dijk"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        let (d, stats) = rnknn_pathfinding::dijkstra::distance_with_stats_in(
+        let (d, stats) = rnknn_pathfinding::dijkstra::distance_with_stats_budgeted_in(
             self.graph,
             source,
             target,
             &mut self.scratch,
+            self.budget,
         );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
@@ -255,12 +282,13 @@ impl<'a> DistanceOracle for DijkstraOracle<'a> {
         if self.legacy {
             return self.network_distance(source, target);
         }
-        let (d, stats) = rnknn_pathfinding::dijkstra::distance_within_with_stats_in(
+        let (d, stats) = rnknn_pathfinding::dijkstra::distance_within_with_stats_budgeted_in(
             self.graph,
             source,
             target,
             bound,
             &mut self.scratch,
+            self.budget,
         );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
@@ -281,6 +309,7 @@ pub struct AStarOracle<'a> {
     scratch: SearchScratch,
     /// Pre-pooling query semantics: every candidate search runs to completion.
     legacy: bool,
+    budget: &'a QueryBudget,
     stats: OracleSearchStats,
 }
 
@@ -302,8 +331,15 @@ impl<'a> AStarOracle<'a> {
             bound: graph.euclidean_bound(),
             scratch,
             legacy: false,
+            budget: &UNLIMITED,
             stats: OracleSearchStats::default(),
         }
+    }
+
+    /// Attaches a [`QueryBudget`] charged per settled vertex inside the
+    /// per-candidate A* searches.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// Consumes the oracle, returning its search scratch to the caller's pool.
@@ -317,12 +353,13 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
         "A*"
     }
     fn network_distance(&mut self, source: NodeId, target: NodeId) -> Weight {
-        let (d, stats) = rnknn_pathfinding::astar::astar_distance_with_stats_in(
+        let (d, stats) = rnknn_pathfinding::astar::astar_distance_with_stats_budgeted_in(
             self.graph,
             &self.bound,
             source,
             target,
             &mut self.scratch,
+            self.budget,
         );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
@@ -332,13 +369,14 @@ impl<'a> DistanceOracle for AStarOracle<'a> {
         if self.legacy {
             return self.network_distance(source, target);
         }
-        let (d, stats) = rnknn_pathfinding::astar::astar_distance_within_with_stats_in(
+        let (d, stats) = rnknn_pathfinding::astar::astar_distance_within_with_stats_budgeted_in(
             self.graph,
             &self.bound,
             source,
             target,
             bound,
             &mut self.scratch,
+            self.budget,
         );
         self.stats.nodes_expanded += stats.settled as u64;
         self.stats.heap_operations += stats.pushes as u64;
@@ -366,6 +404,7 @@ pub struct ChOracle<'a> {
     /// Pre-pooling query semantics: unbounded candidate searches whose meet tests
     /// binary-search the sorted space (no dense projection).
     legacy: bool,
+    budget: &'a QueryBudget,
     counters: rnknn_ch::ChSearchCounters,
 }
 
@@ -397,8 +436,16 @@ impl<'a> ChOracle<'a> {
             space,
             projection,
             legacy: false,
+            budget: &UNLIMITED,
             counters: rnknn_ch::ChSearchCounters::default(),
         }
+    }
+
+    /// Attaches a [`QueryBudget`] charged per settled vertex inside the forward
+    /// upward search and the per-candidate backward searches (pooled path only;
+    /// the legacy baseline ignores it).
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// Consumes the oracle, returning the forward-space buffer and projection to the
@@ -419,7 +466,7 @@ impl<'a> DistanceOracle for ChOracle<'a> {
             // Stall-pruned forward space: dominated labels are recorded but not
             // expanded, shrinking the space (and the projection fill) while meets
             // stay exact.
-            self.ch.upward_search_space_stalled_into(source, &mut self.space)
+            self.ch.upward_search_space_stalled_budgeted_into(source, &mut self.space, self.budget)
         };
         self.counters.accumulate(counters);
         if !self.legacy {
@@ -440,7 +487,12 @@ impl<'a> DistanceOracle for ChOracle<'a> {
         let (d, counters) = if self.legacy {
             self.ch.distance_from_space_with_counters(&self.space, target)
         } else {
-            self.ch.distance_from_projection_within_with_counters(&self.projection, target, bound)
+            self.ch.distance_from_projection_within_budgeted_with_counters(
+                &self.projection,
+                target,
+                bound,
+                self.budget,
+            )
         };
         self.counters.accumulate(counters);
         d
@@ -565,19 +617,31 @@ pub struct GtreeOracle<'a> {
     graph: &'a Graph,
     search: Option<rnknn_gtree::GtreeSearch<'a>>,
     pooled: bool,
+    budget: &'a QueryBudget,
 }
 
 impl<'a> GtreeOracle<'a> {
     /// Creates the oracle over a prebuilt G-tree (materialization storage comes from
     /// the G-tree crate's thread-local pool).
     pub fn new(gtree: &'a rnknn_gtree::Gtree, graph: &'a Graph) -> Self {
-        GtreeOracle { gtree, graph, search: None, pooled: true }
+        GtreeOracle { gtree, graph, search: None, pooled: true, budget: &UNLIMITED }
     }
 
     /// Creates the oracle with fresh, unpooled materialization storage — the
     /// pre-pooling behaviour, used as the benchmarks' baseline.
     pub fn new_unpooled(gtree: &'a rnknn_gtree::Gtree, graph: &'a Graph) -> Self {
-        GtreeOracle { gtree, graph, search: None, pooled: false }
+        GtreeOracle { gtree, graph, search: None, pooled: false, budget: &UNLIMITED }
+    }
+
+    /// Attaches a [`QueryBudget`], forwarded to the underlying [`GtreeSearch`]
+    /// (charged per materialized matrix-cell batch and leaf-search settle).
+    ///
+    /// [`GtreeSearch`]: rnknn_gtree::GtreeSearch
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
+        if let Some(search) = &mut self.search {
+            search.set_budget(budget);
+        }
     }
 
     /// Border-to-border computation count accumulated by the current materialization
@@ -595,11 +659,13 @@ impl<'a> DistanceOracle for GtreeOracle<'a> {
         match &mut self.search {
             Some(search) => search.reset(source),
             None => {
-                self.search = Some(if self.pooled {
+                let mut search = if self.pooled {
                     rnknn_gtree::GtreeSearch::new(self.gtree, self.graph, source)
                 } else {
                     rnknn_gtree::GtreeSearch::new_unpooled(self.gtree, self.graph, source)
-                });
+                };
+                search.set_budget(self.budget);
+                self.search = Some(search);
             }
         }
     }

@@ -12,6 +12,7 @@ use rnknn_objects::ObjectSet;
 use rnknn_pathfinding::heap::{IndexedMinHeap, MinHeap};
 use rnknn_pathfinding::scratch::SearchScratch;
 use rnknn_pathfinding::settled::{BitSettled, HashSettled, SettledContainer};
+use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 
 use crate::KnnResult;
 
@@ -65,6 +66,10 @@ pub struct IneSearch<'a> {
     variant: IneVariant,
     /// Per-vertex adjacency lists used by the non-CSR variants of the Figure 7 ablation.
     boxed_adjacency: Option<Vec<Vec<(NodeId, Weight)>>>,
+    /// Cooperative cancellation, charged per settled vertex on the production
+    /// pooled path ([`IneSearch::knn_with_stats_in`]). The ablation variants
+    /// ignore it — they exist to measure Figure 7, not to serve traffic.
+    budget: &'a QueryBudget,
 }
 
 impl<'a> IneSearch<'a> {
@@ -80,7 +85,13 @@ impl<'a> IneSearch<'a> {
         } else {
             Some(graph.vertices().map(|v| graph.neighbors(v).collect()).collect())
         };
-        IneSearch { graph, variant, boxed_adjacency }
+        IneSearch { graph, variant, boxed_adjacency, budget: &UNLIMITED }
+    }
+
+    /// Attaches a [`QueryBudget`] charged per settled vertex (production pooled
+    /// path only); an exhausted budget truncates the expansion early.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// The variant this search uses.
@@ -150,6 +161,9 @@ impl<'a> IneSearch<'a> {
                 if result.len() >= k {
                     break;
                 }
+            }
+            if !self.budget.charge(1) {
+                break;
             }
             for (t, w) in self.graph.neighbors(v) {
                 let nd = d + w;

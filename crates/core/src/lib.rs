@@ -77,6 +77,7 @@ pub use engine::{BuildTimes, Engine, EngineConfig, Method};
 pub use error::EngineError;
 pub use live::ObjectIndexes;
 pub use query::{IndexKind, KnnAlgorithm, QueryContext, QueryOutput, QueryStats};
+pub use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 pub use rnknn_persist::PersistError;
 pub use scratch::EngineScratch;
 

@@ -76,8 +76,8 @@ pub fn algorithm(method: Method) -> &'static dyn KnnAlgorithm {
 /// [`crate::ier::IerStats`] into the unified vocabulary, and hand the oracle back so
 /// callers can recover pooled state it carried (forward search spaces, Dijkstra
 /// scratches).
-fn ier_knn<O: DistanceOracle>(
-    ctx: &QueryContext<'_>,
+fn ier_knn<'a, O: DistanceOracle>(
+    ctx: &QueryContext<'a>,
     oracle: O,
     query: NodeId,
     k: usize,
@@ -85,6 +85,7 @@ fn ier_knn<O: DistanceOracle>(
     out: &mut QueryOutput,
 ) -> O {
     let mut search = IerSearch::new(ctx.graph, oracle);
+    search.set_budget(ctx.budget);
     let stats = search.knn_with_stats_into(query, k, ctx.rtree, browser, &mut out.result);
     let oracle = search.into_oracle();
     let oracle_stats = oracle.search_stats();
@@ -117,7 +118,9 @@ impl KnnAlgorithm for Ine {
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
-        let stats = IneSearch::new(ctx.graph).knn_with_stats_in(
+        let mut search = IneSearch::new(ctx.graph);
+        search.set_budget(ctx.budget);
+        let stats = search.knn_with_stats_in(
             query,
             k,
             ctx.objects,
@@ -151,12 +154,13 @@ impl KnnAlgorithm for IerDijkstra {
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
-        let oracle = if scratch.reuse_pools {
+        let mut oracle = if scratch.reuse_pools {
             let expansion = std::mem::take(&mut scratch.expansion);
             DijkstraOracle::with_scratch(ctx.graph, expansion)
         } else {
             DijkstraOracle::new(ctx.graph)
         };
+        oracle.set_budget(ctx.budget);
         let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
         scratch.expansion = oracle.into_scratch();
         Ok(())
@@ -181,12 +185,13 @@ impl KnnAlgorithm for IerAStar {
         scratch: &mut EngineScratch,
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
-        let oracle = if scratch.reuse_pools {
+        let mut oracle = if scratch.reuse_pools {
             let expansion = std::mem::take(&mut scratch.expansion);
             AStarOracle::with_scratch(ctx.graph, expansion)
         } else {
             AStarOracle::new(ctx.graph)
         };
+        oracle.set_budget(ctx.budget);
         let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
         scratch.expansion = oracle.into_scratch();
         Ok(())
@@ -215,13 +220,14 @@ impl KnnAlgorithm for IerCh {
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
         let ch = ctx.require_ch(self.method())?;
-        let oracle = if scratch.reuse_pools {
+        let mut oracle = if scratch.reuse_pools {
             let space = std::mem::take(&mut scratch.ch_forward);
             let projection = std::mem::take(&mut scratch.ch_projection);
             ChOracle::with_space(ch, space, projection)
         } else {
             ChOracle::new(ch)
         };
+        oracle.set_budget(ctx.budget);
         let oracle = ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
         let (space, projection) = oracle.into_parts();
         scratch.ch_forward = space;
@@ -312,11 +318,12 @@ impl KnnAlgorithm for IerGtree {
         out: &mut QueryOutput,
     ) -> Result<(), EngineError> {
         let gtree = ctx.require_gtree(self.method())?;
-        let oracle = if scratch.reuse_pools {
+        let mut oracle = if scratch.reuse_pools {
             GtreeOracle::new(gtree, ctx.graph)
         } else {
             GtreeOracle::new_unpooled(gtree, ctx.graph)
         };
+        oracle.set_budget(ctx.budget);
         ier_knn(ctx, oracle, query, k, &mut scratch.browser, out);
         Ok(())
     }
@@ -333,7 +340,8 @@ fn disbrw_knn(
     out: &mut QueryOutput,
 ) -> Result<(), EngineError> {
     let silc = ctx.require_silc(method)?;
-    let search = DisBrwSearch::with_variant(ctx.graph, silc, Some(ctx.chains), variant);
+    let mut search = DisBrwSearch::with_variant(ctx.graph, silc, Some(ctx.chains), variant);
+    search.set_budget(ctx.budget);
     let stats = search.knn_with_stats_in(
         query,
         k,
@@ -425,7 +433,9 @@ impl KnnAlgorithm for Road {
     ) -> Result<(), EngineError> {
         let road = ctx.require_road(self.method())?;
         let directory = ctx.require_association(self.method())?;
-        let stats = RoadKnn::new(ctx.graph, road).knn_with_stats_in(
+        let mut road_knn = RoadKnn::new(ctx.graph, road);
+        road_knn.set_budget(ctx.budget);
+        let stats = road_knn.knn_with_stats_in(
             query,
             k,
             directory,
@@ -470,6 +480,7 @@ impl KnnAlgorithm for GtreeKnn {
         } else {
             rnknn_gtree::GtreeSearch::new_unpooled(gtree, ctx.graph, query)
         };
+        search.set_budget(ctx.budget);
         search.knn_into(k, occurrence, LeafSearchMode::Improved, &mut out.result);
         let stats = search.stats;
         out.stats = QueryStats {

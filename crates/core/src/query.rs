@@ -12,6 +12,7 @@
 use rnknn_graph::{ChainIndex, Graph, NodeId};
 use rnknn_gtree::{Gtree, OccurrenceList};
 use rnknn_objects::{ObjectRTree, ObjectSet};
+use rnknn_pathfinding::QueryBudget;
 use rnknn_road::{AssociationDirectory, RoadIndex};
 use rnknn_silc::SilcIndex;
 
@@ -22,7 +23,7 @@ use crate::KnnResult;
 
 /// Unified per-query operation counters, comparable across methods (the paper's
 /// Figure 9(b) / Table 3 vocabulary).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct QueryStats {
     /// Vertices settled / hierarchy nodes expanded by the search.
     pub nodes_expanded: u64,
@@ -143,6 +144,12 @@ pub struct QueryContext<'a> {
     pub occurrence: Option<&'a OccurrenceList>,
     /// ROAD association directory for the current object set (present iff ROAD is).
     pub association: Option<&'a AssociationDirectory>,
+    /// Cooperative cancellation budget for this query. Methods charge it as they
+    /// settle vertices / materialize cells; an exhausted budget makes them unwind
+    /// with a truncated answer, which the engine converts into
+    /// [`EngineError::DeadlineExceeded`]. Defaults to
+    /// [`rnknn_pathfinding::UNLIMITED`] on the non-budgeted entry points.
+    pub budget: &'a QueryBudget,
 }
 
 impl<'a> QueryContext<'a> {

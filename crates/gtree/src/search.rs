@@ -41,6 +41,7 @@
 use std::cell::{Cell, RefCell};
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
+use rnknn_pathfinding::budget::{QueryBudget, UNLIMITED};
 use rnknn_pathfinding::heap::MinHeap;
 
 use crate::distmatrix::MatrixKind;
@@ -305,6 +306,9 @@ pub struct GtreeSearch<'a> {
     /// Both modes run the same algorithm (including bound pruning), so their
     /// results agree; only the instrumentation and sweep shape differ.
     tracked: bool,
+    /// Cooperative cancellation: charged per materialized matrix cell, per kNN
+    /// traversal step and per leaf-search settle. Defaults to [`UNLIMITED`].
+    budget: &'a QueryBudget,
     /// Operation counters.
     pub stats: GtreeSearchStats,
 }
@@ -361,8 +365,17 @@ impl<'a> GtreeSearch<'a> {
             store,
             pooled,
             tracked,
+            budget: &UNLIMITED,
             stats: GtreeSearchStats::default(),
         }
+    }
+
+    /// Attaches a [`QueryBudget`]: materialization charges one step per matrix
+    /// cell touched, the kNN traversal one per queue pop, and the leaf searches
+    /// one per settled vertex. Once the budget exhausts, distance queries return
+    /// [`INFINITY`] and the kNN traversal stops early with a truncated result.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// Re-arms this search for a new source: one epoch bump invalidates every
@@ -395,6 +408,9 @@ impl<'a> GtreeSearch<'a> {
     pub fn distance_to_within(&mut self, target: NodeId, bound: Weight) -> Weight {
         if target == self.source {
             return 0;
+        }
+        if self.budget.is_exhausted() {
+            return INFINITY;
         }
         let target_leaf = self.gtree.leaf_of(target);
         if target_leaf == self.source_leaf {
@@ -543,6 +559,10 @@ impl<'a> GtreeSearch<'a> {
         materialize_panic_tick();
         let gtree = self.gtree;
         let tracked = self.tracked;
+        // Charge the budget for the cells *this* frame touches: recursive
+        // assembly calls charge their own deltas, so the mark is re-taken
+        // after each nested call returns.
+        let mut cells_mark = self.stats.matrix_cells;
         if t == self.source_leaf {
             // Column of the source vertex in its own leaf matrix: one strided
             // gather per border, always exact (it is the root of every assembly).
@@ -565,6 +585,7 @@ impl<'a> GtreeSearch<'a> {
             // matrix to reach this node's own borders.
             let c = gtree.child_towards(t, self.source_leaf);
             self.ensure_border_distances(c, bound);
+            cells_mark = self.stats.matrix_cells;
             let node = gtree.node(t);
             let child_pos = node.children.iter().position(|&x| x == c).expect("child of t");
             let base = node.child_border_offsets[child_pos] as usize;
@@ -666,6 +687,7 @@ impl<'a> GtreeSearch<'a> {
                 self.ensure_border_distances(p, bound);
                 (p, None)
             };
+            cells_mark = self.stats.matrix_cells;
             let nb = node.borders.len();
             let stats = &mut self.stats;
             let [out, src] = self
@@ -735,6 +757,7 @@ impl<'a> GtreeSearch<'a> {
             }
             self.store.row_bound[ti] = bound;
         }
+        self.budget.charge(self.stats.matrix_cells - cells_mark);
         self.stats.materialized_nodes += 1;
         self.store.row_epoch[ti] = self.store.epoch;
     }
@@ -793,6 +816,9 @@ impl<'a> GtreeSearch<'a> {
         };
 
         while result.len() < k && (!self.store.queue.is_empty() || tn != root) {
+            if !self.budget.charge(1) {
+                break;
+            }
             if self.store.queue.is_empty() {
                 let (new_tn, new_tmin) = self.expand_tn(tn, k, occurrence);
                 tn = new_tn;
@@ -915,6 +941,9 @@ impl<'a> GtreeSearch<'a> {
                     continue;
                 }
                 self.stats.leaf_vertices_settled += 1;
+                if !self.budget.charge(1) {
+                    break;
+                }
                 let v = node.leaf_vertices[p as usize];
                 if occurrence.is_object_in_leaf(leaf, v) {
                     targets_found += 1;
@@ -993,6 +1022,9 @@ impl<'a> GtreeSearch<'a> {
                     continue;
                 }
                 self.stats.leaf_vertices_settled += 1;
+                if !self.budget.charge(1) {
+                    break;
+                }
                 let v = node.leaf_vertices[p as usize];
                 if occurrence.is_object_in_leaf(leaf, v) {
                     remaining -= 1;
@@ -1040,6 +1072,12 @@ impl<'a> GtreeDistanceOracle<'a> {
     /// Creates an oracle for distances originating at `source`.
     pub fn new(gtree: &'a Gtree, graph: &'a Graph, source: NodeId) -> Self {
         GtreeDistanceOracle { search: GtreeSearch::new(gtree, graph, source) }
+    }
+
+    /// Attaches a [`QueryBudget`] to the wrapped search (see
+    /// [`GtreeSearch::set_budget`]).
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.search.set_budget(budget);
     }
 
     /// Exact network distance from the source to `target`.

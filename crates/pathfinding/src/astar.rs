@@ -6,6 +6,7 @@
 
 use rnknn_graph::{EuclideanBound, Graph, NodeId, Weight, INFINITY};
 
+use crate::budget::{QueryBudget, UNLIMITED};
 use crate::dijkstra::SearchStats;
 use crate::scratch::SearchScratch;
 
@@ -46,6 +47,19 @@ pub fn astar_distance_with_stats_in(
     target: NodeId,
     scratch: &mut SearchScratch,
 ) -> (Weight, SearchStats) {
+    astar_distance_with_stats_budgeted_in(graph, bound, source, target, scratch, &UNLIMITED)
+}
+
+/// [`astar_distance_with_stats_in`] honoring a [`QueryBudget`] (one step per
+/// settled vertex; an exhausted budget truncates to [`INFINITY`]).
+pub fn astar_distance_with_stats_budgeted_in(
+    graph: &Graph,
+    bound: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+    scratch: &mut SearchScratch,
+    budget: &QueryBudget,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if source == target {
         return (0, stats);
@@ -63,6 +77,9 @@ pub fn astar_distance_with_stats_in(
         stats.settled += 1;
         if v == target {
             return (scratch.visited.dist(v), stats);
+        }
+        if !budget.charge(1) {
+            break;
         }
         let dv = scratch.visited.dist(v);
         for (t, w) in graph.neighbors(v) {
@@ -95,9 +112,27 @@ pub fn astar_distance_within_with_stats_in(
     bound: Weight,
     scratch: &mut SearchScratch,
 ) -> (Weight, SearchStats) {
+    astar_distance_within_with_stats_budgeted_in(
+        graph, bound_fn, source, target, bound, scratch, &UNLIMITED,
+    )
+}
+
+/// [`astar_distance_within_with_stats_in`] honoring a [`QueryBudget`] (one step
+/// per settled vertex; an exhausted budget saturates the answer to `bound`).
+pub fn astar_distance_within_with_stats_budgeted_in(
+    graph: &Graph,
+    bound_fn: &EuclideanBound,
+    source: NodeId,
+    target: NodeId,
+    bound: Weight,
+    scratch: &mut SearchScratch,
+    budget: &QueryBudget,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if bound == INFINITY {
-        return astar_distance_with_stats_in(graph, bound_fn, source, target, scratch);
+        return astar_distance_with_stats_budgeted_in(
+            graph, bound_fn, source, target, scratch, budget,
+        );
     }
     if bound == 0 {
         return (bound, stats);
@@ -124,6 +159,9 @@ pub fn astar_distance_within_with_stats_in(
         stats.settled += 1;
         if v == target {
             return (scratch.visited.dist(v), stats);
+        }
+        if !budget.charge(1) {
+            break;
         }
         let dv = scratch.visited.dist(v);
         for (t, w) in graph.neighbors(v) {

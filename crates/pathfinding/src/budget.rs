@@ -1,0 +1,214 @@
+//! Cooperative per-query budgets: a deadline and/or a step quota that the search
+//! loops check every few hundred settles, so a runaway query can be cut short
+//! without killing its thread or poisoning its scratch pool.
+//!
+//! The contract is *cooperative*: hot loops call [`QueryBudget::charge`] once per
+//! unit of work (a settled vertex, a materialized matrix row, an examined
+//! candidate). `charge` is a plain add-and-compare on the fast path — the actual
+//! wall-clock read only happens every [`QueryBudget::check_every`] steps — so an
+//! unlimited budget costs a couple of registers per settle. When the budget is
+//! exhausted the loop simply breaks and returns a partial/saturated value; the
+//! engine converts the latched [`QueryBudget::is_exhausted`] flag into a typed
+//! `DeadlineExceeded` error *after* the search returns, which means searches
+//! always unwind through their normal exit path and every pooled buffer stays
+//! reusable.
+//!
+//! [`QueryBudget`] is `Sync` (its counters are relaxed atomics used by one query
+//! at a time), which allows the process-wide [`UNLIMITED`] sentinel that every
+//! unbudgeted entry point borrows.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often (in charged steps) the deadline clock is consulted by default.
+/// Settles take tens of nanoseconds and `Instant::now` tens more, so checking
+/// every 256 steps keeps the clock overhead well under 1% while bounding the
+/// overshoot past a deadline to a few microseconds of extra work.
+pub const DEFAULT_CHECK_EVERY: u64 = 256;
+
+/// A cooperative deadline + step quota for one query (see the module docs).
+///
+/// All counters use relaxed single-writer atomics: a budget belongs to one query
+/// at a time, the atomics only exist so the type can be `Sync` (for the
+/// [`UNLIMITED`] static) — on the hot path they compile to plain loads/stores.
+#[derive(Debug)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+    step_limit: u64,
+    check_every: u64,
+    steps: AtomicU64,
+    next_check: AtomicU64,
+    exhausted: AtomicBool,
+}
+
+/// The no-op budget every unbudgeted search borrows: no deadline, a `u64::MAX`
+/// step quota, and a first check so far away it never fires.
+pub static UNLIMITED: QueryBudget = QueryBudget {
+    deadline: None,
+    step_limit: u64::MAX,
+    check_every: u64::MAX,
+    steps: AtomicU64::new(0),
+    next_check: AtomicU64::new(u64::MAX),
+    exhausted: AtomicBool::new(false),
+};
+
+impl QueryBudget {
+    /// A fresh budget with no deadline and no step quota (equivalent to
+    /// [`UNLIMITED`], but with its own counters, so [`QueryBudget::steps`]
+    /// reports this query's work).
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget::new(None, u64::MAX, DEFAULT_CHECK_EVERY)
+    }
+
+    /// A budget that exhausts once `Instant::now()` reaches `deadline`.
+    pub fn with_deadline(deadline: Instant) -> QueryBudget {
+        QueryBudget::new(Some(deadline), u64::MAX, DEFAULT_CHECK_EVERY)
+    }
+
+    /// [`QueryBudget::with_deadline`] at `now + timeout`.
+    pub fn with_timeout(timeout: Duration) -> QueryBudget {
+        QueryBudget::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A budget that exhausts after `step_limit` charged steps (no wall clock).
+    pub fn with_step_limit(step_limit: u64) -> QueryBudget {
+        QueryBudget::new(None, step_limit, DEFAULT_CHECK_EVERY)
+    }
+
+    /// The fully general constructor: an optional deadline, a step quota
+    /// (`u64::MAX` for none) and the check cadence (clamped to at least 1).
+    pub fn new(deadline: Option<Instant>, step_limit: u64, check_every: u64) -> QueryBudget {
+        let check_every = check_every.max(1);
+        QueryBudget {
+            deadline,
+            step_limit,
+            check_every,
+            steps: AtomicU64::new(0),
+            // The first deadline check happens after `check_every` steps; a pure
+            // step quota smaller than that must still be honored exactly.
+            next_check: AtomicU64::new(check_every.min(step_limit)),
+            exhausted: AtomicBool::new(false),
+        }
+    }
+
+    /// Charges `n` units of work. Returns `true` while the budget holds; the
+    /// first `false` latches [`QueryBudget::is_exhausted`] and the caller is
+    /// expected to break out of its loop and return a partial value.
+    #[inline]
+    pub fn charge(&self, n: u64) -> bool {
+        let steps = self.steps.load(Ordering::Relaxed).saturating_add(n);
+        self.steps.store(steps, Ordering::Relaxed);
+        if steps < self.next_check.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.check_now(steps)
+    }
+
+    /// The slow path of [`QueryBudget::charge`]: consult the quota and the
+    /// clock, latch exhaustion, schedule the next check.
+    #[cold]
+    fn check_now(&self, steps: u64) -> bool {
+        if self.exhausted.load(Ordering::Relaxed) {
+            return false;
+        }
+        if steps >= self.step_limit {
+            self.exhausted.store(true, Ordering::Relaxed);
+            return false;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted.store(true, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let next = steps.saturating_add(self.check_every).min(self.step_limit);
+        self.next_check.store(next, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether this budget has run out (latched by the first failing charge).
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted.load(Ordering::Relaxed)
+    }
+
+    /// Total units of work charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The configured check cadence.
+    pub fn check_every(&self) -> u64 {
+        self.check_every
+    }
+}
+
+impl Default for QueryBudget {
+    fn default() -> QueryBudget {
+        QueryBudget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = QueryBudget::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.charge(1));
+        }
+        assert!(!b.is_exhausted());
+        assert_eq!(b.steps(), 10_000);
+        // The shared sentinel behaves the same (steps are shared, checks never fire).
+        for _ in 0..1_000 {
+            assert!(UNLIMITED.charge(3));
+        }
+        assert!(!UNLIMITED.is_exhausted());
+    }
+
+    #[test]
+    fn step_limit_is_exact_and_latches() {
+        let b = QueryBudget::new(None, 100, 7);
+        let mut ok = 0u64;
+        while b.charge(1) {
+            ok += 1;
+            assert!(ok <= 100, "budget failed to stop at the quota");
+        }
+        assert_eq!(ok, 99, "charge must fail on the step that reaches the limit");
+        assert!(b.is_exhausted());
+        assert!(!b.charge(1), "exhaustion must latch");
+    }
+
+    #[test]
+    fn expired_deadline_exhausts_at_the_first_check() {
+        let b = QueryBudget::new(Some(Instant::now() - Duration::from_millis(1)), u64::MAX, 4);
+        assert!(b.charge(1));
+        assert!(b.charge(1));
+        assert!(b.charge(1));
+        assert!(!b.charge(1), "4th charge crosses the check cadence and sees the deadline");
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn generous_deadline_charges_freely() {
+        let b = QueryBudget::with_timeout(Duration::from_secs(3600));
+        for _ in 0..100_000 {
+            assert!(b.charge(1));
+        }
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn bulk_charges_saturate_instead_of_wrapping() {
+        let b = QueryBudget::with_step_limit(u64::MAX);
+        assert!(b.charge(u64::MAX - 1));
+        assert!(!b.charge(u64::MAX), "saturated step count must hit the quota, not wrap");
+    }
+}

@@ -6,6 +6,7 @@
 
 use rnknn_graph::{Graph, NodeId, Weight, INFINITY};
 
+use crate::budget::{QueryBudget, UNLIMITED};
 use crate::heap::MinHeap;
 use crate::scratch::SearchScratch;
 use crate::settled::{BitSettled, SettledContainer};
@@ -43,6 +44,19 @@ pub fn distance_with_stats_in(
     target: NodeId,
     scratch: &mut SearchScratch,
 ) -> (Weight, SearchStats) {
+    distance_with_stats_budgeted_in(graph, source, target, scratch, &UNLIMITED)
+}
+
+/// [`distance_with_stats_in`] honoring a [`QueryBudget`]: one step is charged per
+/// settled vertex, and an exhausted budget makes the search return [`INFINITY`]
+/// early (the caller detects truncation via [`QueryBudget::is_exhausted`]).
+pub fn distance_with_stats_budgeted_in(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    scratch: &mut SearchScratch,
+    budget: &QueryBudget,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if source == target {
         return (0, stats);
@@ -58,6 +72,9 @@ pub fn distance_with_stats_in(
         stats.settled += 1;
         if v == target {
             return (d, stats);
+        }
+        if !budget.charge(1) {
+            break;
         }
         for (t, w) in graph.neighbors(v) {
             stats.relaxed += 1;
@@ -85,9 +102,22 @@ pub fn distance_within_with_stats_in(
     bound: Weight,
     scratch: &mut SearchScratch,
 ) -> (Weight, SearchStats) {
+    distance_within_with_stats_budgeted_in(graph, source, target, bound, scratch, &UNLIMITED)
+}
+
+/// [`distance_within_with_stats_in`] honoring a [`QueryBudget`] (one step per
+/// settled vertex; an exhausted budget saturates the answer to `bound`).
+pub fn distance_within_with_stats_budgeted_in(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    bound: Weight,
+    scratch: &mut SearchScratch,
+    budget: &QueryBudget,
+) -> (Weight, SearchStats) {
     let mut stats = SearchStats::default();
     if bound == INFINITY {
-        return distance_with_stats_in(graph, source, target, scratch);
+        return distance_with_stats_budgeted_in(graph, source, target, scratch, budget);
     }
     if bound == 0 {
         return (bound, stats);
@@ -109,6 +139,9 @@ pub fn distance_within_with_stats_in(
         stats.settled += 1;
         if v == target {
             return (d, stats);
+        }
+        if !budget.charge(1) {
+            break;
         }
         for (t, w) in graph.neighbors(v) {
             stats.relaxed += 1;
@@ -415,6 +448,26 @@ mod tests {
         assert_eq!(d[2], 2);
         assert_eq!(d[3], INFINITY);
         assert_eq!(d[4], INFINITY);
+    }
+
+    #[test]
+    fn exhausted_budget_truncates_and_latches_while_generous_budget_is_bit_identical() {
+        let g = small_graph();
+        let mut scratch = SearchScratch::new();
+        // A one-step quota (checked every step) cannot reach vertex 3 from 0.
+        let budget = QueryBudget::new(None, 1, 1);
+        let (d, stats) = distance_with_stats_budgeted_in(&g, 0, 3, &mut scratch, &budget);
+        assert_eq!(d, INFINITY);
+        assert!(budget.is_exhausted());
+        assert!(stats.settled >= 1, "a partial search still reports its work");
+        // A generous budget must not change the answer or the operation counts.
+        let generous = QueryBudget::with_step_limit(1 << 40);
+        for (s, t) in [(0u32, 4u32), (3, 1), (0, 3)] {
+            let plain = distance_with_stats_in(&g, s, t, &mut scratch);
+            let budgeted = distance_with_stats_budgeted_in(&g, s, t, &mut scratch, &generous);
+            assert_eq!(plain, budgeted, "{s}->{t}");
+        }
+        assert!(!generous.is_exhausted());
     }
 
     #[test]

@@ -17,11 +17,15 @@
 //! * [`bidirectional`] — bidirectional Dijkstra point-to-point search.
 //! * [`scratch`] — reusable, epoch-tagged per-search state ([`SearchScratch`]), so the
 //!   point-to-point searches above can run allocation-free in steady state.
+//! * [`budget`] — cooperative per-query deadlines/step quotas ([`QueryBudget`]) that
+//!   the point-to-point loops above honor, so a serving layer can cancel a runaway
+//!   query without killing its thread.
 
 #![forbid(unsafe_code)]
 
 pub mod astar;
 pub mod bidirectional;
+pub mod budget;
 pub mod dijkstra;
 pub mod heap;
 pub mod scratch;
@@ -29,6 +33,7 @@ pub mod settled;
 
 pub use astar::astar_distance;
 pub use bidirectional::bidirectional_distance;
+pub use budget::{QueryBudget, UNLIMITED};
 pub use dijkstra::{
     dijkstra_adjacency, distance, distance_with_stats, single_source, single_source_restricted,
     single_source_to_targets, sssp_tree, SearchStats,

@@ -9,6 +9,7 @@
 use rnknn_graph::{Graph, NodeId, Weight};
 use rnknn_pathfinding::heap::MinHeap;
 use rnknn_pathfinding::scratch::{SearchScratch, VisitedScratch};
+use rnknn_pathfinding::{QueryBudget, UNLIMITED};
 
 use crate::association::AssociationDirectory;
 use crate::index::RoadIndex;
@@ -34,12 +35,20 @@ pub struct RoadSearchStats {
 pub struct RoadKnn<'a> {
     graph: &'a Graph,
     road: &'a RoadIndex,
+    /// Cooperative cancellation, charged per settled vertex.
+    budget: &'a QueryBudget,
 }
 
 impl<'a> RoadKnn<'a> {
     /// Creates a query processor.
     pub fn new(graph: &'a Graph, road: &'a RoadIndex) -> Self {
-        RoadKnn { graph, road }
+        RoadKnn { graph, road, budget: &UNLIMITED }
+    }
+
+    /// Attaches a [`QueryBudget`] charged per settled vertex; when exhausted,
+    /// the expansion stops early with a truncated result.
+    pub fn set_budget(&mut self, budget: &'a QueryBudget) {
+        self.budget = budget;
     }
 
     /// The `k` objects nearest to `query`, in increasing network-distance order.
@@ -95,6 +104,9 @@ impl<'a> RoadKnn<'a> {
                 if result.len() >= k {
                     break;
                 }
+            }
+            if !self.budget.charge(1) {
+                break;
             }
             self.relax(v, d, directory, &scratch.visited, &mut scratch.heap, &mut stats);
         }

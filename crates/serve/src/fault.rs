@@ -1,0 +1,127 @@
+//! Seeded fault injection for chaos-testing the serving front-end.
+//!
+//! A [`FaultPlan`] is a deterministic function from a request id to a
+//! [`FaultDecision`]: the same `(seed, id)` pair always yields the same
+//! decision, independent of shard assignment, batching or timing. That is what
+//! makes the chaos tests *checkable* — a test can replay the plan over the ids
+//! it submitted and know exactly how many panics and stragglers were injected,
+//! then compare against the front's counters.
+//!
+//! The module is compiled unconditionally but completely inert unless a plan is
+//! installed in [`ServeConfig::fault_plan`](crate::ServeConfig): the production
+//! request path pays nothing (the `Option` is `None` and never consulted per
+//! step, only once per request).
+
+use std::time::Duration;
+
+/// What to do to one request, decided deterministically from `(seed, id)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Serve the request normally.
+    None,
+    /// Panic inside the worker while this request is being served — exercises
+    /// the batch isolation + supervisor respawn path. The poisoned request is
+    /// answered with [`ServeError::WorkerPanicked`](crate::ServeError).
+    Panic,
+    /// Sleep for [`FaultPlan::straggle`] before running the query — simulates a
+    /// straggler (slow disk, cold cache, noisy neighbor) without touching the
+    /// engine.
+    Straggle,
+}
+
+/// A seeded, deterministic fault-injection plan (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed mixed into every per-request decision.
+    pub seed: u64,
+    /// Requests that panic, in per-mille of all requests (`10` = 1%).
+    pub panic_per_mille: u16,
+    /// Requests that straggle, in per-mille (drawn after the panic band, so the
+    /// two never overlap as long as the bands sum to ≤ 1000).
+    pub straggle_per_mille: u16,
+    /// Artificial latency injected before a straggling request runs.
+    pub straggle: Duration,
+}
+
+impl FaultPlan {
+    /// The chaos-test preset: 1% panics, 2% stragglers of 2ms.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            panic_per_mille: 10,
+            straggle_per_mille: 20,
+            straggle: Duration::from_millis(2),
+        }
+    }
+
+    /// The decision for request `id`. Pure: same plan + same id → same answer.
+    pub fn decide(&self, id: u64) -> FaultDecision {
+        let band = (splitmix64(id ^ self.seed.rotate_left(17)) % 1000) as u16;
+        if band < self.panic_per_mille {
+            FaultDecision::Panic
+        } else if band < self.panic_per_mille + self.straggle_per_mille {
+            FaultDecision::Straggle
+        } else {
+            FaultDecision::None
+        }
+    }
+
+    /// How many of `ids` the plan panics / straggles — the oracle chaos tests
+    /// compare the front's counters against.
+    pub fn census(&self, ids: impl Iterator<Item = u64>) -> (u64, u64) {
+        let (mut panics, mut straggles) = (0, 0);
+        for id in ids {
+            match self.decide(id) {
+                FaultDecision::Panic => panics += 1,
+                FaultDecision::Straggle => straggles += 1,
+                FaultDecision::None => {}
+            }
+        }
+        (panics, straggles)
+    }
+}
+
+/// SplitMix64: a full-period mixer whose output is equidistributed, so the
+/// per-mille bands hit their target rates over any contiguous id range.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_respect_bands() {
+        let plan = FaultPlan::chaos(42);
+        for id in 0..1000u64 {
+            assert_eq!(plan.decide(id), plan.decide(id), "id {id} not deterministic");
+        }
+        let (panics, straggles) = plan.census(0..100_000);
+        // 1% ± generous slop over 100k draws.
+        assert!((500..1500).contains(&panics), "panic rate off: {panics}");
+        assert!((1200..2800).contains(&straggles), "straggle rate off: {straggles}");
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        let diverged = (0..10_000u64).filter(|&id| a.decide(id) != b.decide(id)).count();
+        assert!(diverged > 0, "seeds must select different victims");
+    }
+
+    #[test]
+    fn zero_rates_are_inert() {
+        let plan = FaultPlan {
+            seed: 7,
+            panic_per_mille: 0,
+            straggle_per_mille: 0,
+            straggle: Duration::ZERO,
+        };
+        assert!((0..10_000u64).all(|id| plan.decide(id) == FaultDecision::None));
+    }
+}

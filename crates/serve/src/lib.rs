@@ -21,6 +21,15 @@
 //!   updater thread applies [`rnknn_objects::UpdateEvent`]s and paces epoch
 //!   publishes ([`ServeConfig::publish_every`]).
 //!
+//! The front is **deadline-aware and supervised** (see `docs/ROBUSTNESS.md`):
+//! requests may carry a [`KnnRequest::deadline`], enforced by shedding before a
+//! query runs ([`ServeError::ShedExpired`]) and by a cooperative
+//! [`rnknn::QueryBudget`] while it runs; worker panics are isolated per batch,
+//! the poisoned request is answered [`ServeError::WorkerPanicked`], and the
+//! supervision step on the dying worker's exit path respawns a fresh worker on
+//! the same queue. A seeded [`FaultPlan`] ([`fault`]) drives those paths
+//! deterministically in chaos tests.
+//!
 //! ```
 //! use rnknn_serve::sync::Arc; // `std::sync::Arc` unless model-checking
 //! use rnknn::{Engine, EngineConfig, Method};
@@ -35,8 +44,9 @@
 //!
 //! let (front, responses) = ServeFront::start(Arc::clone(&store), ServeConfig::default());
 //! for id in 0..32 {
-//!     front.submit(KnnRequest { id, method: Method::Gtree, query: (id * 13) as u32 % 600, k: 4 })
-//!         .unwrap();
+//!     let request =
+//!         KnnRequest { id, method: Method::Gtree, query: (id * 13) as u32 % 600, k: 4, deadline: None };
+//!     front.submit(request).unwrap();
 //! }
 //! // Interleave an update; it becomes visible at the updater's next publish.
 //! front.submit_update(UpdateEvent::Insert(7)).unwrap();
@@ -47,17 +57,21 @@
 //!     assert_eq!(response.output.unwrap().result.len(), 4);
 //!     got += 1;
 //! }
-//! drop(front); // shuts down: drains queues, joins workers and updater
+//! drop(front); // shuts down: drains queues, waits for workers and updater
 //! ```
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 pub mod front;
 pub mod store;
 pub mod sync;
 
 pub use channel::Receiver;
-pub use front::{FrontStats, KnnRequest, KnnResponse, ServeConfig, ServeFront, SubmitError};
+pub use fault::{FaultDecision, FaultPlan};
+pub use front::{
+    FrontStats, KnnRequest, KnnResponse, ServeConfig, ServeError, ServeFront, SubmitError,
+};
 pub use store::{EpochSnapshot, ObjectStore};

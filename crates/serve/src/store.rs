@@ -96,6 +96,17 @@ pub struct ObjectStore {
     engine: Arc<Engine>,
     writer: Mutex<WriterState>,
     published: RwLock<Arc<EpochSnapshot>>,
+    /// Store birth; TTL deadlines are cached relative to it (monotonic clocks
+    /// have no portable epoch, so we make our own).
+    created: Instant,
+    /// Earliest deadline in `ttl_queue` as nanos since `created` (`u64::MAX` =
+    /// none), maintained conservatively: it may be *early* (stale heap entries)
+    /// but never late. Lets [`ObjectStore::publish_if_expiry_due`] answer "is
+    /// anything overdue?" with one relaxed load, no lock. Deliberately a plain
+    /// `std` atomic (observe-and-nudge only — the loom models never take the
+    /// TTL path, and correctness never depends on this cache, only staleness
+    /// bounds do).
+    earliest_ttl: std::sync::atomic::AtomicU64,
 }
 
 /// How many times to spin (with a `yield_now` each round) waiting for late
@@ -130,6 +141,8 @@ impl ObjectStore {
                 clone_fallbacks: 0,
             }),
             published: RwLock::new(snapshot),
+            created: Instant::now(),
+            earliest_ttl: std::sync::atomic::AtomicU64::new(u64::MAX),
         }
     }
 
@@ -160,8 +173,16 @@ impl ObjectStore {
             let deadline = Instant::now() + ttl;
             w.ttl.insert(v, deadline);
             w.ttl_queue.push(std::cmp::Reverse((deadline, v)));
+            self.earliest_ttl
+                .fetch_min(self.deadline_nanos(deadline), std::sync::atomic::Ordering::Relaxed);
         }
         inserted
+    }
+
+    /// `deadline` as nanos since store birth (the cache's unit), saturating.
+    fn deadline_nanos(&self, deadline: Instant) -> u64 {
+        u64::try_from(deadline.saturating_duration_since(self.created).as_nanos())
+            .unwrap_or(u64::MAX)
     }
 
     /// Stages the removal of the object at `v`. Returns whether it was present.
@@ -222,7 +243,39 @@ impl ObjectStore {
     pub fn publish(&self) -> Arc<EpochSnapshot> {
         let mut w = self.writer.lock().expect("object store poisoned");
         self.expire_due_locked(&mut w, Instant::now());
+        self.publish_locked(&mut w)
+    }
 
+    /// Expiry-driven publish: if the earliest TTL deadline is overdue by more
+    /// than `slack`, expire and publish; otherwise do nothing. The not-due path
+    /// is one relaxed atomic load — cheap enough for serving workers to call at
+    /// every batch boundary, which is what bounds how stale an expired object
+    /// can remain visible when no ordinary updates are flowing (the updater
+    /// only publishes on update traffic). Returns the new snapshot if one was
+    /// published.
+    pub fn publish_if_expiry_due(&self, slack: Duration) -> Option<Arc<EpochSnapshot>> {
+        let nanos = self.earliest_ttl.load(std::sync::atomic::Ordering::Relaxed);
+        if nanos == u64::MAX {
+            return None;
+        }
+        if Instant::now() < self.created + Duration::from_nanos(nanos) + slack {
+            return None;
+        }
+        let mut w = self.writer.lock().expect("object store poisoned");
+        let staged_before = w.pending.len();
+        self.expire_due_locked(&mut w, Instant::now());
+        if w.pending.len() == staged_before {
+            // Raced with another publisher, or the cache was early because of
+            // stale heap entries (now popped and the cache refreshed): nothing
+            // actually expired, so leave the updater's publish pacing alone.
+            return None;
+        }
+        Some(self.publish_locked(&mut w))
+    }
+
+    /// The swap-and-reclaim core of [`ObjectStore::publish`], expirations
+    /// already staged.
+    fn publish_locked(&self, w: &mut WriterState) -> Arc<EpochSnapshot> {
         let epoch = w.epochs_published;
         w.epochs_published += 1;
 
@@ -287,6 +340,15 @@ impl ObjectStore {
                 Self::stage_locked(&self.engine, w, UpdateEvent::Remove(v));
             }
         }
+        // Re-derive the cache from the heap top: never later than the true
+        // earliest live deadline (every live deadline is in the heap), at worst
+        // early because of stale entries — which only costs a spurious
+        // `publish_if_expiry_due` lock round that then self-cleans.
+        let nanos = match w.ttl_queue.peek() {
+            Some(&std::cmp::Reverse((deadline, _))) => self.deadline_nanos(deadline),
+            None => u64::MAX,
+        };
+        self.earliest_ttl.store(nanos, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -409,6 +471,50 @@ mod tests {
         assert!(replayed.objects().contains(a), "replayed buffer lost epoch 1's insert");
         assert!(replayed.objects().contains(b));
         matches_rebuild(&replayed, &[a, b]);
+    }
+
+    /// The expiry-driven publish path: with no update traffic at all, an
+    /// overdue TTL forces a fresh epoch via `publish_if_expiry_due` — and a
+    /// reader pinned *across* that expiry keeps seeing the object while every
+    /// post-expiry snapshot does not (the "query straddling an expiry"
+    /// regression).
+    #[test]
+    fn expiry_driven_publish_fires_without_update_traffic() {
+        let engine = engine();
+        let store = ObjectStore::new(Arc::clone(&engine), uniform(engine.graph(), 0.02, 11));
+        let base = store.snapshot();
+        let v = engine.graph().vertices().find(|&v| !base.objects().contains(v)).unwrap();
+
+        // Nothing due yet: the cheap path declines without publishing.
+        assert!(store.publish_if_expiry_due(Duration::ZERO).is_none());
+
+        assert!(store.insert_with_ttl(v, Duration::from_millis(5)));
+        let with_v = store.publish(); // make the TTL'd object visible
+        assert!(with_v.objects().contains(v));
+
+        // A query pinned on this epoch straddles the expiry: it must keep its
+        // consistent pre-expiry view no matter what publishes underneath.
+        let straddling = store.snapshot();
+        assert!(straddling.objects().contains(v));
+
+        // Not yet overdue (generous slack): no publish.
+        assert!(store.publish_if_expiry_due(Duration::from_secs(3600)).is_none());
+
+        std::thread::sleep(Duration::from_millis(10));
+        let expired =
+            store.publish_if_expiry_due(Duration::ZERO).expect("overdue TTL must force a publish");
+        assert!(!expired.objects().contains(v), "expired object still visible");
+        assert_eq!(expired.epoch(), with_v.epoch() + 1);
+
+        // The straddling reader's epoch was never mutated...
+        assert!(straddling.objects().contains(v));
+        let out = engine.query_snapshot(Method::Ine, v, 1, straddling.indexes()).unwrap();
+        assert_eq!(out.result[0], (v, 0), "pinned epoch must still answer with the object");
+        // ...while fresh snapshots see the expiry.
+        assert!(!store.snapshot().objects().contains(v));
+
+        // One-shot: with the expiry handled, the nudge goes quiet again.
+        assert!(store.publish_if_expiry_due(Duration::ZERO).is_none());
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!    `worker_loop` under this feature). The `mutant-skip-generation-stamp`
 //!    feature removes the stamp in the engine's dispatch path and makes every
 //!    schedule of these models fail.
+//! 4. **Supervised respawn** — a worker panic (simulated under the model via
+//!    the fault plan, so no real unwinding crosses the shim) poisons exactly
+//!    its own request; the dying generation's supervision sentry answers it
+//!    `WorkerPanicked`, respawns a fresh generation on the same shard queue,
+//!    and neither the leftover batch nor anything still queued is ever lost.
+//!    The `mutant-skip-respawn` feature abandons the shard instead and makes
+//!    every schedule of that model fail (lost responses → deadlock).
 //!
 //! Run with `cargo test -p rnknn-serve --features loom-model`; see
 //! docs/CORRECTNESS.md for the mutant matrix.
@@ -55,11 +62,12 @@ fn config() -> ServeConfig {
         queue_capacity: 2,
         max_batch: 2,
         publish_every: NonZeroU64::new(1).expect("nonzero"),
+        ..Default::default()
     }
 }
 
 fn request(id: u64, query: u32) -> KnnRequest {
-    KnnRequest { id, method: Method::Ine, query, k: 1 }
+    KnnRequest { id, method: Method::Ine, query, k: 1, deadline: None }
 }
 
 /// Property 1: every request answered exactly once; shutdown drains and joins
@@ -121,6 +129,61 @@ fn published_update_is_visible_to_later_requests() {
             }
         }
         drop(front);
+    });
+}
+
+/// A fault plan that panics exactly the ids in `victims` and leaves the ids in
+/// `spared` alone (seed searched deterministically; `decide` is pure).
+fn targeted_plan(victims: &[u64], spared: &[u64]) -> rnknn_serve::FaultPlan {
+    use rnknn_serve::{FaultDecision, FaultPlan};
+    (0u64..100_000)
+        .map(|seed| FaultPlan {
+            seed,
+            panic_per_mille: 500,
+            straggle_per_mille: 0,
+            straggle: std::time::Duration::ZERO,
+        })
+        .find(|plan| {
+            victims.iter().all(|&id| plan.decide(id) == FaultDecision::Panic)
+                && spared.iter().all(|&id| plan.decide(id) == FaultDecision::None)
+        })
+        .expect("a seed matching the victim set exists")
+}
+
+/// Property 4: supervised respawn. The fault plan poisons exactly request 1;
+/// under every schedule it is answered `WorkerPanicked`, a fresh generation
+/// takes over the shard, and requests 0 and 2 — whether they were
+/// already served, leftover in the poisoned batch, or still queued — are all
+/// answered exactly once. Under `mutant-skip-respawn` the shard is abandoned
+/// and this model fails on every schedule (the third response never arrives).
+#[test]
+fn panicked_worker_is_respawned_and_no_request_is_lost() {
+    let plan = targeted_plan(&[1], &[0, 2]);
+    loom::model(move || {
+        let mut config = config();
+        config.fault_plan = Some(plan);
+        let (mut front, responses) = ServeFront::start(store(), config);
+        front.submit(request(0, BASE[0])).expect("submit 0");
+        front.submit(request(1, BASE[1])).expect("submit 1");
+        front.submit(request(2, BASE[2])).expect("submit 2");
+        let mut seen = [false; 3];
+        for _ in 0..3 {
+            let r = responses.recv().expect("response");
+            assert!(!std::mem::replace(&mut seen[r.id as usize], true), "duplicate {}", r.id);
+            if r.id == 1 {
+                assert!(
+                    matches!(r.output, Err(rnknn_serve::ServeError::WorkerPanicked)),
+                    "poisoned request must be answered with the typed panic error"
+                );
+            } else {
+                assert_eq!(r.output.expect("query ok").result.len(), 1, "request {}", r.id);
+            }
+        }
+        let stats = front.shutdown();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.worker_restarts, 1);
+        assert!(responses.try_recv().is_err(), "no extra responses after shutdown");
     });
 }
 

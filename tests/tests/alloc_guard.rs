@@ -162,6 +162,68 @@ fn steady_state_stays_allocation_free_on_a_loaded_engine() {
     }
 }
 
+/// The budgeted path shares the zero-allocation steady state: deadline
+/// checking must never buy robustness with per-query allocations — neither
+/// when the budget is generous (full search, checked every step) nor when it
+/// exhausts mid-search (the `DeadlineExceeded` early return, error payload
+/// included, is allocation-free on a warm pool).
+#[test]
+fn budgeted_queries_and_deadline_cuts_allocate_nothing() {
+    use rnknn::{EngineError, QueryBudget};
+    let (engine, queries) = pooled_engine();
+    let k = 8;
+    let methods = [Method::Gtree, Method::Ine, Method::IerCh, Method::IerGtree];
+    let mut out = QueryOutput::default();
+    for &method in &methods {
+        for _ in 0..2 {
+            for &q in &queries {
+                engine.query_into(method, q, k, &mut out).expect("warm-up query");
+                // Warm the truncated path too: an exhausted search may park
+                // different high-water state in the pool than a completed one.
+                let starved = QueryBudget::new(None, 4, 1);
+                let _ = engine.query_into_budgeted(method, q, k, &starved, &mut out);
+            }
+        }
+        for &q in &queries {
+            // Generous budget, tightest check stride: the full search with a
+            // deadline check at every charge must stay allocation-free.
+            let generous = QueryBudget::new(
+                Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+                u64::MAX,
+                1,
+            );
+            let before = allocations();
+            engine.query_into_budgeted(method, q, k, &generous, &mut out).expect("budgeted query");
+            let after = allocations();
+            assert_eq!(
+                after - before,
+                0,
+                "{} allocated {} time(s) under a generous budget at q={q}",
+                method.name(),
+                after - before
+            );
+            // Exhausted budget: the early return (truncated search, cleared
+            // output, error with partial stats) must also be allocation-free.
+            let starved = QueryBudget::new(None, 4, 1);
+            let before = allocations();
+            let err = engine.query_into_budgeted(method, q, k, &starved, &mut out);
+            let after = allocations();
+            assert!(
+                matches!(err, Err(EngineError::DeadlineExceeded { .. })),
+                "{} did not exhaust a 4-step budget at q={q}",
+                method.name()
+            );
+            assert_eq!(
+                after - before,
+                0,
+                "{} allocated {} time(s) on the DeadlineExceeded path at q={q}",
+                method.name(),
+                after - before
+            );
+        }
+    }
+}
+
 #[test]
 fn query_overhead_over_query_into_is_exactly_the_result_vector() {
     let (engine, queries) = pooled_engine();

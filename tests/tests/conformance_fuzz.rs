@@ -14,6 +14,7 @@
 
 use rnknn::engine::{Engine, EngineConfig, Method};
 use rnknn::verify::{ground_truth, matches_ground_truth};
+use rnknn::{EngineError, QueryBudget};
 use rnknn_graph::generator::{GeneratorConfig, RoadNetwork};
 use rnknn_graph::{EdgeWeightKind, NodeId};
 use rnknn_objects::{uniform, ObjectSet};
@@ -104,6 +105,26 @@ fn check_conformance(
                 reused.result,
                 output.result,
                 "{} diverged on scratch reuse at q={q} under {config:?}",
+                method.name()
+            );
+            // Budget-check placement: a budget that never exhausts — generous
+            // deadline, unlimited steps, checked at the tightest possible
+            // stride — must leave the answer bit-identical to the unbudgeted
+            // path. This sweeps the check placement in every method's search
+            // loop across the whole seeded matrix.
+            let generous = QueryBudget::new(
+                Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+                u64::MAX,
+                1,
+            );
+            let budgeted =
+                engine.query_budgeted(method, q, config.k, &generous).unwrap_or_else(|e| {
+                    panic!("{} budgeted rerun failed under {config:?}: {e}", method.name())
+                });
+            assert_eq!(
+                budgeted.result,
+                output.result,
+                "{} diverged under a generous budget at q={q} under {config:?}",
                 method.name()
             );
             // The fresh-allocation baseline is the pre-pooling code path; spot-check
@@ -211,4 +232,69 @@ fn tie_heavy_workloads_agree_on_ranked_distances() {
             check_conformance(&engine, &objects, &[q], config);
         }
     }
+}
+
+/// Budget exhaustion is clean for every supported method: a two-step budget
+/// (the limit is inclusive, so exactly one unit of search work is allowed
+/// before the cut) makes the search unwind with
+/// [`EngineError::DeadlineExceeded`] carrying **non-zero partial stats** — the
+/// allowed work is recorded, not discarded — and the same thread's pooled
+/// scratch immediately serves an exact unbudgeted query afterwards: exhaustion
+/// never wedges or corrupts the pool.
+#[test]
+fn exhausted_budgets_fail_cleanly_with_partial_stats() {
+    let net = RoadNetwork::generate(&GeneratorConfig::new(900, 4242));
+    let engine_config =
+        EngineConfig { build_tnr: true, gtree_leaf_capacity: Some(48), ..Default::default() };
+    let mut engine = Engine::build(net.graph(EdgeWeightKind::Distance), &engine_config);
+    let objects = uniform(engine.graph(), 0.01, 5);
+    engine.set_objects(objects.clone());
+    let n = engine.graph().num_vertices() as NodeId;
+    let k = objects.len().min(8);
+    let mut methods_cut = 0;
+    for method in Method::all() {
+        if !engine.supports(method) {
+            continue;
+        }
+        for q in [3 as NodeId, n / 2, n - 7] {
+            // Two steps (inclusive limit), checked every step: the second
+            // charge exhausts, after exactly one unit of search work.
+            let starved = QueryBudget::new(None, 2, 1);
+            match engine.query_budgeted(method, q, k, &starved) {
+                Err(EngineError::DeadlineExceeded { partial }) => {
+                    let work = partial.nodes_expanded
+                        + partial.heap_operations
+                        + partial.oracle_calls
+                        + partial.candidates_examined
+                        + partial.matrix_cells;
+                    assert!(
+                        work > 0,
+                        "{} reported DeadlineExceeded with all-zero partial stats at q={q}",
+                        method.name()
+                    );
+                    methods_cut += 1;
+                }
+                Err(e) => {
+                    panic!("{} failed oddly under a starved budget at q={q}: {e}", method.name())
+                }
+                Ok(_) => panic!(
+                    "{} completed under a two-step budget at q={q} — budget never charged",
+                    method.name()
+                ),
+            }
+            // The pool survived the unwind: an unbudgeted rerun on this very
+            // thread must still be exact.
+            let out = engine.query(method, q, k).unwrap();
+            assert_eq!(
+                out.distances(),
+                ground_truth(engine.graph(), q, k, &objects)
+                    .iter()
+                    .map(|&(_, d)| d)
+                    .collect::<Vec<_>>(),
+                "{} inexact after a budget-exhausted query at q={q}",
+                method.name()
+            );
+        }
+    }
+    assert!(methods_cut >= 5 * 3, "only {methods_cut} (method × query) cuts exercised");
 }

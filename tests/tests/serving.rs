@@ -274,7 +274,9 @@ fn serve_front_responses_match_ground_truth_of_their_epoch() {
         for probe in 0..12u64 {
             let q = ((round * 257 + probe * 7919) % n as u64) as NodeId;
             queries.insert(id, q);
-            front.submit(KnnRequest { id, method: Method::Gtree, query: q, k: 5 }).unwrap();
+            front
+                .submit(KnnRequest { id, method: Method::Gtree, query: q, k: 5, deadline: None })
+                .unwrap();
             id += 1;
         }
         for _ in 0..queries.len() {
